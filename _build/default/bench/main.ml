@@ -1,0 +1,606 @@
+(* Benchmark and experiment harness.
+
+   The paper (Helmi, Higham, Pacheco, Woelfel: "The Space Complexity of
+   Long-lived and One-Shot Timestamp Implementations") is a theory paper:
+   its evaluation artifacts are the bound theorems and the two figures of
+   the Section-4 construction.  Each experiment below regenerates one of
+   them (the experiment ids match DESIGN.md and EXPERIMENTS.md):
+
+     E1  Theorem 1.1   long-lived adversary: (3,k)-configurations
+     E2  Theorem 1.2   one-shot adversary sweep + Figures 1 and 2
+     E3  Theorem 1.3   sqrt algorithm space measurements
+     E4  Section 5     simple algorithm space measurements
+     E5  Section 1     the bounds summary table (theory vs measured)
+     E6  Lemma 2.1     empirical validation
+     E7  Section 6     claim-level checks (phases, invalidation writes)
+     E8  Section 7     M-bounded long-lived generalization
+
+   One Bechamel Test.make per experiment follows at the end (timings of
+   the key operations involved in each).  Usage:
+
+     dune exec bench/main.exe            -- all experiment tables + timings
+     dune exec bench/main.exe -- --fast  -- tables only, smaller sweeps *)
+
+let fast = Array.exists (fun a -> a = "--fast") Sys.argv
+
+let header title =
+  Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
+
+let sub title = Printf.printf "\n--- %s ---\n" title
+
+(* ------------------------------------------------------------------ *)
+(* E5: bounds summary                                                   *)
+(* ------------------------------------------------------------------ *)
+
+let e5_bounds () =
+  header "E5: bounds summary (paper, Section 1)";
+  Printf.printf
+    "%8s | %14s %14s %14s | %14s %14s\n"
+    "n" "1shot LB" "1shot UB" "simple UB" "longlived LB" "longlived UB";
+  Printf.printf "%s\n" (String.make 84 '-');
+  List.iter
+    (fun n ->
+       Printf.printf "%8d | %14.1f %14d %14d | %14d %14d\n" n
+         (Covering.Bounds.oneshot_lower n)
+         (Covering.Bounds.oneshot_upper n)
+         (Covering.Bounds.simple_upper n)
+         (Covering.Bounds.longlived_lower n)
+         (Covering.Bounds.longlived_upper n))
+    [ 16; 64; 256; 1024; 4096; 16384 ];
+  sub "measured register usage (staggered random workloads, seed 1)";
+  Printf.printf "%-18s | %6s %12s %12s %12s\n" "implementation" "n"
+    "written" "touched" "provisioned";
+  Printf.printf "%s\n" (String.make 68 '-');
+  List.iter
+    (fun impl ->
+       List.iter
+         (fun n ->
+            let _, written, touched, provisioned =
+              Timestamp.Registry.space_probe ~invoke_prob:0.05 impl ~n ~seed:1
+                ~calls:3
+            in
+            Printf.printf "%-18s | %6d %12d %12d %12d\n"
+              (Timestamp.Registry.name impl)
+              n written touched provisioned)
+         (if fast then [ 16; 64 ] else [ 16; 64; 256 ]))
+    Timestamp.Registry.all
+
+(* ------------------------------------------------------------------ *)
+(* E2: the one-shot lower-bound construction (Theorem 1.2, Figs 1-2)    *)
+(* ------------------------------------------------------------------ *)
+
+(* Monomorphic summary so that differently-typed implementations can share
+   one table loop. *)
+type adv_summary = {
+  a_j_last : int;
+  a_l_last : int;
+  a_case2 : int;
+  a_maxcov : int;
+  a_stop : string;
+  a_rounds : (int array * int * int) list;  (* sig_after, j, l per round *)
+}
+
+let run_oneshot_adversary (type v r)
+    (module T : Timestamp.Intf.S with type value = v and type result = r) ~n =
+  let supplier ~pid ~call = T.program ~n ~pid ~call in
+  let cfg =
+    Shm.Sim.create ~n ~num_regs:(T.num_registers ~n) ~init:(T.init_value ~n)
+  in
+  match Covering.Oneshot_adversary.run ~fuel:5_000_000 ~supplier ~cfg () with
+  | Error e -> Error e
+  | Ok o ->
+    Ok
+      { a_j_last = o.j_last;
+        a_l_last = o.l_last;
+        a_case2 = o.case2_count;
+        a_maxcov = o.max_covered;
+        a_stop = Format.asprintf "%a" Covering.Oneshot_adversary.pp_stop o.stop;
+        a_rounds =
+          List.map
+            (fun (r : Covering.Oneshot_adversary.round) ->
+               (r.sig_after, r.j, r.l))
+            o.rounds }
+
+let e2_oneshot_adversary () =
+  header "E2: one-shot covering adversary (Theorem 1.2)";
+  print_endline
+    "(simple-swap is the historyless-object variant of Section 7: the same\n\
+    \ construction applies because poised swaps cover registers)";
+  Printf.printf
+    "%-15s %6s | %5s %6s %7s %7s %6s %9s | %s\n"
+    "implementation" "n" "grid" "j_last" "l_last" "case2" "bound" "maxcov"
+    "stop";
+  Printf.printf "%s\n" (String.make 92 '-');
+  let ns = if fast then [ 16; 32; 64 ] else [ 8; 16; 32; 64; 128; 200 ] in
+  let last_rounds = ref [] in
+  List.iter
+    (fun n ->
+       List.iter
+         (fun (name, run) ->
+            match run ~n with
+            | Error e -> Printf.printf "%-15s %6d | ERROR %s\n" name n e
+            | Ok o ->
+              if name = "sqrt-oneshot" then last_rounds := o.a_rounds;
+              Printf.printf
+                "%-15s %6d | %5d %6d %7d %7d %6.1f %9d | %s\n" name n
+                (Covering.Bounds.grid_width n)
+                o.a_j_last o.a_l_last o.a_case2
+                (Covering.Bounds.oneshot_lower n)
+                o.a_maxcov o.a_stop)
+         [ ("simple-oneshot", run_oneshot_adversary (module Timestamp.Simple_oneshot));
+           ("simple-swap", run_oneshot_adversary (module Timestamp.Simple_swap));
+           ("sqrt-oneshot", run_oneshot_adversary (module Timestamp.Sqrt.One_shot)) ])
+    ns;
+  (* Figures 1 and 2: grids of real configurations reached by the
+     construction against the sqrt algorithm at the largest n. *)
+  (match !last_rounds with
+   | [] -> ()
+   | (first_sig, _, _) :: rest ->
+     let n = List.hd (List.rev ns) in
+     let l = Covering.Bounds.grid_width n in
+     sub
+       (Printf.sprintf
+          "Figure 1 analogue: first (j, m-j)-full configuration (n=%d, \
+           diagonal l=%d)"
+          n l);
+     print_string (Covering.Grid.render_sig ~l first_sig);
+     (match List.rev rest with
+      | (last_sig, j, l') :: _ ->
+        sub
+          (Printf.sprintf
+             "Figure 2 analogue: configuration after the last round \
+              (j=%d, l=%d)"
+             j l');
+        print_string (Covering.Grid.render_sig ~l:l' last_sig)
+      | [] -> ()))
+
+(* ------------------------------------------------------------------ *)
+(* E2b: baseline comparison — EFR's construction vs the paper's         *)
+(* ------------------------------------------------------------------ *)
+
+let e2b_baseline () =
+  header "E2b: EFR baseline construction vs the paper's (Section 3 discussion)";
+  print_endline
+    "(the EFR scheme loses coverage every round, capping at ~sqrt(n)\n\
+    \ registers; the paper's (3,k)/grid scheme caps coverage per register\n\
+    \ instead and reaches ~sqrt(2n))";
+  Printf.printf "%8s | %18s %18s\n" "n" "EFR baseline" "paper (Thm 1.2)";
+  Printf.printf "%s\n" (String.make 48 '-');
+  List.iter
+    (fun n ->
+       let module T = Timestamp.Sqrt.One_shot in
+       let supplier ~pid ~call = T.program ~n ~pid ~call in
+       let cfg =
+         Shm.Sim.create ~n ~num_regs:(T.num_registers ~n)
+           ~init:(T.init_value ~n)
+       in
+       let baseline =
+         match Covering.Efr_adversary.run ~fuel:5_000_000 ~supplier ~cfg () with
+         | Ok o -> o.covered
+         | Error _ -> -1
+       in
+       let paper =
+         match Covering.Oneshot_adversary.run ~fuel:5_000_000 ~supplier ~cfg () with
+         | Ok o -> o.j_last
+         | Error _ -> -1
+       in
+       Printf.printf "%8d | %18d %18d\n" n baseline paper)
+    (if fast then [ 32; 64 ] else [ 32; 64; 128; 200; 288 ])
+
+(* ------------------------------------------------------------------ *)
+(* E1: the long-lived lower-bound construction (Theorem 1.1)            *)
+(* ------------------------------------------------------------------ *)
+
+let run_longlived (type v r)
+    (module T : Timestamp.Intf.S with type value = v and type result = r) ~n
+    ~k =
+  let supplier ~pid ~call = T.program ~n ~pid ~call in
+  let cfg =
+    Shm.Sim.create ~n ~num_regs:(T.num_registers ~n) ~init:(T.init_value ~n)
+  in
+  match Covering.Longlived_adversary.run ~fuel:1_000_000 ~supplier ~cfg ~k () with
+  | Error e -> Error e
+  | Ok o -> Ok (o.covered, o.schedule_length)
+
+let e1_longlived_adversary () =
+  header "E1: long-lived covering adversary (Theorem 1.1)";
+  Printf.printf "%-18s %4s %4s | %8s %10s %10s %10s\n" "implementation" "n"
+    "k" "covered" "ceil(k/3)" "floor(n/6)" "schedule";
+  Printf.printf "%s\n" (String.make 76 '-');
+  let cases =
+    if fast then [ (8, 4); (10, 5) ] else [ (6, 3); (8, 4); (10, 5); (12, 6); (14, 7) ]
+  in
+  List.iter
+    (fun (n, k) ->
+       List.iter
+         (fun (name, run) ->
+            match run ~n ~k with
+            | Error e -> Printf.printf "%-18s %4d %4d | ERROR %s\n" name n k e
+            | Ok (covered, schedule_length) ->
+              Printf.printf "%-18s %4d %4d | %8d %10d %10d %10d\n" name n k
+                covered
+                ((k + 2) / 3)
+                (Covering.Bounds.longlived_lower n)
+                schedule_length)
+         [ ("lamport-longlived", run_longlived (module Timestamp.Lamport));
+           ("efr-longlived", run_longlived (module Timestamp.Efr));
+           ("vector-longlived", run_longlived (module Timestamp.Vector_ts));
+           ("snapshot-longlived", run_longlived (module Timestamp.Snapshot_ts)) ])
+    cases
+
+(* ------------------------------------------------------------------ *)
+(* E3 + E7: sqrt algorithm space and Section-6 claims                   *)
+(* ------------------------------------------------------------------ *)
+
+let e3_e7_sqrt_space () =
+  header "E3/E7: sqrt algorithm space and Section-6 claims (Theorem 1.3)";
+  Printf.printf
+    "%8s | %6s %8s %12s %10s %12s %11s\n" "M=n" "m" "phases" "max written"
+    "writes" "steps/call" "violations";
+  Printf.printf "%s\n" (String.make 78 '-');
+  List.iter
+    (fun n ->
+       let s =
+         Timestamp.Sqrt_claims.run_random ~invoke_prob:0.02 ~n ~seed:1
+           ~total_calls:n ~calls_per_proc:1 ()
+       in
+       Printf.printf "%8d | %6d %8d %12d %10d %12d %11d\n" n s.m s.phases
+         s.max_written_index s.total_writes s.max_steps_per_call
+         (List.length s.violations);
+       List.iter (fun v -> Printf.printf "    VIOLATION: %s\n" v) s.violations)
+    (if fast then [ 16; 64; 256 ] else [ 16; 64; 256; 1024 ])
+
+(* ------------------------------------------------------------------ *)
+(* E4: the simple one-shot algorithm (Section 5)                        *)
+(* ------------------------------------------------------------------ *)
+
+let e4_simple () =
+  header "E4: simple one-shot algorithm (Section 5)";
+  Printf.printf "%8s | %12s %12s %14s %10s\n" "n" "registers" "written"
+    "hb pairs ok" "max ts";
+  Printf.printf "%s\n" (String.make 64 '-');
+  List.iter
+    (fun n ->
+       let module H = Timestamp.Harness.Make (Timestamp.Simple_oneshot) in
+       let cfg = H.run_waves ~wave_size:4 ~n ~seed:1 () in
+       let pairs = H.check_exn cfg in
+       let written, _ = H.space_used cfg in
+       let max_ts =
+         List.fold_left (fun m (_, t) -> max m t) 0 (Shm.Sim.results cfg)
+       in
+       Printf.printf "%8d | %12d %12d %14d %10d\n" n
+         (Timestamp.Simple_oneshot.num_registers ~n)
+         written pairs max_ts)
+    [ 8; 32; 128; 512 ]
+
+(* ------------------------------------------------------------------ *)
+(* E6: Lemma 2.1 validation                                             *)
+(* ------------------------------------------------------------------ *)
+
+let e6_lemma21 () =
+  header "E6: Lemma 2.1 empirical validation";
+  let trials = if fast then 20 else 100 in
+  let successes = ref 0 and u0_writes = ref 0 and u1_writes = ref 0 in
+  for seed = 1 to trials do
+    let n = 8 + (seed mod 13) in
+    let supplier ~pid ~call = Timestamp.Sqrt.One_shot.program ~n ~pid ~call in
+    let cfg =
+      Shm.Sim.create ~n
+        ~num_regs:(Timestamp.Sqrt.One_shot.num_registers ~n)
+        ~init:Timestamp.Sqrt.Bot
+    in
+    (* drive three fresh processes to cover register 0 *)
+    let cfg =
+      List.fold_left
+        (fun cfg pid ->
+           let cfg =
+             Shm.Sim.invoke cfg ~pid ~program:(fun ~call ->
+                 supplier ~pid ~call)
+           in
+           let rec to_write cfg =
+             match Shm.Sim.covers cfg pid with
+             | Some _ -> cfg
+             | None -> to_write (Shm.Sim.step cfg pid)
+           in
+           to_write cfg)
+        cfg [ 0; 1; 2 ]
+    in
+    match
+      Covering.Lemma21.probe ~fuel:200_000 ~supplier ~cfg ~b0:[ 0 ] ~b1:[ 1 ]
+        ~b2:[ 2 ] ~u0:3 ~u1:4 ~r:[ 0 ] ()
+    with
+    | Ok report ->
+      incr successes;
+      if List.mem Covering.Lemma21.U0 report.writers then incr u0_writes;
+      if List.mem Covering.Lemma21.U1 report.writers then incr u1_writes
+    | Error e -> Printf.printf "  trial %d FAILED: %s\n" seed e
+  done;
+  Printf.printf
+    "trials=%d lemma-holds=%d (u0 wrote outside in %d, u1 in %d)\n" trials
+    !successes !u0_writes !u1_writes
+
+(* ------------------------------------------------------------------ *)
+(* E8: M-bounded long-lived generalization (Section 7)                  *)
+(* ------------------------------------------------------------------ *)
+
+let e8_bounded_longlived () =
+  header "E8: M-bounded long-lived sqrt algorithm (Section 7)";
+  Printf.printf "%8s %6s | %6s %12s %10s %11s\n" "M" "n" "m" "max written"
+    "phases" "violations";
+  Printf.printf "%s\n" (String.make 62 '-');
+  List.iter
+    (fun (n, m_calls) ->
+       let s =
+         Timestamp.Sqrt_claims.run_random ~n ~seed:1 ~total_calls:m_calls
+           ~calls_per_proc:(m_calls / n) ()
+       in
+       Printf.printf "%8d %6d | %6d %12d %10d %11d\n" m_calls n s.m
+         s.max_written_index s.phases
+         (List.length s.violations))
+    [ (4, 16); (8, 64); (8, 256); (16, 1024) ]
+
+(* ------------------------------------------------------------------ *)
+(* E9: the full stack over message passing (ABD registers)              *)
+(* ------------------------------------------------------------------ *)
+
+let e9_distributed () =
+  header "E9: timestamps over ABD-emulated registers (message passing + crashes)";
+  Printf.printf "%-16s %4s %4s %8s | %8s %10s %8s\n" "implementation" "n"
+    "R" "crashed" "pairs" "messages" "status";
+  Printf.printf "%s\n" (String.make 70 '-');
+  let run_one (type v r) label
+      (module T : Timestamp.Intf.S with type value = v and type result = r)
+      ~n ~replicas ~crashed ~steps ~seed =
+    let module A = Abd.Emulation.Make (struct
+        type nonrec v = v
+
+        type nonrec r = r
+      end)
+    in
+    let clients = List.init n (fun pid -> T.program ~n ~pid ~call:0) in
+    let rand = Random.State.make [| seed |] in
+    match
+      A.run ~crashed ~clients ~replicas ~num_regs:(T.num_registers ~n)
+        ~init:(T.init_value ~n) ~steps ~rand ()
+    with
+    | Error e ->
+      Printf.printf "%-16s %4d %4d %8d | ERROR %s\n" label n replicas
+        (List.length crashed) e
+    | Ok o -> (
+        match A.check_timestamps ~compare_ts:T.compare_ts o with
+        | Ok pairs ->
+          Printf.printf "%-16s %4d %4d %8d | %8d %10d %8s\n" label n replicas
+            (List.length crashed) pairs o.messages "OK"
+        | Error e ->
+          Printf.printf "%-16s %4d %4d %8d | VIOLATION %s\n" label n replicas
+            (List.length crashed) e)
+  in
+  run_one "sqrt-oneshot" (module Timestamp.Sqrt.One_shot) ~n:6 ~replicas:3
+    ~crashed:[] ~steps:20 ~seed:1;
+  run_one "sqrt-oneshot" (module Timestamp.Sqrt.One_shot) ~n:8 ~replicas:5
+    ~crashed:[ 0; 2 ] ~steps:40 ~seed:2;
+  run_one "simple-oneshot" (module Timestamp.Simple_oneshot) ~n:8 ~replicas:5
+    ~crashed:[ 1; 4 ] ~steps:10 ~seed:3;
+  run_one "lamport" (module Timestamp.Lamport) ~n:6 ~replicas:7
+    ~crashed:[ 0; 3; 6 ] ~steps:10 ~seed:4
+
+(* ------------------------------------------------------------------ *)
+(* EA: ablation of the Algorithm-4 repair rule (Section 6.1)            *)
+(* ------------------------------------------------------------------ *)
+
+let ea_ablation () =
+  header "EA: ablation of the lines 10-11 repair rule (Section 6.1)";
+  (* the directed interleaving from Section 6.1 *)
+  let scenario (module V : Timestamp.Sqrt_variants.VARIANT) =
+    let n = 8 in
+    let supplier ~pid ~call = V.program ~n ~pid ~call in
+    let invoke cfg pid =
+      Shm.Sim.invoke cfg ~pid ~program:(fun ~call -> supplier ~pid ~call)
+    in
+    let until_write cfg pid reg =
+      let rec go cfg =
+        match Shm.Sim.covers cfg pid with
+        | Some r when r = reg -> cfg
+        | _ -> go (Shm.Sim.step cfg pid)
+      in
+      go cfg
+    in
+    let solo cfg pid =
+      Option.get (Shm.Sim.run_solo ~fuel:10_000 (invoke cfg pid) pid)
+    in
+    let finish cfg pid = Option.get (Shm.Sim.run_solo ~fuel:10_000 cfg pid) in
+    let cfg =
+      Shm.Sim.create ~n ~num_regs:(V.num_registers ~n) ~init:(V.init_value ~n)
+    in
+    let cfg = until_write (invoke cfg 0) 0 0 in
+    let cfg = solo (solo (solo cfg 1) 2) 3 in
+    let cfg = until_write (invoke cfg 4) 4 2 in
+    let cfg = Shm.Sim.step cfg 0 in
+    let cfg = until_write (invoke cfg 5) 5 2 in
+    let cfg = finish cfg 4 in
+    let cfg = solo cfg 6 in
+    let cfg = finish cfg 5 in
+    let cfg = solo cfg 7 in
+    Timestamp.Checker.check ~compare_ts:V.compare_ts ~pp:V.pp_ts
+      ~hist:(Shm.Sim.hist cfg) ~results:(Shm.Sim.results cfg)
+  in
+  let describe name v =
+    Printf.printf "%-18s directed Section-6.1 interleaving: %s\n" name
+      (match scenario v with
+       | Ok _ -> "consistent"
+       | Error viol ->
+         Format.asprintf "VIOLATION %a" Timestamp.Checker.pp_violation viol)
+  in
+  describe "repair=stale" (module Timestamp.Sqrt.One_shot);
+  describe "repair=never" (module Timestamp.Sqrt_variants.No_repair);
+  describe "repair=always" (module Timestamp.Sqrt_variants.Eager_repair);
+  let seeds = if fast then 200 else 1000 in
+  (match
+     Timestamp.Sqrt_variants.hunt_violation
+       (module Timestamp.Sqrt_variants.No_repair)
+       ~n:8 ~seeds
+   with
+   | None ->
+     Printf.printf
+       "random search: no violation of repair=never in %d random schedules \
+        (the bug needs the directed interleaving)\n"
+       seeds
+   | Some (seed, v) ->
+     Printf.printf "random search: seed %d violates repair=never: %s\n" seed v);
+  sub "write cost of the repair policies (same seeds, one-shot workloads)";
+  Printf.printf "%8s | %14s %14s\n" "n" "stale writes" "eager writes";
+  Printf.printf "%s\n" (String.make 42 '-');
+  List.iter
+    (fun n ->
+       let avg f =
+         let total = List.fold_left (fun acc s -> acc + fst (f s)) 0 [ 1; 2; 3; 4; 5 ] in
+         total / 5
+       in
+       let stale =
+         avg (fun seed ->
+             Timestamp.Sqrt_variants.writes_of
+               (module struct include Timestamp.Sqrt.One_shot end)
+               ~n ~seed)
+       in
+       let eager =
+         avg (fun seed ->
+             Timestamp.Sqrt_variants.writes_of
+               (module Timestamp.Sqrt_variants.Eager_repair)
+               ~n ~seed)
+       in
+       Printf.printf "%8d | %14d %14d\n" n stale eager)
+    [ 16; 64; 256 ]
+
+(* ------------------------------------------------------------------ *)
+(* Bechamel timing benches: one Test.make per experiment                *)
+(* ------------------------------------------------------------------ *)
+
+let bechamel_tests () =
+  let open Bechamel in
+  let solo_get_ts (type v r)
+      (module T : Timestamp.Intf.S with type value = v and type result = r) ~n
+      () =
+    (* real-atomics solo latency of one full set of n one-shot calls *)
+    let regs =
+      Multicore.Exec.make_regs ~num:(T.num_registers ~n) ~init:(T.init_value ~n)
+    in
+    for pid = 0 to n - 1 do
+      ignore (Multicore.Exec.run ~regs (T.program ~n ~pid ~call:0))
+    done
+  in
+  let long_lived_get_ts (type v r)
+      (module T : Timestamp.Intf.S with type value = v and type result = r) ~n
+      ~calls () =
+    let regs =
+      Multicore.Exec.make_regs ~num:(T.num_registers ~n) ~init:(T.init_value ~n)
+    in
+    for call = 0 to calls - 1 do
+      ignore (Multicore.Exec.run ~regs (T.program ~n ~pid:(call mod n) ~call))
+    done
+  in
+  let n = 64 in
+  [ Test.make ~name:"E4:simple-oneshot n=64 (n getTS, atomics)"
+      (Staged.stage (solo_get_ts (module Timestamp.Simple_oneshot) ~n));
+    Test.make ~name:"E3:sqrt-oneshot n=64 (n getTS, atomics)"
+      (Staged.stage (solo_get_ts (module Timestamp.Sqrt.One_shot) ~n));
+    Test.make ~name:"E5:lamport n=64 (64 getTS, atomics)"
+      (Staged.stage (long_lived_get_ts (module Timestamp.Lamport) ~n ~calls:64));
+    Test.make ~name:"E5:efr n=64 (64 getTS, atomics)"
+      (Staged.stage (long_lived_get_ts (module Timestamp.Efr) ~n ~calls:64));
+    Test.make ~name:"E5:vector n=64 (64 getTS, atomics)"
+      (Staged.stage
+         (long_lived_get_ts (module Timestamp.Vector_ts) ~n ~calls:64));
+    Test.make ~name:"E2:oneshot-adversary n=32 (sqrt)"
+      (Staged.stage (fun () ->
+           match run_oneshot_adversary (module Timestamp.Sqrt.One_shot) ~n:32 with
+           | Ok _ -> ()
+           | Error e -> failwith e));
+
+    Test.make ~name:"E1:longlived-adversary n=8 k=4 (lamport)"
+      (Staged.stage (fun () ->
+           match run_longlived (module Timestamp.Lamport) ~n:8 ~k:4 with
+           | Ok _ -> ()
+           | Error e -> failwith e));
+    Test.make ~name:"E6:lemma21-probe n=12 (sqrt)"
+      (Staged.stage (fun () ->
+           let n = 12 in
+           let supplier ~pid ~call =
+             Timestamp.Sqrt.One_shot.program ~n ~pid ~call
+           in
+           let cfg =
+             Shm.Sim.create ~n
+               ~num_regs:(Timestamp.Sqrt.One_shot.num_registers ~n)
+               ~init:Timestamp.Sqrt.Bot
+           in
+           let cfg =
+             List.fold_left
+               (fun cfg pid ->
+                  let cfg =
+                    Shm.Sim.invoke cfg ~pid ~program:(fun ~call ->
+                        supplier ~pid ~call)
+                  in
+                  let rec to_write cfg =
+                    match Shm.Sim.covers cfg pid with
+                    | Some _ -> cfg
+                    | None -> to_write (Shm.Sim.step cfg pid)
+                  in
+                  to_write cfg)
+               cfg [ 0; 1; 2 ]
+           in
+           match
+             Covering.Lemma21.probe ~fuel:200_000 ~supplier ~cfg ~b0:[ 0 ]
+               ~b1:[ 1 ] ~b2:[ 2 ] ~u0:3 ~u1:4 ~r:[ 0 ] ()
+           with
+           | Ok _ -> ()
+           | Error e -> failwith e));
+    Test.make ~name:"E7:sqrt-claims n=64"
+      (Staged.stage (fun () ->
+           ignore
+             (Timestamp.Sqrt_claims.run_random ~n:64 ~seed:1 ~total_calls:64
+                ~calls_per_proc:1 ())));
+    Test.make ~name:"E8:sqrt M=256 n=8 (claims run)"
+      (Staged.stage (fun () ->
+           ignore
+             (Timestamp.Sqrt_claims.run_random ~n:8 ~seed:1 ~total_calls:256
+                ~calls_per_proc:32 ()))) ]
+
+let run_timings () =
+  header "Timings (Bechamel, monotonic clock; ns per run)";
+  let open Bechamel in
+  let ols =
+    Analyze.ols ~r_square:true ~bootstrap:0 ~predictors:[| Measure.run |]
+  in
+  let instance = Toolkit.Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000
+      ~quota:(Time.second (if fast then 0.2 else 0.5))
+      ~kde:None ()
+  in
+  List.iter
+    (fun test ->
+       let results = Benchmark.all cfg [ instance ] test in
+       let analyzed = Analyze.all ols instance results in
+       Hashtbl.iter
+         (fun name ols_result ->
+            match Analyze.OLS.estimates ols_result with
+            | Some [ est ] -> Printf.printf "%-48s %14.0f ns/run\n" name est
+            | _ -> Printf.printf "%-48s (no estimate)\n" name)
+         analyzed)
+    (bechamel_tests ())
+
+let () =
+  Printf.printf
+    "Timestamp space complexity: experiment harness%s\n"
+    (if fast then " (fast mode)" else "");
+  e5_bounds ();
+  e2_oneshot_adversary ();
+  e2b_baseline ();
+  e1_longlived_adversary ();
+  e3_e7_sqrt_space ();
+  e4_simple ();
+  e6_lemma21 ();
+  e8_bounded_longlived ();
+  e9_distributed ();
+  ea_ablation ();
+  run_timings ();
+  print_endline "\nAll experiments complete."

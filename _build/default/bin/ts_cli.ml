@@ -1,0 +1,394 @@
+(* Command-line front end: run timestamp workloads, the lower-bound
+   adversaries, the Section-6 claim checks, figure rendering, multicore
+   stress and the logical-clock demos. *)
+
+open Cmdliner
+
+let impl_names = List.map Timestamp.Registry.name Timestamp.Registry.all
+
+let impl_conv =
+  let parse s =
+    match Timestamp.Registry.find s with
+    | Some impl -> Ok impl
+    | None ->
+      Error
+        (`Msg
+           (Printf.sprintf "unknown implementation %S (expected one of %s)" s
+              (String.concat ", " impl_names)))
+  in
+  let print ppf impl =
+    Format.pp_print_string ppf (Timestamp.Registry.name impl)
+  in
+  Arg.conv (parse, print)
+
+let impl_arg =
+  Arg.(
+    value
+    & opt impl_conv Timestamp.Registry.lamport
+    & info [ "impl"; "i" ] ~docv:"NAME"
+        ~doc:
+          (Printf.sprintf "Timestamp implementation (one of %s)."
+             (String.concat ", " impl_names)))
+
+let n_arg =
+  Arg.(value & opt int 8 & info [ "n" ] ~docv:"N" ~doc:"Number of processes.")
+
+let seed_arg =
+  Arg.(value & opt int 1 & info [ "seed"; "s" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let calls_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "calls"; "c" ] ~docv:"CALLS"
+        ~doc:"getTS calls per process (long-lived objects only).")
+
+(* ------------------------------------------------------------------ *)
+
+let list_cmd =
+  let run () =
+    Printf.printf "%-18s %-11s %s\n" "name" "kind" "registers (n=16, 64, 256)";
+    Printf.printf "%s\n" (String.make 60 '-');
+    List.iter
+      (fun impl ->
+         let regs n = Timestamp.Registry.num_registers impl ~n in
+         Printf.printf "%-18s %-11s %d, %d, %d\n"
+           (Timestamp.Registry.name impl)
+           (match Timestamp.Registry.kind impl with
+            | `One_shot -> "one-shot"
+            | `Long_lived -> "long-lived")
+           (regs 16) (regs 64) (regs 256))
+      Timestamp.Registry.all
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List the available timestamp implementations.")
+    Term.(const run $ const ())
+
+let run_cmd =
+  let run impl n seed calls =
+    let (Timestamp.Registry.Impl (module T)) = impl in
+    let module H = Timestamp.Harness.Make (T) in
+    let cfg = H.run_random ~invoke_prob:0.05 ~calls ~n ~seed () in
+    Printf.printf "implementation: %s   n=%d seed=%d\n" T.name n seed;
+    List.iter
+      (fun ((op : Shm.History.op), t) ->
+         Printf.printf "  p%d.%d -> %s\n" op.pid op.call
+           (Format.asprintf "%a" T.pp_ts t))
+      (Shm.Sim.results cfg);
+    (match H.check cfg with
+     | Ok pairs -> Printf.printf "compare-consistency: OK (%d ordered pairs)\n" pairs
+     | Error v ->
+       Printf.printf "VIOLATION: %s\n"
+         (Format.asprintf "%a" Timestamp.Checker.pp_violation v));
+    let written, touched = H.space_used cfg in
+    Printf.printf "registers: written=%d touched=%d provisioned=%d\n" written
+      touched (T.num_registers ~n)
+  in
+  Cmd.v
+    (Cmd.info "run"
+       ~doc:"Run a random workload on an implementation and check it.")
+    Term.(const run $ impl_arg $ n_arg $ seed_arg $ calls_arg)
+
+let adversary_oneshot_cmd =
+  let run impl n grid verbose =
+    let (Timestamp.Registry.Impl (module T)) = impl in
+    let supplier ~pid ~call = T.program ~n ~pid ~call in
+    let cfg =
+      Shm.Sim.create ~n ~num_regs:(T.num_registers ~n) ~init:(T.init_value ~n)
+    in
+    match
+      Covering.Oneshot_adversary.run ?grid_width:grid ~fuel:5_000_000
+        ~supplier ~cfg ()
+    with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
+    | Ok o ->
+      Printf.printf
+        "%s n=%d: covered %d registers simultaneously (grid=%d, bound=%.1f, \
+         stop: %s)\n"
+        T.name n o.j_last
+        (match grid with Some g -> g | None -> Covering.Bounds.grid_width n)
+        (Covering.Bounds.oneshot_lower n)
+        (Format.asprintf "%a" Covering.Oneshot_adversary.pp_stop o.stop);
+      List.iter
+        (fun r ->
+           Printf.printf "  %s\n"
+             (Format.asprintf "%a" Covering.Oneshot_adversary.pp_round r);
+           if verbose then
+             print_string (Covering.Grid.render_sig ~l:r.l r.sig_after))
+        o.rounds
+  in
+  let grid =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "grid" ] ~docv:"WIDTH"
+          ~doc:"Grid width l0 (default: floor(sqrt(2n)) as in the paper).")
+  in
+  let verbose =
+    Arg.(value & flag & info [ "grids"; "v" ] ~doc:"Render a grid per round.")
+  in
+  Cmd.v
+    (Cmd.info "one-shot"
+       ~doc:"Run the Theorem 1.2 covering construction (Section 4).")
+    Term.(const run $ impl_arg $ n_arg $ grid $ verbose)
+
+let adversary_longlived_cmd =
+  let run impl n k =
+    let (Timestamp.Registry.Impl (module T)) = impl in
+    let supplier ~pid ~call = T.program ~n ~pid ~call in
+    let cfg =
+      Shm.Sim.create ~n ~num_regs:(T.num_registers ~n) ~init:(T.init_value ~n)
+    in
+    let k = match k with Some k -> k | None -> n / 2 in
+    match
+      Covering.Longlived_adversary.run ~fuel:1_000_000 ~supplier ~cfg ~k ()
+    with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
+    | Ok o ->
+      Printf.printf
+        "%s n=%d: reached a (3,%d)-configuration covering %d registers \
+         (>= %d required; floor(n/6) = %d) via a %d-action schedule\n"
+        T.name n k o.covered ((k + 2) / 3)
+        (Covering.Bounds.longlived_lower n)
+        o.schedule_length;
+      print_string (Covering.Grid.render_sig o.signature)
+  in
+  let k_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "k" ] ~docv:"K"
+          ~doc:"Target (3,k)-configuration (default: floor(n/2)).")
+  in
+  Cmd.v
+    (Cmd.info "long-lived"
+       ~doc:"Run the Theorem 1.1 covering construction (Section 3).")
+    Term.(const run $ impl_arg $ n_arg $ k_arg)
+
+let adversary_cmd =
+  Cmd.group
+    (Cmd.info "adversary"
+       ~doc:"Executable lower-bound constructions (covering arguments).")
+    [ adversary_oneshot_cmd; adversary_longlived_cmd ]
+
+let figure_cmd =
+  let run which n =
+    let supplier ~pid ~call = Timestamp.Sqrt.One_shot.program ~n ~pid ~call in
+    let cfg =
+      Shm.Sim.create ~n
+        ~num_regs:(Timestamp.Sqrt.One_shot.num_registers ~n)
+        ~init:Timestamp.Sqrt.Bot
+    in
+    match Covering.Oneshot_adversary.run ~fuel:5_000_000 ~supplier ~cfg () with
+    | Error e ->
+      Printf.eprintf "error: %s\n" e;
+      exit 1
+    | Ok o -> (
+        let l = Covering.Bounds.grid_width n in
+        match which, o.rounds with
+        | 1, first :: _ ->
+          Printf.printf
+            "Figure 1: a column reaches the diagonal (sqrt algorithm, n=%d)\n"
+            n;
+          print_string (Covering.Grid.render_sig ~l first.sig_after)
+        | 2, rounds when rounds <> [] ->
+          let last = List.nth rounds (List.length rounds - 1) in
+          Printf.printf
+            "Figure 2: configuration after the last round (n=%d, j=%d, l=%d)\n"
+            n last.j last.l;
+          print_string (Covering.Grid.render_sig ~l:last.l last.sig_after)
+        | _ ->
+          Printf.eprintf "figure must be 1 or 2, and the run must progress\n";
+          exit 1)
+  in
+  let which =
+    Arg.(
+      required
+      & pos 0 (some int) None
+      & info [] ~docv:"FIGURE" ~doc:"Which figure to render (1 or 2).")
+  in
+  Cmd.v
+    (Cmd.info "figure"
+       ~doc:"Render the paper's Figure 1 / Figure 2 from a real run.")
+    Term.(const run $ which $ n_arg)
+
+let claims_cmd =
+  let run n m_calls seed =
+    let total_calls = match m_calls with Some m -> m | None -> n in
+    let calls_per_proc = max 1 (total_calls / n) in
+    let stats =
+      Timestamp.Sqrt_claims.run_random ~invoke_prob:0.05 ~n ~seed ~total_calls
+        ~calls_per_proc ()
+    in
+    Printf.printf "%s\n" (Format.asprintf "%a" Timestamp.Sqrt_claims.pp_stats stats);
+    List.iter (fun v -> Printf.printf "VIOLATION: %s\n" v) stats.violations;
+    if stats.violations <> [] then exit 1
+  in
+  let m_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "total-calls"; "M" ] ~docv:"M"
+          ~doc:"Total getTS calls (default: n, the one-shot case).")
+  in
+  Cmd.v
+    (Cmd.info "claims"
+       ~doc:"Check the Section-6 claims on a random execution of Algorithm 4.")
+    Term.(const run $ n_arg $ m_arg $ seed_arg)
+
+let stress_cmd =
+  let run impl n calls =
+    let (Timestamp.Registry.Impl (module T)) = impl in
+    let module S = Multicore.Stress.Make (T) in
+    match S.run_and_check ~n ~calls with
+    | Ok pairs ->
+      Printf.printf "%s: %d domains x %d calls OK (%d ordered pairs checked)\n"
+        T.name n
+        (match T.kind with `One_shot -> 1 | `Long_lived -> calls)
+        pairs
+    | Error e ->
+      Printf.eprintf "VIOLATION: %s\n" e;
+      exit 1
+  in
+  Cmd.v
+    (Cmd.info "stress"
+       ~doc:"Run the implementation on real domains and check it.")
+    Term.(const run $ impl_arg $ n_arg $ calls_arg)
+
+let explore_cmd =
+  let run impl n calls max_paths max_steps =
+    let (Timestamp.Registry.Impl (module T)) = impl in
+    let supplier ~pid ~call = T.program ~n ~pid ~call in
+    let cfg =
+      Shm.Sim.create ~n ~num_regs:(T.num_registers ~n) ~init:(T.init_value ~n)
+    in
+    let calls = match T.kind with `One_shot -> 1 | `Long_lived -> calls in
+    match
+      Shm.Explore.explore ~max_steps ~max_paths ~supplier
+        ~calls_per_proc:(Array.make n calls)
+        ~leaf_check:(fun cfg ->
+            Result.is_ok (Timestamp.Checker.check_sim (module T) cfg))
+        cfg
+    with
+    | Shm.Explore.Ok stats ->
+      Printf.printf
+        "%s n=%d calls=%d: %s over %d complete schedules (%d configurations \
+         visited, %d truncated paths)\n"
+        T.name n calls
+        (if stats.exhaustive then "EXHAUSTIVELY VERIFIED" else "verified")
+        stats.paths stats.configurations stats.truncated_paths
+    | Shm.Explore.Counterexample { schedule; _ } ->
+      Printf.printf "%s n=%d: COUNTEREXAMPLE, schedule of %d actions:\n"
+        T.name n (List.length schedule);
+      print_string (Shm.Trace.render ~supplier cfg schedule);
+      exit 1
+  in
+  let max_paths =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "max-paths" ] ~docv:"N" ~doc:"Schedule budget.")
+  in
+  let max_steps =
+    Arg.(
+      value & opt int 300
+      & info [ "max-steps" ] ~docv:"N" ~doc:"Per-schedule depth bound.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:
+         "Exhaustively enumerate every schedule of a small instance and \
+          check the specification on each.")
+    Term.(const run $ impl_arg $ n_arg $ calls_arg $ max_paths $ max_steps)
+
+let distributed_cmd =
+  let run impl n replicas ncrashed seed =
+    let (Timestamp.Registry.Impl (module T)) = impl in
+    let module A = Abd.Emulation.Make (struct
+        type v = T.value
+
+        type r = T.result
+      end)
+    in
+    let crashed = List.init ncrashed (fun i -> i) in
+    let clients = List.init n (fun pid -> T.program ~n ~pid ~call:0) in
+    let rand = Random.State.make [| seed |] in
+    match
+      A.run ~crashed ~clients ~replicas ~num_regs:(T.num_registers ~n)
+        ~init:(T.init_value ~n) ~steps:(5 * n) ~rand ()
+    with
+    | Error e ->
+      Printf.eprintf "error: %s
+" e;
+      exit 1
+    | Ok o -> (
+        List.iter
+          (fun (c, t) ->
+             Printf.printf "  client %d -> %s
+" c
+               (Format.asprintf "%a" T.pp_ts t))
+          o.results;
+        match A.check_timestamps ~compare_ts:T.compare_ts o with
+        | Ok pairs ->
+          Printf.printf
+            "%s over ABD: OK (%d clients, %d replicas, %d crashed, %d              ordered pairs, %d messages)
+"
+            T.name n replicas ncrashed pairs o.messages
+        | Error e ->
+          Printf.eprintf "VIOLATION: %s
+" e;
+          exit 1)
+  in
+  let replicas_arg =
+    Arg.(
+      value & opt int 3
+      & info [ "replicas"; "R" ] ~docv:"R" ~doc:"Number of register replicas.")
+  in
+  let crashed_arg =
+    Arg.(
+      value & opt int 0
+      & info [ "crashed" ] ~docv:"F"
+          ~doc:"Crash the first F replicas (must be a minority).")
+  in
+  Cmd.v
+    (Cmd.info "distributed"
+       ~doc:
+         "Run the implementation over ABD-emulated registers (message           passing with crash failures).")
+    Term.(const run $ impl_arg $ n_arg $ replicas_arg $ crashed_arg $ seed_arg)
+
+let clocks_cmd =
+  let run n steps seed =
+    let rand = Random.State.make [| seed |] in
+    let trace = Mp.Net.random_trace ~n ~steps ~internal_prob:0.4 ~rand () in
+    Printf.printf "trace: %d events on %d nodes\n" (List.length trace) n;
+    let report name = function
+      | Ok () -> Printf.printf "%-14s OK\n" name
+      | Error e -> Printf.printf "%-14s FAILED: %s\n" name e
+    in
+    report "lamport-clock" (Clocks.Lamport_clock.check trace);
+    report "vector-clock" (Clocks.Vector_clock.check ~n trace);
+    report "matrix-clock" (Clocks.Matrix_clock.check ~n trace)
+  in
+  let steps_arg =
+    Arg.(
+      value & opt int 100
+      & info [ "steps" ] ~docv:"STEPS" ~doc:"Scheduling decisions to simulate.")
+  in
+  Cmd.v
+    (Cmd.info "clocks"
+       ~doc:
+         "Generate a message-passing execution and verify the logical clocks.")
+    Term.(const run $ n_arg $ steps_arg $ seed_arg)
+
+let () =
+  let doc =
+    "Timestamp objects from atomic registers: algorithms, adversaries and \
+     experiments from Helmi, Higham, Pacheco, Woelfel (PODC 2011)."
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group
+          (Cmd.info "ts_cli" ~version:"1.0.0" ~doc)
+          [ list_cmd; run_cmd; adversary_cmd; figure_cmd; claims_cmd;
+            stress_cmd; clocks_cmd; explore_cmd; distributed_cmd ]))

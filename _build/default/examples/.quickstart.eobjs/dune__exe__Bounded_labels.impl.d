@@ -1,0 +1,1 @@
+examples/bounded_labels.ml: Format Int List Printf Random String Timestamp

@@ -1,0 +1,1 @@
+examples/bounded_labels.mli:

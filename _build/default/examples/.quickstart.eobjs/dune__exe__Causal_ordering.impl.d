@@ -1,0 +1,1 @@
+examples/causal_ordering.ml: Array Clocks List Mp Printf Random String

@@ -1,0 +1,1 @@
+examples/causal_ordering.mli:

@@ -1,0 +1,1 @@
+examples/covering_demo.ml: Covering Format List Printf Shm Timestamp

@@ -1,0 +1,1 @@
+examples/covering_demo.mli:

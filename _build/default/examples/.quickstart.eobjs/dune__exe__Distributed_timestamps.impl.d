@@ -1,0 +1,1 @@
+examples/distributed_timestamps.ml: Abd Format List Printf Random Timestamp

@@ -1,0 +1,1 @@
+examples/multicore_stress.ml: Domain Multicore Printf Timestamp

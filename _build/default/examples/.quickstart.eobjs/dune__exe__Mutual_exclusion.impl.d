@@ -1,0 +1,1 @@
+examples/mutual_exclusion.ml: Apps Array List Printf Random Shm String Timestamp

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Format List Printf Shm String Timestamp

@@ -1,0 +1,1 @@
+lib/abd/emulation.ml: Array Hashtbl List Mp Printf Shm

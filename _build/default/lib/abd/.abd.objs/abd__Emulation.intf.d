@@ -1,0 +1,1 @@
+lib/abd/emulation.mli: Random Shm

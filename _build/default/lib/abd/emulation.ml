@@ -1,0 +1,315 @@
+module Make (X : sig
+    type v
+
+    type r
+  end) =
+struct
+  type tag = { ts : int; wid : int }
+
+  let tag_lt a b = a.ts < b.ts || (a.ts = b.ts && a.wid < b.wid)
+
+  let tag_zero = { ts = 0; wid = -1 }
+
+  type msg =
+    | Query of { op_id : int; reg : int }
+    | Query_resp of { op_id : int; tag : tag; value : X.v }
+    | Update of { op_id : int; reg : int; tag : tag; value : X.v }
+    | Update_ack of { op_id : int }
+
+  (* What the client does with the value once phase 2 completes. *)
+  type cont =
+    | K_read of (X.v -> (X.v, X.r) Shm.Prog.t)
+    | K_write of (unit -> (X.v, X.r) Shm.Prog.t)
+
+  type client_phase =
+    | Not_started
+    | Phase1 of {
+        op_id : int;
+        reg : int;
+        responses : (tag * X.v) list;
+        kind : [ `Read | `Write of X.v ];
+        cont : cont;
+      }
+    | Phase2 of {
+        op_id : int;
+        acks : int;
+        deliver : X.v option;  (* Some v for reads *)
+        cont : cont;
+      }
+    | Finished of X.r
+    | Failed of string
+
+  type client_state = {
+    prog : (X.v, X.r) Shm.Prog.t;  (* suspended at the *next* operation *)
+    phase : client_phase;
+    next_op : int;
+    seq_count : int;
+        (* Mp sequence numbers consumed so far: one per receive/internal
+           event plus one per sent message (Mp numbers sends too) *)
+    started_at : int;  (* own seq of the kickoff internal event *)
+    finished_at : int;  (* own seq of the completing event *)
+  }
+
+  type replica_state = {
+    store : (tag * X.v) array;
+    crashed : bool;
+  }
+
+  type node_state =
+    | Client of client_state
+    | Replica of replica_state
+
+  type outcome = {
+    results : (int * X.r) list;
+    intervals : (int * int * int) array;
+    trace_length : int;
+    messages : int;
+  }
+
+  let run ?(crashed = []) ~clients ~replicas ~num_regs ~init ~steps ~rand () =
+    let n_clients = List.length clients in
+    let n = n_clients + replicas in
+    let quorum = (replicas / 2) + 1 in
+    if replicas < 1 then invalid_arg "Abd.run: need at least one replica";
+    if List.length crashed > (replicas - 1) / 2 then
+      invalid_arg "Abd.run: too many crashed replicas for progress";
+    let programs = Array.of_list clients in
+    let replica_ids = List.init replicas (fun i -> n_clients + i) in
+    let module B = struct
+      type state = node_state
+
+      type nonrec msg = msg
+
+      let init ~me ~n:_ =
+        if me < n_clients then
+          Client
+            { prog = programs.(me);
+              phase = Not_started;
+              next_op = 0;
+              seq_count = 0;
+              started_at = -1;
+              finished_at = -1 }
+        else
+          Replica
+            { store = Array.make num_regs (tag_zero, init);
+              crashed = List.mem (me - n_clients) crashed }
+
+      (* Start the next shared-memory operation of the suspended program,
+         or finish.  Swap is rejected: not emulatable without consensus.
+         [entry_seq] is the sequence number of the event being processed,
+         recorded as the operation boundary. *)
+      let launch ~entry_seq (c : client_state) =
+        match c.prog with
+        | Shm.Prog.Done r ->
+          ({ c with phase = Finished r; finished_at = entry_seq }, [])
+        | Shm.Prog.Read (reg, k) ->
+          let op_id = c.next_op in
+          ( { c with
+              phase =
+                Phase1
+                  { op_id; reg; responses = []; kind = `Read; cont = K_read k };
+              next_op = op_id + 1 },
+            List.map (fun rep -> (rep, Query { op_id; reg })) replica_ids )
+        | Shm.Prog.Write (reg, v, k) ->
+          let op_id = c.next_op in
+          ( { c with
+              phase =
+                Phase1
+                  { op_id; reg; responses = []; kind = `Write v;
+                    cont = K_write k };
+              next_op = op_id + 1 },
+            List.map (fun rep -> (rep, Query { op_id; reg })) replica_ids )
+        | Shm.Prog.Swap _ ->
+          ( { c with
+              phase =
+                Failed
+                  "swap is historyless but not register-emulatable: ABD \
+                   supports read/write only" },
+            [] )
+
+      let client_receive ~me ~entry_seq c msg =
+        match c.phase, msg with
+        | Phase1 p, Query_resp { op_id; tag; value } when op_id = p.op_id ->
+          let responses = (tag, value) :: p.responses in
+          if List.length responses < quorum then
+            ({ c with phase = Phase1 { p with responses } }, [])
+          else begin
+            (* majority reached: pick the max tag and start phase 2 *)
+            let max_tag, max_val =
+              List.fold_left
+                (fun (bt, bv) (t, v) -> if tag_lt bt t then (t, v) else (bt, bv))
+                (List.hd responses) (List.tl responses)
+            in
+            let wtag, wval, deliver =
+              match p.kind with
+              | `Read -> (max_tag, max_val, Some max_val)
+              | `Write v -> ({ ts = max_tag.ts + 1; wid = me }, v, None)
+            in
+            ( { c with
+                phase =
+                  Phase2 { op_id = p.op_id; acks = 0; deliver; cont = p.cont } },
+              List.map
+                (fun rep ->
+                   (rep, Update { op_id = p.op_id; reg = p.reg; tag = wtag;
+                                  value = wval }))
+                replica_ids )
+          end
+        | Phase2 p, Update_ack { op_id } when op_id = p.op_id ->
+          let acks = p.acks + 1 in
+          if acks < quorum then ({ c with phase = Phase2 { p with acks } }, [])
+          else
+            (* operation complete: resume the program *)
+            let prog =
+              match p.cont, p.deliver with
+              | K_read k, Some v -> k v
+              | K_write k, None -> k ()
+              | K_read _, None | K_write _, Some _ -> assert false
+            in
+            launch ~entry_seq { c with prog; phase = Not_started }
+        | _ -> (c, [])  (* stale responses from earlier phases *)
+
+      let replica_receive ~me:_ (r : replica_state) ~src msg =
+        if r.crashed then (Replica r, [])
+        else
+          match msg with
+          | Query { op_id; reg } ->
+            let tag, value = r.store.(reg) in
+            (Replica r, [ (src, Query_resp { op_id; tag; value }) ])
+          | Update { op_id; reg; tag; value } ->
+            let cur_tag, _ = r.store.(reg) in
+            if tag_lt cur_tag tag then r.store.(reg) <- (tag, value);
+            (Replica r, [ (src, Update_ack { op_id }) ])
+          | Query_resp _ | Update_ack _ -> (Replica r, [])
+
+      let on_receive ~me st ~src msg =
+        match st with
+        | Client c ->
+          let entry_seq = c.seq_count in
+          let c, sends = client_receive ~me ~entry_seq c msg in
+          (* this event consumed one seq, each send consumes another *)
+          (Client { c with seq_count = entry_seq + 1 + List.length sends },
+           sends)
+        | Replica r ->
+          (* replica event counters are not needed *)
+          replica_receive ~me r ~src msg
+
+      let on_internal ~me:_ st =
+        match st with
+        | Client ({ phase = Not_started; started_at = -1; _ } as c) ->
+          let entry_seq = c.seq_count in
+          let c, sends = launch ~entry_seq { c with started_at = entry_seq } in
+          (Client { c with seq_count = entry_seq + 1 + List.length sends },
+           sends)
+        | Client c -> (Client { c with seq_count = c.seq_count + 1 }, [])
+        | Replica r -> (Replica r, [])
+    end in
+    let module N = Mp.Net.Make (B) in
+    let net = N.create ~n () in
+    ignore (N.run_random ~steps ~internal_prob:0.3 ~rand net);
+    (* ensure every client got its kickoff, then drain to completion *)
+    let rec settle rounds =
+      if rounds = 0 then Error "Abd.run: clients did not finish"
+      else begin
+        Array.iteri
+          (fun node st ->
+             match st with
+             | Client { phase = Not_started; started_at = -1; _ } ->
+               N.poke net node
+             | _ -> ())
+          (N.states net);
+        N.drain ~rand net;
+        let unfinished =
+          Array.exists
+            (function
+              | Client { phase = Finished _ | Failed _; _ } -> false
+              | Client _ -> true
+              | Replica _ -> false)
+            (N.states net)
+        in
+        if unfinished then settle (rounds - 1) else Ok ()
+      end
+    in
+    match settle (4 + n_clients) with
+    | Error e -> Error e
+    | Ok () ->
+      let states = N.states net in
+      let failures =
+        Array.to_list states
+        |> List.filter_map (function
+            | Client { phase = Failed msg; _ } -> Some msg
+            | _ -> None)
+      in
+      if failures <> [] then Error (List.hd failures)
+      else begin
+        let trace = N.trace net in
+        (* map (node, seq) -> global index *)
+        let index = Hashtbl.create (2 * List.length trace) in
+        List.iteri
+          (fun i ev ->
+             let id = Mp.Net.event_id ev in
+             Hashtbl.replace index (id.Mp.Net.node, id.Mp.Net.seq) i)
+          trace;
+        let intervals =
+          Array.init n_clients (fun cl ->
+              match states.(cl) with
+              | Client { started_at; finished_at; _ } ->
+                ( cl,
+                  Hashtbl.find index (cl, started_at),
+                  Hashtbl.find index (cl, finished_at) )
+              | Replica _ -> assert false)
+        in
+        let results =
+          Array.to_list
+            (Array.init n_clients (fun cl ->
+                 match states.(cl) with
+                 | Client { phase = Finished r; _ } -> (cl, r)
+                 | _ -> assert false))
+        in
+        let messages =
+          List.length
+            (List.filter
+               (function Mp.Net.Received _ -> true | _ -> false)
+               trace)
+        in
+        Ok
+          { results;
+            intervals;
+            trace_length = List.length trace;
+            messages }
+      end
+
+  let happens_before o a b =
+    let _, _, fin_a = o.intervals.(a) in
+    let _, start_b, _ = o.intervals.(b) in
+    fin_a < start_b
+
+  let check_timestamps ~compare_ts o =
+    let exception Bad of string in
+    try
+      let pairs = ref 0 in
+      List.iter
+        (fun (a, ta) ->
+           List.iter
+             (fun (b, tb) ->
+                if a <> b && happens_before o a b then begin
+                  incr pairs;
+                  if not (compare_ts ta tb) then
+                    raise
+                      (Bad
+                         (Printf.sprintf
+                            "client %d happened before client %d but \
+                             compare(t1,t2)=false"
+                            a b));
+                  if compare_ts tb ta then
+                    raise
+                      (Bad
+                         (Printf.sprintf
+                            "client %d happened before client %d but \
+                             compare(t2,t1)=true"
+                            a b))
+                end)
+             o.results)
+        o.results;
+      Ok !pairs
+    with Bad msg -> Error msg
+end

@@ -1,0 +1,66 @@
+(** Attiya–Bar-Noy–Dolev emulation: multi-writer multi-reader atomic
+    registers over an asynchronous message-passing system with crash
+    failures.
+
+    The paper's algorithms are written for shared atomic registers; ABD
+    shows such registers exist in message-passing systems whenever a
+    majority of replicas survives.  This module interprets the same
+    [('v, 'r) Shm.Prog.t] programs that run on the simulator and on OCaml
+    atomics over a replicated register array:
+
+    - every register is replicated on all replica nodes with a tag
+      [(ts, writer-id)];
+    - a {e write} queries a majority for the highest tag, then propagates
+      the value with a higher tag to a majority;
+    - a {e read} queries a majority, picks the value with the highest tag,
+      writes it back to a majority (the classic read-must-write phase),
+      then returns it.
+
+    [Swap] programs are rejected: historyless swap is not emulatable from
+    crash-prone message passing without consensus, which is precisely why
+    the Section-7 historyless setting is a strictly stronger model.
+
+    Happens-before between client operations is derived from the global
+    trace order (an operation's interval spans from its kickoff internal
+    event to the receipt that completed it), which is sound for checking
+    the timestamp specification end to end. *)
+
+module Make (X : sig
+    type v
+
+    type r
+  end) : sig
+  type outcome = {
+    results : (int * X.r) list;  (** (client, result), completion order *)
+    intervals : (int * int * int) array;
+        (** per client: (client, start, finish) as global trace indices *)
+    trace_length : int;
+    messages : int;  (** messages delivered *)
+  }
+
+  val run :
+    ?crashed:int list ->
+    clients:(X.v, X.r) Shm.Prog.t list ->
+    replicas:int ->
+    num_regs:int ->
+    init:X.v ->
+    steps:int ->
+    rand:Random.State.t ->
+    unit ->
+    (outcome, string) result
+  (** Runs one program per client against [replicas] replica nodes holding
+      [num_regs] registers.  [crashed] lists replica indices
+      (in [0 .. replicas-1]) that never respond; progress requires
+      [List.length crashed <= (replicas - 1) / 2].  [steps] random
+      scheduling decisions interleave the clients before the network is
+      repeatedly drained until every client finishes. *)
+
+  val happens_before : outcome -> int -> int -> bool
+  (** [happens_before o a b]: client [a]'s operation finished before client
+      [b]'s began, in global trace order. *)
+
+  val check_timestamps :
+    compare_ts:(X.r -> X.r -> bool) -> outcome -> (int, string) result
+  (** The paper's specification over the derived happens-before relation;
+      returns the number of ordered pairs checked. *)
+end

@@ -1,0 +1,1 @@
+lib/apps/bakery.ml: Array Format Shm

@@ -1,0 +1,1 @@
+lib/apps/bakery.mli: Format Shm

@@ -1,0 +1,1 @@
+lib/apps/event_order.ml: Int List Shm Timestamp

@@ -1,0 +1,1 @@
+lib/apps/event_order.mli: Shm Timestamp

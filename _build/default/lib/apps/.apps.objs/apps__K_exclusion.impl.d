@@ -1,0 +1,1 @@
+lib/apps/k_exclusion.ml: Array Shm Timestamp Ts_lock

@@ -1,0 +1,1 @@
+lib/apps/k_exclusion.mli: Shm Timestamp Ts_lock

@@ -1,0 +1,1 @@
+lib/apps/renaming.ml: Array List Shm Timestamp

@@ -1,0 +1,1 @@
+lib/apps/renaming.mli: Shm Timestamp

@@ -1,0 +1,1 @@
+lib/apps/ts_lock.ml: Array Format Shm Timestamp

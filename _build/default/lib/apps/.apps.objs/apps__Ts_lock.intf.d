@@ -1,0 +1,1 @@
+lib/apps/ts_lock.mli: Format Shm Timestamp

@@ -1,0 +1,46 @@
+(** Lamport's bakery algorithm (Lamport 1974): the classic timestamp-based
+    first-come-first-served mutual exclusion cited in the paper's
+    introduction.
+
+    Each process owns one register with its doorway flag and ticket; one
+    extra register carries an occupancy counter for the test harness (with
+    mutual exclusion the counter's read-then-write pairs are serialized, so
+    it is exact: entry must observe 0 and exit must observe 1).  Sessions
+    are deadlock-free, not wait-free: drive them with a fair scheduler. *)
+
+type slot = { choosing : bool; number : int }
+
+type value =
+  | Slot of slot
+  | Occupancy of int
+
+type result = {
+  ticket : int;
+  entry_occupancy : int;  (** must be 0 *)
+  exit_occupancy : int;  (** must be 1 *)
+}
+
+val name : string
+
+val kind : [ `One_shot | `Long_lived ]
+
+val num_registers : n:int -> int
+(** [n + 1]: one slot per process plus the occupancy register. *)
+
+val init_value : n:int -> value
+
+val occupancy_reg : n:int -> int
+
+val init_regs : n:int -> value array
+
+val create : n:int -> (value, result) Shm.Sim.t
+(** Initial configuration with correctly typed register slots. *)
+
+val program : n:int -> pid:int -> call:int -> (value, result) Shm.Prog.t
+(** One full session: doorway, wait loop, instrumented critical section,
+    release. *)
+
+val session_ok : result -> bool
+(** The mutual-exclusion witness: entry occupancy 0, exit occupancy 1. *)
+
+val pp_result : Format.formatter -> result -> unit

@@ -1,0 +1,24 @@
+(** Event-ordering service: processes label events with timestamps; the
+    service reconstructs a total order of the events consistent with the
+    happens-before relation of the labelling calls — the core use-case of
+    timestamp objects.
+
+    The reconstruction is a repeated-minima topological sort of the
+    [compare] relation with (pid, call) tie-breaks, which stays sound for
+    partial orders (vector timestamps) where a comparison-based list sort
+    would not be. *)
+
+module Make (T : Timestamp.Intf.S) : sig
+  type labelled = Shm.History.op * T.result
+
+  val order : labelled list -> labelled list
+  (** A total order consistent with [compare]; raises [Invalid_argument]
+      if the relation has a cycle (impossible for timestamps of a real
+      execution). *)
+
+  val consistent : hist:Shm.History.t -> labelled list -> bool
+  (** Every happens-before pair appears in order. *)
+
+  val demo : n:int -> seed:int -> calls:int -> labelled list * bool
+  (** End-to-end: random workload, label, reconstruct, check. *)
+end

@@ -1,0 +1,136 @@
+(** k-exclusion from timestamp objects: at most [k] processes in the
+    critical section, first-come-first-served — the generalization of
+    mutual exclusion cited in the paper's introduction (Fischer, Lynch,
+    Burns, Borodin 1989; Afek et al. 1994).
+
+    The protocol generalizes {!Ts_lock}: a session announces [Choosing],
+    obtains a timestamp, announces [Request ts], and waits until {e fewer
+    than k} announced requests precede its own.  With [k = 1] this is
+    exactly the timestamp lock.
+
+    Instrumentation: because up to [k] sessions are legally concurrent, a
+    read-modify-write occupancy counter would race with itself; instead
+    every process raises a single-writer flag for the duration of its
+    critical section.  A session records how many {e other} flags it
+    observed raised while inside — each single observation is a sound
+    concurrency witness, though the count across instants is only a bound
+    for [k = 1].  The sound safety invariant is external: the number of
+    raised flags in any reachable configuration never exceeds [k]
+    ({!Make.occupants}); the test suite checks it over random schedules and
+    with the exhaustive explorer. *)
+
+open Shm.Prog.Syntax
+
+module Make (T : Timestamp.Intf.S) = struct
+  type value =
+    | Ts of T.value
+    | Ann of T.result Ts_lock.announce
+    | Flag of bool
+
+  type result = {
+    ts : T.result;
+    others_in_cs : int;  (** flags observed raised while inside: < k *)
+  }
+
+  let name = "k-exclusion(" ^ T.name ^ ")"
+
+  let kind = T.kind
+
+  let ts_regs ~n = T.num_registers ~n
+
+  let ann_reg ~n pid = ts_regs ~n + pid
+
+  let flag_reg ~n pid = ts_regs ~n + n + pid
+
+  let num_registers ~n = ts_regs ~n + (2 * n)
+
+  let init_regs ~n =
+    Array.init (num_registers ~n) (fun r ->
+        if r < ts_regs ~n then Ts (T.init_value ~n)
+        else if r < ts_regs ~n + n then Ann Ts_lock.Silent
+        else Flag false)
+
+  (* Raised critical-section flags in a configuration: the external
+     occupancy, for invariant checks. *)
+  let occupants ~n (cfg : (value, result) Shm.Sim.t) =
+    let count = ref 0 in
+    for pid = 0 to n - 1 do
+      match Shm.Sim.reg cfg (flag_reg ~n pid) with
+      | Flag true -> incr count
+      | Flag false | Ts _ | Ann _ -> ()
+    done;
+    !count
+
+  let embedded_get_ts ~n ~pid ~call =
+    Shm.Prog.embed
+      ~inj:(fun v -> Ts v)
+      ~prj:(function
+          | Ts v -> v
+          | Ann _ | Flag _ ->
+            invalid_arg "K_exclusion: timestamp object read a foreign register")
+      (T.program ~n ~pid ~call)
+
+  let precedes (t1, p1) (t2, p2) =
+    T.compare_ts t1 t2 || ((not (T.compare_ts t2 t1)) && p1 < p2)
+
+  let program ~k ~n ~pid ~call =
+    if pid < 0 || pid >= n then invalid_arg "K_exclusion.program: bad pid";
+    if k < 1 || k > n then invalid_arg "K_exclusion.program: bad k";
+    let my_ann = ann_reg ~n pid in
+    let my_flag = flag_reg ~n pid in
+    (* Doorway. *)
+    let* () = Shm.Prog.write my_ann (Ann Ts_lock.Choosing) in
+    let* ts = embedded_get_ts ~n ~pid ~call in
+    let* () = Shm.Prog.write my_ann (Ann (Ts_lock.Request ts)) in
+    (* Wait until the doorways of all others are settled and fewer than k
+       announced requests precede ours.  The whole announce array is
+       re-collected each round: predecessors change as sessions finish. *)
+    let collect_preceding () =
+      Shm.Prog.fold_range ~lo:0 ~hi:(n - 1) ~init:(Some 0) (fun acc j ->
+          if j = pid then Shm.Prog.return acc
+          else
+            let+ v = Shm.Prog.read (ann_reg ~n j) in
+            match acc, v with
+            | None, _ -> None  (* already saw an unsettled doorway *)
+            | Some _, Ann Ts_lock.Choosing -> None
+            | Some c, Ann (Ts_lock.Request ts') ->
+              if precedes (ts', j) (ts, pid) then Some (c + 1) else Some c
+            | Some c, Ann Ts_lock.Silent -> Some c
+            | Some _, (Ts _ | Flag _) ->
+              invalid_arg "K_exclusion: foreign announce register")
+    in
+    let rec wait () =
+      let* preceding = collect_preceding () in
+      match preceding with
+      | Some c when c < k -> Shm.Prog.return ()
+      | Some _ | None -> wait ()
+    in
+    let* () = wait () in
+    (* Critical section: raise the flag, observe the other flags. *)
+    let* () = Shm.Prog.write my_flag (Flag true) in
+    let* others_in_cs =
+      Shm.Prog.fold_range ~lo:0 ~hi:(n - 1) ~init:0 (fun c j ->
+          if j = pid then Shm.Prog.return c
+          else
+            let+ v = Shm.Prog.read (flag_reg ~n j) in
+            match v with
+            | Flag true -> c + 1
+            | Flag false | Ts _ | Ann _ -> c)
+    in
+    let* () = Shm.Prog.write my_flag (Flag false) in
+    (* Release. *)
+    let* () = Shm.Prog.write my_ann (Ann Ts_lock.Silent) in
+    Shm.Prog.return { ts; others_in_cs }
+
+  (* Every observed flag was raised concurrently with the observer, so each
+     single observation instant had at most k occupants; but observations at
+     different instants may involve different processes, so the *count* of
+     distinct others is only bounded by k - 1 when k = 1 (where any
+     observation at all is a violation).  The sound general safety check is
+     the external {!occupants} invariant over configurations. *)
+  let session_ok ~k r =
+    r.others_in_cs >= 0 && (if k = 1 then r.others_in_cs = 0 else true)
+
+  let create ~n : (value, result) Shm.Sim.t =
+    Shm.Sim.of_regs ~n ~regs:(init_regs ~n)
+end

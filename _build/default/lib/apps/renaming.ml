@@ -1,0 +1,86 @@
+(** Order-based renaming from a one-shot timestamp object.
+
+    Renaming is one of the paper's motivating one-shot problems (Attiya and
+    Fouren 2003, cited in the introduction; Section 1 argues that one-shot
+    versions of such algorithms only need one-shot timestamps).  Each
+    process obtains a one-shot timestamp, announces it, waits until all [n]
+    participants have announced (announces are never retracted, so the set
+    is stable once complete), and takes as its new name the rank of its
+    timestamp among all announced ones (ties broken by pid).
+
+    Guarantees (with full participation): names form exactly [1..n], and
+    if [p]'s getTS happens before [q]'s, then [p] receives the smaller
+    name.  This renaming is {e non-adaptive} and requires all [n] processes
+    to participate (the barrier); adaptive renaming needs the stronger
+    machinery of Attiya–Fouren and is out of scope. *)
+
+open Shm.Prog.Syntax
+
+module Make (T : Timestamp.Intf.S) = struct
+  type value =
+    | Ts of T.value
+    | Ann of (T.result * int) option  (** announced (timestamp, pid) *)
+
+  type result = {
+    ts : T.result;
+    new_name : int;  (** in [1..n] *)
+  }
+
+  let name = "renaming(" ^ T.name ^ ")"
+
+  let kind = `One_shot
+
+  let ts_regs ~n = T.num_registers ~n
+
+  let ann_reg ~n pid = ts_regs ~n + pid
+
+  let num_registers ~n = ts_regs ~n + n
+
+  let init_regs ~n =
+    Array.init (num_registers ~n) (fun r ->
+        if r < ts_regs ~n then Ts (T.init_value ~n) else Ann None)
+
+  let create ~n : (value, result) Shm.Sim.t =
+    Shm.Sim.of_regs ~n ~regs:(init_regs ~n)
+
+  let embedded_get_ts ~n ~pid ~call =
+    Shm.Prog.embed
+      ~inj:(fun v -> Ts v)
+      ~prj:(function
+          | Ts v -> v
+          | Ann _ ->
+            invalid_arg "Renaming: timestamp object read a foreign register")
+      (T.program ~n ~pid ~call)
+
+  let precedes (t1, p1) (t2, p2) =
+    T.compare_ts t1 t2 || ((not (T.compare_ts t2 t1)) && p1 < p2)
+
+  let program ~n ~pid ~call =
+    if call <> 0 then invalid_arg "Renaming.program: one-shot object";
+    if pid < 0 || pid >= n then invalid_arg "Renaming.program: bad pid";
+    let* ts = embedded_get_ts ~n ~pid ~call in
+    let* () = Shm.Prog.write (ann_reg ~n pid) (Ann (Some (ts, pid))) in
+    (* Barrier: collect until every participant has announced.  Announces
+       are single-writer and never retracted, so once a full collect
+       succeeds the announced set is final and identical for everyone. *)
+    let collect_all () =
+      Shm.Prog.fold_range ~lo:0 ~hi:(n - 1) ~init:(Some []) (fun acc j ->
+          let+ v = Shm.Prog.read (ann_reg ~n j) in
+          match acc, v with
+          | None, _ | _, Ann None -> None
+          | Some l, Ann (Some entry) -> Some (entry :: l)
+          | Some _, Ts _ ->
+            invalid_arg "Renaming: foreign announce register")
+    in
+    let rec barrier () =
+      let* all = collect_all () in
+      match all with
+      | Some entries -> Shm.Prog.return entries
+      | None -> barrier ()
+    in
+    let* entries = barrier () in
+    let new_name =
+      1 + List.length (List.filter (fun e -> precedes e (ts, pid)) entries)
+    in
+    Shm.Prog.return { ts; new_name }
+end

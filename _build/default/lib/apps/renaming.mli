@@ -1,0 +1,42 @@
+(** Order-based renaming from a one-shot timestamp object — one of the
+    paper's motivating one-shot problems (Attiya–Fouren 2003, cited in the
+    introduction).
+
+    Each process obtains a one-shot timestamp, announces it, waits for all
+    [n] announcements (a barrier: announces are never retracted, so the set
+    is stable once complete and identical for everyone), and takes the rank
+    of its timestamp as its new name.
+
+    With full participation: names are exactly [1..n], and if [p]'s call
+    happens before [q]'s then [p] gets the smaller name.  Non-adaptive:
+    all [n] processes must participate. *)
+
+module Make (T : Timestamp.Intf.S) : sig
+  type value =
+    | Ts of T.value
+    | Ann of (T.result * int) option
+
+  type result = {
+    ts : T.result;
+    new_name : int;  (** in [1..n] *)
+  }
+
+  val name : string
+
+  val kind : [ `One_shot | `Long_lived ]
+
+  val ts_regs : n:int -> int
+
+  val ann_reg : n:int -> int -> int
+
+  val num_registers : n:int -> int
+
+  val init_regs : n:int -> value array
+
+  val create : n:int -> (value, result) Shm.Sim.t
+
+  val precedes : T.result * int -> T.result * int -> bool
+
+  val program : n:int -> pid:int -> call:int -> (value, result) Shm.Prog.t
+  (** Rejects [call <> 0]. *)
+end

@@ -1,0 +1,125 @@
+(** FCFS mutual exclusion built on a long-lived timestamp object — the
+    application pattern motivating timestamps in the paper's introduction.
+
+    A lock session: doorway (announce [Choosing], obtain a timestamp from
+    the embedded timestamp object, announce [Request ts]); wait until no
+    announced request precedes ours (timestamp comparison, ties broken by
+    pid); instrumented critical section; release.  First-come-first-served:
+    if session A's doorway completes before session B's begins, A enters
+    the critical section first, because B's timestamp then compares after
+    A's.
+
+    Requirements on the timestamp object: its [compare] must order any two
+    timestamps of {e sequential} calls (all of the paper's algorithms do)
+    and must not create precedence cycles among concurrent requests; total
+    orders with pid tie-breaking (Lamport, EFR, the sqrt algorithm) and the
+    pointwise-dominance order of vector timestamps (where cycles are
+    impossible by transitivity of dominance) all qualify.
+
+    The register space embeds the timestamp object's registers at indices
+    [0 .. m-1] via {!Shm.Prog.embed}; announce registers and the occupancy
+    counter follow. *)
+
+open Shm.Prog.Syntax
+
+type 'ts announce =
+  | Silent
+  | Choosing
+  | Request of 'ts
+
+module Make (T : Timestamp.Intf.S) = struct
+  type value =
+    | Ts of T.value
+    | Ann of T.result announce
+    | Occupancy of int
+
+  type result = {
+    ts : T.result;
+    entry_occupancy : int;
+    exit_occupancy : int;
+  }
+
+  let name = "ts-lock(" ^ T.name ^ ")"
+
+  let kind = T.kind
+
+  let ts_regs ~n = T.num_registers ~n
+
+  let ann_reg ~n pid = ts_regs ~n + pid
+
+  let occupancy_reg ~n = ts_regs ~n + n
+
+  let num_registers ~n = ts_regs ~n + n + 1
+
+  let init_value ~n:_ = Ann Silent
+
+  (* Per-slice initial register values; use with {!Shm.Sim.of_regs}. *)
+  let init_regs ~n =
+    Array.init (num_registers ~n) (fun r ->
+        if r < ts_regs ~n then Ts (T.init_value ~n)
+        else if r < ts_regs ~n + n then Ann Silent
+        else Occupancy 0)
+
+  let embedded_get_ts ~n ~pid ~call =
+    Shm.Prog.embed
+      ~inj:(fun v -> Ts v)
+      ~prj:(function
+          | Ts v -> v
+          | Ann _ | Occupancy _ ->
+            invalid_arg "Ts_lock: timestamp object read a foreign register")
+      (T.program ~n ~pid ~call)
+
+  (* (ts, pid) precedence: strict timestamp comparison first, pid as the
+     tie-breaker for concurrent (mutually incomparable) requests. *)
+  let precedes (t1, p1) (t2, p2) =
+    T.compare_ts t1 t2 || ((not (T.compare_ts t2 t1)) && p1 < p2)
+
+  let program ~n ~pid ~call =
+    if pid < 0 || pid >= n then invalid_arg "Ts_lock.program: bad pid";
+    let occ = occupancy_reg ~n in
+    let my_ann = ann_reg ~n pid in
+    (* Doorway. *)
+    let* () = Shm.Prog.write my_ann (Ann Choosing) in
+    let* ts = embedded_get_ts ~n ~pid ~call in
+    let* () = Shm.Prog.write my_ann (Ann (Request ts)) in
+    (* Wait loop. *)
+    let rec wait_for j =
+      let* v = Shm.Prog.read (ann_reg ~n j) in
+      match v with
+      | Ann Silent -> Shm.Prog.return ()
+      | Ann Choosing -> wait_for j
+      | Ann (Request ts') ->
+        if precedes (ts', j) (ts, pid) then wait_for j else Shm.Prog.return ()
+      | Ts _ | Occupancy _ -> invalid_arg "Ts_lock: foreign announce register"
+    in
+    let* () =
+      Shm.Prog.iter_range ~lo:0 ~hi:(n - 1) (fun j ->
+          if j = pid then Shm.Prog.return () else wait_for j)
+    in
+    (* Instrumented critical section. *)
+    let* e = Shm.Prog.read occ in
+    let entry_occupancy =
+      match e with Occupancy c -> c | _ -> invalid_arg "Ts_lock: occupancy"
+    in
+    let* () = Shm.Prog.write occ (Occupancy (entry_occupancy + 1)) in
+    let* _ = Shm.Prog.read my_ann in
+    let* x = Shm.Prog.read occ in
+    let exit_occupancy =
+      match x with Occupancy c -> c | _ -> invalid_arg "Ts_lock: occupancy"
+    in
+    let* () = Shm.Prog.write occ (Occupancy (exit_occupancy - 1)) in
+    (* Release. *)
+    let* () = Shm.Prog.write my_ann (Ann Silent) in
+    Shm.Prog.return { ts; entry_occupancy; exit_occupancy }
+
+  let session_ok r = r.entry_occupancy = 0 && r.exit_occupancy = 1
+
+  let pp_result ppf r =
+    Format.fprintf ppf "{ts=%a; in=%d; out=%d}" T.pp_ts r.ts r.entry_occupancy
+      r.exit_occupancy
+
+  (* A ready-to-run simulator configuration with properly typed initial
+     registers. *)
+  let create ~n : (value, result) Shm.Sim.t =
+    Shm.Sim.of_regs ~n ~regs:(init_regs ~n)
+end

@@ -1,0 +1,59 @@
+(** First-come-first-served mutual exclusion built on {e any} long-lived
+    timestamp object — the application pattern motivating timestamps in the
+    paper's introduction.
+
+    A session: doorway (announce [Choosing], obtain a timestamp from the
+    embedded object, announce [Request ts]); wait until no announced
+    request precedes ours (timestamp comparison with pid tie-break);
+    instrumented critical section; release.  FCFS: a session whose doorway
+    completes before another begins enters first.
+
+    The timestamp object's registers are embedded at indices
+    [0 .. m-1] via {!Shm.Prog.embed}; announce registers and the occupancy
+    counter follow.  One-shot timestamp objects yield one-shot locks. *)
+
+type 'ts announce =
+  | Silent
+  | Choosing
+  | Request of 'ts
+
+module Make (T : Timestamp.Intf.S) : sig
+  type value =
+    | Ts of T.value  (** a register of the embedded timestamp object *)
+    | Ann of T.result announce
+    | Occupancy of int
+
+  type result = {
+    ts : T.result;  (** the timestamp that ordered this session *)
+    entry_occupancy : int;  (** must be 0 *)
+    exit_occupancy : int;  (** must be 1 *)
+  }
+
+  val name : string
+
+  val kind : [ `One_shot | `Long_lived ]
+
+  val ts_regs : n:int -> int
+
+  val ann_reg : n:int -> int -> int
+
+  val occupancy_reg : n:int -> int
+
+  val num_registers : n:int -> int
+
+  val init_value : n:int -> value
+
+  val init_regs : n:int -> value array
+
+  val create : n:int -> (value, result) Shm.Sim.t
+
+  val precedes : T.result * int -> T.result * int -> bool
+  (** [(ts, pid)] precedence: strict timestamp comparison with pid
+      tie-break for concurrent requests. *)
+
+  val program : n:int -> pid:int -> call:int -> (value, result) Shm.Prog.t
+
+  val session_ok : result -> bool
+
+  val pp_result : Format.formatter -> result -> unit
+end

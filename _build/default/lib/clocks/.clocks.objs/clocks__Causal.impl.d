@@ -1,0 +1,1 @@
+lib/clocks/causal.ml: Array Bytes Char Hashtbl List Mp

@@ -1,0 +1,1 @@
+lib/clocks/causal.mli: Mp

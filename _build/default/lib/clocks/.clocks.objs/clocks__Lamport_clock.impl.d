@@ -1,0 +1,1 @@
+lib/clocks/lamport_clock.ml: Array Causal Format Hashtbl List Mp

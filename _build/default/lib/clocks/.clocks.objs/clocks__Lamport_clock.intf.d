@@ -1,0 +1,1 @@
+lib/clocks/lamport_clock.mli: Mp

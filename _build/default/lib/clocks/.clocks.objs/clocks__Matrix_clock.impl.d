@@ -1,0 +1,1 @@
+lib/clocks/matrix_clock.ml: Array Format Hashtbl List Mp Vector_clock

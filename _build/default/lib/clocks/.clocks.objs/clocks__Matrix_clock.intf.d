@@ -1,0 +1,1 @@
+lib/clocks/matrix_clock.mli: Mp

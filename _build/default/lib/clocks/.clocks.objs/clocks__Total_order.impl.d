@@ -1,0 +1,1 @@
+lib/clocks/total_order.ml: Array Fun Int List Mp Random

@@ -1,0 +1,1 @@
+lib/clocks/total_order.mli: Mp

@@ -1,0 +1,1 @@
+lib/clocks/vector_clock.mli: Mp

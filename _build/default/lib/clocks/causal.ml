@@ -1,0 +1,66 @@
+(* Reachability is precomputed as one bitset of ancestors per event: the
+   trace order is a linearization of causality (a receive always appears
+   after its send), so a single left-to-right pass suffices. *)
+
+type t = {
+  order : Mp.Net.event_id array;  (* trace order *)
+  index : (Mp.Net.event_id, int) Hashtbl.t;
+  ancestors : Bytes.t array;  (* ancestors.(i) has bit j set iff e_j -> e_i *)
+}
+
+let bit_get b i = Char.code (Bytes.get b (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let bit_set b i =
+  Bytes.set b (i lsr 3)
+    (Char.chr (Char.code (Bytes.get b (i lsr 3)) lor (1 lsl (i land 7))))
+
+let bytes_union dst src =
+  for i = 0 to Bytes.length dst - 1 do
+    Bytes.set dst i
+      (Char.chr (Char.code (Bytes.get dst i) lor Char.code (Bytes.get src i)))
+  done
+
+let of_trace trace =
+  let order = Array.of_list (List.map Mp.Net.event_id trace) in
+  let num = Array.length order in
+  let index = Hashtbl.create (2 * num) in
+  Array.iteri (fun i id -> Hashtbl.replace index id i) order;
+  let width = (num / 8) + 1 in
+  let ancestors = Array.init num (fun _ -> Bytes.make width '\000') in
+  (* last event index per node, and send index per message id *)
+  let last_on_node = Hashtbl.create 16 in
+  let send_of_mid = Hashtbl.create 16 in
+  List.iteri
+    (fun i ev ->
+       let id = Mp.Net.event_id ev in
+       let inherit_from j =
+         bytes_union ancestors.(i) ancestors.(j);
+         bit_set ancestors.(i) j
+       in
+       (match Hashtbl.find_opt last_on_node id.Mp.Net.node with
+        | Some j -> inherit_from j
+        | None -> ());
+       (match ev with
+        | Mp.Net.Received { mid; _ } -> (
+            match Hashtbl.find_opt send_of_mid mid with
+            | Some j -> inherit_from j
+            | None -> invalid_arg "Causal.of_trace: receive without send")
+        | Mp.Net.Sent { mid; _ } -> Hashtbl.replace send_of_mid mid i
+        | Mp.Net.Internal _ -> ());
+       Hashtbl.replace last_on_node id.Mp.Net.node i)
+    trace;
+  { order; index; ancestors }
+
+let idx t id =
+  match Hashtbl.find_opt t.index id with
+  | Some i -> i
+  | None -> invalid_arg "Causal: unknown event"
+
+let happens_before t e1 e2 =
+  let i = idx t e1 and j = idx t e2 in
+  i <> j && bit_get t.ancestors.(j) i
+
+let concurrent t e1 e2 =
+  e1 <> e2 && (not (happens_before t e1 e2)) && not (happens_before t e2 e1)
+
+let events t = Array.to_list t.order

@@ -1,0 +1,19 @@
+(** The happens-before relation of a message-passing execution
+    (Lamport 1978), computed directly from the trace structure.
+
+    [e1] happens before [e2] when they are related by the transitive
+    closure of: program order on each node, and send-before-receive for
+    each message.  This ground truth is what the logical clocks of this
+    library are checked against. *)
+
+type t
+
+val of_trace : 'm Mp.Net.event list -> t
+
+val happens_before : t -> Mp.Net.event_id -> Mp.Net.event_id -> bool
+
+val concurrent : t -> Mp.Net.event_id -> Mp.Net.event_id -> bool
+(** Neither happens before the other and the events are distinct. *)
+
+val events : t -> Mp.Net.event_id list
+(** All event ids of the trace, in global trace order. *)

@@ -1,0 +1,43 @@
+let annotate trace =
+  let nodes =
+    1 + List.fold_left (fun m e -> max m (Mp.Net.event_id e).Mp.Net.node) 0 trace
+  in
+  let clock = Array.make nodes 0 in
+  let piggyback = Hashtbl.create 16 in
+  List.map
+    (fun ev ->
+       let id = Mp.Net.event_id ev in
+       let me = id.Mp.Net.node in
+       (match ev with
+        | Mp.Net.Internal _ -> clock.(me) <- clock.(me) + 1
+        | Mp.Net.Sent { mid; _ } ->
+          clock.(me) <- clock.(me) + 1;
+          Hashtbl.replace piggyback mid clock.(me)
+        | Mp.Net.Received { mid; _ } ->
+          let carried =
+            match Hashtbl.find_opt piggyback mid with
+            | Some c -> c
+            | None -> invalid_arg "Lamport_clock: receive without send"
+          in
+          clock.(me) <- 1 + max clock.(me) carried);
+       (id, clock.(me)))
+    trace
+
+let check trace =
+  let hb = Causal.of_trace trace in
+  let annotated = annotate trace in
+  let bad =
+    List.concat_map
+      (fun (e1, c1) ->
+         List.filter_map
+           (fun (e2, c2) ->
+              if Causal.happens_before hb e1 e2 && c1 >= c2 then
+                Some
+                  (Format.asprintf "C(n%d.%d)=%d >= C(n%d.%d)=%d"
+                     e1.Mp.Net.node e1.Mp.Net.seq c1 e2.Mp.Net.node
+                     e2.Mp.Net.seq c2)
+              else None)
+           annotated)
+      annotated
+  in
+  match bad with [] -> Ok () | msg :: _ -> Error msg

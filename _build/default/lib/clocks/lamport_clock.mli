@@ -1,0 +1,13 @@
+(** Lamport's logical clock (Lamport 1978): assigns an integer [C e] to
+    every event such that [e1] happens before [e2] implies [C e1 < C e2].
+    The converse does not hold — the weakness that motivates vector clocks
+    and, in shared memory, the timestamp objects of the paper. *)
+
+val annotate : 'm Mp.Net.event list -> (Mp.Net.event_id * int) list
+(** Replays a trace assigning each event its Lamport clock value: an
+    internal or send event increments the node's counter; a receive sets it
+    to [1 + max (local, piggybacked)]. *)
+
+val check : 'm Mp.Net.event list -> (unit, string) result
+(** Verifies the clock condition against the trace's true happens-before
+    relation. *)

@@ -1,0 +1,80 @@
+let annotate ~n trace =
+  let mk () = Array.init n (fun _ -> Array.make n 0) in
+  let clocks = Array.init n (fun _ -> mk ()) in
+  let piggyback = Hashtbl.create 16 in
+  let copy m = Array.map Array.copy m in
+  List.map
+    (fun ev ->
+       let id = Mp.Net.event_id ev in
+       let me = id.Mp.Net.node in
+       let m = clocks.(me) in
+       (match ev with
+        | Mp.Net.Internal _ -> m.(me).(me) <- m.(me).(me) + 1
+        | Mp.Net.Sent { mid; _ } ->
+          m.(me).(me) <- m.(me).(me) + 1;
+          Hashtbl.replace piggyback mid (copy m)
+        | Mp.Net.Received { mid; src; _ } ->
+          let carried =
+            match Hashtbl.find_opt piggyback mid with
+            | Some c -> c
+            | None -> invalid_arg "Matrix_clock: receive without send"
+          in
+          (* Merge all knowledge pointwise; additionally, the sender's own
+             row is at least its vector clock at the send. *)
+          for j = 0 to n - 1 do
+            for k = 0 to n - 1 do
+              m.(j).(k) <- max m.(j).(k) carried.(j).(k)
+            done
+          done;
+          for k = 0 to n - 1 do
+            m.(src).(k) <- max m.(src).(k) carried.(src).(k)
+          done;
+          (* own vector clock merges the sender's vector clock *)
+          for k = 0 to n - 1 do
+            m.(me).(k) <- max m.(me).(k) carried.(src).(k)
+          done;
+          m.(me).(me) <- m.(me).(me) + 1);
+       (id, copy m))
+    trace
+
+let min_known m k =
+  Array.fold_left (fun acc row -> min acc row.(k)) max_int m
+
+let check ~n trace =
+  let vec = Vector_clock.annotate ~n trace in
+  let mat = annotate ~n trace in
+  let exception Bad of string in
+  try
+    List.iter2
+      (fun (id_v, v) (id_m, m) ->
+         assert (id_v = id_m);
+         if m.(id_v.Mp.Net.node) <> v then
+           raise
+             (Bad
+                (Format.asprintf "n%d.%d: own row differs from vector clock"
+                   id_v.Mp.Net.node id_v.Mp.Net.seq)))
+      vec mat;
+    (* Knowledge soundness in consequence form: the GC frontier computed at
+       any event never exceeds the true global minimum at the end of the
+       trace (what every node really ends up knowing). *)
+    let finals = Array.make n [||] in
+    List.iter (fun (id, v) -> finals.(id.Mp.Net.node) <- v) vec;
+    let true_min k =
+      Array.fold_left
+        (fun acc v -> if Array.length v = 0 then 0 else min acc v.(k))
+        max_int finals
+    in
+    List.iter
+      (fun ((id : Mp.Net.event_id), m) ->
+         for k = 0 to n - 1 do
+           if min_known m k > true_min k then
+             raise
+               (Bad
+                  (Format.asprintf
+                     "n%d.%d: frontier for node %d overshoots: %d > %d"
+                     id.Mp.Net.node id.Mp.Net.seq k (min_known m k)
+                     (true_min k)))
+         done)
+      mat;
+    Ok ()
+  with Bad msg -> Error msg

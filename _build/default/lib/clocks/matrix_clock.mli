@@ -1,0 +1,24 @@
+(** Matrix clocks (Wuu–Bernstein 1986, Sarin–Lynch 1987): every node tracks
+    an [n x n] matrix [M] where row [j] is this node's best knowledge of
+    node [j]'s vector clock.  Row [me] is the node's own vector clock.
+
+    The classic application (cited in the paper's introduction) is
+    discarding obsolete information in replicated logs: if
+    [min_j M.(j).(k) >= t] at some node, then {e every} node is known to
+    have seen node [k]'s events up to [t], so they can be garbage
+    collected. *)
+
+val annotate :
+  n:int -> 'm Mp.Net.event list -> (Mp.Net.event_id * int array array) list
+
+val min_known : int array array -> int -> int
+(** [min_known m k]: a lower bound on what every node knows of node [k]'s
+    progress — the garbage-collection frontier. *)
+
+val check : n:int -> 'm Mp.Net.event list -> (unit, string) result
+(** Verifies: (1) the diagonal row equals the vector clock of the same
+    trace; (2) knowledge soundness — if [M_i] claims node [j] reached
+    [t] events of node [k], then [j]'s own clock at its latest event
+    causally before the claim indeed reached [t]. (2) is checked in its
+    consequence form: [min_known] never exceeds the true minimum over the
+    final vector clocks. *)

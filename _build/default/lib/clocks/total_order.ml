@@ -1,0 +1,161 @@
+(** Totally-ordered broadcast from Lamport clocks (Lamport 1978, the paper
+    the introduction builds on): every node broadcasts messages stamped
+    with its logical clock; a message is delivered once it is minimal in
+    the pending set (by (timestamp, origin)) and acknowledged by every
+    node.  With FIFO channels all nodes deliver exactly the same sequence —
+    the classic state-machine-replication primitive.
+
+    This is the message-passing mirror of what the paper's shared-memory
+    timestamp objects provide: a system-wide order on events consistent
+    with happens-before. *)
+
+type payload = { origin : int; seq : int; data : int }
+
+type msg =
+  | Bcast of { ts : int; payload : payload }
+  | Ack of { ts : int; payload : payload; from : int }
+
+type pending = {
+  p_ts : int;
+  p_payload : payload;
+  p_acks : int list;  (* nodes known to have seen it, including origin *)
+}
+
+type state = {
+  n : int;
+  me : int;
+  clock : int;
+  next_seq : int;
+  pending : pending list;
+  seen : payload list;  (* every payload ever added, for dedup *)
+  delivered : (int * payload) list;  (* newest first, with timestamps *)
+}
+
+(* Lexicographic (timestamp, origin) order: unique per message. *)
+let order_before (t1, o1) (t2, o2) = t1 < t2 || (t1 = t2 && o1 < o2)
+
+let key p = (p.p_ts, p.p_payload.origin)
+
+let add_ack node entry =
+  if List.mem node entry.p_acks then entry
+  else { entry with p_acks = node :: entry.p_acks }
+
+(* Deliver every pending message that is minimal and fully acknowledged. *)
+let rec drain st =
+  let deliverable =
+    List.filter
+      (fun e ->
+         List.length e.p_acks = st.n
+         && List.for_all
+           (fun e' -> e == e' || order_before (key e) (key e'))
+           st.pending)
+      st.pending
+  in
+  match deliverable with
+  | [] -> st
+  | e :: _ ->
+    drain
+      { st with
+        pending = List.filter (fun e' -> e' != e) st.pending;
+        delivered = (e.p_ts, e.p_payload) :: st.delivered }
+
+let others st = List.filter (fun j -> j <> st.me) (List.init st.n Fun.id)
+
+let broadcast st data =
+  let clock = st.clock + 1 in
+  let payload = { origin = st.me; seq = st.next_seq; data } in
+  let entry = { p_ts = clock; p_payload = payload; p_acks = [ st.me ] } in
+  let st =
+    { st with
+      clock;
+      next_seq = st.next_seq + 1;
+      pending = entry :: st.pending;
+      seen = payload :: st.seen }
+  in
+  (drain st, List.map (fun j -> (j, Bcast { ts = clock; payload })) (others st))
+
+module Behaviour = struct
+  type nonrec state = state
+
+  type nonrec msg = msg
+
+  let init ~me ~n =
+    { n; me; clock = 0; next_seq = 0; pending = []; seen = []; delivered = [] }
+
+  (* Incorporate knowledge that [ackers] have seen [(ts, payload)]; on
+     first sight, create the entry and acknowledge to everyone (an Ack can
+     overtake the Bcast on another channel, and it carries the payload, so
+     either message kind counts as sight). *)
+  let learn st ~ts ~payload ~ackers =
+    let clock = 1 + max st.clock ts in
+    if List.mem payload st.seen then
+      let pending =
+        List.map
+          (fun e ->
+             if e.p_payload = payload then
+               List.fold_left (fun e a -> add_ack a e) e ackers
+             else e)
+          st.pending
+      in
+      (drain { st with clock; pending }, [])
+    else
+      let entry =
+        { p_ts = ts;
+          p_payload = payload;
+          p_acks =
+            List.sort_uniq Int.compare
+              ((st.me :: payload.origin :: ackers)) }
+      in
+      let st =
+        drain
+          { st with
+            clock;
+            pending = entry :: st.pending;
+            seen = payload :: st.seen }
+      in
+      (st, List.map (fun j -> (j, Ack { ts; payload; from = st.me })) (others st))
+
+  let on_receive ~me:_ st ~src:_ msg =
+    match msg with
+    | Bcast { ts; payload } -> learn st ~ts ~payload ~ackers:[ payload.origin ]
+    | Ack { ts; payload; from } ->
+      learn st ~ts ~payload ~ackers:[ payload.origin; from ]
+
+  let on_internal ~me:_ st = broadcast st (st.me + (100 * st.next_seq))
+end
+
+module Net = Mp.Net.Make (Behaviour)
+
+type report = {
+  sequences : (int * payload) list array;  (* delivered, oldest first *)
+  agree : bool;  (** every pair of nodes agrees on the common prefix *)
+  total_delivered : int;
+}
+
+(* Two delivery sequences agree when one is a prefix of the other. *)
+let prefix_agree a b =
+  let rec go a b =
+    match a, b with
+    | [], _ | _, [] -> true
+    | x :: a', y :: b' -> x = y && go a' b'
+  in
+  go a b
+
+let run ~n ~rounds ~seed =
+  let net = Net.create ~fifo:true ~n () in
+  let rand = Random.State.make [| seed; n; rounds |] in
+  let _trace, states =
+    Net.run_random ~steps:rounds ~internal_prob:0.3 ~rand net
+  in
+  let sequences = Array.map (fun st -> List.rev st.delivered) states in
+  let agree = ref true in
+  Array.iter
+    (fun a ->
+       Array.iter
+         (fun b -> if not (prefix_agree a b) then agree := false)
+         sequences)
+    sequences;
+  { sequences;
+    agree = !agree;
+    total_delivered =
+      Array.fold_left (fun acc s -> max acc (List.length s)) 0 sequences }

@@ -1,0 +1,63 @@
+let annotate ~n trace =
+  let clock = Array.make_matrix n n 0 in
+  let piggyback = Hashtbl.create 16 in
+  List.map
+    (fun ev ->
+       let id = Mp.Net.event_id ev in
+       let me = id.Mp.Net.node in
+       (match ev with
+        | Mp.Net.Internal _ -> clock.(me).(me) <- clock.(me).(me) + 1
+        | Mp.Net.Sent { mid; _ } ->
+          clock.(me).(me) <- clock.(me).(me) + 1;
+          Hashtbl.replace piggyback mid (Array.copy clock.(me))
+        | Mp.Net.Received { mid; _ } ->
+          let carried =
+            match Hashtbl.find_opt piggyback mid with
+            | Some v -> v
+            | None -> invalid_arg "Vector_clock: receive without send"
+          in
+          Array.iteri
+            (fun j v -> clock.(me).(j) <- max clock.(me).(j) v)
+            carried;
+          clock.(me).(me) <- clock.(me).(me) + 1);
+       (id, Array.copy clock.(me)))
+    trace
+
+let leq v1 v2 =
+  if Array.length v1 <> Array.length v2 then
+    invalid_arg "Vector_clock.leq: length mismatch";
+  let ok = ref true in
+  Array.iteri (fun i x -> if x > v2.(i) then ok := false) v1;
+  !ok
+
+let lt v1 v2 = leq v1 v2 && v1 <> v2
+
+let concurrent v1 v2 = (not (lt v1 v2)) && not (lt v2 v1)
+
+let check ~n trace =
+  let hb = Causal.of_trace trace in
+  let annotated = annotate ~n trace in
+  let bad =
+    List.concat_map
+      (fun (e1, v1) ->
+         List.filter_map
+           (fun (e2, v2) ->
+              if e1 = e2 then None
+              else
+                let causal = Causal.happens_before hb e1 e2 in
+                let dominated = lt v1 v2 in
+                if causal && not dominated then
+                  Some
+                    (Format.asprintf "n%d.%d -> n%d.%d but no dominance"
+                       e1.Mp.Net.node e1.Mp.Net.seq e2.Mp.Net.node
+                       e2.Mp.Net.seq)
+                else if (not causal) && dominated then
+                  Some
+                    (Format.asprintf "dominance without n%d.%d -> n%d.%d"
+                       e1.Mp.Net.node e1.Mp.Net.seq e2.Mp.Net.node
+                       e2.Mp.Net.seq)
+                else None)
+           annotated)
+      annotated
+  in
+  match bad with [] -> Ok () | msg :: _ -> Error msg

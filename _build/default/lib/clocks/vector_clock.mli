@@ -1,0 +1,18 @@
+(** Vector clocks (Fidge 1988, Mattern 1989): assign a vector [V e] to every
+    event such that [e1] happens before [e2] {e iff} [V e1 < V e2]
+    (strict pointwise dominance) — a complete characterization of
+    causality, unlike Lamport's scalar clock. *)
+
+val annotate : n:int -> 'm Mp.Net.event list -> (Mp.Net.event_id * int array) list
+
+val leq : int array -> int array -> bool
+(** Pointwise [<=]. *)
+
+val lt : int array -> int array -> bool
+(** Pointwise [<=] and different: the causality order on vectors. *)
+
+val concurrent : int array -> int array -> bool
+
+val check : n:int -> 'm Mp.Net.event list -> (unit, string) result
+(** Verifies the characterization in both directions against the trace's
+    true happens-before relation. *)

@@ -1,0 +1,1 @@
+lib/core/bounded_ts.ml: Array Format Fun Int List String

@@ -1,0 +1,1 @@
+lib/core/bounded_ts.mli: Format

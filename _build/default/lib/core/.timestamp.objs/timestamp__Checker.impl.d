@@ -1,0 +1,1 @@
+lib/core/checker.ml: Format Intf List Shm

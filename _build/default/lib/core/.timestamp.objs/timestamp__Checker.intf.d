@@ -1,0 +1,1 @@
+lib/core/checker.mli: Format Intf Shm

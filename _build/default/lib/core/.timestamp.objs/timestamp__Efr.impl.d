@@ -1,0 +1,1 @@
+lib/core/efr.ml: Array Format Shm Snapshot

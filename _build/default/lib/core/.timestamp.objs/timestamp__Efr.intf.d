@@ -1,0 +1,1 @@
+lib/core/efr.mli: Format Shm

@@ -1,0 +1,1 @@
+lib/core/harness.ml: Array Checker Format Fun Intf List Option Random Shm

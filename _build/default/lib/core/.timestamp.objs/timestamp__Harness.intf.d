@@ -1,0 +1,1 @@
+lib/core/harness.mli: Checker Intf Shm

@@ -1,0 +1,1 @@
+lib/core/intf.ml: Format Shm

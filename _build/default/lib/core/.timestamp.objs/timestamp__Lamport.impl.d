@@ -1,0 +1,1 @@
+lib/core/lamport.ml: Array Format Int Shm Snapshot

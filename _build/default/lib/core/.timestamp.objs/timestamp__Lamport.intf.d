@@ -1,0 +1,1 @@
+lib/core/lamport.mli: Format Shm

@@ -1,0 +1,1 @@
+lib/core/registry.ml: Efr Format Harness Intf Lamport List Simple_oneshot Simple_swap Snapshot_ts Sqrt Vector_ts

@@ -1,0 +1,1 @@
+lib/core/simple_oneshot.mli: Format Shm

@@ -1,0 +1,1 @@
+lib/core/simple_swap.mli: Format Shm

@@ -1,0 +1,1 @@
+lib/core/snapshot_ts.ml: Array Format Shm Snapshot

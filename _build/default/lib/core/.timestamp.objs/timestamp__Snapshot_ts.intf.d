@@ -1,0 +1,1 @@
+lib/core/snapshot_ts.mli: Format Shm Snapshot

@@ -1,0 +1,1 @@
+lib/core/sqrt.ml: Array Format List Printf Shm Snapshot

@@ -1,0 +1,1 @@
+lib/core/sqrt.mli: Format Intf Shm

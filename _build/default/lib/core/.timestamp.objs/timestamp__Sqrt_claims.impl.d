@@ -1,0 +1,1 @@
+lib/core/sqrt_claims.ml: Array Checker Format Hashtbl List Option Random Shm Sqrt

@@ -1,0 +1,1 @@
+lib/core/sqrt_claims.mli: Format

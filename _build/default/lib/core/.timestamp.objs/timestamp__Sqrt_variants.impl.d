@@ -1,0 +1,1 @@
+lib/core/sqrt_variants.ml: Checker Format Harness Intf Shm Sqrt

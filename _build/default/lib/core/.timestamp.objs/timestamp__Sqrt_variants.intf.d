@@ -1,0 +1,1 @@
+lib/core/sqrt_variants.mli: Intf Sqrt

@@ -1,0 +1,1 @@
+lib/core/vector_ts.mli: Format Shm

@@ -1,0 +1,54 @@
+(** A bounded {e sequential} timestamp system in the Israeli–Li tradition
+    (the bounded lineage cited in the paper's introduction: Israeli–Li
+    1993, Dolev–Shavit 1997).
+
+    Labels are strings of [depth] digits over the 3-cycle
+    [0 -> 1 -> 2 -> 0]; [beats] compares at the first differing digit.
+    Unlike the paper's unbounded objects, the universe is finite
+    ([3^depth] labels), comparisons are only meaningful between {e live}
+    labels (each process's most recent), and the order is non-static.
+    [take] is sequential — one at a time — which is the classical setting;
+    making it concurrent is exactly the hard problem solved by
+    Dolev–Shavit / Dwork–Waarts and is out of scope here. *)
+
+type label = int list
+
+exception Out_of_labels
+(** The construction could not produce a dominating label: the depth is
+    insufficient for the number of live labels (never raised with
+    [depth >= n], which {!create} guarantees). *)
+
+type t
+
+val create : n:int -> t
+(** A system for [n] processes with label depth [n]; no process holds a
+    label initially. *)
+
+val depth : t -> int
+
+val universe_size : t -> int
+(** [3 ^ depth]: the finite label universe. *)
+
+val label_of : t -> int -> label option
+(** The live label of a process, if it ever took one. *)
+
+val live : t -> label list
+
+val take : t -> pid:int -> t * label
+(** Replaces [pid]'s label with a fresh label that beats every other live
+    label.  Sequential: the system value threads through takes. *)
+
+val fresh : int -> label list -> label option
+(** [fresh depth labels] is a label of [depth] digits strictly dominating
+    every given label, or [None] when the sub-domain is exhausted (exposed
+    for the concurrent experiments; {!take} wraps it). *)
+
+val beats : label -> label -> bool
+(** Strict dominance; on live labels of a valid system state this totally
+    orders them by recency, but it is {e not} transitive on the whole
+    universe (the 3-cycle), which is the essence of bounded timestamps. *)
+
+val ordered_live : t -> label list
+(** Live labels ordered oldest first. *)
+
+val pp_label : Format.formatter -> label -> unit

@@ -1,0 +1,74 @@
+(** Dynamic verification of the timestamp specification.
+
+    Given the history and the results of a simulated execution, checks the
+    paper's requirement (Section 2): for every pair of completed getTS
+    instances [g1, g2] returning [t1, t2], if [g1] happens before [g2] then
+    [compare t1 t2 = true] and [compare t2 t1 = false]. *)
+
+type violation = {
+  op1 : Shm.History.op;
+  op2 : Shm.History.op;
+  t1 : string;
+  t2 : string;
+  reason : string;
+}
+
+let pp_violation ppf v =
+  Format.fprintf ppf "%a(->%s) %s %a(->%s)" Shm.History.pp_op v.op1 v.t1
+    v.reason Shm.History.pp_op v.op2 v.t2
+
+(* Also checks basic sanity of compare on each individual timestamp:
+   irreflexivity, required for consistency with happens-before (take g1 = g2
+   impossible, but compare t t = true for a timestamp issued twice would be
+   suspicious); we check it because all the paper's compares are strict
+   orders. *)
+let check (type r) ~compare_ts ~(pp : Format.formatter -> r -> unit)
+    ~(hist : Shm.History.t) ~(results : (Shm.History.op * r) list) :
+  (int, violation) result =
+  let str t = Format.asprintf "%a" pp t in
+  let completed =
+    List.filter_map
+      (fun ((op : Shm.History.op), t) ->
+         match Shm.History.interval hist op with
+         | Some (_, Some _) -> Some (op, t)
+         | _ -> None)
+      results
+  in
+  let exception Violation of violation in
+  try
+    let pairs = ref 0 in
+    List.iter
+      (fun (op1, t1) ->
+         List.iter
+           (fun (op2, t2) ->
+              if op1 <> op2 && Shm.History.happens_before hist op1 op2 then begin
+                incr pairs;
+                if not (compare_ts t1 t2) then
+                  raise
+                    (Violation
+                       { op1; op2; t1 = str t1; t2 = str t2;
+                         reason = "happens before, but compare(t1,t2)=false" });
+                if compare_ts t2 t1 then
+                  raise
+                    (Violation
+                       { op1; op2; t1 = str t1; t2 = str t2;
+                         reason = "happens before, but compare(t2,t1)=true" })
+              end)
+           completed)
+      completed;
+    List.iter
+      (fun (op, t) ->
+         if compare_ts t t then
+           raise
+             (Violation
+                { op1 = op; op2 = op; t1 = str t; t2 = str t;
+                  reason = "compare is not irreflexive at" }))
+      completed;
+    Ok !pairs
+  with Violation v -> Error v
+
+let check_sim (type v r)
+    (module T : Intf.S with type value = v and type result = r)
+    (cfg : (v, r) Shm.Sim.t) : (int, violation) result =
+  check ~compare_ts:T.compare_ts ~pp:T.pp_ts ~hist:(Shm.Sim.hist cfg)
+    ~results:(Shm.Sim.results cfg)

@@ -1,0 +1,31 @@
+(** Dynamic verification of the timestamp specification (Section 2).
+
+    For every pair of completed getTS instances [g1, g2] of an execution
+    returning [t1, t2]: if [g1] happens before [g2] then
+    [compare t1 t2 = true] and [compare t2 t1 = false].  Additionally flags
+    reflexive compares ([compare t t = true]), which no strict order
+    produces.  Concurrent pairs are unconstrained, as in the paper. *)
+
+type violation = {
+  op1 : Shm.History.op;
+  op2 : Shm.History.op;
+  t1 : string;  (** pretty-printed timestamp of [op1] *)
+  t2 : string;
+  reason : string;
+}
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val check :
+  compare_ts:('r -> 'r -> bool) ->
+  pp:(Format.formatter -> 'r -> unit) ->
+  hist:Shm.History.t ->
+  results:(Shm.History.op * 'r) list ->
+  (int, violation) result
+(** [Ok pairs] reports how many happens-before pairs were checked. *)
+
+val check_sim :
+  (module Intf.S with type value = 'v and type result = 'r) ->
+  ('v, 'r) Shm.Sim.t ->
+  (int, violation) result
+(** {!check} applied to a simulator configuration's history and results. *)

@@ -1,0 +1,98 @@
+(** Convenience driver tying a timestamp implementation to the simulator:
+    workload construction, random executions, checking.  Used by tests,
+    examples and benchmarks. *)
+
+module Make (T : Intf.S) = struct
+  type cfg = (T.value, T.result) Shm.Sim.t
+
+  let create ~n : cfg =
+    Shm.Sim.create ~n ~num_regs:(T.num_registers ~n) ~init:(T.init_value ~n)
+
+  let supplier ~n : (T.value, T.result) Shm.Schedule.supplier =
+    fun ~pid ~call -> T.program ~n ~pid ~call
+
+  let default_calls ~n:_ = match T.kind with `One_shot -> 1 | `Long_lived -> 3
+
+  let fuel_for ~n ~calls =
+    (* Generous: each call is wait-free with a small-polynomial step bound. *)
+    10_000 + (1000 * n * n * calls)
+
+  (* A random closed workload: every process performs [calls] getTS calls
+     under a uniformly random interleaving.  [invoke_prob] staggers the
+     calls (see {!Shm.Schedule.run_workload}). *)
+  let run_random ?invoke_prob ?(crash_prob = 0.) ?(max_crashes = 0) ?calls ~n
+      ~seed () : cfg =
+    let calls = Option.value calls ~default:(default_calls ~n) in
+    let rand = Random.State.make [| seed; n; calls |] in
+    let cfg = create ~n in
+    match
+      Shm.Schedule.run_workload ?invoke_prob ~crash_prob ~max_crashes
+        ~fuel:(fuel_for ~n ~calls) ~rand
+        ~calls_per_proc:(Array.make n calls) (supplier ~n) cfg
+    with
+    | Some cfg -> cfg
+    | None -> failwith (T.name ^ ": workload did not quiesce (fuel exhausted)")
+
+  (* Waves: processes are invoked in waves of [wave_size]; each wave runs to
+     quiescence under a random interleaving before the next starts.  Calls
+     in later waves happen after all calls of earlier waves, so one-shot
+     objects get a rich happens-before relation while calls within a wave
+     stay concurrent. *)
+  let run_waves ?(wave_size = 2) ~n ~seed () : cfg =
+    let rand = Random.State.make [| seed; n; wave_size; 77 |] in
+    let sup = supplier ~n in
+    let rec waves cfg pids =
+      match pids with
+      | [] -> cfg
+      | _ ->
+        let rec take k = function
+          | x :: rest when k > 0 ->
+            let xs, rest = take (k - 1) rest in
+            (x :: xs, rest)
+          | rest -> ([], rest)
+        in
+        let wave, rest = take wave_size pids in
+        let cfg = Shm.Schedule.invoke_all sup cfg wave in
+        (match
+           Shm.Schedule.run_random ~fuel:(fuel_for ~n ~calls:1) ~rand cfg
+         with
+         | Some cfg -> waves cfg rest
+         | None -> failwith (T.name ^ ": wave did not quiesce"))
+    in
+    waves (create ~n) (List.init n Fun.id)
+
+  (* All n processes call getTS once, sequentially in pid order. *)
+  let run_sequential ~n : cfg * T.result list =
+    let sup = supplier ~n in
+    let cfg, rev =
+      List.fold_left
+        (fun (cfg, acc) pid ->
+           let cfg =
+             Shm.Sim.invoke cfg ~pid ~program:(fun ~call -> sup ~pid ~call)
+           in
+           match Shm.Sim.run_solo ~fuel:(fuel_for ~n ~calls:1) cfg pid with
+           | Some cfg ->
+             let t =
+               match Shm.Sim.result cfg { pid; call = 0 } with
+               | Some t -> t
+               | None -> assert false
+             in
+             (cfg, t :: acc)
+           | None -> failwith (T.name ^ ": solo getTS did not terminate"))
+        (create ~n, [])
+        (List.init n Fun.id)
+    in
+    (cfg, List.rev rev)
+
+  let check (cfg : cfg) = Checker.check_sim (module T) cfg
+
+  let check_exn (cfg : cfg) =
+    match check cfg with
+    | Ok pairs -> pairs
+    | Error v ->
+      failwith (Format.asprintf "%s: %a" T.name Checker.pp_violation v)
+
+  (* Registers actually written / touched by an execution. *)
+  let space_used (cfg : cfg) =
+    (List.length (Shm.Sim.written_set cfg), Shm.Sim.touched_count cfg)
+end

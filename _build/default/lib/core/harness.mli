@@ -1,0 +1,42 @@
+(** Convenience driver tying one timestamp implementation to the simulator:
+    configuration construction, random/staggered/wave workloads, sequential
+    runs, checking and space accounting.  Used by tests, examples and
+    benchmarks. *)
+
+module Make (T : Intf.S) : sig
+  type cfg = (T.value, T.result) Shm.Sim.t
+
+  val create : n:int -> cfg
+  (** Initial configuration sized by [T.num_registers]. *)
+
+  val supplier : n:int -> (T.value, T.result) Shm.Schedule.supplier
+
+  val run_random :
+    ?invoke_prob:float ->
+    ?crash_prob:float ->
+    ?max_crashes:int ->
+    ?calls:int ->
+    n:int -> seed:int -> unit -> cfg
+  (** Random closed workload to quiescence (see
+      {!Shm.Schedule.run_workload}).  [calls] defaults to 1 for one-shot
+      objects and 3 for long-lived ones.  Raises [Failure] if the workload
+      does not quiesce within a generous fuel bound (a wait-freedom
+      failure). *)
+
+  val run_waves : ?wave_size:int -> n:int -> seed:int -> unit -> cfg
+  (** Processes invoked in waves; each wave runs to quiescence before the
+      next starts, so cross-wave calls are happens-before ordered. *)
+
+  val run_sequential : n:int -> cfg * T.result list
+  (** Every process performs one solo getTS, in pid order; returns the
+      timestamps in issue order. *)
+
+  val check : cfg -> (int, Checker.violation) result
+
+  val check_exn : cfg -> int
+  (** Number of happens-before pairs checked; raises [Failure] on a
+      violation. *)
+
+  val space_used : cfg -> int * int
+  (** [(registers written, registers touched)] by the execution. *)
+end

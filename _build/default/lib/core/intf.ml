@@ -1,0 +1,26 @@
+(** Interface of unbounded timestamp objects (paper, Section 2).
+
+    A timestamp object supports [getTS()], which outputs a timestamp, and
+    [compare(t1, t2)], which returns a boolean.  The {e only} requirement is:
+    if a getTS instance [g1] returning [t1] happens before a getTS instance
+    [g2] returning [t2], then [compare t1 t2 = true] and
+    [compare t2 t1 = false].  Timestamps of concurrent calls may be ordered
+    arbitrarily (both comparisons may even return [false]).
+
+    [getTS] is expressed as a shared-memory program ({!Shm.Prog.t}) so the
+    same implementation runs under the deterministic simulator, under the
+    covering-argument adversaries, and on real OCaml domains.  [compare]
+    never accesses shared memory in any of the paper's algorithms, so it is
+    an ordinary pure function here. *)
+
+module type S = sig
+  include Shm.Obj_intf.S
+
+  val compare_ts : result -> result -> bool
+  (** The [compare] method.  Must be consistent with happens-before as
+      described above.  Pure: accesses no shared memory. *)
+
+  val equal_ts : result -> result -> bool
+
+  val pp_ts : Format.formatter -> result -> unit
+end

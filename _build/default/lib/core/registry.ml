@@ -1,0 +1,65 @@
+(** Registry of all timestamp implementations, as existentially packed
+    first-class modules, so that tests, benchmarks and the CLI can iterate
+    over every algorithm uniformly. *)
+
+type impl =
+  | Impl :
+      (module Intf.S with type value = 'v and type result = 'r)
+      -> impl
+
+let name (Impl (module T)) = T.name
+
+let kind (Impl (module T)) = T.kind
+
+let num_registers (Impl (module T)) ~n = T.num_registers ~n
+
+let simple_oneshot = Impl (module Simple_oneshot)
+
+let simple_swap = Impl (module Simple_swap)
+
+let sqrt_oneshot = Impl (module Sqrt.One_shot)
+
+let lamport = Impl (module Lamport)
+
+let efr = Impl (module Efr)
+
+let vector = Impl (module Vector_ts)
+
+let snapshot_ts = Impl (module Snapshot_ts)
+
+let all =
+  [ simple_oneshot; simple_swap; sqrt_oneshot; lamport; efr; vector;
+    snapshot_ts ]
+
+let one_shot = List.filter (fun i -> kind i = `One_shot) all
+
+let long_lived = List.filter (fun i -> kind i = `Long_lived) all
+
+let find name_ = List.find_opt (fun i -> name i = name_) all
+
+(* Generic experiment drivers over a packed implementation. *)
+
+(* Run a staggered random workload and return (happens-before pairs checked,
+   registers written, registers touched, provisioned registers). *)
+let space_probe ?invoke_prob (Impl (module T)) ~n ~seed ~calls =
+  let module H = Harness.Make (T) in
+  let calls = match T.kind with `One_shot -> 1 | `Long_lived -> calls in
+  let cfg = H.run_random ?invoke_prob ~calls ~n ~seed () in
+  let pairs = H.check_exn cfg in
+  let written, touched = H.space_used cfg in
+  (pairs, written, touched, T.num_registers ~n)
+
+(* Wave workload probe: later waves happen after earlier ones, giving
+   one-shot objects a rich happens-before relation. *)
+let wave_probe (Impl (module T)) ~n ~seed ~wave_size =
+  let module H = Harness.Make (T) in
+  let cfg = H.run_waves ~wave_size ~n ~seed () in
+  let pairs = H.check_exn cfg in
+  let written, touched = H.space_used cfg in
+  (pairs, written, touched, T.num_registers ~n)
+
+(* All-sequential run returning the timestamps in issue order. *)
+let sequential_kinds (Impl (module T)) ~n =
+  let module H = Harness.Make (T) in
+  let _, ts = H.run_sequential ~n in
+  List.map (fun t -> Format.asprintf "%a" T.pp_ts t) ts

@@ -1,0 +1,52 @@
+(** Registry of every timestamp implementation, packed existentially so
+    that tests, benchmarks and the CLI can iterate over all algorithms
+    uniformly.  Adding an implementation here automatically enrolls it in
+    the generic property suites and the experiment tables. *)
+
+type impl =
+  | Impl :
+      (module Intf.S with type value = 'v and type result = 'r)
+      -> impl
+
+val name : impl -> string
+
+val kind : impl -> [ `One_shot | `Long_lived ]
+
+val num_registers : impl -> n:int -> int
+
+val simple_oneshot : impl
+
+val simple_swap : impl
+
+val sqrt_oneshot : impl
+
+val lamport : impl
+
+val efr : impl
+
+val vector : impl
+
+val snapshot_ts : impl
+
+val all : impl list
+
+val one_shot : impl list
+
+val long_lived : impl list
+
+val find : string -> impl option
+
+val space_probe :
+  ?invoke_prob:float -> impl -> n:int -> seed:int -> calls:int ->
+  int * int * int * int
+(** Runs a staggered random workload, checks it, and returns
+    [(happens-before pairs checked, registers written, registers touched,
+    registers provisioned)].  Raises [Failure] on a specification
+    violation. *)
+
+val wave_probe : impl -> n:int -> seed:int -> wave_size:int -> int * int * int * int
+(** Like {!space_probe} under a wave workload: later waves happen after
+    earlier ones, giving one-shot objects a rich happens-before relation. *)
+
+val sequential_kinds : impl -> n:int -> string list
+(** Pretty-printed timestamps of an all-sequential run, in issue order. *)

@@ -1,0 +1,38 @@
+(** Dynamic verification of the Section-6 analysis of Algorithm 4 (the E7
+    experiment): drives random executions of {!Sqrt.With_calls} and checks
+    the claims through their register-observable consequences, using the
+    proxy [rho(C) = number of non-Bot registers] for the phase number
+    ([rho <= phi <= rho + 1]):
+
+    - Claim 6.1 (a)/(d): non-Bot registers form a prefix and never revert;
+    - Claim 6.1 (b): all writes to one register leave distinct last ids;
+    - Claim 6.8 (proxy): a write to register [j] happens only when
+      [j <= rho + 1];
+    - Lemma 6.5: no access beyond [ceil (2 sqrt M)], the sentinel stays
+      [Bot], and [Phi (Phi + 1) / 2 <= 2 M] (Claim 6.13's consequence);
+    - Lemma 6.14: every getTS terminates (step counts reported);
+    - and the execution passes the timestamp specification checker. *)
+
+type stats = {
+  total_calls : int;  (** calls actually performed *)
+  m : int;  (** provisioned registers, [ceil (2 sqrt M)] *)
+  phases : int;  (** final number of non-Bot registers *)
+  max_written_index : int;  (** 1-based; 0 when nothing was written *)
+  total_writes : int;
+  max_steps_per_call : int;
+  violations : string list;  (** empty iff all claims held *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val run_random :
+  ?invoke_prob:float ->
+  n:int ->
+  seed:int ->
+  total_calls:int ->
+  calls_per_proc:int ->
+  unit ->
+  stats
+(** Random workload of at most [total_calls] getTS calls ([calls_per_proc]
+    per process) with every claim checked at every step.  [invoke_prob]
+    staggers invocations (more phases; see {!Shm.Schedule.run_workload}). *)

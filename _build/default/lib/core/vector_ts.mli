@@ -1,0 +1,29 @@
+(** Vector timestamps as a long-lived timestamp object: [n] single-writer
+    counters; getTS increments the caller's counter and collects all into a
+    vector; compare is strict pointwise dominance.
+
+    The partial order is permitted by the paper's weak specification
+    (concurrent timestamps may be incomparable); this is the shared-memory
+    counterpart of the Fidge/Mattern vector clocks in [Clocks]. *)
+
+type value = int
+
+type result = int array
+
+val name : string
+
+val kind : [ `One_shot | `Long_lived ]
+
+val num_registers : n:int -> int
+(** Exactly [n]. *)
+
+val init_value : n:int -> value
+
+val program : n:int -> pid:int -> call:int -> (value, result) Shm.Prog.t
+
+val compare_ts : result -> result -> bool
+(** Strict pointwise dominance. *)
+
+val equal_ts : result -> result -> bool
+
+val pp_ts : Format.formatter -> result -> unit

@@ -1,0 +1,1 @@
+lib/covering/bounds.ml: Float Timestamp

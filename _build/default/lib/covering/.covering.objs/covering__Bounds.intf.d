@@ -1,0 +1,1 @@
+lib/covering/bounds.mli:

@@ -1,0 +1,1 @@
+lib/covering/efr_adversary.ml: Array Bounds Format List Oneshot_adversary Shm Signature

@@ -1,0 +1,1 @@
+lib/covering/efr_adversary.mli: Format Shm

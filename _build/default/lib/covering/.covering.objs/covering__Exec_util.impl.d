@@ -1,0 +1,1 @@
+lib/covering/exec_util.ml: List Shm

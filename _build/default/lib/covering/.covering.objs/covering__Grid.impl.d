@@ -1,0 +1,1 @@
+lib/covering/grid.ml: Array Buffer Char Int Printf Signature

@@ -1,0 +1,1 @@
+lib/covering/grid.mli: Shm

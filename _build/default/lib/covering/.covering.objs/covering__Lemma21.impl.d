@@ -1,0 +1,1 @@
+lib/covering/lemma21.ml: Exec_util Format List Printf Shm

@@ -1,0 +1,1 @@
+lib/covering/lemma21.mli: Exec_util Format Shm

@@ -1,0 +1,1 @@
+lib/covering/longlived_adversary.ml: Exec_util Format List Printf Result Shm Signature

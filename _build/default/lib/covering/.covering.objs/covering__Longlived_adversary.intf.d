@@ -1,0 +1,1 @@
+lib/covering/longlived_adversary.mli: Shm

@@ -1,0 +1,1 @@
+lib/covering/oneshot_adversary.ml: Array Bounds Exec_util Format Fun Int List Printf Result Shm Signature String

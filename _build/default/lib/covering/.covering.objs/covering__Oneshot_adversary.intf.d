@@ -1,0 +1,1 @@
+lib/covering/oneshot_adversary.mli: Format Shm

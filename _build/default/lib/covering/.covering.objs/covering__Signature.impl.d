@@ -1,0 +1,1 @@
+lib/covering/signature.ml: Array Format Int List Shm

@@ -1,0 +1,1 @@
+lib/covering/signature.mli: Format Shm

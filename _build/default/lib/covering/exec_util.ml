@@ -1,0 +1,97 @@
+(** Replay helpers shared by the covering-argument adversaries.
+
+    Adversary constructions manipulate {e schedules} (action lists) rather
+    than configurations, because the proofs repeatedly re-execute the same
+    schedule from different configurations and truncate schedules "at the
+    earliest point such that ...".  All helpers are purely functional over
+    simulator configurations. *)
+
+type ('v, 'r) supplier = ('v, 'r) Shm.Schedule.supplier
+
+let apply = Shm.Schedule.apply
+
+(* Invoke (if idle) and run [pid] solo to completion; returns the final
+   configuration and the performed actions. *)
+let solo_complete ~fuel (supplier : _ supplier) cfg ~pid =
+  let cfg, acts =
+    match Shm.Sim.poised cfg pid with
+    | Shm.Sim.P_idle ->
+      ( Shm.Sim.invoke cfg ~pid ~program:(fun ~call -> supplier ~pid ~call),
+        [ Shm.Schedule.Invoke pid ] )
+    | _ -> (cfg, [])
+  in
+  let rec go fuel cfg rev_acts =
+    match Shm.Sim.poised cfg pid with
+    | Shm.Sim.P_idle -> Some (cfg, List.rev rev_acts)
+    | Shm.Sim.P_crashed -> invalid_arg "Exec_util.solo_complete: crashed"
+    | _ ->
+      if fuel = 0 then None
+      else go (fuel - 1) (Shm.Sim.step cfg pid) (Shm.Schedule.Step pid :: rev_acts)
+  in
+  go fuel cfg (List.rev acts)
+
+(* Replays [actions] from [cfg]; true when some executed write step writes a
+   register satisfying [outside]. *)
+let wrote_outside (supplier : _ supplier) cfg actions ~outside =
+  let rec go cfg = function
+    | [] -> false
+    | (Shm.Schedule.Step pid as a) :: rest ->
+      let hits =
+        match Shm.Sim.poised cfg pid with
+        | Shm.Sim.P_write (r, _) | Shm.Sim.P_swap (r, _) -> outside r
+        | _ -> false
+      in
+      hits || go (apply supplier cfg [ a ]) rest
+    | a :: rest -> go (apply supplier cfg [ a ]) rest
+  in
+  go cfg actions
+
+(* Shortest prefix of [actions] after which [pid] covers a register
+   satisfying [outside]; [None] if no prefix does. *)
+let truncate_at_cover_outside (supplier : _ supplier) cfg actions ~pid ~outside =
+  let covering cfg =
+    match Shm.Sim.covers cfg pid with Some r -> outside r | None -> false
+  in
+  let rec go cfg taken rev_prefix actions =
+    if covering cfg then Some (List.rev rev_prefix, taken)
+    else
+      match actions with
+      | [] -> None
+      | a :: rest -> go (apply supplier cfg [ a ]) (taken + 1) (a :: rev_prefix) rest
+  in
+  match go cfg 0 [] actions with
+  | Some (prefix, _) -> Some prefix
+  | None -> None
+
+(* Runs every process with a pending operation to completion, in pid order;
+   the result is quiescent.  [None] when fuel is exhausted. *)
+let finish_all ~fuel (_supplier : _ supplier) cfg =
+  let rec go fuel cfg rev_acts pids =
+    match pids with
+    | [] ->
+      if Shm.Sim.running cfg = [] then Some (cfg, List.rev rev_acts)
+      else go fuel cfg rev_acts (Shm.Sim.running cfg)
+    | pid :: rest -> (
+        match Shm.Sim.poised cfg pid with
+        | Shm.Sim.P_idle | Shm.Sim.P_crashed -> go fuel cfg rev_acts rest
+        | _ ->
+          if fuel = 0 then None
+          else
+            go (fuel - 1) (Shm.Sim.step cfg pid)
+              (Shm.Schedule.Step pid :: rev_acts)
+              pids)
+  in
+  go fuel cfg [] (Shm.Sim.running cfg)
+
+(* The paper's block write pi_P as an action list (each listed process takes
+   exactly one step; the precondition that each is poised to write is
+   checked at replay time by {!Shm.Sim.block_write} semantics). *)
+let block_actions pids = List.map (fun p -> Shm.Schedule.Step p) pids
+
+let assert_block cfg pids =
+  List.iter
+    (fun pid ->
+       match Shm.Sim.poised cfg pid with
+       | Shm.Sim.P_write _ | Shm.Sim.P_swap _ -> ()
+       | _ -> invalid_arg "Exec_util.assert_block: process not poised to write")
+    pids

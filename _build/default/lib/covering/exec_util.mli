@@ -1,0 +1,45 @@
+(** Replay helpers shared by the covering-argument adversaries.
+
+    The proofs manipulate {e schedules} rather than configurations: they
+    re-execute the same schedule from different configurations, truncate a
+    schedule "at the earliest point such that ...", and splice schedules
+    together.  These helpers implement those moves over replayable action
+    lists; everything is purely functional over simulator configurations. *)
+
+type ('v, 'r) supplier = ('v, 'r) Shm.Schedule.supplier
+
+val apply :
+  ('v, 'r) supplier -> ('v, 'r) Shm.Sim.t -> Shm.Schedule.action list ->
+  ('v, 'r) Shm.Sim.t
+
+val solo_complete :
+  fuel:int -> ('v, 'r) supplier -> ('v, 'r) Shm.Sim.t -> pid:int ->
+  (('v, 'r) Shm.Sim.t * Shm.Schedule.action list) option
+(** Invokes (if idle) and runs [pid] solo to completion; returns the final
+    configuration and the performed actions.  [None] when fuel runs out. *)
+
+val wrote_outside :
+  ('v, 'r) supplier -> ('v, 'r) Shm.Sim.t -> Shm.Schedule.action list ->
+  outside:(int -> bool) -> bool
+(** Replays the actions; true when some executed overwrite step (write or
+    swap) hits a register satisfying [outside]. *)
+
+val truncate_at_cover_outside :
+  ('v, 'r) supplier -> ('v, 'r) Shm.Sim.t -> Shm.Schedule.action list ->
+  pid:int -> outside:(int -> bool) -> Shm.Schedule.action list option
+(** Shortest prefix of the actions after which [pid] covers a register
+    satisfying [outside]; [None] if no prefix does. *)
+
+val finish_all :
+  fuel:int -> ('v, 'r) supplier -> ('v, 'r) Shm.Sim.t ->
+  (('v, 'r) Shm.Sim.t * Shm.Schedule.action list) option
+(** Runs every pending operation to completion in pid order; the result is
+    quiescent (the paper's "every process with a pending operation finishes
+    it"). *)
+
+val block_actions : int list -> Shm.Schedule.action list
+(** The paper's block write [pi_P] as an action list. *)
+
+val assert_block : ('v, 'r) Shm.Sim.t -> int list -> unit
+(** Checks that every listed process is poised to write or swap; raises
+    [Invalid_argument] otherwise. *)

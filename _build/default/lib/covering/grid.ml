@@ -1,0 +1,34 @@
+let render_sig ?l sig_ =
+  let ord = Array.copy sig_ in
+  Array.sort (fun a b -> Int.compare b a) ord;
+  let m = Array.length ord in
+  let max_sig = Array.fold_left max 0 ord in
+  let height = max max_sig (match l with Some l -> l - 1 | None -> 0) in
+  let buf = Buffer.create ((m + 8) * (height + 2)) in
+  for h = height downto 1 do
+    Buffer.add_string buf (Printf.sprintf "%3d |" h);
+    for c = 1 to m do
+      let cell =
+        if c <= m && ord.(c - 1) >= h then '#'
+        else
+          match l with
+          | Some l when h <= l - c -> '.'
+          | _ -> ' '
+      in
+      Buffer.add_char buf cell
+    done;
+    Buffer.add_char buf '\n'
+  done;
+  Buffer.add_string buf "    +";
+  for _ = 1 to m do
+    Buffer.add_char buf '-'
+  done;
+  Buffer.add_char buf '\n';
+  Buffer.add_string buf "     ";
+  for c = 1 to m do
+    Buffer.add_char buf (Char.chr (Char.code '0' + (c mod 10)))
+  done;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let render ?l cfg = render_sig ?l (Signature.signature cfg)

@@ -1,0 +1,17 @@
+(** ASCII rendering of the geometric interpretation of configurations used
+    in Section 4 (Figures 1 and 2 of the paper).
+
+    Each register corresponds to a column of the grid (columns are ordered
+    by non-increasing coverage, as in the paper's ordered signature); the
+    shaded cells of column [c] are the processes covering that register.
+    When a constraint level [l] is given, the stepped diagonal of an
+    [l]-constrained configuration is drawn with ['.'] marks: the shading of
+    an [l]-constrained configuration stays strictly below the diagonal that
+    starts at height [l - 1] in column 1. *)
+
+val render_sig : ?l:int -> int array -> string
+(** Renders an ordered signature.  The input need not be sorted; it is
+    sorted non-increasingly first. *)
+
+val render : ?l:int -> ('v, 'r) Shm.Sim.t -> string
+(** Renders the current covering of a configuration. *)

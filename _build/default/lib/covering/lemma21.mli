@@ -1,0 +1,34 @@
+(** Executable form of Lemma 2.1 (Ellen, Fatourou, Ruppert 2008), the
+    basic tool of both lower bounds.
+
+    Given a reachable configuration [C], disjoint process sets
+    [B0, B1, B2] each covering a register set [R], and idle probe
+    processes [u0, u1], the lemma guarantees an [i] such that every
+    [ui]-only execution from [pi_Bi (C)] containing a complete getTS
+    writes outside [R].  {!probe} tests both sides by simulation; an empty
+    result would falsify the lemma for the tested implementation and is
+    reported as an error (experiment E6 and the adversaries rely on it). *)
+
+type side = U0 | U1
+
+val pp_side : Format.formatter -> side -> unit
+
+type report = {
+  writers : side list;  (** sides whose solo run wrote outside [R] *)
+  steps : int * int;  (** solo actions taken by each side *)
+}
+
+val probe :
+  fuel:int ->
+  supplier:('v, 'r) Exec_util.supplier ->
+  cfg:('v, 'r) Shm.Sim.t ->
+  b0:int list ->
+  b1:int list ->
+  ?b2:int list ->
+  u0:int ->
+  u1:int ->
+  r:int list ->
+  unit ->
+  (report, string) result
+(** Preconditions: [b0], [b1] (and [b2] when given) poised to write;
+    [u0 <> u1].  [Error] on non-termination or a lemma violation. *)

@@ -1,0 +1,47 @@
+(** Executable form of the long-lived lower-bound construction (Section 3).
+
+    Lemma 3.2 builds, for every [k <= n/2], a reachable
+    [(3,k)]-configuration: [k] processes poised to write, no register
+    covered by more than three of them, hence at least [ceil (k/3)]
+    registers covered.  With [k = floor (n/2)] this yields Theorem 1.1's
+    [floor (n/6)] covered registers.
+
+    The construction is doubly inductive and is implemented exactly as in
+    the paper, by simulation with rollback:
+
+    - [build k D]: from a quiescent configuration [D], apply Lemma 3.1 to
+      get two [(3,k-1)]-configurations [C0, C1] with equal signatures where
+      the schedule from [C0] to [C1] starts with three block writes to
+      [R3(C0)]; then run one of the two fresh probe processes solo after one
+      of the block writes until it covers a register outside [R3(C0)]
+      (Lemma 2.1 guarantees one of them does), splice it in, and let the
+      remaining schedule replay — the result is a [(3,k)]-configuration.
+    - [lemma31 k D]: iterate [E_{i+1} = lambda_i delta_i (E_i)] — three
+      block writes, finish all pending operations, rebuild a
+      [(3,k)]-configuration via [build k] — until two signatures repeat
+      (the signature space is finite; an iteration cap guards the search).
+
+    Processes used at level [k] are [p_0 ... p_{2k-1}]; probes at level [k]
+    are [p_{2k-2}] and [p_{2k-1}], matching the paper's [P_{2k}].  The
+    [(3,k)] property of every constructed configuration is re-verified on
+    the simulator; failures are reported, not assumed. *)
+
+type ('v, 'r) outcome = {
+  final_cfg : ('v, 'r) Shm.Sim.t;
+  k : int;
+  covered : int;  (** distinct registers covered: at least [ceil (k/3)] *)
+  signature : int array;
+  schedule_length : int;  (** actions from the initial configuration *)
+}
+
+val run :
+  ?sig_cap:int ->
+  fuel:int ->
+  supplier:('v, 'r) Shm.Schedule.supplier ->
+  cfg:('v, 'r) Shm.Sim.t ->
+  k:int ->
+  unit ->
+  (('v, 'r) outcome, string) result
+(** Builds a [(3,k)]-configuration from the given quiescent (typically
+    initial) configuration.  Requires [2 * k <= Shm.Sim.n cfg].  [sig_cap]
+    bounds the signature-repetition search of Lemma 3.1 (default 12). *)

@@ -1,0 +1,96 @@
+(** Executable form of the one-shot lower-bound construction (Section 4).
+
+    {!lemma41} constructs, by simulation with rollback, the schedule
+    [beta sigma beta' sigma'] of Lemma 4.1: starting from a configuration
+    where disjoint process sets [B0, B1] (and hypothetically [B2]) cover a
+    register set [R] and [U] is a set of processes still in their initial
+    state, it drives all but one process of [U] to {e cover} registers
+    outside [R], using at most the two block writes.  All postconditions
+    (a)-(f) of the lemma are verified on the constructed execution.
+
+    {!run} iterates the full inductive construction of Theorem 1.2:
+    starting from the initial configuration it builds configurations
+    [C_1, ..., C_last] and register sets [R_1 (subset of) R_2 ...] together
+    with the invariants (a)-(e), classifying every round as Case 1 or
+    Case 2 (Figure 2), until [l - j <= 2] or fewer than two idle processes
+    remain.  Against implementations that use at most the proof's register
+    budget this reaches [>= m - log n - 2] covered registers; against
+    correct (hence larger) implementations it may instead stall, and the
+    stall report is itself the witness of how the implementation escapes
+    the covering trap.  Either way [j_last] registers end up simultaneously
+    covered. *)
+
+type ('v, 'r) lemma41_result = {
+  final : ('v, 'r) Shm.Sim.t;
+      (** the configuration [beta sigma beta' sigma' (C)] *)
+  combined : Shm.Schedule.action list;
+      (** the full schedule [beta sigma beta' sigma'], replayable from [C] *)
+  second_block_start : int;
+      (** index in [combined] where [beta'] begins (used to classify a
+          prefix as "within beta sigma") *)
+  sigma_participants : int list;  (** participants of [sigma], larger side *)
+  sigma'_participants : int list;
+  excluded : int;  (** the single process of [U] left out (postcondition d) *)
+}
+
+val lemma41 :
+  fuel:int ->
+  supplier:('v, 'r) Shm.Schedule.supplier ->
+  cfg:('v, 'r) Shm.Sim.t ->
+  b0:int list ->
+  b1:int list ->
+  u:int list ->
+  r:int list ->
+  (('v, 'r) lemma41_result, string) result
+(** Preconditions: [b0], [b1] disjoint, each covering every register of [r];
+    processes of [u] in their initial state, [List.length u >= 2].  The
+    result satisfies the postconditions of Lemma 4.1, which are re-verified
+    on the final configuration (violations are reported as [Error]). *)
+
+type case = Initial | Case1 | Case2
+
+type round = {
+  index : int;  (** k, starting at 1 *)
+  nu : int;  (** |Q|: registers newly added to [R] *)
+  q : int list;
+  case : case;
+  j : int;  (** j_k = |R_k| after the round *)
+  l : int;  (** l_k after the round *)
+  prefix_len : int;  (** length of gamma_k as an action count *)
+  idle_left : int;
+  covered : int;  (** distinct registers covered in [C_k] *)
+  sig_after : int array;  (** signature of [C_k], for grid rendering *)
+}
+
+type stop_reason =
+  | L_minus_j_small  (** [l - j <= 2]: the paper's main termination case *)
+  | Too_few_idle  (** fewer than 2 idle processes remain *)
+  | Stalled of string
+      (** the Q' condition became unreachable: the implementation spreads
+          writes over more registers than the assumed grid width *)
+
+type ('v, 'r) outcome = {
+  final_cfg : ('v, 'r) Shm.Sim.t;
+  rounds : round list;
+  j_last : int;
+  l_last : int;
+  r_last : int list;
+  stop : stop_reason;
+  case2_count : int;  (** must be at most [log2 n] when the proof applies *)
+  max_covered : int;  (** max distinct registers simultaneously covered *)
+}
+
+val run :
+  ?grid_width:int ->
+  fuel:int ->
+  supplier:('v, 'r) Shm.Schedule.supplier ->
+  cfg:('v, 'r) Shm.Sim.t ->
+  unit ->
+  (('v, 'r) outcome, string) result
+(** Runs the full Theorem 1.2 construction from the given (initial)
+    configuration.  [grid_width] defaults to the proof's
+    [m = floor (sqrt (2 n))]; it is the initial constraint level [l_0]. *)
+
+val pp_round : Format.formatter -> round -> unit
+
+val pp_stop : Format.formatter -> stop_reason -> unit

@@ -1,0 +1,97 @@
+let signature cfg =
+  let sig_ = Array.make (Shm.Sim.num_regs cfg) 0 in
+  for pid = 0 to Shm.Sim.n cfg - 1 do
+    match Shm.Sim.covers cfg pid with
+    | Some r -> sig_.(r) <- sig_.(r) + 1
+    | None -> ()
+  done;
+  sig_
+
+let ordered_signature cfg =
+  let sig_ = signature cfg in
+  Array.sort (fun a b -> Int.compare b a) sig_;
+  sig_
+
+let coverers cfg ~reg =
+  let rec go pid acc =
+    if pid < 0 then acc
+    else
+      go (pid - 1)
+        (if Shm.Sim.covers cfg pid = Some reg then pid :: acc else acc)
+  in
+  go (Shm.Sim.n cfg - 1) []
+
+let covered_registers cfg =
+  let sig_ = signature cfg in
+  let acc = ref [] in
+  for r = Array.length sig_ - 1 downto 0 do
+    if sig_.(r) > 0 then acc := r :: !acc
+  done;
+  !acc
+
+let covered_count cfg = List.length (covered_registers cfg)
+
+let r3 cfg =
+  let sig_ = signature cfg in
+  let acc = ref [] in
+  for r = Array.length sig_ - 1 downto 0 do
+    if sig_.(r) >= 3 then acc := r :: !acc
+  done;
+  !acc
+
+let total_covering cfg = Array.fold_left ( + ) 0 (signature cfg)
+
+let is_3k cfg ~k =
+  let sig_ = signature cfg in
+  Array.fold_left ( + ) 0 sig_ = k && Array.for_all (fun c -> c <= 3) sig_
+
+let is_constrained cfg ~l =
+  let ord = ordered_signature cfg in
+  let ok = ref true in
+  for c = 1 to min l (Array.length ord) do
+    if ord.(c - 1) > l - c then ok := false
+  done;
+  !ok
+
+(* Registers sorted by decreasing coverage, with their counts. *)
+let by_coverage cfg =
+  let sig_ = signature cfg in
+  let regs = List.init (Array.length sig_) (fun r -> (r, sig_.(r))) in
+  List.sort (fun (_, a) (_, b) -> Int.compare b a) regs
+
+let full_set cfg ~j ~k =
+  if j <= 0 then Some []
+  else
+    let top = by_coverage cfg in
+    if List.length top < j then None
+    else
+      let chosen = List.filteri (fun i _ -> i < j) top in
+      if List.for_all (fun (_, c) -> c >= k) chosen then
+        Some (List.sort Int.compare (List.map fst chosen))
+      else None
+
+let is_full cfg ~j ~k = full_set cfg ~j ~k <> None
+
+let transversals cfg ~regs ~count =
+  let pick_for_reg reg =
+    let cs = coverers cfg ~reg in
+    if List.length cs < count then None
+    else Some (List.filteri (fun i _ -> i < count) cs)
+  in
+  let rec go regs acc =
+    (* acc.(i) collects the i-th transversal, as reversed pid lists *)
+    match regs with
+    | [] -> Some (List.map List.rev acc)
+    | reg :: rest -> (
+        match pick_for_reg reg with
+        | None -> None
+        | Some picks -> go rest (List.map2 (fun p set -> p :: set) picks acc))
+  in
+  go regs (List.init count (fun _ -> []))
+
+let pp ppf sig_ =
+  Format.fprintf ppf "(%a)"
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ",")
+       Format.pp_print_int)
+    (Array.to_list sig_)

@@ -1,0 +1,59 @@
+(** Covering structure of configurations (paper, Sections 3 and 4).
+
+    The {e signature} of a configuration [C] is the tuple [(c1, ..., cm)]
+    where [ci] is the number of processes covering register [i] (poised to
+    write it).  All definitions below are direct transcriptions:
+
+    - a configuration is a {e (3,k)-configuration} when the signature sums
+      to [k] and no entry exceeds 3 (Section 3);
+    - [R3(C)] is the set of registers whose entry equals 3;
+    - the {e ordered signature} is the signature sorted non-increasingly
+      (Section 4);
+    - [C] is {e l-constrained} when the [c]-th largest entry is at most
+      [l - c] for [1 <= c <= l];
+    - [C] is {e (j,k)-full} when some [j] registers are each covered by at
+      least [k] processes. *)
+
+val signature : ('v, 'r) Shm.Sim.t -> int array
+(** [signature cfg] has one entry per register: the number of processes
+    covering it. *)
+
+val ordered_signature : ('v, 'r) Shm.Sim.t -> int array
+
+val coverers : ('v, 'r) Shm.Sim.t -> reg:int -> int list
+(** Processes poised to write the given register, in pid order. *)
+
+val covered_registers : ('v, 'r) Shm.Sim.t -> int list
+(** Registers covered by at least one process, ascending. *)
+
+val covered_count : ('v, 'r) Shm.Sim.t -> int
+(** Number of distinct covered registers. *)
+
+val r3 : ('v, 'r) Shm.Sim.t -> int list
+(** Registers covered by at least 3 processes ([R3(C)] in a
+    (3,k)-configuration, where "at least" and "exactly" coincide). *)
+
+val is_3k : ('v, 'r) Shm.Sim.t -> k:int -> bool
+(** Signature sums to [k] with every entry at most 3. *)
+
+val total_covering : ('v, 'r) Shm.Sim.t -> int
+(** Sum of the signature: number of processes poised to write. *)
+
+val is_constrained : ('v, 'r) Shm.Sim.t -> l:int -> bool
+
+val full_set : ('v, 'r) Shm.Sim.t -> j:int -> k:int -> int list option
+(** [full_set cfg ~j ~k] is [Some rs] with [rs] the [j] most-covered
+    registers when the configuration is [(j,k)]-full, [None] otherwise. *)
+
+val is_full : ('v, 'r) Shm.Sim.t -> j:int -> k:int -> bool
+
+val transversals :
+  ('v, 'r) Shm.Sim.t -> regs:int list -> count:int -> int list list option
+(** [transversals cfg ~regs ~count] picks [count] pairwise-disjoint process
+    sets, each covering every register of [regs] (one process per register
+    per set, as in the paper's [B0, B1, B2]).  [None] when some register has
+    fewer than [count] coverers.  Processes covering distinct registers are
+    automatically distinct, since a process covers at most one register. *)
+
+val pp : Format.formatter -> int array -> unit
+(** Prints a signature as [(c1,...,cm)]. *)

@@ -1,0 +1,1 @@
+lib/mp/net.ml: Array Format Hashtbl List Random

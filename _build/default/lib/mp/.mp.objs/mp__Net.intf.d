@@ -1,0 +1,1 @@
+lib/mp/net.mli: Format Random

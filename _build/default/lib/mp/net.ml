@@ -1,0 +1,164 @@
+type event_id = { node : int; seq : int }
+
+type 'm event =
+  | Sent of { id : event_id; dst : int; mid : int; msg : 'm }
+  | Received of { id : event_id; src : int; mid : int; msg : 'm }
+  | Internal of { id : event_id }
+
+let event_id = function
+  | Sent { id; _ } | Received { id; _ } | Internal { id } -> id
+
+let pp_event pp_msg ppf = function
+  | Sent { id; dst; mid; msg } ->
+    Format.fprintf ppf "n%d.%d:send(m%d->%d,%a)" id.node id.seq mid dst pp_msg
+      msg
+  | Received { id; src; mid; msg } ->
+    Format.fprintf ppf "n%d.%d:recv(m%d<-%d,%a)" id.node id.seq mid src pp_msg
+      msg
+  | Internal { id } -> Format.fprintf ppf "n%d.%d:internal" id.node id.seq
+
+module type BEHAVIOUR = sig
+  type state
+
+  type msg
+
+  val init : me:int -> n:int -> state
+
+  val on_receive : me:int -> state -> src:int -> msg -> state * (int * msg) list
+
+  val on_internal : me:int -> state -> state * (int * msg) list
+end
+
+module Make (B : BEHAVIOUR) = struct
+  type in_flight = { mid : int; src : int; dst : int; payload : B.msg }
+
+  type t = {
+    n : int;
+    fifo : bool;
+    mutable states : B.state array;
+    mutable flying : in_flight list;  (* in send order, oldest first *)
+    mutable next_mid : int;
+    mutable seqs : int array;
+    mutable rev_trace : B.msg event list;
+  }
+
+  let create ?(fifo = false) ~n () =
+    if n <= 0 then invalid_arg "Net.create: n must be positive";
+    { n;
+      fifo;
+      states = Array.init n (fun me -> B.init ~me ~n);
+      flying = [];
+      next_mid = 0;
+      seqs = Array.make n 0;
+      rev_trace = [] }
+
+  let fresh_seq t node =
+    let s = t.seqs.(node) in
+    t.seqs.(node) <- s + 1;
+    { node; seq = s }
+
+  let emit_sends t src sends =
+    List.iter
+      (fun (dst, payload) ->
+         if dst < 0 || dst >= t.n then invalid_arg "Net: bad destination";
+         let mid = t.next_mid in
+         t.next_mid <- mid + 1;
+         t.flying <- t.flying @ [ { mid; src; dst; payload } ];
+         let id = fresh_seq t src in
+         t.rev_trace <- Sent { id; dst; mid; msg = payload } :: t.rev_trace)
+      sends
+
+  let deliver t msg =
+    t.flying <- List.filter (fun m -> m.mid <> msg.mid) t.flying;
+    let id = fresh_seq t msg.dst in
+    t.rev_trace <-
+      Received { id; src = msg.src; mid = msg.mid; msg = msg.payload }
+      :: t.rev_trace;
+    let state, sends =
+      B.on_receive ~me:msg.dst t.states.(msg.dst) ~src:msg.src msg.payload
+    in
+    t.states.(msg.dst) <- state;
+    emit_sends t msg.dst sends
+
+  let internal t node =
+    let id = fresh_seq t node in
+    t.rev_trace <- Internal { id } :: t.rev_trace;
+    let state, sends = B.on_internal ~me:node t.states.(node) in
+    t.states.(node) <- state;
+    emit_sends t node sends
+
+  (* Messages eligible for delivery: all in-flight, or only the oldest per
+     (src, dst) channel under FIFO. *)
+  let deliverable t =
+    if not t.fifo then t.flying
+    else
+      let seen = Hashtbl.create 16 in
+      List.filter
+        (fun m ->
+           let key = (m.src, m.dst) in
+           if Hashtbl.mem seen key then false
+           else begin
+             Hashtbl.add seen key ();
+             true
+           end)
+        t.flying
+
+  let poke t node =
+    if node < 0 || node >= t.n then invalid_arg "Net.poke: bad node";
+    internal t node
+
+  let drain ~rand t =
+    let rec go () =
+      match deliverable t with
+      | [] -> ()
+      | candidates ->
+        deliver t
+          (List.nth candidates (Random.State.int rand (List.length candidates)));
+        go ()
+    in
+    go ()
+
+  let trace t = List.rev t.rev_trace
+
+  let states t = Array.copy t.states
+
+  let run_random ~steps ~internal_prob ~rand t =
+    for _ = 1 to steps do
+      let candidates = deliverable t in
+      let do_internal =
+        candidates = [] || Random.State.float rand 1.0 < internal_prob
+      in
+      if do_internal then internal t (Random.State.int rand t.n)
+      else
+        deliver t
+          (List.nth candidates (Random.State.int rand (List.length candidates)))
+    done;
+    (* Drain remaining messages so that every send has a matching receive. *)
+    drain ~rand t;
+    (List.rev t.rev_trace, Array.copy t.states)
+end
+
+let random_trace ?fifo ~n ~steps ~internal_prob ~rand () =
+  (* Blank nodes do not send on their own; generate sends explicitly by
+     alternating the driver between internal events and fresh messages.  We
+     reuse the Make driver with a behaviour whose internal events send to a
+     random node, chosen via a pre-drawn table to keep behaviours
+     deterministic. *)
+  let targets = Array.init (steps + 1) (fun _ -> Random.State.int rand n) in
+  let module Gossip = struct
+    type state = int * int  (* me, count of internal events *)
+
+    type msg = unit
+
+    let init ~me ~n:_ = (me, 0)
+
+    let on_receive ~me:_ state ~src:_ () = (state, [])
+
+    let on_internal ~me (_, c) =
+      let dst = targets.((c + (me * 7919)) mod (steps + 1)) in
+      ((me, c + 1), if dst = me then [] else [ (dst, ()) ])
+  end in
+  let module N = Make (Gossip) in
+  let t = N.create ?fifo ~n () in
+  let trace, _ = N.run_random ~steps ~internal_prob ~rand t in
+  trace

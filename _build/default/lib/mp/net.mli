@@ -1,0 +1,76 @@
+(** Asynchronous message-passing simulator.
+
+    The paper's introduction grounds timestamp objects in Lamport's
+    happens-before relation for message-passing systems; this substrate
+    generates message-passing executions on which the logical clocks of
+    [Clocks] are evaluated.
+
+    An execution is a trace of events — sends, matching receives, and
+    internal events — produced under a random (seeded, hence reproducible)
+    delivery schedule.  Messages may be delivered in any order unless FIFO
+    channels are requested.  Each event carries the 0-based sequence number
+    of the event on its node, so an event is globally identified by
+    [(node, seq)]. *)
+
+type event_id = { node : int; seq : int }
+
+type 'm event =
+  | Sent of { id : event_id; dst : int; mid : int; msg : 'm }
+  | Received of { id : event_id; src : int; mid : int; msg : 'm }
+  | Internal of { id : event_id }
+
+val event_id : 'm event -> event_id
+
+val pp_event :
+  (Format.formatter -> 'm -> unit) -> Format.formatter -> 'm event -> unit
+
+(** Node behaviours: a deterministic reactive state machine. *)
+module type BEHAVIOUR = sig
+  type state
+
+  type msg
+
+  val init : me:int -> n:int -> state
+
+  val on_receive : me:int -> state -> src:int -> msg -> state * (int * msg) list
+  (** Returns the new state and messages to send (destination, payload). *)
+
+  val on_internal : me:int -> state -> state * (int * msg) list
+  (** An internal (spontaneous) event, triggered by the driver. *)
+end
+
+module Make (B : BEHAVIOUR) : sig
+  type t
+
+  val create : ?fifo:bool -> n:int -> unit -> t
+
+  val poke : t -> int -> unit
+  (** Trigger an internal event on a specific node (used by drivers that
+      must kick off client operations deterministically). *)
+
+  val drain : rand:Random.State.t -> t -> unit
+  (** Deliver every in-flight message (in random admissible order) until
+      the network is empty. *)
+
+  val trace : t -> B.msg event list
+  (** The trace so far, in global order. *)
+
+  val states : t -> B.state array
+
+  val run_random :
+    steps:int -> internal_prob:float -> rand:Random.State.t -> t ->
+    B.msg event list * B.state array
+  (** Drives the system for [steps] scheduling decisions: with probability
+      [internal_prob] a random node performs an internal event, otherwise a
+      random in-flight message is delivered (FIFO per channel when the
+      network was created with [fifo]).  Returns the trace in global order
+      and the final node states. *)
+end
+
+val random_trace :
+  ?fifo:bool ->
+  n:int -> steps:int -> internal_prob:float -> rand:Random.State.t -> unit ->
+  unit event list
+(** A random execution of "blank" nodes: every internal event additionally
+    sends a message to a random other node.  This exercises arbitrary
+    communication patterns for the clock experiments. *)

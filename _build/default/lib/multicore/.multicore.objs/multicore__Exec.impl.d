@@ -1,0 +1,1 @@
+lib/multicore/exec.ml: Array Atomic Shm

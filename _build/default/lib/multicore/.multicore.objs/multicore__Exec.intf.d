@@ -1,0 +1,1 @@
+lib/multicore/exec.mli: Atomic Shm

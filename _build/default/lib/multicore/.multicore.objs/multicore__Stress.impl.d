@@ -1,0 +1,1 @@
+lib/multicore/stress.ml: Atomic Domain Exec Format List Timestamp

@@ -1,0 +1,1 @@
+lib/multicore/stress.mli: Timestamp

@@ -1,0 +1,22 @@
+let make_regs ~num ~init = Array.init num (fun _ -> Atomic.make init)
+
+let make_regs_of values = Array.map Atomic.make values
+
+let rec run ~regs = function
+  | Shm.Prog.Done x -> x
+  | Shm.Prog.Read (r, k) -> run ~regs (k (Atomic.get regs.(r)))
+  | Shm.Prog.Write (r, v, k) ->
+    Atomic.set regs.(r) v;
+    run ~regs (k ())
+  | Shm.Prog.Swap (r, v, k) -> run ~regs (k (Atomic.exchange regs.(r) v))
+
+let run_counting ~regs p =
+  let rec go ops = function
+    | Shm.Prog.Done x -> (x, ops)
+    | Shm.Prog.Read (r, k) -> go (ops + 1) (k (Atomic.get regs.(r)))
+    | Shm.Prog.Write (r, v, k) ->
+      Atomic.set regs.(r) v;
+      go (ops + 1) (k ())
+    | Shm.Prog.Swap (r, v, k) -> go (ops + 1) (k (Atomic.exchange regs.(r) v))
+  in
+  go 0 p

@@ -1,0 +1,18 @@
+(** Interpreter of shared-memory programs over real OCaml 5 atomics.
+
+    The same [('v, 'a) Shm.Prog.t] values that run under the deterministic
+    simulator execute here against ['v Atomic.t] arrays, with true
+    parallelism across domains.  OCaml's [Atomic.t] provides sequentially
+    consistent atomic registers — exactly the paper's model. *)
+
+val make_regs : num:int -> init:'v -> 'v Atomic.t array
+
+val make_regs_of : 'v array -> 'v Atomic.t array
+
+val run : regs:'v Atomic.t array -> ('v, 'a) Shm.Prog.t -> 'a
+(** Executes the program to completion against the shared registers.
+    Wait-free programs terminate unconditionally; programs with wait loops
+    terminate under the scheduling fairness of the OS. *)
+
+val run_counting : regs:'v Atomic.t array -> ('v, 'a) Shm.Prog.t -> 'a * int
+(** Also returns the number of shared-memory operations performed. *)

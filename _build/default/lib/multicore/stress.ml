@@ -1,0 +1,72 @@
+module Make (T : Timestamp.Intf.S) = struct
+  type op_record = {
+    pid : int;
+    call : int;
+    start_tick : int;
+    end_tick : int;
+    ts : T.result;
+  }
+
+  let run ~n ~calls =
+    if n <= 0 then invalid_arg "Stress.run: n must be positive";
+    let calls = match T.kind with `One_shot -> 1 | `Long_lived -> calls in
+    let regs = Exec.make_regs ~num:(T.num_registers ~n) ~init:(T.init_value ~n) in
+    let tick = Atomic.make 0 in
+    let ready = Atomic.make 0 in
+    let worker pid () =
+      Atomic.incr ready;
+      (* Barrier: start all domains together to maximize contention. *)
+      while Atomic.get ready < n do
+        Domain.cpu_relax ()
+      done;
+      let rec go call acc =
+        if call >= calls then List.rev acc
+        else begin
+          let start_tick = Atomic.get tick in
+          let ts = Exec.run ~regs (T.program ~n ~pid ~call) in
+          let end_tick = Atomic.fetch_and_add tick 1 in
+          go (call + 1) ({ pid; call; start_tick; end_tick; ts } :: acc)
+        end
+      in
+      go 0 []
+    in
+    let domains = List.init n (fun pid -> Domain.spawn (worker pid)) in
+    List.concat_map Domain.join domains
+
+  (* end1 < start2 means op1's final counter bump was observed before op2
+     began, which is a sound happens-before witness. *)
+  let happens_before o1 o2 = o1.end_tick < o2.start_tick
+
+  let check records =
+    let exception Bad of string in
+    try
+      let pairs = ref 0 in
+      List.iter
+        (fun o1 ->
+           List.iter
+             (fun o2 ->
+                if happens_before o1 o2 then begin
+                  incr pairs;
+                  if not (T.compare_ts o1.ts o2.ts) then
+                    raise
+                      (Bad
+                         (Format.asprintf
+                            "p%d.%d(%a) happened before p%d.%d(%a) but \
+                             compare(t1,t2)=false"
+                            o1.pid o1.call T.pp_ts o1.ts o2.pid o2.call
+                            T.pp_ts o2.ts));
+                  if T.compare_ts o2.ts o1.ts then
+                    raise
+                      (Bad
+                         (Format.asprintf
+                            "p%d.%d happened before p%d.%d but \
+                             compare(t2,t1)=true"
+                            o1.pid o1.call o2.pid o2.call))
+                end)
+             records)
+        records;
+      Ok !pairs
+    with Bad msg -> Error msg
+
+  let run_and_check ~n ~calls = check (run ~n ~calls)
+end

@@ -1,0 +1,1 @@
+lib/shm/explore.ml: Array List Option Schedule Sim

@@ -1,0 +1,1 @@
+lib/shm/explore.mli: Schedule Sim

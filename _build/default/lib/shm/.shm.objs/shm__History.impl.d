@@ -1,0 +1,1 @@
+lib/shm/history.ml: Format Int List Map

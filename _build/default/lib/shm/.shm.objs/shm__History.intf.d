@@ -1,0 +1,1 @@
+lib/shm/history.mli: Format

@@ -1,0 +1,1 @@
+lib/shm/obj_intf.ml: Prog

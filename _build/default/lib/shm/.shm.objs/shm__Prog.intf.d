@@ -1,0 +1,1 @@
+lib/shm/prog.mli:

@@ -1,0 +1,1 @@
+lib/shm/schedule.ml: Array Int List Obj_intf Prog Random Sim

@@ -1,0 +1,1 @@
+lib/shm/schedule.mli: Obj_intf Prog Random Sim

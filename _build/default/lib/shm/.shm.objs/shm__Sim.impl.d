@@ -1,0 +1,1 @@
+lib/shm/sim.ml: Array History List Prog

@@ -1,0 +1,1 @@
+lib/shm/sim.mli: History Prog

@@ -1,0 +1,1 @@
+lib/shm/trace.ml: Buffer Format List Printf Schedule Sim

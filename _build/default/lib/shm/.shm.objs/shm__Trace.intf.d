@@ -1,0 +1,1 @@
+lib/shm/trace.mli: Format Schedule Sim

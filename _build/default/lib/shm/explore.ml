@@ -1,0 +1,74 @@
+type stats = {
+  paths : int;
+  truncated_paths : int;
+  configurations : int;
+  exhaustive : bool;
+}
+
+type ('v, 'r) outcome =
+  | Ok of stats
+  | Counterexample of {
+      cfg : ('v, 'r) Sim.t;
+      schedule : Schedule.action list;
+      at_leaf : bool;
+    }
+
+let explore (type v r) ?(max_steps = 200) ?(max_paths = 1_000_000)
+    ~(supplier : (v, r) Schedule.supplier) ~calls_per_proc ?invariant
+    ?leaf_check (cfg0 : (v, r) Sim.t) : (v, r) outcome =
+  let n = Sim.n cfg0 in
+  if Array.length calls_per_proc <> n then
+    invalid_arg "Explore.explore: calls_per_proc size mismatch";
+  let invariant = Option.value invariant ~default:(fun _ -> true) in
+  let leaf_check = Option.value leaf_check ~default:(fun _ -> true) in
+  let paths = ref 0 in
+  let truncated = ref 0 in
+  let configurations = ref 0 in
+  let counterexample = ref None in
+  let exception Stop in
+  let fail cfg schedule at_leaf =
+    counterexample := Some (cfg, List.rev schedule, at_leaf);
+    raise Stop
+  in
+  (* [schedule] is the reversed action list leading to [cfg]. *)
+  let rec go cfg depth schedule =
+    incr configurations;
+    if not (invariant cfg) then fail cfg schedule false;
+    let enabled =
+      List.map (fun pid -> Schedule.Step pid) (Sim.running cfg)
+      @ List.filter_map
+        (fun pid ->
+           if Sim.calls cfg pid < calls_per_proc.(pid) then
+             Some (Schedule.Invoke pid)
+           else None)
+        (Sim.idle cfg)
+    in
+    match enabled with
+    | [] ->
+      if not (leaf_check cfg) then fail cfg schedule true;
+      incr paths
+    | _ ->
+      if depth >= max_steps then incr truncated
+      else
+        List.iter
+          (fun action ->
+             (* truncated paths consume the same budget as complete ones,
+                otherwise deep trees (wait loops) never terminate *)
+             if !paths + !truncated < max_paths then
+               go
+                 (Schedule.apply supplier cfg [ action ])
+                 (depth + 1) (action :: schedule))
+          enabled
+  in
+  match go cfg0 0 [] with
+  | () ->
+    Ok
+      { paths = !paths;
+        truncated_paths = !truncated;
+        configurations = !configurations;
+        exhaustive = !truncated = 0 && !paths + !truncated < max_paths }
+  | exception Stop ->
+    (match !counterexample with
+     | Some (cfg, schedule, at_leaf) ->
+       Counterexample { cfg; schedule; at_leaf }
+     | None -> assert false)

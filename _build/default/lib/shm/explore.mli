@@ -1,0 +1,45 @@
+(** Exhaustive exploration of schedules for small instances.
+
+    Random workloads sample the schedule space; for small systems this
+    module enumerates it completely: at every configuration each enabled
+    action (step a running process, or start the next call of a process
+    with calls remaining) is explored.  An invariant is evaluated at every
+    visited configuration, and a leaf check at every maximal configuration
+    (no enabled actions).  The first failure is returned with the exact
+    schedule that produces it, which replays deterministically.
+
+    Programs with unbounded wait loops (e.g., mutual exclusion) generate
+    infinitely deep schedules; [max_steps] truncates each path, and
+    truncated paths are reported separately (their prefixes still went
+    through the invariant).  [max_paths] bounds the total enumeration so
+    callers can run partial sweeps of larger instances honestly: the result
+    says whether the enumeration was exhaustive. *)
+
+type stats = {
+  paths : int;  (** maximal (leaf) paths fully explored *)
+  truncated_paths : int;  (** paths cut by [max_steps] *)
+  configurations : int;  (** total configurations visited *)
+  exhaustive : bool;  (** no budget was hit *)
+}
+
+type ('v, 'r) outcome =
+  | Ok of stats
+  | Counterexample of {
+      cfg : ('v, 'r) Sim.t;
+      schedule : Schedule.action list;  (** replayable from the start *)
+      at_leaf : bool;  (** failed the leaf check rather than the invariant *)
+    }
+
+val explore :
+  ?max_steps:int ->
+  ?max_paths:int ->
+  supplier:('v, 'r) Schedule.supplier ->
+  calls_per_proc:int array ->
+  ?invariant:(('v, 'r) Sim.t -> bool) ->
+  ?leaf_check:(('v, 'r) Sim.t -> bool) ->
+  ('v, 'r) Sim.t ->
+  ('v, 'r) outcome
+(** Defaults: [max_steps = 200], [max_paths = 1_000_000], both checks
+    accept everything.  The invariant runs on every configuration including
+    the initial one; the leaf check runs on configurations where no action
+    is enabled (all calls performed and everything quiescent). *)

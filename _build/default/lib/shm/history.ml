@@ -1,0 +1,94 @@
+type op = { pid : int; call : int }
+
+type kind = Invoke | Respond
+
+type event = { time : int; op : op; kind : kind }
+
+module Op_map = Map.Make (struct
+    type t = op
+
+    let compare (a : op) (b : op) =
+      match Int.compare a.pid b.pid with
+      | 0 -> Int.compare a.call b.call
+      | c -> c
+  end)
+
+(* Events are kept newest-first.  [index] maps every invoked operation to its
+   invocation time and, once responded, its response time.  [next] is the
+   next global time stamp. *)
+type t = {
+  rev_events : event list;
+  index : (int * int option) Op_map.t;
+  next : int;
+}
+
+let empty = { rev_events = []; index = Op_map.empty; next = 0 }
+
+let add h op kind index =
+  { rev_events = { time = h.next; op; kind } :: h.rev_events;
+    index;
+    next = h.next + 1 }
+
+let invoke h ~pid ~call =
+  let op = { pid; call } in
+  if Op_map.mem op h.index then
+    invalid_arg "History.invoke: duplicate invocation";
+  add h op Invoke (Op_map.add op (h.next, None) h.index)
+
+let respond h ~pid ~call =
+  let op = { pid; call } in
+  match Op_map.find_opt op h.index with
+  | None -> invalid_arg "History.respond: no matching invocation"
+  | Some (_, Some _) -> invalid_arg "History.respond: already responded"
+  | Some (inv, None) ->
+    add h op Respond (Op_map.add op (inv, Some h.next) h.index)
+
+let now h = h.next
+
+let events h = List.rev h.rev_events
+
+let interval h op = Op_map.find_opt op h.index
+
+let completed h =
+  Op_map.fold
+    (fun op times acc ->
+       match times with
+       | inv, Some res -> (op, inv, res) :: acc
+       | _, None -> acc)
+    h.index []
+  |> List.sort (fun (_, i1, _) (_, i2, _) -> Int.compare i1 i2)
+
+let pending h =
+  Op_map.fold
+    (fun op times acc ->
+       match times with
+       | inv, None -> (inv, op) :: acc
+       | _, Some _ -> acc)
+    h.index []
+  |> List.sort (fun (i1, _) (i2, _) -> Int.compare i1 i2)
+  |> List.map snd
+
+let happens_before h o1 o2 =
+  match Op_map.find_opt o1 h.index, Op_map.find_opt o2 h.index with
+  | Some (_, Some res1), Some (inv2, _) -> res1 < inv2
+  | _ -> false
+
+let concurrent h o1 o2 =
+  match Op_map.find_opt o1 h.index, Op_map.find_opt o2 h.index with
+  | Some _, Some _ ->
+    o1 <> o2 && (not (happens_before h o1 o2))
+    && not (happens_before h o2 o1)
+  | _ -> false
+
+let pp_op ppf op = Format.fprintf ppf "p%d.%d" op.pid op.call
+
+let pp_kind ppf = function
+  | Invoke -> Format.pp_print_string ppf "inv"
+  | Respond -> Format.pp_print_string ppf "res"
+
+let pp ppf h =
+  Format.pp_print_list
+    ~pp_sep:(fun ppf () -> Format.fprintf ppf "@ ")
+    (fun ppf e ->
+       Format.fprintf ppf "%d:%a(%a)" e.time pp_kind e.kind pp_op e.op)
+    ppf (events h)

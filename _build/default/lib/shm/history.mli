@@ -1,0 +1,55 @@
+(** Invocation/response histories and the happens-before relation.
+
+    An execution of the simulator produces a history of method-call events.
+    Following the paper (Section 2), a method call [m1] {e happens before}
+    [m2] when the response of [m1] occurs before the invocation of [m2].
+    Histories are immutable so that simulator configurations can be copied
+    freely during speculative executions. *)
+
+type op = { pid : int; call : int }
+(** A method-call identity: the [call]-th invocation ([0]-based) by process
+    [pid].  This matches the paper's getTS-ids "p.k". *)
+
+type kind = Invoke | Respond
+
+type event = { time : int; op : op; kind : kind }
+
+type t
+
+val empty : t
+
+val invoke : t -> pid:int -> call:int -> t
+(** Records an invocation event at the next global time. *)
+
+val respond : t -> pid:int -> call:int -> t
+(** Records a response event at the next global time.  Raises
+    [Invalid_argument] if the operation has no matching invocation or has
+    already responded. *)
+
+val now : t -> int
+(** The next global time (total number of recorded events). *)
+
+val events : t -> event list
+(** All events in chronological order. *)
+
+val interval : t -> op -> (int * int option) option
+(** [interval h o] is [Some (invoke_time, respond_time)] if [o] was invoked;
+    the response time is [None] while [o] is pending. *)
+
+val completed : t -> (op * int * int) list
+(** All completed operations with their invocation and response times, in
+    order of invocation. *)
+
+val pending : t -> op list
+(** Operations invoked but not yet responded, in order of invocation. *)
+
+val happens_before : t -> op -> op -> bool
+(** [happens_before h o1 o2] holds when both operations completed or at
+    least [o1] did, and [o1]'s response precedes [o2]'s invocation. *)
+
+val concurrent : t -> op -> op -> bool
+(** Neither operation happens before the other (both must be invoked). *)
+
+val pp_op : Format.formatter -> op -> unit
+
+val pp : Format.formatter -> t -> unit

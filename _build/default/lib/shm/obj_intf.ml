@@ -1,0 +1,30 @@
+(** Signature of a shared-memory object implementation that the simulator,
+    the multicore runtime and the covering-argument adversaries can all
+    drive.
+
+    An implementation declares how many registers it needs for [n]
+    processes, their initial value, and the program run by the [call]-th
+    method invocation of process [pid].  Timestamp objects refine this with
+    a [compare] on results (see [Timestamp.Intf]). *)
+
+module type S = sig
+  type value
+  (** Contents of the shared registers. *)
+
+  type result
+  (** Result returned by one method call. *)
+
+  val name : string
+
+  val kind : [ `One_shot | `Long_lived ]
+  (** [`One_shot] implementations support at most one [getTS] per process. *)
+
+  val num_registers : n:int -> int
+  (** Registers required for an [n]-process system. *)
+
+  val init_value : n:int -> value
+
+  val program : n:int -> pid:int -> call:int -> (value, result) Prog.t
+  (** The method-call program.  [call] is the 0-based invocation number of
+      this process; one-shot implementations may reject [call > 0]. *)
+end

@@ -1,0 +1,60 @@
+type ('v, 'a) t =
+  | Done of 'a
+  | Read of int * ('v -> ('v, 'a) t)
+  | Write of int * 'v * (unit -> ('v, 'a) t)
+  | Swap of int * 'v * ('v -> ('v, 'a) t)
+
+let return x = Done x
+
+let rec bind p f =
+  match p with
+  | Done x -> f x
+  | Read (r, k) -> Read (r, fun v -> bind (k v) f)
+  | Write (r, v, k) -> Write (r, v, fun () -> bind (k ()) f)
+  | Swap (r, v, k) -> Swap (r, v, fun old -> bind (k old) f)
+
+let map f p = bind p (fun x -> Done (f x))
+
+let read r = Read (r, fun v -> Done v)
+
+let write r v = Write (r, v, fun () -> Done ())
+
+let swap r v = Swap (r, v, fun old -> Done old)
+
+module Syntax = struct
+  let ( let* ) = bind
+  let ( let+ ) p f = map f p
+end
+
+let rec fold_range ~lo ~hi ~init f =
+  if lo > hi then Done init
+  else bind (f init lo) (fun acc -> fold_range ~lo:(lo + 1) ~hi ~init:acc f)
+
+let iter_range ~lo ~hi f =
+  fold_range ~lo ~hi ~init:() (fun () i -> f i)
+
+let rec map_reg f = function
+  | Done x -> Done x
+  | Read (r, k) -> Read (f r, fun v -> map_reg f (k v))
+  | Write (r, v, k) -> Write (f r, v, fun () -> map_reg f (k ()))
+  | Swap (r, v, k) -> Swap (f r, v, fun old -> map_reg f (k old))
+
+let rec embed ~inj ~prj = function
+  | Done x -> Done x
+  | Read (r, k) -> Read (r, fun w -> embed ~inj ~prj (k (prj w)))
+  | Write (r, v, k) -> Write (r, inj v, fun () -> embed ~inj ~prj (k ()))
+  | Swap (r, v, k) -> Swap (r, inj v, fun old -> embed ~inj ~prj (k (prj old)))
+
+let run_pure ~regs p =
+  let rec go ops = function
+    | Done x -> (x, ops)
+    | Read (r, k) -> go (ops + 1) (k regs.(r))
+    | Write (r, v, k) ->
+      regs.(r) <- v;
+      go (ops + 1) (k ())
+    | Swap (r, v, k) ->
+      let old = regs.(r) in
+      regs.(r) <- v;
+      go (ops + 1) (k old)
+  in
+  go 0 p

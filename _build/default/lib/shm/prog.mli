@@ -1,0 +1,72 @@
+(** Programs over a shared array of atomic registers, as a free monad.
+
+    A value of type [('v, 'a) t] is a process-local program that interacts
+    with shared memory only through atomic reads and writes of registers
+    holding values of type ['v], and eventually returns a result of type
+    ['a].  A suspended program is always poised at its next shared-memory
+    operation, which makes the covering notion of the paper directly
+    observable: a program of the form [Write (r, _, _)] {e covers} register
+    [r] in the sense of Helmi et al., Section 2.
+
+    The representation is exposed so that schedulers and adversaries can
+    pattern-match on the poised operation.  Continuations must be pure:
+    configurations are copied structurally during speculative executions, so
+    any hidden mutable state inside a continuation would break rollback. *)
+
+type ('v, 'a) t =
+  | Done of 'a  (** the method call is ready to respond with a result *)
+  | Read of int * ('v -> ('v, 'a) t)
+      (** poised to atomically read the given register *)
+  | Write of int * 'v * (unit -> ('v, 'a) t)
+      (** poised to atomically write the given value to the given register *)
+  | Swap of int * 'v * ('v -> ('v, 'a) t)
+      (** poised to atomically swap: store the value, return the old one.
+          Swap is {e historyless} (the stored value does not depend on the
+          old contents), so the paper's one-shot lower bound still applies
+          (Section 7); a poised swap covers its register just like a poised
+          write. *)
+
+val return : 'a -> ('v, 'a) t
+
+val bind : ('v, 'a) t -> ('a -> ('v, 'b) t) -> ('v, 'b) t
+
+val map : ('a -> 'b) -> ('v, 'a) t -> ('v, 'b) t
+
+val read : int -> ('v, 'v) t
+(** [read r] is the program that reads register [r] and returns its value. *)
+
+val write : int -> 'v -> ('v, unit) t
+(** [write r v] is the program that writes [v] to register [r]. *)
+
+val swap : int -> 'v -> ('v, 'v) t
+(** [swap r v] atomically stores [v] in register [r] and returns the
+    previous contents (a historyless primitive; see Section 7 of the
+    paper). *)
+
+module Syntax : sig
+  val ( let* ) : ('v, 'a) t -> ('a -> ('v, 'b) t) -> ('v, 'b) t
+  val ( let+ ) : ('v, 'a) t -> ('a -> 'b) -> ('v, 'b) t
+end
+
+val fold_range : lo:int -> hi:int -> init:'acc
+  -> ('acc -> int -> ('v, 'acc) t) -> ('v, 'acc) t
+(** [fold_range ~lo ~hi ~init f] runs [f acc i] for [i = lo, lo+1, ..., hi]
+    sequentially, threading the accumulator.  Empty when [hi < lo]. *)
+
+val iter_range : lo:int -> hi:int -> (int -> ('v, unit) t) -> ('v, unit) t
+
+val map_reg : (int -> int) -> ('v, 'a) t -> ('v, 'a) t
+(** [map_reg f p] renames every register index [r] of [p] to [f r].  Used to
+    give a sub-object a disjoint slice of a larger register array. *)
+
+val embed : inj:('v -> 'w) -> prj:('w -> 'v) -> ('v, 'a) t -> ('w, 'a) t
+(** [embed ~inj ~prj p] re-types the register contents of [p]: writes are
+    injected with [inj] and reads are projected with [prj].  [prj] may raise
+    if the register holds a foreign value; composed objects must partition
+    the register space with {!map_reg} so that this cannot happen. *)
+
+val run_pure : regs:'v array -> ('v, 'a) t -> 'a * int
+(** [run_pure ~regs p] executes [p] to completion, solo, against the given
+    register array (mutating it in place) and returns the result together
+    with the number of shared-memory operations performed.  This is the
+    sequential reference interpreter, useful for unit tests. *)

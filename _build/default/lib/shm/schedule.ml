@@ -1,0 +1,178 @@
+type action =
+  | Invoke of int
+  | Step of int
+  | Crash of int
+
+type ('v, 'r) supplier = pid:int -> call:int -> ('v, 'r) Prog.t
+
+let of_obj (type v r)
+    (module O : Obj_intf.S with type value = v and type result = r) ~n :
+  (v, r) supplier =
+  fun ~pid ~call -> O.program ~n ~pid ~call
+
+let create (type v r)
+    (module O : Obj_intf.S with type value = v and type result = r) ~n :
+  (v, r) Sim.t =
+  Sim.create ~n ~num_regs:(O.num_registers ~n) ~init:(O.init_value ~n)
+
+let apply supplier cfg actions =
+  List.fold_left
+    (fun cfg action ->
+       match action with
+       | Invoke pid ->
+         Sim.invoke cfg ~pid ~program:(fun ~call -> supplier ~pid ~call)
+       | Step pid -> Sim.step cfg pid
+       | Crash pid -> Sim.crash cfg pid)
+    cfg actions
+
+let invoke_all supplier cfg pids =
+  List.fold_left
+    (fun cfg pid ->
+       Sim.invoke cfg ~pid ~program:(fun ~call -> supplier ~pid ~call))
+    cfg pids
+
+let run_round_robin ~fuel cfg =
+  let rec go fuel cfg =
+    match Sim.running cfg with
+    | [] -> Some cfg
+    | pids ->
+      if fuel <= 0 then None
+      else
+        let fuel, cfg =
+          List.fold_left
+            (fun (fuel, cfg) pid ->
+               (* A process may respond and go idle while earlier pids in the
+                  same round are stepped, so re-check. *)
+               match Sim.poised cfg pid with
+               | Sim.P_idle | Sim.P_crashed -> (fuel, cfg)
+               | _ -> (fuel - 1, Sim.step cfg pid))
+            (fuel, cfg) pids
+        in
+        go fuel cfg
+  in
+  go fuel cfg
+
+let run_random ~fuel ~rand cfg =
+  let rec go fuel cfg =
+    match Sim.running cfg with
+    | [] -> Some cfg
+    | pids ->
+      if fuel <= 0 then None
+      else
+        let pid = List.nth pids (Random.State.int rand (List.length pids)) in
+        go (fuel - 1) (Sim.step cfg pid)
+  in
+  go fuel cfg
+
+let run_workload ?invoke_prob ?(crash_prob = 0.) ?(max_crashes = 0) ~fuel
+    ~rand ~calls_per_proc supplier cfg =
+  let n = Sim.n cfg in
+  if Array.length calls_per_proc <> n then
+    invalid_arg "Schedule.run_workload: calls_per_proc size mismatch";
+  let crashes = ref 0 in
+  let rec go fuel cfg =
+    let runnable = Sim.running cfg in
+    let startable =
+      List.filter
+        (fun pid -> Sim.calls cfg pid < calls_per_proc.(pid))
+        (Sim.idle cfg)
+    in
+    match runnable, startable with
+    | [], [] -> Some cfg
+    | _ ->
+      if fuel <= 0 then None
+      else if
+        runnable <> [] && !crashes < max_crashes
+        && Random.State.float rand 1.0 < crash_prob
+      then begin
+        let pid =
+          List.nth runnable (Random.State.int rand (List.length runnable))
+        in
+        incr crashes;
+        go (fuel - 1) (Sim.crash cfg pid)
+      end
+      else begin
+        let pick l = List.nth l (Random.State.int rand (List.length l)) in
+        let do_invoke =
+          match runnable, startable with
+          | _, [] -> false
+          | [], _ -> true
+          | _ -> (
+              match invoke_prob with
+              | Some p -> Random.State.float rand 1.0 < p
+              | None ->
+                (* proportional to the number of enabled actions *)
+                let r = List.length runnable and s = List.length startable in
+                Random.State.int rand (r + s) >= r)
+        in
+        let cfg =
+          if do_invoke then
+            let pid = pick startable in
+            Sim.invoke cfg ~pid ~program:(fun ~call -> supplier ~pid ~call)
+          else Sim.step cfg (pick runnable)
+        in
+        go (fuel - 1) cfg
+      end
+  in
+  go fuel cfg
+
+let run_solo_trace ~fuel cfg pid =
+  let rec go fuel cfg rev_trace =
+    match Sim.poised cfg pid with
+    | Sim.P_idle -> Some (cfg, List.rev rev_trace)
+    | Sim.P_crashed -> invalid_arg "Schedule.run_solo_trace: crashed process"
+    | _ ->
+      if fuel = 0 then None
+      else go (fuel - 1) (Sim.step cfg pid) (cfg :: rev_trace)
+  in
+  go fuel cfg []
+
+let run_pct ?(length_hint = 500) ~fuel ~rand ~depth ~calls_per_proc supplier
+    cfg =
+  let n = Sim.n cfg in
+  if Array.length calls_per_proc <> n then
+    invalid_arg "Schedule.run_pct: calls_per_proc size mismatch";
+  (* distinct random priorities; higher runs first *)
+  let priority = Array.init n (fun i -> float_of_int i +. Random.State.float rand 0.99) in
+  for i = n - 1 downto 1 do
+    let j = Random.State.int rand (i + 1) in
+    let t = priority.(i) in
+    priority.(i) <- priority.(j);
+    priority.(j) <- t
+  done;
+  let change_points =
+    List.init (max 0 (depth - 1)) (fun _ ->
+        1 + Random.State.int rand (max 1 length_hint))
+    |> List.sort_uniq Int.compare
+  in
+  let min_priority = ref 0. in
+  let demote pid =
+    min_priority := !min_priority -. 1.;
+    priority.(pid) <- !min_priority
+  in
+  let rec go fuel steps cfg =
+    let runnable = Sim.running cfg in
+    let startable =
+      List.filter (fun pid -> Sim.calls cfg pid < calls_per_proc.(pid))
+        (Sim.idle cfg)
+    in
+    match runnable @ startable with
+    | [] -> Some cfg
+    | enabled ->
+      if fuel <= 0 then None
+      else begin
+        let pid =
+          List.fold_left
+            (fun best p ->
+               if priority.(p) > priority.(best) then p else best)
+            (List.hd enabled) enabled
+        in
+        let cfg =
+          if List.mem pid runnable then Sim.step cfg pid
+          else Sim.invoke cfg ~pid ~program:(fun ~call -> supplier ~pid ~call)
+        in
+        if List.mem steps change_points then demote pid;
+        go (fuel - 1) (steps + 1) cfg
+      end
+  in
+  go fuel 1 cfg

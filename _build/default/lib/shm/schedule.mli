@@ -1,0 +1,82 @@
+(** Schedules and workload drivers for the simulator.
+
+    A schedule in the paper is a sequence of process indices; here we also
+    include invocation and crash actions so that complete experiments are
+    replayable scripts. *)
+
+type action =
+  | Invoke of int  (** start the next method call of this process *)
+  | Step of int  (** let this process take one shared-memory step *)
+  | Crash of int
+
+type ('v, 'r) supplier = pid:int -> call:int -> ('v, 'r) Prog.t
+(** Produces the program of each method call; typically
+    [fun ~pid ~call -> Obj.program ~n ~pid ~call]. *)
+
+val of_obj :
+  (module Obj_intf.S with type value = 'v and type result = 'r) ->
+  n:int -> ('v, 'r) supplier
+
+val create :
+  (module Obj_intf.S with type value = 'v and type result = 'r) ->
+  n:int -> ('v, 'r) Sim.t
+(** Initial configuration sized for the given object. *)
+
+val apply : ('v, 'r) supplier -> ('v, 'r) Sim.t -> action list -> ('v, 'r) Sim.t
+(** Replays a scripted schedule. *)
+
+val invoke_all :
+  ('v, 'r) supplier -> ('v, 'r) Sim.t -> int list -> ('v, 'r) Sim.t
+(** Starts one method call on each listed process. *)
+
+val run_round_robin :
+  fuel:int -> ('v, 'r) Sim.t -> ('v, 'r) Sim.t option
+(** Steps all in-progress calls in round-robin order until quiescence.
+    [None] when the fuel runs out first. *)
+
+val run_random :
+  fuel:int -> rand:Random.State.t -> ('v, 'r) Sim.t -> ('v, 'r) Sim.t option
+(** Steps a uniformly random in-progress process until quiescence. *)
+
+val run_workload :
+  ?invoke_prob:float ->
+  ?crash_prob:float ->
+  ?max_crashes:int ->
+  fuel:int ->
+  rand:Random.State.t ->
+  calls_per_proc:int array ->
+  ('v, 'r) supplier ->
+  ('v, 'r) Sim.t ->
+  ('v, 'r) Sim.t option
+(** Random closed workload: each process performs the given number of method
+    calls; at every point a uniformly random enabled action is taken (step a
+    running process, or start the next call of a process with calls left).
+    [invoke_prob] biases the choice between starting a new call and stepping
+    a running one (default: proportional to the number of enabled actions;
+    small values stagger the calls, producing many happens-before pairs).
+    With [crash_prob > 0.], running processes may crash-stop (at most
+    [max_crashes] of them); crashed processes simply stop, as the
+    asynchronous model allows.  Returns [None] if [fuel] is exhausted. *)
+
+val run_solo_trace :
+  fuel:int -> ('v, 'r) Sim.t -> int -> (('v, 'r) Sim.t * ('v, 'r) Sim.t list) option
+(** Like {!Sim.run_solo} but also returns every intermediate configuration
+    (oldest first, excluding the final one); used by adversaries that must
+    truncate a solo schedule "at the earliest point such that ...". *)
+
+val run_pct :
+  ?length_hint:int ->
+  fuel:int ->
+  rand:Random.State.t ->
+  depth:int ->
+  calls_per_proc:int array ->
+  ('v, 'r) supplier ->
+  ('v, 'r) Sim.t ->
+  ('v, 'r) Sim.t option
+(** Probabilistic concurrency testing (Burckhardt et al.): processes get
+    random priorities; the highest-priority enabled process always runs;
+    at [depth - 1] random change points (drawn from [1 .. length_hint])
+    the running process is demoted below everyone.  A schedule with a bug
+    of preemption depth [d] is hit with probability at least
+    [1 / (n length_hint^(d-1))] — far better than uniform random for
+    ordering bugs.  Returns [None] when the fuel runs out. *)

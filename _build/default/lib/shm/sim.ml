@@ -1,0 +1,212 @@
+type ('v, 'r) proc =
+  | Idle
+  | Running of ('v, 'r) Prog.t
+  | Crashed of bool  (* true when it died with a call in progress *)
+
+type ('v, 'r) t = {
+  n : int;
+  regs : 'v array;
+  procs : ('v, 'r) proc array;
+  calls : int array;
+  rev_results : (History.op * 'r) list;
+  hist : History.t;
+  steps : int;
+  writes : int;
+  reg_written : bool array;
+  reg_read : bool array;
+}
+
+type 'v poised =
+  | P_idle
+  | P_crashed
+  | P_read of int
+  | P_write of int * 'v
+  | P_swap of int * 'v
+  | P_respond
+
+let of_regs ~n ~regs =
+  if n <= 0 then invalid_arg "Sim.of_regs: n must be positive";
+  let num_regs = Array.length regs in
+  { n;
+    regs = Array.copy regs;
+    procs = Array.make n Idle;
+    calls = Array.make n 0;
+    rev_results = [];
+    hist = History.empty;
+    steps = 0;
+    writes = 0;
+    reg_written = Array.make num_regs false;
+    reg_read = Array.make num_regs false }
+
+let create ~n ~num_regs ~init =
+  if num_regs < 0 then invalid_arg "Sim.create: num_regs must be >= 0";
+  of_regs ~n ~regs:(Array.make num_regs init)
+
+let n cfg = cfg.n
+
+let num_regs cfg = Array.length cfg.regs
+
+let check_pid cfg pid =
+  if pid < 0 || pid >= cfg.n then invalid_arg "Sim: pid out of range"
+
+let reg cfg r = cfg.regs.(r)
+
+let regs cfg = Array.copy cfg.regs
+
+let poised cfg pid =
+  check_pid cfg pid;
+  match cfg.procs.(pid) with
+  | Idle -> P_idle
+  | Crashed _ -> P_crashed
+  | Running (Prog.Done _) -> P_respond
+  | Running (Prog.Read (r, _)) -> P_read r
+  | Running (Prog.Write (r, v, _)) -> P_write (r, v)
+  | Running (Prog.Swap (r, v, _)) -> P_swap (r, v)
+
+(* A poised swap covers its register exactly like a poised write: both are
+   historyless overwrites, and the covering arguments of the paper apply to
+   either (Section 7). *)
+let covers cfg pid =
+  match poised cfg pid with
+  | P_write (r, _) | P_swap (r, _) -> Some r
+  | P_idle | P_crashed | P_read _ | P_respond -> None
+
+let invoke cfg ~pid ~program =
+  check_pid cfg pid;
+  (match cfg.procs.(pid) with
+   | Idle -> ()
+   | Running _ -> invalid_arg "Sim.invoke: process has a call in progress"
+   | Crashed _ -> invalid_arg "Sim.invoke: process has crashed");
+  let call = cfg.calls.(pid) in
+  let procs = Array.copy cfg.procs in
+  let calls = Array.copy cfg.calls in
+  procs.(pid) <- Running (program ~call);
+  calls.(pid) <- call + 1;
+  { cfg with procs; calls; hist = History.invoke cfg.hist ~pid ~call }
+
+let step cfg pid =
+  check_pid cfg pid;
+  match cfg.procs.(pid) with
+  | Idle -> invalid_arg "Sim.step: process is idle"
+  | Crashed _ -> invalid_arg "Sim.step: process has crashed"
+  | Running p ->
+    let procs = Array.copy cfg.procs in
+    (match p with
+     | Prog.Done res ->
+       let call = cfg.calls.(pid) - 1 in
+       procs.(pid) <- Idle;
+       let op : History.op = { pid; call } in
+       { cfg with
+         procs;
+         rev_results = (op, res) :: cfg.rev_results;
+         hist = History.respond cfg.hist ~pid ~call;
+         steps = cfg.steps + 1 }
+     | Prog.Read (r, k) ->
+       procs.(pid) <- Running (k cfg.regs.(r));
+       let reg_read = Array.copy cfg.reg_read in
+       reg_read.(r) <- true;
+       { cfg with procs; reg_read; steps = cfg.steps + 1 }
+     | Prog.Write (r, v, k) ->
+       let regs = Array.copy cfg.regs in
+       regs.(r) <- v;
+       procs.(pid) <- Running (k ());
+       let reg_written = Array.copy cfg.reg_written in
+       reg_written.(r) <- true;
+       { cfg with
+         procs; regs; reg_written;
+         steps = cfg.steps + 1;
+         writes = cfg.writes + 1 }
+     | Prog.Swap (r, v, k) ->
+       let old = cfg.regs.(r) in
+       let regs = Array.copy cfg.regs in
+       regs.(r) <- v;
+       procs.(pid) <- Running (k old);
+       let reg_written = Array.copy cfg.reg_written in
+       reg_written.(r) <- true;
+       { cfg with
+         procs; regs; reg_written;
+         steps = cfg.steps + 1;
+         writes = cfg.writes + 1 })
+
+let crash cfg pid =
+  check_pid cfg pid;
+  let procs = Array.copy cfg.procs in
+  let mid_call = match cfg.procs.(pid) with Running _ -> true | _ -> false in
+  procs.(pid) <- Crashed mid_call;
+  { cfg with procs }
+
+let is_quiescent cfg =
+  Array.for_all
+    (function Idle | Crashed false -> true | Running _ | Crashed true -> false)
+    cfg.procs
+
+let filter_pids cfg f =
+  let rec go i acc =
+    if i < 0 then acc
+    else go (i - 1) (if f i cfg.procs.(i) then i :: acc else acc)
+  in
+  go (cfg.n - 1) []
+
+let running cfg =
+  filter_pids cfg (fun _ st -> match st with Running _ -> true | _ -> false)
+
+let idle cfg =
+  filter_pids cfg (fun _ st -> match st with Idle -> true | _ -> false)
+
+let never_invoked cfg =
+  filter_pids cfg (fun i st ->
+      match st with Idle -> cfg.calls.(i) = 0 | _ -> false)
+
+let calls cfg pid =
+  check_pid cfg pid;
+  cfg.calls.(pid)
+
+let run_solo ~fuel cfg pid =
+  check_pid cfg pid;
+  let rec go fuel cfg =
+    match cfg.procs.(pid) with
+    | Idle -> Some cfg
+    | Crashed _ -> invalid_arg "Sim.run_solo: process has crashed"
+    | Running _ -> if fuel = 0 then None else go (fuel - 1) (step cfg pid)
+  in
+  go fuel cfg
+
+let block_write cfg pids =
+  List.fold_left
+    (fun cfg pid ->
+       match poised cfg pid with
+       | P_write _ | P_swap _ -> step cfg pid
+       | P_idle | P_crashed | P_read _ | P_respond ->
+         invalid_arg "Sim.block_write: process is not poised to write")
+    cfg pids
+
+let results cfg = List.rev cfg.rev_results
+
+let result cfg op =
+  List.find_map
+    (fun ((o : History.op), r) -> if o = op then Some r else None)
+    cfg.rev_results
+
+let hist cfg = cfg.hist
+
+let steps cfg = cfg.steps
+
+let writes cfg = cfg.writes
+
+let set_to_list flags =
+  let acc = ref [] in
+  for i = Array.length flags - 1 downto 0 do
+    if flags.(i) then acc := i :: !acc
+  done;
+  !acc
+
+let written_set cfg = set_to_list cfg.reg_written
+
+let read_set cfg = set_to_list cfg.reg_read
+
+let touched_count cfg =
+  let count = ref 0 in
+  for i = 0 to Array.length cfg.regs - 1 do
+    if cfg.reg_read.(i) || cfg.reg_written.(i) then incr count
+  done;
+  !count

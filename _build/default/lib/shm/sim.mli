@@ -1,0 +1,115 @@
+(** Deterministic simulator of an asynchronous shared-memory system.
+
+    A configuration holds the contents of [m] multi-writer multi-reader
+    atomic registers and the state of [n] processes, exactly as in Section 2
+    of the paper.  Each process is either idle, crashed, or suspended inside
+    a method call at its next shared-memory operation.  Stepping a process
+    executes exactly one atomic operation (or delivers the response of a
+    completed call), mirroring the paper's executions [(C; sigma)].
+
+    Configurations are immutable values: every transition returns a fresh
+    configuration and never mutates its input.  This gives speculative
+    execution and rollback for free, which the covering-argument adversaries
+    rely on ("run q solo from pi_B(C); if it never writes outside R,
+    rewind"). *)
+
+type ('v, 'r) t
+
+type 'v poised =
+  | P_idle  (** no method call in progress *)
+  | P_crashed
+  | P_read of int  (** poised to read the given register *)
+  | P_write of int * 'v  (** poised to write: {e covers} that register *)
+  | P_swap of int * 'v
+      (** poised to swap (a historyless overwrite): also covers *)
+  | P_respond  (** computation finished; next step delivers the response *)
+
+val create : n:int -> num_regs:int -> init:'v -> ('v, 'r) t
+(** [create ~n ~num_regs ~init] is the initial configuration [C0]: all
+    processes idle, all registers holding [init]. *)
+
+val of_regs : n:int -> regs:'v array -> ('v, 'r) t
+(** Like {!create} with per-register initial values (the array is copied);
+    used by composed objects whose register slices have different types. *)
+
+val n : ('v, 'r) t -> int
+
+val num_regs : ('v, 'r) t -> int
+
+val reg : ('v, 'r) t -> int -> 'v
+(** Current value of a register. *)
+
+val regs : ('v, 'r) t -> 'v array
+(** A fresh copy of the register contents. *)
+
+val poised : ('v, 'r) t -> int -> 'v poised
+
+val covers : ('v, 'r) t -> int -> int option
+(** [covers cfg p] is [Some r] when process [p] is poised to write or swap
+    register [r] (the paper's "p covers r in C", extended to historyless
+    operations as in Section 7), and [None] otherwise. *)
+
+val invoke :
+  ('v, 'r) t -> pid:int -> program:(call:int -> ('v, 'r) Prog.t) -> ('v, 'r) t
+(** [invoke cfg ~pid ~program] starts the next method call of [pid]:
+    [program ~call] receives the 0-based per-process invocation number.
+    The invocation event is recorded in the history.  Raises
+    [Invalid_argument] if [pid] is not idle. *)
+
+val step : ('v, 'r) t -> int -> ('v, 'r) t
+(** [step cfg p] lets process [p] take one step: execute its poised read or
+    write, or deliver its pending response.  Raises [Invalid_argument] if
+    [p] is idle or crashed. *)
+
+val crash : ('v, 'r) t -> int -> ('v, 'r) t
+(** Crash-stop: the process takes no further steps.  Allowed in any state. *)
+
+val is_quiescent : ('v, 'r) t -> bool
+(** No process has a method call in progress (crashed processes that died
+    mid-call are {e not} quiescent in the paper's sense, so they count as
+    in-progress here and [is_quiescent] is false if any exist). *)
+
+val running : ('v, 'r) t -> int list
+(** Processes with a method call in progress, in pid order. *)
+
+val idle : ('v, 'r) t -> int list
+(** Processes with no call in progress and not crashed, in pid order. *)
+
+val never_invoked : ('v, 'r) t -> int list
+(** The paper's [idle(C)]: processes still in their initial state. *)
+
+val calls : ('v, 'r) t -> int -> int
+(** Number of invocations started by a process. *)
+
+val run_solo : fuel:int -> ('v, 'r) t -> int -> ('v, 'r) t option
+(** [run_solo ~fuel cfg p] steps [p] alone until its current call responds.
+    [None] if the fuel is exhausted first (non-termination witness).  If [p]
+    is idle, returns the configuration unchanged. *)
+
+val block_write : ('v, 'r) t -> int list -> ('v, 'r) t
+(** [block_write cfg ps] performs the paper's block-write [pi_P]: each
+    process of [ps] takes exactly one step, in the given order.  Raises
+    [Invalid_argument] if some process is not poised to write. *)
+
+val results : ('v, 'r) t -> (History.op * 'r) list
+(** All completed method calls with their results, in response order. *)
+
+val result : ('v, 'r) t -> History.op -> 'r option
+
+val hist : ('v, 'r) t -> History.t
+
+val steps : ('v, 'r) t -> int
+(** Total number of steps taken so far. *)
+
+val writes : ('v, 'r) t -> int
+(** Total number of write steps taken so far. *)
+
+val written_set : ('v, 'r) t -> int list
+(** Registers that have ever been written, ascending. *)
+
+val read_set : ('v, 'r) t -> int list
+(** Registers that have ever been read, ascending. *)
+
+val touched_count : ('v, 'r) t -> int
+(** Number of distinct registers ever read or written: the space actually
+    used by the execution. *)

@@ -1,0 +1,38 @@
+let pp_action ppf = function
+  | Schedule.Invoke pid -> Format.fprintf ppf "invoke p%d" pid
+  | Schedule.Step pid -> Format.fprintf ppf "step p%d" pid
+  | Schedule.Crash pid -> Format.fprintf ppf "crash p%d" pid
+
+let describe ?pp_value cfg pid =
+  let value v =
+    match pp_value with
+    | Some pp -> Format.asprintf " <- %a" pp v
+    | None -> ""
+  in
+  match Sim.poised cfg pid with
+  | Sim.P_read r -> Printf.sprintf "read R[%d]" (r + 1)
+  | Sim.P_write (r, v) -> Printf.sprintf "write R[%d]%s" (r + 1) (value v)
+  | Sim.P_swap (r, v) -> Printf.sprintf "swap R[%d]%s" (r + 1) (value v)
+  | Sim.P_respond -> "respond"
+  | Sim.P_idle -> "idle"
+  | Sim.P_crashed -> "crashed"
+
+let render ?pp_value ~supplier cfg actions =
+  let buf = Buffer.create 256 in
+  let _ =
+    List.fold_left
+      (fun cfg action ->
+         (match action with
+          | Schedule.Step pid ->
+            Buffer.add_string buf
+              (Printf.sprintf "step   p%-3d %s\n" pid
+                 (describe ?pp_value cfg pid))
+          | Schedule.Invoke pid ->
+            Buffer.add_string buf
+              (Printf.sprintf "invoke p%-3d call %d\n" pid (Sim.calls cfg pid))
+          | Schedule.Crash pid ->
+            Buffer.add_string buf (Printf.sprintf "crash  p%-3d\n" pid));
+         Schedule.apply supplier cfg [ action ])
+      cfg actions
+  in
+  Buffer.contents buf

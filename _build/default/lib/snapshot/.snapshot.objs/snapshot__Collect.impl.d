@@ -1,0 +1,1 @@
+lib/snapshot/collect.ml: Array List Shm

@@ -1,0 +1,1 @@
+lib/snapshot/collect.mli: Shm

@@ -1,0 +1,1 @@
+lib/snapshot/wsnapshot.ml: Array Collect Format List Shm

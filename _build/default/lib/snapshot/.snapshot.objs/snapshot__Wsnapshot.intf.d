@@ -1,0 +1,1 @@
+lib/snapshot/wsnapshot.mli: Format Shm

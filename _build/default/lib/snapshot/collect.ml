@@ -1,0 +1,33 @@
+open Shm.Prog.Syntax
+
+exception Starved
+
+(* Continuations may be replayed from forked configurations during
+   speculative executions, so no mutable state may be captured: views are
+   accumulated as immutable lists and converted on completion. *)
+let collect ~lo ~hi =
+  let* rev_view =
+    Shm.Prog.fold_range ~lo ~hi ~init:[] (fun acc r ->
+        let+ v = Shm.Prog.read r in
+        v :: acc)
+  in
+  Shm.Prog.return (Array.of_list (List.rev rev_view))
+
+let views_equal equal a b =
+  Array.length a = Array.length b
+  && (let rec go i =
+        i >= Array.length a || (equal a.(i) b.(i) && go (i + 1))
+      in
+      go 0)
+
+let scan ?max_rounds ~equal ~lo ~hi () =
+  let rec loop rounds prev =
+    (match max_rounds with
+     | Some m when rounds >= m -> raise Starved
+     | _ -> ());
+    let* view = collect ~lo ~hi in
+    match prev with
+    | Some p when views_equal equal p view -> Shm.Prog.return view
+    | _ -> loop (rounds + 1) (Some view)
+  in
+  loop 0 None

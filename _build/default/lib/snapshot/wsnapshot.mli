@@ -1,0 +1,30 @@
+(** Wait-free single-writer atomic snapshot (Afek, Attiya, Dolev, Gafni,
+    Merritt, Shavit 1993).
+
+    [n] processes share [n] registers; register [i] is written only by
+    process [i].  [update] embeds a full scan and publishes the observed
+    view together with the new value; [scan] performs repeated collects and
+    either obtains a successful double collect or sees some process move
+    twice, in which case it borrows that process's embedded view (which was
+    obtained entirely within the scan's interval).  Both operations are
+    wait-free: a scan terminates after at most [n + 2] collects. *)
+
+type 'a cell
+(** Contents of one register. *)
+
+val init : 'a -> 'a cell
+(** Initial register contents holding the given initial value. *)
+
+val value : 'a cell -> 'a
+
+val seq : 'a cell -> int
+(** Number of updates performed by the owning process. *)
+
+val update : n:int -> me:int -> 'a -> ('a cell, unit) Shm.Prog.t
+(** [update ~n ~me v] sets process [me]'s component to [v]. *)
+
+val scan : n:int -> ('a cell, 'a array) Shm.Prog.t
+(** An atomic snapshot of all [n] components. *)
+
+val pp_cell :
+  (Format.formatter -> 'a -> unit) -> Format.formatter -> 'a cell -> unit

@@ -1,0 +1,4 @@
+  $ ts_cli list
+  $ ts_cli run -i efr-longlived -n 3 -c 2
+  $ ts_cli adversary long-lived -i lamport-longlived -n 8
+  $ ts_cli explore -i simple-oneshot -n 2

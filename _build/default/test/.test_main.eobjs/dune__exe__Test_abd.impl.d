@@ -1,0 +1,1 @@
+test/test_abd.ml: Abd Alcotest List Printf QCheck2 Random Result Shm String Timestamp Util

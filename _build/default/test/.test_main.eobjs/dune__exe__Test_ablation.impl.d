@@ -1,0 +1,1 @@
+test/test_ablation.ml: Alcotest Format Printf QCheck2 Result Shm Timestamp Util

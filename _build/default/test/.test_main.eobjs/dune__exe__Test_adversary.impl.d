@@ -1,0 +1,1 @@
+test/test_adversary.ml: Alcotest Array Covering List Option Printf Shm Timestamp Util

@@ -1,0 +1,1 @@
+test/test_api.ml: Alcotest Apps Array Covering Format List Mp Random Shm Snapshot String Util

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Apps Array List Option Printf QCheck2 Random Shm Timestamp Util

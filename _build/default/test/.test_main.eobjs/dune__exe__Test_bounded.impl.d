@@ -1,0 +1,1 @@
+test/test_bounded.ml: Alcotest Array Hashtbl List Option QCheck2 Random Shm Snapshot Timestamp Util

@@ -1,0 +1,1 @@
+test/test_checker.ml: Alcotest Format Result Shm String Timestamp Util

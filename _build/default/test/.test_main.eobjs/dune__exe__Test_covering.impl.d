@@ -1,0 +1,1 @@
+test/test_covering.ml: Alcotest Array Covering Fun Int List Printf QCheck2 Shm String Util

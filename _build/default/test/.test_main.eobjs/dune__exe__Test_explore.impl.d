@@ -1,0 +1,1 @@
+test/test_explore.ml: Alcotest Apps Array Format Int List Printf Result Shm Timestamp Util

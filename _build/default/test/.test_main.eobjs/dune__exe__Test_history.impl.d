@@ -1,0 +1,1 @@
+test/test_history.ml: Alcotest Array History List QCheck2 Random Shm Util

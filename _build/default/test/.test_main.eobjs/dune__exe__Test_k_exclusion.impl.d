@@ -1,0 +1,1 @@
+test/test_k_exclusion.ml: Alcotest Apps Array List QCheck2 Random Shm Timestamp Util

@@ -1,0 +1,1 @@
+test/test_longlived_impls.ml: Alcotest Array Hashtbl List Option Printf QCheck2 Random Shm Timestamp Util

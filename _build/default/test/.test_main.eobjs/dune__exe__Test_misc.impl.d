@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Array Format List Option Prog QCheck2 Schedule Shm Sim Snapshot String Timestamp Trace Util

@@ -1,0 +1,1 @@
+test/test_mp_clocks.ml: Array Clocks Hashtbl List Mp Option QCheck2 Random Util

@@ -1,0 +1,1 @@
+test/test_multicore.ml: Alcotest List Multicore Shm Timestamp Util

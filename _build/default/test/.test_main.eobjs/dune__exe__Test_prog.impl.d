@@ -1,0 +1,1 @@
+test/test_prog.ml: Alcotest Array List QCheck2 Shm Util

@@ -1,0 +1,1 @@
+test/test_renaming_tob.ml: Alcotest Apps Array Clocks Hashtbl List Option QCheck2 Random Shm Timestamp Util

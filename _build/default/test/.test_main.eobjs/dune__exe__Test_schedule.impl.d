@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Array Format History List Random Schedule Shm Sim Timestamp Util

@@ -1,0 +1,1 @@
+test/test_sim.ml: Alcotest History List Option Prog QCheck2 Random Schedule Shm Sim Timestamp Util

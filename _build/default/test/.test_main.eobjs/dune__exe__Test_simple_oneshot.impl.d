@@ -1,0 +1,1 @@
+test/test_simple_oneshot.ml: Alcotest Array List Option Printf QCheck2 Shm Timestamp Util

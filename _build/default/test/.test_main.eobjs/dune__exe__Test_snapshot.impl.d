@@ -1,0 +1,1 @@
+test/test_snapshot.ml: Alcotest Array History Int List Option Prog QCheck2 Random Schedule Shm Sim Snapshot Util

@@ -1,0 +1,1 @@
+test/test_sqrt.ml: Alcotest List Printf QCheck2 Shm Timestamp Util

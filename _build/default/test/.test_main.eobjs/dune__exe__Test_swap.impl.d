@@ -1,0 +1,1 @@
+test/test_swap.ml: Alcotest Array Atomic Covering List Multicore Printf QCheck2 Shm Timestamp Util

@@ -1,0 +1,1 @@
+test/test_timestamp.ml: List Printf QCheck2 String Timestamp Util

@@ -1,0 +1,1 @@
+test/util.ml: Alcotest List QCheck2 QCheck_alcotest Timestamp

@@ -1,0 +1,38 @@
+The CLI lists every registered implementation with its register formulas.
+
+  $ ts_cli list
+  name               kind        registers (n=16, 64, 256)
+  ------------------------------------------------------------
+  simple-oneshot     one-shot    8, 32, 128
+  simple-swap-oneshot one-shot    8, 32, 128
+  sqrt-oneshot       one-shot    8, 16, 32
+  lamport-longlived  long-lived  16, 64, 256
+  efr-longlived      long-lived  15, 63, 255
+  vector-longlived   long-lived  16, 64, 256
+  snapshot-longlived long-lived  16, 64, 256
+
+A seeded run is deterministic and self-checking.
+
+  $ ts_cli run -i efr-longlived -n 3 -c 2
+  implementation: efr-longlived   n=3 seed=1
+    p2.0 -> O0.0
+    p1.0 -> E1
+    p0.0 -> E2
+    p2.1 -> O2.1
+    p1.1 -> E3
+    p0.1 -> E4
+  compare-consistency: OK (12 ordered pairs)
+  registers: written=2 touched=2 provisioned=2
+
+The long-lived covering construction reaches a (3,k)-configuration.
+
+  $ ts_cli adversary long-lived -i lamport-longlived -n 8
+  lamport-longlived n=8: reached a (3,4)-configuration covering 4 registers (>= 2 required; floor(n/6) = 1) via a 157-action schedule
+    1 |####    
+      +--------
+       12345678
+
+Exhaustive exploration of a tiny instance verifies every schedule.
+
+  $ ts_cli explore -i simple-oneshot -n 2
+  simple-oneshot n=2 calls=1: EXHAUSTIVELY VERIFIED over 70 complete schedules (251 configurations visited, 0 truncated paths)

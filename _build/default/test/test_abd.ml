@@ -1,0 +1,143 @@
+(* Tests for the ABD register emulation: the paper's programs running over
+   asynchronous message passing with crash failures. *)
+
+module Int_regs = Abd.Emulation.Make (struct
+    type v = int
+
+    type r = int
+  end)
+
+open Shm.Prog.Syntax
+
+let run_int ?crashed ~clients ~replicas ~num_regs ~steps ~seed () =
+  let rand = Random.State.make [| seed |] in
+  Int_regs.run ?crashed ~clients ~replicas ~num_regs ~init:0 ~steps ~rand ()
+
+let write_then_read_own () =
+  let prog =
+    let* () = Shm.Prog.write 0 42 in
+    Shm.Prog.read 0
+  in
+  match run_int ~clients:[ prog ] ~replicas:3 ~num_regs:1 ~steps:20 ~seed:1 () with
+  | Error e -> Alcotest.fail e
+  | Ok o -> Alcotest.(check (list (pair int int))) "reads own write" [ (0, 42) ] o.results
+
+let sequential_visibility =
+  Util.qtest ~count:25 "a later reader sees an earlier write"
+    QCheck2.Gen.(pair (int_range 3 9) (int_bound 100_000))
+    (fun (replicas, seed) ->
+       (* client 0 writes 7 then returns 0; client 1 reads.  If client 0
+          finished before client 1 started (visible in the intervals), the
+          read must return 7. *)
+       let writer =
+         let* () = Shm.Prog.write 0 7 in
+         Shm.Prog.return 0
+       in
+       let reader = Shm.Prog.read 0 in
+       match
+         run_int ~clients:[ writer; reader ] ~replicas ~num_regs:1 ~steps:10
+           ~seed ()
+       with
+       | Error _ -> false
+       | Ok o ->
+         let read_value = List.assoc 1 o.results in
+         if Int_regs.happens_before o 0 1 then read_value = 7
+         else read_value = 7 || read_value = 0)
+
+let crash_tolerant_minority =
+  Util.qtest ~count:20 "minority crashes do not block"
+    QCheck2.Gen.(pair (int_bound 2) (int_bound 100_000))
+    (fun (ncrash, seed) ->
+       let replicas = 5 in
+       let crashed = List.init ncrash (fun i -> i * 2) in
+       let progs =
+         List.init 3 (fun i ->
+             let* () = Shm.Prog.write 0 (i + 1) in
+             Shm.Prog.read 0)
+       in
+       match
+         run_int ~crashed ~clients:progs ~replicas ~num_regs:1 ~steps:60 ~seed ()
+       with
+       | Error _ -> false
+       | Ok o -> List.length o.results = 3)
+
+let majority_crash_rejected () =
+  Alcotest.check_raises "too many crashes"
+    (Invalid_argument "Abd.run: too many crashed replicas for progress")
+    (fun () ->
+       ignore
+         (run_int ~crashed:[ 0; 1 ] ~clients:[ Shm.Prog.read 0 ] ~replicas:3
+            ~num_regs:1 ~steps:10 ~seed:1 ()))
+
+let swap_rejected () =
+  let prog = Shm.Prog.swap 0 5 in
+  match run_int ~clients:[ prog ] ~replicas:3 ~num_regs:1 ~steps:10 ~seed:1 () with
+  | Error e -> Util.check_bool "mentions swap" true (String.length e > 0)
+  | Ok _ -> Alcotest.fail "swap must be rejected"
+
+(* The centerpiece: the paper's timestamp algorithms over emulated
+   registers, with crashes, checked against the specification. *)
+let timestamps_over_abd (type v r) name
+    (module T : Timestamp.Intf.S with type value = v and type result = r)
+    ~crashed ~replicas =
+  Util.qtest ~count:15
+    (Printf.sprintf "%s over ABD (R=%d, %d crashed)" name replicas
+       (List.length crashed))
+    QCheck2.Gen.(pair (int_range 2 6) (int_bound 100_000))
+    (fun (n, seed) ->
+       let module A = Abd.Emulation.Make (struct
+           type nonrec v = v
+
+           type nonrec r = r
+         end)
+       in
+       let clients = List.init n (fun pid -> T.program ~n ~pid ~call:0) in
+       let rand = Random.State.make [| seed |] in
+       match
+         A.run ~crashed ~clients ~replicas ~num_regs:(T.num_registers ~n)
+           ~init:(T.init_value ~n)
+           ~steps:(10 + (seed mod 200))
+           ~rand ()
+       with
+       | Error _ -> false
+       | Ok o -> Result.is_ok (A.check_timestamps ~compare_ts:T.compare_ts o))
+
+let hb_pairs_occur () =
+  (* small step counts effectively serialize clients via the settle loop,
+     producing happens-before pairs the checker can bite on *)
+  let module T = Timestamp.Sqrt.One_shot in
+  let module A = Abd.Emulation.Make (struct
+      type v = Timestamp.Sqrt.value
+
+      type r = Timestamp.Sqrt.result
+    end)
+  in
+  let n = 6 in
+  let clients = List.init n (fun pid -> T.program ~n ~pid ~call:0) in
+  let rand = Random.State.make [| 9 |] in
+  match
+    A.run ~clients ~replicas:3 ~num_regs:(T.num_registers ~n)
+      ~init:(T.init_value ~n) ~steps:5 ~rand ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok o -> (
+      match A.check_timestamps ~compare_ts:T.compare_ts o with
+      | Ok pairs -> Util.check_bool "pairs checked" true (pairs > 0)
+      | Error e -> Alcotest.fail e)
+
+let suite =
+  ( "abd",
+    [ Util.case "write then read own value" write_then_read_own;
+      sequential_visibility;
+      crash_tolerant_minority;
+      Util.case "majority crash rejected" majority_crash_rejected;
+      Util.case "swap rejected" swap_rejected;
+      timestamps_over_abd "sqrt-oneshot" (module Timestamp.Sqrt.One_shot)
+        ~crashed:[] ~replicas:3;
+      timestamps_over_abd "sqrt-oneshot" (module Timestamp.Sqrt.One_shot)
+        ~crashed:[ 1; 3 ] ~replicas:5;
+      timestamps_over_abd "simple-oneshot" (module Timestamp.Simple_oneshot)
+        ~crashed:[ 0 ] ~replicas:3;
+      timestamps_over_abd "lamport" (module Timestamp.Lamport) ~crashed:[ 2 ]
+        ~replicas:5;
+      Util.case "happens-before pairs occur" hb_pairs_occur ] )

@@ -1,0 +1,323 @@
+(* Tests for the executable lower-bound constructions: Lemma 2.1, the
+   Lemma 4.1 / Section 4 one-shot adversary, and the Lemma 3.1/3.2
+   long-lived adversary. *)
+
+let sqrt_supplier ~n ~pid ~call = Timestamp.Sqrt.One_shot.program ~n ~pid ~call
+
+let sqrt_cfg ~n =
+  Shm.Sim.create ~n
+    ~num_regs:(Timestamp.Sqrt.One_shot.num_registers ~n)
+    ~init:Timestamp.Sqrt.Bot
+
+(* Drive [count] fresh processes of the sqrt object until each covers
+   register 0 (they all do on first write from the initial configuration). *)
+let cover_first_register cfg ~supplier pids =
+  List.fold_left
+    (fun cfg pid ->
+       let cfg =
+         Shm.Sim.invoke cfg ~pid ~program:(fun ~call -> supplier ~pid ~call)
+       in
+       let rec to_write cfg =
+         match Shm.Sim.covers cfg pid with
+         | Some _ -> cfg
+         | None -> to_write (Shm.Sim.step cfg pid)
+       in
+       to_write cfg)
+    cfg pids
+
+let lemma21_holds_on_sqrt () =
+  List.iter
+    (fun n ->
+       let supplier ~pid ~call = sqrt_supplier ~n ~pid ~call in
+       let cfg = cover_first_register (sqrt_cfg ~n) ~supplier [ 0; 1; 2 ] in
+       Util.check_bool "three coverers of R[1]" true
+         (List.for_all (fun p -> Shm.Sim.covers cfg p = Some 0) [ 0; 1; 2 ]);
+       match
+         Covering.Lemma21.probe ~fuel:100_000 ~supplier ~cfg ~b0:[ 0 ]
+           ~b1:[ 1 ] ~b2:[ 2 ] ~u0:3 ~u1:4 ~r:[ 0 ] ()
+       with
+       | Ok report ->
+         Util.check_bool "at least one side writes outside" true
+           (report.writers <> [])
+       | Error e -> Alcotest.fail e)
+    [ 6; 10; 20 ]
+
+let lemma21_rejects_bad_blocks () =
+  let n = 6 in
+  let supplier ~pid ~call = sqrt_supplier ~n ~pid ~call in
+  let cfg = sqrt_cfg ~n in
+  (* processes idle: not poised to write *)
+  Alcotest.check_raises "precondition"
+    (Invalid_argument "Exec_util.assert_block: process not poised to write")
+    (fun () ->
+       ignore
+         (Covering.Lemma21.probe ~fuel:1000 ~supplier ~cfg ~b0:[ 0 ] ~b1:[ 1 ]
+            ~u0:3 ~u1:4 ~r:[ 0 ] ()))
+
+let lemma41_postconditions () =
+  List.iter
+    (fun n ->
+       let supplier ~pid ~call = sqrt_supplier ~n ~pid ~call in
+       let cfg = cover_first_register (sqrt_cfg ~n) ~supplier [ 0; 1; 2 ] in
+       let u = List.init (n - 3) (fun i -> i + 3) in
+       match
+         Covering.Oneshot_adversary.lemma41 ~fuel:100_000 ~supplier ~cfg
+           ~b0:[ 0 ] ~b1:[ 1 ] ~u ~r:[ 0 ]
+       with
+       | Error e -> Alcotest.fail e
+       | Ok res ->
+         let np = List.length res.sigma_participants in
+         let np' = List.length res.sigma'_participants in
+         Util.check_int
+           (Printf.sprintf "n=%d: |sigma|+|sigma'| = |U|-1" n)
+           (List.length u - 1)
+           (np + np');
+         Util.check_bool "sigma at least half" true (np >= List.length u / 2);
+         Util.check_bool "excluded member of u" true
+           (List.mem res.excluded u);
+         (* postcondition (b) re-checked here: every participant covers a
+            register other than R[1] = index 0 *)
+         List.iter
+           (fun p ->
+              match Shm.Sim.covers res.final p with
+              | Some r -> Util.check_bool "covers outside" true (r <> 0)
+              | None -> Alcotest.fail "participant does not cover")
+           (res.sigma_participants @ res.sigma'_participants))
+    [ 6; 9; 14 ]
+
+let oneshot_construction_reaches_bound impl_name supplier_of cfg_of () =
+  List.iter
+    (fun n ->
+       let supplier = supplier_of ~n in
+       let cfg = cfg_of ~n in
+       match Covering.Oneshot_adversary.run ~fuel:1_000_000 ~supplier ~cfg () with
+       | Error e -> Alcotest.fail (impl_name ^ ": " ^ e)
+       | Ok o ->
+         let bound =
+           int_of_float (ceil (Covering.Bounds.oneshot_lower n))
+         in
+         Util.check_bool
+           (Printf.sprintf "%s n=%d: j_last=%d >= bound=%d" impl_name n
+              o.j_last bound)
+           true (o.j_last >= bound);
+         Util.check_bool "case2 within log n" true
+           (o.case2_count <= Covering.Bounds.log2_ceil n);
+         (* rounds have strictly increasing j and non-increasing l *)
+         let rec monotone = function
+           | (a : Covering.Oneshot_adversary.round)
+             :: (b :: _ as rest) ->
+             a.j < b.j && b.l <= a.l && monotone rest
+           | _ -> true
+         in
+         Util.check_bool "rounds monotone" true (monotone o.rounds);
+         (* every register in R_last is covered in the final configuration *)
+         let sg = Covering.Signature.signature o.final_cfg in
+         List.iter
+           (fun r -> Util.check_bool "R_last covered" true (sg.(r) >= 1))
+           o.r_last)
+    [ 8; 16; 32; 50 ]
+
+let oneshot_adversary_sqrt =
+  oneshot_construction_reaches_bound "sqrt"
+    (fun ~n ~pid ~call -> Timestamp.Sqrt.One_shot.program ~n ~pid ~call)
+    (fun ~n -> sqrt_cfg ~n)
+
+let oneshot_adversary_simple =
+  oneshot_construction_reaches_bound "simple"
+    (fun ~n ~pid ~call -> Timestamp.Simple_oneshot.program ~n ~pid ~call)
+    (fun ~n ->
+       Shm.Sim.create ~n
+         ~num_regs:(Timestamp.Simple_oneshot.num_registers ~n)
+         ~init:0)
+
+let longlived_adversary_builds_3k () =
+  let run (type v r) name
+      (module T : Timestamp.Intf.S with type value = v and type result = r) n
+      k =
+    let supplier ~pid ~call = T.program ~n ~pid ~call in
+    let cfg =
+      Shm.Sim.create ~n ~num_regs:(T.num_registers ~n) ~init:(T.init_value ~n)
+    in
+    match
+      Covering.Longlived_adversary.run ~fuel:100_000 ~supplier ~cfg ~k ()
+    with
+    | Error e -> Alcotest.fail (name ^ ": " ^ e)
+    | Ok o ->
+      Util.check_bool
+        (Printf.sprintf "%s n=%d k=%d is (3,k)" name n k)
+        true
+        (Covering.Signature.is_3k o.final_cfg ~k);
+      Util.check_bool "covered >= ceil(k/3)" true (o.covered >= (k + 2) / 3)
+  in
+  run "lamport" (module Timestamp.Lamport) 8 4;
+  run "efr" (module Timestamp.Efr) 8 4;
+  run "vector" (module Timestamp.Vector_ts) 8 4;
+  run "lamport" (module Timestamp.Lamport) 10 5
+
+let longlived_adversary_rejects_bad_k () =
+  let n = 4 in
+  let supplier ~pid ~call = Timestamp.Lamport.program ~n ~pid ~call in
+  let cfg = Shm.Sim.create ~n ~num_regs:n ~init:0 in
+  Alcotest.check_raises "2k > n"
+    (Invalid_argument "Longlived_adversary.run: need n >= 2k processes")
+    (fun () ->
+       ignore
+         (Covering.Longlived_adversary.run ~fuel:1000 ~supplier ~cfg ~k:3 ()))
+
+let theorem_11_demonstration () =
+  (* floor(n/6) registers covered for the largest k we build quickly *)
+  let n = 12 in
+  let k = n / 2 in
+  let supplier ~pid ~call = Timestamp.Lamport.program ~n ~pid ~call in
+  let cfg = Shm.Sim.create ~n ~num_regs:n ~init:0 in
+  match
+    Covering.Longlived_adversary.run ~fuel:200_000 ~supplier ~cfg ~k ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    Util.check_bool "covered >= floor(n/6)" true
+      (o.covered >= Covering.Bounds.longlived_lower n)
+
+
+(* The EFR baseline construction (Section 3 discussion): it makes progress
+   but caps well below the paper's construction. *)
+let efr_baseline_comparison () =
+  List.iter
+    (fun n ->
+       let module T = Timestamp.Sqrt.One_shot in
+       let supplier ~pid ~call = T.program ~n ~pid ~call in
+       let cfg =
+         Shm.Sim.create ~n ~num_regs:(T.num_registers ~n)
+           ~init:(T.init_value ~n)
+       in
+       let baseline =
+         match Covering.Efr_adversary.run ~fuel:5_000_000 ~supplier ~cfg () with
+         | Ok o ->
+           (* coverage decays monotonically: the defining limitation *)
+           let rec decays = function
+             | (a : Covering.Efr_adversary.round)
+               :: (b :: _ as rest) ->
+               b.min_coverage <= a.min_coverage && decays rest
+             | _ -> true
+           in
+           Util.check_bool "coverage decays" true (decays o.rounds);
+           o.covered
+         | Error e -> Alcotest.fail e
+       in
+       let paper =
+         match
+           Covering.Oneshot_adversary.run ~fuel:5_000_000 ~supplier ~cfg ()
+         with
+         | Ok o -> o.j_last
+         | Error e -> Alcotest.fail e
+       in
+       Util.check_bool
+         (Printf.sprintf "n=%d: baseline %d <= paper %d" n baseline paper)
+         true (baseline <= paper);
+       Util.check_bool "baseline makes progress" true (baseline >= 1))
+    [ 32; 64; 128 ]
+
+
+(* Lemma 2.1 with a two-register covered set: drive the sqrt object so that
+   R[1] and R[2] are each 3-covered, then probe. *)
+let lemma21_two_registers () =
+  let n = 12 in
+  let supplier ~pid ~call = sqrt_supplier ~n ~pid ~call in
+  (* three processes pause poised on R[1] from the initial configuration *)
+  let cfg = cover_first_register (sqrt_cfg ~n) ~supplier [ 0; 1; 2 ] in
+  (* a fourth completes its getTS, starting phase 1 (R[1] becomes non-Bot) *)
+  let cfg =
+    Shm.Sim.invoke cfg ~pid:3 ~program:(fun ~call -> supplier ~pid:3 ~call)
+  in
+  let cfg = Option.get (Shm.Sim.run_solo ~fuel:10_000 cfg 3) in
+  (* three more processes now pause poised on R[2] *)
+  let cfg = cover_first_register cfg ~supplier [ 4; 5; 6 ] in
+  Util.check_bool "R[1] 3-covered" true
+    (List.length (Covering.Signature.coverers cfg ~reg:0) = 3);
+  Util.check_bool "R[2] 3-covered" true
+    (List.length (Covering.Signature.coverers cfg ~reg:1) = 3);
+  (* transversals: one coverer of each register per set *)
+  match Covering.Signature.transversals cfg ~regs:[ 0; 1 ] ~count:3 with
+  | None -> Alcotest.fail "transversals must exist"
+  | Some [ b0; b1; b2 ] -> (
+      match
+        Covering.Lemma21.probe ~fuel:200_000 ~supplier ~cfg ~b0 ~b1 ~b2 ~u0:7
+          ~u1:8 ~r:[ 0; 1 ] ()
+      with
+      | Ok report ->
+        Util.check_bool "lemma holds with |R| = 2" true (report.writers <> [])
+      | Error e -> Alcotest.fail e)
+  | Some _ -> assert false
+
+(* The adversary accepts an explicit grid width (used by the CLI). *)
+let oneshot_adversary_custom_grid () =
+  let n = 32 in
+  let supplier ~pid ~call = sqrt_supplier ~n ~pid ~call in
+  let cfg = sqrt_cfg ~n in
+  match
+    Covering.Oneshot_adversary.run ~grid_width:5 ~fuel:1_000_000 ~supplier
+      ~cfg ()
+  with
+  | Error e -> Alcotest.fail e
+  | Ok o -> Util.check_bool "smaller grid, smaller target" true (o.l_last <= 5)
+
+
+(* Why Theorem 1.1 does not apply to M-bounded objects: the long-lived
+   construction performs unboundedly many getTS calls, so an object
+   provisioned for M total calls legitimately runs out of register space
+   mid-construction instead of yielding a (3,k)-configuration. *)
+let longlived_adversary_exhausts_bounded_object () =
+  let module M64 =
+    Timestamp.Sqrt.With_calls (struct
+      let total_calls = 64
+    end)
+  in
+  let n = 12 in
+  let supplier ~pid ~call = M64.program ~n ~pid ~call in
+  let cfg =
+    Shm.Sim.create ~n ~num_regs:(M64.num_registers ~n)
+      ~init:(M64.init_value ~n)
+  in
+  match
+    Covering.Longlived_adversary.run ~fuel:1_000_000 ~supplier ~cfg ~k:(n / 2) ()
+  with
+  | exception Timestamp.Sqrt.Register_space_exhausted -> ()
+  | Error _ -> ()  (* also acceptable: the construction reports failure *)
+  | Ok o ->
+    (* If it somehow succeeded the object must still have spent at most M
+       calls; anything else would contradict Lemma 6.5. *)
+    Alcotest.failf
+      "M-bounded object yielded a (3,%d)-configuration within its budget \
+       (schedule %d) - unexpected for this n"
+      o.k o.schedule_length
+
+(* The one-shot construction also runs against long-lived objects (used
+   one-shot): with lamport each process covers its own register, so the
+   Q' sets arrive in bulk. *)
+let oneshot_adversary_on_longlived () =
+  let n = 32 in
+  let supplier ~pid ~call = Timestamp.Lamport.program ~n ~pid ~call in
+  let cfg = Shm.Sim.create ~n ~num_regs:n ~init:0 in
+  match Covering.Oneshot_adversary.run ~fuel:1_000_000 ~supplier ~cfg () with
+  | Error e -> Alcotest.fail e
+  | Ok o ->
+    Util.check_bool "covers at least the bound" true
+      (float_of_int o.j_last >= Covering.Bounds.oneshot_lower n)
+
+let suite =
+  ( "adversaries",
+    [ Util.case "Lemma 2.1 holds on sqrt" lemma21_holds_on_sqrt;
+      Util.case "Lemma 2.1 precondition enforced" lemma21_rejects_bad_blocks;
+      Util.case "Lemma 4.1 postconditions" lemma41_postconditions;
+      Util.slow_case "one-shot construction (sqrt)" oneshot_adversary_sqrt;
+      Util.slow_case "one-shot construction (simple)" oneshot_adversary_simple;
+      Util.slow_case "long-lived (3,k)-configurations" longlived_adversary_builds_3k;
+      Util.case "long-lived adversary rejects bad k" longlived_adversary_rejects_bad_k;
+      Util.slow_case "Theorem 1.1 demonstration" theorem_11_demonstration;
+      Util.slow_case "EFR baseline caps below the paper" efr_baseline_comparison;
+      Util.case "Lemma 2.1 with |R| = 2" lemma21_two_registers;
+      Util.case "adversary with custom grid width" oneshot_adversary_custom_grid;
+      Util.case "M-bounded objects escape Theorem 1.1 by exhaustion"
+        longlived_adversary_exhausts_bounded_object;
+      Util.case "one-shot adversary on a long-lived object"
+        oneshot_adversary_on_longlived ] )

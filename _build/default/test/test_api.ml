@@ -1,0 +1,152 @@
+(* Coverage of remaining small API surfaces: pretty printers, accessors,
+   argument validation, and the network primitives used by the ABD layer. *)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec find i =
+    i + nl <= hl && (String.sub haystack i nl = needle || find (i + 1))
+  in
+  find 0
+
+let history_accessors () =
+  let h = Shm.History.empty in
+  Util.check_int "time starts at 0" 0 (Shm.History.now h);
+  let h = Shm.History.invoke h ~pid:0 ~call:0 in
+  let h = Shm.History.respond h ~pid:0 ~call:0 in
+  Util.check_int "two events" 2 (Shm.History.now h);
+  Util.check_int "event list" 2 (List.length (Shm.History.events h));
+  (match Shm.History.interval h { pid = 0; call = 0 } with
+   | Some (0, Some 1) -> ()
+   | _ -> Alcotest.fail "interval");
+  Util.check_bool "unknown op" true
+    (Shm.History.interval h { pid = 5; call = 0 } = None);
+  Util.check_bool "pp outputs" true
+    (String.length (Format.asprintf "%a" Shm.History.pp h) > 0)
+
+let sim_of_regs () =
+  let cfg : (int, unit) Shm.Sim.t = Shm.Sim.of_regs ~n:2 ~regs:[| 5; 7 |] in
+  Util.check_int "heterogeneous init" 7 (Shm.Sim.reg cfg 1);
+  Util.check_int "num regs" 2 (Shm.Sim.num_regs cfg);
+  Util.check_int "n" 2 (Shm.Sim.n cfg);
+  Alcotest.(check (list int)) "regs copy" [ 5; 7 ]
+    (Array.to_list (Shm.Sim.regs cfg))
+
+let trace_swap_and_crash () =
+  let supplier ~pid:_ ~call:_ = Shm.Prog.map ignore (Shm.Prog.swap 0 9) in
+  let cfg : (int, unit) Shm.Sim.t = Shm.Sim.create ~n:2 ~num_regs:1 ~init:0 in
+  let s =
+    Shm.Trace.render ~pp_value:Format.pp_print_int ~supplier cfg
+      [ Shm.Schedule.Invoke 0; Shm.Schedule.Step 0; Shm.Schedule.Crash 1 ]
+  in
+  Util.check_bool "swap rendered" true (contains s "swap R[1] <- 9");
+  Util.check_bool "crash rendered" true (contains s "crash  p1")
+
+let grid_from_configuration () =
+  let cfg : (int, unit) Shm.Sim.t = Shm.Sim.create ~n:2 ~num_regs:2 ~init:0 in
+  let cfg =
+    Shm.Sim.invoke cfg ~pid:0 ~program:(fun ~call:_ -> Shm.Prog.write 1 5)
+  in
+  let s = Covering.Grid.render cfg in
+  Util.check_bool "one shaded cell" true (contains s "#")
+
+let signature_pp () =
+  Util.check_bool "sig pp" true
+    (Format.asprintf "%a" Covering.Signature.pp [| 1; 2; 0 |] = "(1,2,0)")
+
+let lemma21_pp () =
+  Util.check_bool "side pp" true
+    (Format.asprintf "%a" Covering.Lemma21.pp_side Covering.Lemma21.U0 = "U0")
+
+let bounds_validation () =
+  Alcotest.check_raises "n = 0"
+    (Invalid_argument "Bounds: n must be positive") (fun () ->
+        ignore (Covering.Bounds.longlived_lower 0));
+  Util.check_int "log2 1" 0 (Covering.Bounds.log2_ceil 1);
+  Util.check_bool "oneshot lower clamps" true
+    (Covering.Bounds.oneshot_lower 1 = 0.)
+
+let run_pure_counts () =
+  let p = Shm.Prog.bind (Shm.Prog.read 0) (fun v -> Shm.Prog.write 0 (v + 1)) in
+  let regs = [| 3 |] in
+  let (), ops = Shm.Prog.run_pure ~regs p in
+  Util.check_int "ops" 2 ops;
+  Util.check_int "incremented" 4 regs.(0)
+
+let net_poke_and_trace () =
+  let module Echo = struct
+    type state = int
+
+    type msg = unit
+
+    let init ~me:_ ~n:_ = 0
+
+    let on_receive ~me:_ st ~src:_ () = (st + 1, [])
+
+    let on_internal ~me st = (st + 1, if me = 0 then [ (1, ()) ] else [])
+  end in
+  let module N = Mp.Net.Make (Echo) in
+  let net = N.create ~n:2 () in
+  N.poke net 0;
+  let rand = Random.State.make [| 1 |] in
+  N.drain ~rand net;
+  Util.check_int "three events: internal, send, receive" 3
+    (List.length (N.trace net));
+  Util.check_int "node 1 received" 1 (N.states net).(1);
+  Alcotest.check_raises "bad node" (Invalid_argument "Net.poke: bad node")
+    (fun () -> N.poke net 7)
+
+let mp_event_pp () =
+  let e =
+    Mp.Net.Sent { id = { node = 0; seq = 1 }; dst = 2; mid = 3; msg = () }
+  in
+  Util.check_bool "pp" true
+    (String.length
+       (Format.asprintf "%a" (Mp.Net.pp_event (fun _ () -> ())) e)
+     > 0)
+
+let adversary_round_pp () =
+  let r : Covering.Oneshot_adversary.round =
+    { index = 1; nu = 1; q = [ 0 ]; case = Covering.Oneshot_adversary.Case1;
+      j = 1; l = 4; prefix_len = 10; idle_left = 3; covered = 1;
+      sig_after = [| 1; 0 |] }
+  in
+  Util.check_bool "round pp" true
+    (contains (Format.asprintf "%a" Covering.Oneshot_adversary.pp_round r)
+       "case1");
+  let e : Covering.Efr_adversary.round =
+    { index = 2; added = 1; new_coverage = 4; min_coverage = 2; idle_left = 5 }
+  in
+  Util.check_bool "efr round pp" true
+    (contains (Format.asprintf "%a" Covering.Efr_adversary.pp_round e) "+R[2]")
+
+let wsnapshot_pp () =
+  Util.check_bool "cell pp" true
+    (contains
+       (Format.asprintf "%a"
+          (Snapshot.Wsnapshot.pp_cell Format.pp_print_int)
+          (Snapshot.Wsnapshot.init 3))
+       "seq=0")
+
+let bakery_pp_and_registers () =
+  Util.check_int "registers" 5 (Apps.Bakery.num_registers ~n:4);
+  let r : Apps.Bakery.result =
+    { ticket = 2; entry_occupancy = 0; exit_occupancy = 1 }
+  in
+  Util.check_bool "pp" true
+    (contains (Format.asprintf "%a" Apps.Bakery.pp_result r) "ticket=2")
+
+let suite =
+  ( "api",
+    [ Util.case "history accessors" history_accessors;
+      Util.case "sim of_regs" sim_of_regs;
+      Util.case "trace renders swap and crash" trace_swap_and_crash;
+      Util.case "grid from configuration" grid_from_configuration;
+      Util.case "signature pp" signature_pp;
+      Util.case "lemma21 side pp" lemma21_pp;
+      Util.case "bounds validation" bounds_validation;
+      Util.case "run_pure counts" run_pure_counts;
+      Util.case "net poke and trace" net_poke_and_trace;
+      Util.case "mp event pp" mp_event_pp;
+      Util.case "adversary round pp" adversary_round_pp;
+      Util.case "wsnapshot pp" wsnapshot_pp;
+      Util.case "bakery pp and registers" bakery_pp_and_registers ] )

@@ -1,0 +1,129 @@
+(* Tests for the applications: bakery, the timestamp lock, event ordering. *)
+
+let run_sessions (type v r) ~n ~calls ~seed
+    ~(supplier : (v, r) Shm.Schedule.supplier) (cfg : (v, r) Shm.Sim.t) =
+  let rand = Random.State.make [| seed; n; calls |] in
+  match
+    Shm.Schedule.run_workload ~fuel:5_000_000 ~rand
+      ~calls_per_proc:(Array.make n calls) supplier cfg
+  with
+  | None -> Alcotest.fail "sessions did not quiesce"
+  | Some cfg -> cfg
+
+let bakery_mutual_exclusion =
+  Util.qtest ~count:25 "bakery: mutual exclusion"
+    QCheck2.Gen.(pair (int_range 2 6) (int_bound 100_000))
+    (fun (n, seed) ->
+       let supplier ~pid ~call = Apps.Bakery.program ~n ~pid ~call in
+       let cfg =
+         run_sessions ~n ~calls:3 ~seed ~supplier (Apps.Bakery.create ~n)
+       in
+       List.for_all (fun (_, r) -> Apps.Bakery.session_ok r)
+         (Shm.Sim.results cfg)
+       && Shm.Sim.results cfg <> [])
+
+let bakery_fcfs () =
+  (* tickets reset on release: back-to-back solo sessions each get 1 *)
+  let n = 3 in
+  let supplier ~pid ~call = Apps.Bakery.program ~n ~pid ~call in
+  let cfg = Apps.Bakery.create ~n in
+  let solo cfg pid =
+    let cfg = Shm.Sim.invoke cfg ~pid ~program:(fun ~call -> supplier ~pid ~call) in
+    Option.get (Shm.Sim.run_solo ~fuel:10_000 cfg pid)
+  in
+  let cfg' = solo (solo (solo cfg 0) 1) 2 in
+  let tickets =
+    List.map (fun (_, (r : Apps.Bakery.result)) -> r.ticket) (Shm.Sim.results cfg')
+  in
+  Alcotest.(check (list int)) "solo tickets reset" [ 1; 1; 1 ] tickets;
+  (* overlapping doorways: each doorway sees the previous tickets, so
+     tickets increase — FCFS.  The doorway is exactly n + 2 steps (one
+     flag write, n reads, one ticket write). *)
+  let doorway cfg pid =
+    let cfg =
+      Shm.Sim.invoke cfg ~pid ~program:(fun ~call -> supplier ~pid ~call)
+    in
+    let rec steps cfg k = if k = 0 then cfg else steps (Shm.Sim.step cfg pid) (k - 1) in
+    steps cfg (n + 2)
+  in
+  let cfg = doorway (doorway (doorway cfg 0) 1) 2 in
+  let cfg =
+    List.fold_left
+      (fun cfg pid -> Option.get (Shm.Sim.run_solo ~fuel:10_000 cfg pid))
+      cfg [ 0; 1; 2 ]
+  in
+  let tickets =
+    List.map (fun (_, (r : Apps.Bakery.result)) -> r.ticket) (Shm.Sim.results cfg)
+  in
+  Alcotest.(check (list int)) "staggered doorways" [ 1; 2; 3 ]
+    (List.sort compare tickets);
+  Util.check_bool "all sessions clean" true
+    (List.for_all (fun (_, r) -> Apps.Bakery.session_ok r) (Shm.Sim.results cfg))
+
+let ts_lock_over impl_name (module T : Timestamp.Intf.S) =
+  Util.qtest ~count:20
+    (Printf.sprintf "ts-lock(%s): mutual exclusion" impl_name)
+    QCheck2.Gen.(pair (int_range 2 5) (int_bound 100_000))
+    (fun (n, seed) ->
+       let module L = Apps.Ts_lock.Make (T) in
+       let supplier ~pid ~call = L.program ~n ~pid ~call in
+       let calls = match T.kind with `One_shot -> 1 | `Long_lived -> 3 in
+       let cfg = run_sessions ~n ~calls ~seed ~supplier (L.create ~n) in
+       List.for_all (fun (_, r) -> L.session_ok r) (Shm.Sim.results cfg)
+       && List.length (Shm.Sim.results cfg) = n * calls)
+
+let ts_lock_lamport = ts_lock_over "lamport" (module Timestamp.Lamport)
+
+let ts_lock_efr = ts_lock_over "efr" (module Timestamp.Efr)
+
+let ts_lock_sqrt_oneshot =
+  ts_lock_over "sqrt-oneshot" (module Timestamp.Sqrt.One_shot)
+
+let ts_lock_fcfs () =
+  (* doorway FCFS: a session whose doorway completes before another begins
+     enters first; with solo sequential sessions, timestamps increase *)
+  let n = 3 in
+  let module L = Apps.Ts_lock.Make (Timestamp.Lamport) in
+  let supplier ~pid ~call = L.program ~n ~pid ~call in
+  let cfg = L.create ~n in
+  let solo cfg pid =
+    let cfg = Shm.Sim.invoke cfg ~pid ~program:(fun ~call -> supplier ~pid ~call) in
+    Option.get (Shm.Sim.run_solo ~fuel:10_000 cfg pid)
+  in
+  let cfg = solo (solo (solo cfg 2) 0) 1 in
+  let ts = List.map (fun (_, (r : L.result)) -> r.ts) (Shm.Sim.results cfg) in
+  Alcotest.(check (list int)) "timestamps increase" [ 1; 2; 3 ] ts
+
+let event_order_consistent =
+  Util.qtest ~count:25 "event order consistent with happens-before"
+    QCheck2.Gen.(pair (int_range 2 8) (int_bound 100_000))
+    (fun (n, seed) ->
+       let module E = Apps.Event_order.Make (Timestamp.Lamport) in
+       let _, ok = E.demo ~n ~seed ~calls:3 in
+       ok)
+
+let event_order_with_partial_order =
+  Util.qtest ~count:25 "event order works for vector timestamps"
+    QCheck2.Gen.(pair (int_range 2 6) (int_bound 100_000))
+    (fun (n, seed) ->
+       let module E = Apps.Event_order.Make (Timestamp.Vector_ts) in
+       let _, ok = E.demo ~n ~seed ~calls:2 in
+       ok)
+
+let event_order_total () =
+  let module E = Apps.Event_order.Make (Timestamp.Efr) in
+  let ordered, ok = E.demo ~n:6 ~seed:11 ~calls:3 in
+  Util.check_bool "consistent" true ok;
+  Util.check_int "all events present" 18 (List.length ordered)
+
+let suite =
+  ( "apps",
+    [ bakery_mutual_exclusion;
+      Util.case "bakery FCFS tickets" bakery_fcfs;
+      ts_lock_lamport;
+      ts_lock_efr;
+      ts_lock_sqrt_oneshot;
+      Util.case "ts-lock FCFS" ts_lock_fcfs;
+      event_order_consistent;
+      event_order_with_partial_order;
+      Util.case "event order is total" event_order_total ] )

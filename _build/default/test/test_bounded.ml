@@ -1,0 +1,169 @@
+(* Tests for the bounded sequential timestamp system (Israeli-Li lineage).
+
+   The central property: after any sequence of takes, the live labels are
+   totally ordered by [beats] consistently with acquisition recency, even
+   though the label universe is finite (3^n values). *)
+
+module B = Timestamp.Bounded_ts
+
+(* Run a random sequence of takes, tracking acquisition order; after every
+   take verify the live-label order. *)
+let run_and_check ~n ~takes ~seed =
+  let rand = Random.State.make [| seed; n; takes |] in
+  let t = ref (B.create ~n) in
+  let taken_at = Array.make n (-1) in
+  let ok = ref true in
+  for step = 0 to takes - 1 do
+    let pid = Random.State.int rand n in
+    let t', _label = B.take !t ~pid in
+    t := t';
+    taken_at.(pid) <- step;
+    (* verify: for all pairs of live labels, the more recent beats the
+       older, and not conversely *)
+    for p = 0 to n - 1 do
+      for q = 0 to n - 1 do
+        match B.label_of !t p, B.label_of !t q with
+        | Some lp, Some lq when taken_at.(p) < taken_at.(q) ->
+          if not (B.beats lq lp) then ok := false;
+          if B.beats lp lq then ok := false
+        | _ -> ()
+      done
+    done
+  done;
+  !ok
+
+let order_matches_recency =
+  Util.qtest ~count:40 "live labels ordered by recency"
+    QCheck2.Gen.(pair (int_range 2 6) (int_bound 100_000))
+    (fun (n, seed) -> run_and_check ~n ~takes:200 ~seed)
+
+let long_run_no_exhaustion () =
+  (* millions of takes never exhaust the label space at depth n *)
+  List.iter
+    (fun n ->
+       let rand = Random.State.make [| 99; n |] in
+       let t = ref (B.create ~n) in
+       for _ = 1 to 20_000 do
+         let pid = Random.State.int rand n in
+         let t', _ = B.take !t ~pid in
+         t := t'
+       done)
+    [ 2; 3; 4; 5; 6; 8 ]
+
+let universe_is_finite_and_reused () =
+  let n = 3 in
+  let rand = Random.State.make [| 7 |] in
+  let t = ref (B.create ~n) in
+  let seen = Hashtbl.create 64 in
+  for _ = 1 to 5_000 do
+    let pid = Random.State.int rand n in
+    let t', label = B.take !t ~pid in
+    t := t';
+    Hashtbl.replace seen label (1 + Option.value (Hashtbl.find_opt seen label) ~default:0)
+  done;
+  let distinct = Hashtbl.length seen in
+  Util.check_bool "within 3^n values" true (distinct <= B.universe_size !t);
+  Util.check_bool "labels are reused (bounded!)" true
+    (Hashtbl.fold (fun _ c acc -> max c acc) seen 0 > 1)
+
+let beats_is_cyclic_at_top () =
+  (* the defining non-transitivity of bounded timestamps: the 3-cycle *)
+  let l d = d :: [ 0 ] in
+  Util.check_bool "1 beats 0" true (B.beats (l 1) (l 0));
+  Util.check_bool "2 beats 1" true (B.beats (l 2) (l 1));
+  Util.check_bool "0 beats 2" true (B.beats (l 0) (l 2));
+  Util.check_bool "0 does not beat 1" false (B.beats (l 0) (l 1));
+  Util.check_bool "equal labels do not beat" false (B.beats (l 1) (l 1))
+
+let two_process_system_is_classic () =
+  (* n=2 degenerates to the classic 3-value system at the last level *)
+  let t = B.create ~n:2 in
+  let t, l0 = B.take t ~pid:0 in
+  let t, l1 = B.take t ~pid:1 in
+  let t, l0' = B.take t ~pid:0 in
+  let _, l1' = B.take t ~pid:1 in
+  Util.check_bool "l1 beats l0" true (B.beats l1 l0);
+  Util.check_bool "l0' beats l1" true (B.beats l0' l1);
+  Util.check_bool "l1' beats l0'" true (B.beats l1' l0');
+  Util.check_bool "labels bounded" true (List.length l0 = 2)
+
+let ordered_live_sorts () =
+  let t = B.create ~n:4 in
+  let t, _ = B.take t ~pid:2 in
+  let t, _ = B.take t ~pid:0 in
+  let t, _ = B.take t ~pid:3 in
+  let ordered = B.ordered_live t in
+  Util.check_int "three live" 3 (List.length ordered);
+  (* oldest (p2) first, newest (p3) last *)
+  Util.check_bool "oldest first" true
+    (B.label_of t 2 = Some (List.hd ordered));
+  Util.check_bool "newest last" true
+    (B.label_of t 3 = Some (List.nth ordered 2))
+
+let take_rejects_bad_pid () =
+  Alcotest.check_raises "bad pid"
+    (Invalid_argument "Bounded_ts.take: bad pid") (fun () ->
+        ignore (B.take (B.create ~n:2) ~pid:5))
+
+
+(* The negative result that frames the bounded/unbounded divide: naively
+   lifting the sequential system to concurrency (labels in an atomic
+   snapshot, fresh label computed from a scan) BREAKS — two concurrent
+   takers working from overlapping views produce three distinct digits at
+   one level, which no later taker can dominate.  Extra depth does not
+   help: the violation is structural, which is exactly why the concurrent
+   bounded constructions (Dolev-Shavit 1997, Dwork-Waarts 1999, both cited
+   by the paper) need traceable-use machinery far beyond the sequential
+   algebra. *)
+let naive_concurrent_lifting_breaks () =
+  let open Shm.Prog.Syntax in
+  let exception Broken in
+  let take_prog ~depth ~n ~me :
+    (B.label option Snapshot.Wsnapshot.cell, B.label) Shm.Prog.t =
+    let* view = Snapshot.Wsnapshot.scan ~n in
+    let others =
+      Array.to_list view
+      |> List.mapi (fun i l -> (i, l))
+      |> List.filter_map (fun (i, l) -> if i = me then None else l)
+    in
+    match B.fresh depth others with
+    | None | (exception B.Out_of_labels) -> raise Broken
+    | Some label ->
+      let* () = Snapshot.Wsnapshot.update ~n ~me (Some label) in
+      Shm.Prog.return label
+  in
+  let breaks depth =
+    let exception Found in
+    try
+      for seed = 0 to 200 do
+        let n = 4 in
+        let sup ~pid ~call:_ = take_prog ~depth ~n ~me:pid in
+        let cfg =
+          Shm.Sim.create ~n ~num_regs:n ~init:(Snapshot.Wsnapshot.init None)
+        in
+        let rand = Random.State.make [| seed; n |] in
+        match
+          Shm.Schedule.run_workload ~fuel:3_000_000 ~rand
+            ~calls_per_proc:(Array.make n 6) sup cfg
+        with
+        | Some _ | None -> ()
+        | exception Broken -> raise Found
+      done;
+      false
+    with Found -> true
+  in
+  Util.check_bool "depth n breaks under concurrency" true (breaks 4);
+  Util.check_bool "even depth 4n breaks (structural, not capacity)" true
+    (breaks 16)
+
+let suite =
+  ( "bounded-ts",
+    [ order_matches_recency;
+      Util.slow_case "long runs never exhaust depth n" long_run_no_exhaustion;
+      Util.case "universe finite and labels reused" universe_is_finite_and_reused;
+      Util.case "top-level 3-cycle" beats_is_cyclic_at_top;
+      Util.case "two-process classic system" two_process_system_is_classic;
+      Util.case "ordered_live sorts by age" ordered_live_sorts;
+      Util.case "take rejects bad pid" take_rejects_bad_pid;
+      Util.slow_case "naive concurrent lifting breaks"
+        naive_concurrent_lifting_breaks ] )

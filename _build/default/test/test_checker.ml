@@ -1,0 +1,58 @@
+(* The checker itself must detect violations: feed it corrupted results. *)
+
+let fabricate_history () =
+  (* two sequential calls: p0.0 then p1.0 *)
+  let h = Shm.History.empty in
+  let h = Shm.History.invoke h ~pid:0 ~call:0 in
+  let h = Shm.History.respond h ~pid:0 ~call:0 in
+  let h = Shm.History.invoke h ~pid:1 ~call:0 in
+  let h = Shm.History.respond h ~pid:1 ~call:0 in
+  h
+
+let op pid : Shm.History.op = { pid; call = 0 }
+
+let run results =
+  Timestamp.Checker.check ~compare_ts:(fun (a : int) b -> a < b)
+    ~pp:Format.pp_print_int ~hist:(fabricate_history ()) ~results
+
+let accepts_correct_results () =
+  match run [ (op 0, 1); (op 1, 2) ] with
+  | Ok pairs -> Util.check_int "one ordered pair" 1 pairs
+  | Error _ -> Alcotest.fail "should accept"
+
+let rejects_equal_timestamps () =
+  match run [ (op 0, 5); (op 1, 5) ] with
+  | Ok _ -> Alcotest.fail "should reject: hb pair with equal timestamps"
+  | Error v ->
+    Util.check_bool "mentions compare" true
+      (String.length v.reason > 0)
+
+let rejects_inverted_timestamps () =
+  Util.check_bool "inverted rejected" true (Result.is_error (run [ (op 0, 9); (op 1, 2) ]))
+
+let ignores_pending_operations () =
+  let h = Shm.History.invoke (fabricate_history ()) ~pid:2 ~call:0 in
+  match
+    Timestamp.Checker.check ~compare_ts:(fun (a : int) b -> a < b)
+      ~pp:Format.pp_print_int ~hist:h
+      ~results:[ (op 0, 1); (op 1, 2) ]
+  with
+  | Ok _ -> ()
+  | Error _ -> Alcotest.fail "pending op must not affect checking"
+
+let detects_reflexive_compare () =
+  match
+    Timestamp.Checker.check ~compare_ts:(fun (a : int) b -> a <= b)
+      ~pp:Format.pp_print_int ~hist:(fabricate_history ())
+      ~results:[ (op 0, 1); (op 1, 2) ]
+  with
+  | Ok _ -> Alcotest.fail "reflexive compare must be flagged"
+  | Error _ -> ()
+
+let suite =
+  ( "checker",
+    [ Util.case "accepts correct results" accepts_correct_results;
+      Util.case "rejects equal timestamps on hb pair" rejects_equal_timestamps;
+      Util.case "rejects inverted timestamps" rejects_inverted_timestamps;
+      Util.case "ignores pending operations" ignores_pending_operations;
+      Util.case "detects reflexive compare" detects_reflexive_compare ] )

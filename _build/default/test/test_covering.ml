@@ -1,0 +1,200 @@
+(* Tests for signatures, grids and bound formulas. *)
+
+open Shm.Prog.Syntax
+
+(* Build a configuration where chosen processes are poised to write chosen
+   registers. *)
+let poised_config ~n ~num_regs assignments =
+  let prog reg : (int, unit) Shm.Prog.t =
+    let* () = Shm.Prog.write reg 1 in
+    Shm.Prog.return ()
+  in
+  List.fold_left
+    (fun cfg (pid, reg) ->
+       Shm.Sim.invoke cfg ~pid ~program:(fun ~call:_ -> prog reg))
+    (Shm.Sim.create ~n ~num_regs ~init:0)
+    assignments
+
+let signature_counts_coverers () =
+  let cfg = poised_config ~n:5 ~num_regs:3 [ (0, 1); (1, 1); (2, 1); (3, 0) ] in
+  Alcotest.(check (list int)) "signature" [ 1; 3; 0 ]
+    (Array.to_list (Covering.Signature.signature cfg));
+  Alcotest.(check (list int)) "ordered" [ 3; 1; 0 ]
+    (Array.to_list (Covering.Signature.ordered_signature cfg));
+  Alcotest.(check (list int)) "coverers of 1" [ 0; 1; 2 ]
+    (Covering.Signature.coverers cfg ~reg:1);
+  Alcotest.(check (list int)) "r3" [ 1 ] (Covering.Signature.r3 cfg);
+  Util.check_int "covered count" 2 (Covering.Signature.covered_count cfg);
+  Util.check_int "total covering" 4 (Covering.Signature.total_covering cfg)
+
+let threek_property () =
+  let cfg = poised_config ~n:6 ~num_regs:3 [ (0, 0); (1, 1); (2, 1); (3, 2) ] in
+  Util.check_bool "is (3,4)" true (Covering.Signature.is_3k cfg ~k:4);
+  Util.check_bool "not (3,3)" false (Covering.Signature.is_3k cfg ~k:3);
+  let cfg4 =
+    poised_config ~n:6 ~num_regs:3 [ (0, 0); (1, 0); (2, 0); (3, 0) ]
+  in
+  Util.check_bool "4-covered violates" false (Covering.Signature.is_3k cfg4 ~k:4)
+
+let constrained_checks () =
+  (* ordered signature (2,1,0): 3-constrained needs s_c <= 3 - c *)
+  let cfg =
+    poised_config ~n:6 ~num_regs:3 [ (0, 0); (1, 0); (2, 1) ]
+  in
+  Util.check_bool "3-constrained fails (s1=2>2? no: 2<=2)" true
+    (Covering.Signature.is_constrained cfg ~l:3);
+  Util.check_bool "2-constrained fails" false
+    (Covering.Signature.is_constrained cfg ~l:2)
+
+let full_sets () =
+  let cfg =
+    poised_config ~n:8 ~num_regs:4
+      [ (0, 0); (1, 0); (2, 0); (3, 2); (4, 2); (5, 3) ]
+  in
+  (match Covering.Signature.full_set cfg ~j:2 ~k:2 with
+   | Some rs -> Alcotest.(check (list int)) "top two" [ 0; 2 ] rs
+   | None -> Alcotest.fail "expected full set");
+  Util.check_bool "(3,2)-full fails" false (Covering.Signature.is_full cfg ~j:3 ~k:2);
+  Util.check_bool "(1,3)-full" true (Covering.Signature.is_full cfg ~j:1 ~k:3);
+  Util.check_bool "(0,k) trivially full" true (Covering.Signature.is_full cfg ~j:0 ~k:9)
+
+let transversal_extraction () =
+  let cfg =
+    poised_config ~n:8 ~num_regs:3
+      [ (0, 0); (1, 0); (2, 0); (3, 1); (4, 1); (5, 1); (6, 1) ]
+  in
+  (match Covering.Signature.transversals cfg ~regs:[ 0; 1 ] ~count:3 with
+   | None -> Alcotest.fail "expected transversals"
+   | Some sets ->
+     Util.check_int "three sets" 3 (List.length sets);
+     (* disjoint, and each covers both registers *)
+     let all = List.concat sets in
+     Util.check_int "disjoint" (List.length all)
+       (List.length (List.sort_uniq Int.compare all));
+     List.iter
+       (fun set ->
+          Util.check_bool "covers 0" true
+            (List.exists (fun p -> Shm.Sim.covers cfg p = Some 0) set);
+          Util.check_bool "covers 1" true
+            (List.exists (fun p -> Shm.Sim.covers cfg p = Some 1) set))
+       sets);
+  Util.check_bool "too few coverers" true
+    (Covering.Signature.transversals cfg ~regs:[ 0; 2 ] ~count:3 = None)
+
+let grid_rendering () =
+  let s = Covering.Grid.render_sig ~l:4 [| 1; 3; 0 |] in
+  (* must contain the column of height 3 and the diagonal dots *)
+  Util.check_bool "has shading" true (String.contains s '#');
+  Util.check_bool "has diagonal" true (String.contains s '.');
+  Util.check_bool "multi-line" true (String.contains s '\n')
+
+let bounds_formulas () =
+  Util.check_int "longlived lower n=36" 6 (Covering.Bounds.longlived_lower 36);
+  Util.check_int "longlived upper" 35 (Covering.Bounds.longlived_upper 36);
+  Util.check_int "oneshot upper n=36" 12 (Covering.Bounds.oneshot_upper 36);
+  Util.check_int "simple upper n=7" 4 (Covering.Bounds.simple_upper 7);
+  Util.check_int "grid width n=32" 8 (Covering.Bounds.grid_width 32);
+  Util.check_int "log2 ceil 9" 4 (Covering.Bounds.log2_ceil 9);
+  Util.check_int "log2 ceil 8" 3 (Covering.Bounds.log2_ceil 8);
+  Util.check_bool "oneshot lower n=128" true
+    (abs_float (Covering.Bounds.oneshot_lower 128 -. (16.0 -. 7.0 -. 2.0))
+     < 1e-9)
+
+let bounds_relationships =
+  Util.qtest ~count:100 "bounds: lower <= upper everywhere"
+    QCheck2.Gen.(int_range 3 10_000)
+    (fun n ->
+       Covering.Bounds.oneshot_lower n
+       <= float_of_int (Covering.Bounds.oneshot_upper n)
+       && Covering.Bounds.longlived_lower n <= Covering.Bounds.longlived_upper n
+       && Covering.Bounds.oneshot_upper n <= 2 * Covering.Bounds.simple_upper n + 2)
+
+let gap_between_oneshot_and_longlived () =
+  (* the paper's headline: one-shot upper bound is o(long-lived lower bound) *)
+  List.iter
+    (fun n ->
+       Util.check_bool
+         (Printf.sprintf "gap at n=%d" n)
+         true
+         (Covering.Bounds.oneshot_upper n < Covering.Bounds.longlived_lower n))
+    [ 600; 1000; 10_000 ]
+
+
+(* Random-configuration properties of the signature machinery. *)
+let gen_assignments =
+  QCheck2.Gen.(
+    pair (int_range 1 6)
+      (list_size (int_range 0 10) (pair (int_bound 9) (int_bound 5))))
+
+let signature_invariants =
+  Util.qtest ~count:100 "signature invariants on random configurations"
+    gen_assignments
+    (fun (num_regs, raw) ->
+       (* distinct pids, registers within range *)
+       let assignments =
+         List.mapi (fun i (_, reg) -> (i, reg mod num_regs)) raw
+       in
+       let n = max 1 (List.length assignments) in
+       let cfg = poised_config ~n ~num_regs assignments in
+       let sig_ = Covering.Signature.signature cfg in
+       let total = Array.fold_left ( + ) 0 sig_ in
+       let ord = Covering.Signature.ordered_signature cfg in
+       let sorted_desc a =
+         let l = Array.to_list a in
+         l = List.sort (fun x y -> Int.compare y x) l
+       in
+       total = List.length assignments
+       && total = Covering.Signature.total_covering cfg
+       && sorted_desc ord
+       && Array.fold_left ( + ) 0 ord = total
+       && List.length (Covering.Signature.covered_registers cfg)
+          = Covering.Signature.covered_count cfg
+       && List.for_all
+         (fun reg ->
+            List.length (Covering.Signature.coverers cfg ~reg) = sig_.(reg))
+         (List.init num_regs Fun.id))
+
+let transversal_properties =
+  Util.qtest ~count:100 "transversals are disjoint covers when they exist"
+    gen_assignments
+    (fun (num_regs, raw) ->
+       let assignments =
+         List.mapi (fun i (_, reg) -> (i, reg mod num_regs)) raw
+       in
+       let n = max 1 (List.length assignments) in
+       let cfg = poised_config ~n ~num_regs assignments in
+       let regs = Covering.Signature.covered_registers cfg in
+       match Covering.Signature.transversals cfg ~regs ~count:2 with
+       | None ->
+         (* justified only if some covered register has < 2 coverers *)
+         regs = []
+         || List.exists
+           (fun reg ->
+              List.length (Covering.Signature.coverers cfg ~reg) < 2)
+           regs
+       | Some sets ->
+         let all = List.concat sets in
+         List.length all = List.length (List.sort_uniq Int.compare all)
+         && List.for_all
+           (fun set ->
+              List.for_all
+                (fun reg ->
+                   List.exists
+                     (fun p -> Shm.Sim.covers cfg p = Some reg)
+                     set)
+                regs)
+           sets)
+
+let suite =
+  ( "covering-basics",
+    [ Util.case "signature counts coverers" signature_counts_coverers;
+      Util.case "(3,k) property" threek_property;
+      Util.case "l-constrained" constrained_checks;
+      Util.case "(j,k)-full sets" full_sets;
+      Util.case "transversal extraction" transversal_extraction;
+      Util.case "grid rendering" grid_rendering;
+      Util.case "bound formulas" bounds_formulas;
+      bounds_relationships;
+      Util.case "one-shot/long-lived space gap" gap_between_oneshot_and_longlived;
+      signature_invariants;
+      transversal_properties ] )

@@ -1,0 +1,132 @@
+(* Tests for histories and happens-before. *)
+
+open Shm
+
+let op pid call : History.op = { pid; call }
+
+let basic_happens_before () =
+  let h = History.empty in
+  let h = History.invoke h ~pid:0 ~call:0 in
+  let h = History.respond h ~pid:0 ~call:0 in
+  let h = History.invoke h ~pid:1 ~call:0 in
+  let h = History.respond h ~pid:1 ~call:0 in
+  Util.check_bool "0 -> 1" true (History.happens_before h (op 0 0) (op 1 0));
+  Util.check_bool "1 -/-> 0" false (History.happens_before h (op 1 0) (op 0 0));
+  Util.check_bool "not concurrent" false (History.concurrent h (op 0 0) (op 1 0))
+
+let overlapping_concurrent () =
+  let h = History.empty in
+  let h = History.invoke h ~pid:0 ~call:0 in
+  let h = History.invoke h ~pid:1 ~call:0 in
+  let h = History.respond h ~pid:0 ~call:0 in
+  let h = History.respond h ~pid:1 ~call:0 in
+  Util.check_bool "concurrent" true (History.concurrent h (op 0 0) (op 1 0));
+  Util.check_bool "no hb" false (History.happens_before h (op 0 0) (op 1 0))
+
+let pending_not_ordered_after () =
+  let h = History.empty in
+  let h = History.invoke h ~pid:0 ~call:0 in
+  let h = History.respond h ~pid:0 ~call:0 in
+  let h = History.invoke h ~pid:1 ~call:0 in
+  (* 1 is pending: 0 -> 1 holds (response before invocation). *)
+  Util.check_bool "completed -> pending" true
+    (History.happens_before h (op 0 0) (op 1 0));
+  Util.check_bool "pending -/-> completed" false
+    (History.happens_before h (op 1 0) (op 0 0));
+  Alcotest.(check (list bool))
+    "pending list" [ true ]
+    (List.map (fun (o : History.op) -> o = op 1 0) (History.pending h))
+
+let completed_in_invocation_order () =
+  let h = History.empty in
+  let h = History.invoke h ~pid:2 ~call:0 in
+  let h = History.invoke h ~pid:0 ~call:0 in
+  let h = History.respond h ~pid:0 ~call:0 in
+  let h = History.respond h ~pid:2 ~call:0 in
+  let ops = List.map (fun (o, _, _) -> o) (History.completed h) in
+  Alcotest.(check (list int)) "invocation order" [ 2; 0 ]
+    (List.map (fun (o : History.op) -> o.pid) ops)
+
+let duplicate_invoke_rejected () =
+  let h = History.invoke History.empty ~pid:0 ~call:0 in
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "History.invoke: duplicate invocation") (fun () ->
+        ignore (History.invoke h ~pid:0 ~call:0))
+
+let respond_without_invoke_rejected () =
+  Alcotest.check_raises "no invocation"
+    (Invalid_argument "History.respond: no matching invocation") (fun () ->
+        ignore (History.respond History.empty ~pid:0 ~call:0))
+
+let double_respond_rejected () =
+  let h = History.invoke History.empty ~pid:0 ~call:0 in
+  let h = History.respond h ~pid:0 ~call:0 in
+  Alcotest.check_raises "double respond"
+    (Invalid_argument "History.respond: already responded") (fun () ->
+        ignore (History.respond h ~pid:0 ~call:0))
+
+let same_process_calls_ordered () =
+  let h = History.empty in
+  let h = History.invoke h ~pid:0 ~call:0 in
+  let h = History.respond h ~pid:0 ~call:0 in
+  let h = History.invoke h ~pid:0 ~call:1 in
+  let h = History.respond h ~pid:0 ~call:1 in
+  Util.check_bool "call 0 -> call 1" true
+    (History.happens_before h (op 0 0) (op 0 1))
+
+(* Random histories: happens-before must be a strict partial order
+   consistent with interval ordering. *)
+let hb_is_strict_partial_order =
+  Util.qtest ~count:50 "hb is a strict partial order"
+    QCheck2.Gen.(pair (int_range 1 5) (int_bound 1000))
+    (fun (n, seed) ->
+       let rand = Random.State.make [| seed |] in
+       (* Build a random well-formed history. *)
+       let h = ref Shm.History.empty in
+       let pending = ref [] in
+       let calls = Array.make n 0 in
+       for _ = 1 to 30 do
+         if !pending <> [] && Random.State.bool rand then begin
+           let i = Random.State.int rand (List.length !pending) in
+           let (o : History.op) = List.nth !pending i in
+           pending := List.filter (fun o' -> o' <> o) !pending;
+           h := History.respond !h ~pid:o.pid ~call:o.call
+         end
+         else begin
+           let pid = Random.State.int rand n in
+           let in_flight =
+             List.exists (fun (o : History.op) -> o.pid = pid) !pending
+           in
+           if not in_flight then begin
+             h := History.invoke !h ~pid ~call:calls.(pid);
+             pending := { History.pid; call = calls.(pid) } :: !pending;
+             calls.(pid) <- calls.(pid) + 1
+           end
+         end
+       done;
+       let h = !h in
+       let ops = List.map (fun (o, _, _) -> o) (History.completed h) in
+       let hb = History.happens_before h in
+       List.for_all
+         (fun a ->
+            (not (hb a a))
+            && List.for_all
+              (fun b ->
+                 (not (hb a b && hb b a))
+                 && List.for_all
+                   (fun c -> (not (hb a b && hb b c)) || hb a c)
+                   ops)
+              ops)
+         ops)
+
+let suite =
+  ( "history",
+    [ Util.case "sequential calls are ordered" basic_happens_before;
+      Util.case "overlapping calls are concurrent" overlapping_concurrent;
+      Util.case "pending calls" pending_not_ordered_after;
+      Util.case "completed in invocation order" completed_in_invocation_order;
+      Util.case "duplicate invoke rejected" duplicate_invoke_rejected;
+      Util.case "respond without invoke rejected" respond_without_invoke_rejected;
+      Util.case "double respond rejected" double_respond_rejected;
+      Util.case "same-process calls ordered" same_process_calls_ordered;
+      hb_is_strict_partial_order ] )

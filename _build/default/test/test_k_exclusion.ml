@@ -1,0 +1,112 @@
+(* Tests for k-exclusion built on timestamp objects. *)
+
+module K = Apps.K_exclusion.Make (Timestamp.Lamport)
+
+let run ~k ~n ~sessions ~seed =
+  let supplier ~pid ~call = K.program ~k ~n ~pid ~call in
+  let rand = Random.State.make [| seed; k; n |] in
+  match
+    Shm.Schedule.run_workload ~fuel:10_000_000 ~rand
+      ~calls_per_proc:(Array.make n sessions) supplier (K.create ~n)
+  with
+  | None -> Alcotest.fail "k-exclusion did not quiesce"
+  | Some cfg -> cfg
+
+(* The sound safety check: drive a random schedule step by step and verify
+   the external occupancy invariant in every reachable configuration. *)
+let sessions_respect_k =
+  Util.qtest ~count:25 "at most k occupants in every configuration"
+    QCheck2.Gen.(triple (int_range 1 3) (int_range 2 6) (int_bound 100_000))
+    (fun (k, n, seed) ->
+       let k = min k n in
+       let supplier ~pid ~call = K.program ~k ~n ~pid ~call in
+       let rand = Random.State.make [| seed; k; n |] in
+       let remaining = Array.make n 2 in
+       let ok = ref true in
+       let rec drive cfg fuel =
+         if fuel = 0 then ok := false
+         else begin
+           if K.occupants ~n cfg > k then ok := false;
+           let runnable = Shm.Sim.running cfg in
+           let startable =
+             List.filter (fun p -> remaining.(p) > 0) (Shm.Sim.idle cfg)
+           in
+           match runnable, startable with
+           | [], [] -> ()
+           | _ ->
+             let r = List.length runnable and s = List.length startable in
+             let cfg =
+               if Random.State.int rand (r + s) < r then
+                 Shm.Sim.step cfg
+                   (List.nth runnable (Random.State.int rand r))
+               else begin
+                 let pid = List.nth startable (Random.State.int rand s) in
+                 remaining.(pid) <- remaining.(pid) - 1;
+                 Shm.Sim.invoke cfg ~pid ~program:(fun ~call ->
+                     supplier ~pid ~call)
+               end
+             in
+             drive cfg (fuel - 1)
+         end
+       in
+       drive (K.create ~n) 3_000_000;
+       !ok)
+
+let k1_is_mutual_exclusion =
+  Util.qtest ~count:20 "k=1 degenerates to the ts-lock"
+    QCheck2.Gen.(pair (int_range 2 5) (int_bound 100_000))
+    (fun (n, seed) ->
+       let cfg = run ~k:1 ~n ~sessions:2 ~seed in
+       List.for_all
+         (fun (_, (r : K.result)) -> r.others_in_cs = 0)
+         (Shm.Sim.results cfg))
+
+let k_equals_n_never_waits () =
+  (* with k = n no session can be blocked by predecessors *)
+  let n = 4 in
+  let cfg = run ~k:n ~n ~sessions:2 ~seed:3 in
+  Util.check_int "all sessions done" (n * 2) (List.length (Shm.Sim.results cfg))
+
+let occupancy_witnesses_concurrency () =
+  (* with k = 3 and schedules admitting three processes, some session
+     observes another raised flag while inside *)
+  let witnessed = ref false in
+  for seed = 0 to 20 do
+    let cfg = run ~k:3 ~n:5 ~sessions:2 ~seed in
+    if
+      List.exists
+        (fun (_, (r : K.result)) -> r.others_in_cs > 0)
+        (Shm.Sim.results cfg)
+    then witnessed := true
+  done;
+  Util.check_bool "some concurrent occupancy observed" true !witnessed
+
+let explorer_bounded_check () =
+  (* systematic (depth-bounded) exploration of k=2, n=3: occupancy <= 2 in
+     every reachable configuration *)
+  let n = 3 and k = 2 in
+  let supplier ~pid ~call = K.program ~k ~n ~pid ~call in
+  let invariant cfg = K.occupants ~n cfg <= k in
+  match
+    Shm.Explore.explore ~max_steps:40 ~max_paths:100_000 ~supplier
+      ~calls_per_proc:(Array.make n 1) ~invariant (K.create ~n)
+  with
+  | Shm.Explore.Ok stats ->
+    Util.check_bool "explored" true (stats.configurations > 10_000)
+  | Shm.Explore.Counterexample { schedule; _ } ->
+    Alcotest.failf "k-exclusion violated after %d actions"
+      (List.length schedule)
+
+let rejects_bad_k () =
+  Alcotest.check_raises "k = 0"
+    (Invalid_argument "K_exclusion.program: bad k") (fun () ->
+        ignore (K.program ~k:0 ~n:3 ~pid:0 ~call:0))
+
+let suite =
+  ( "k-exclusion",
+    [ sessions_respect_k;
+      k1_is_mutual_exclusion;
+      Util.case "k = n never blocks" k_equals_n_never_waits;
+      Util.case "concurrency witnessed" occupancy_witnesses_concurrency;
+      Util.slow_case "bounded systematic exploration" explorer_bounded_check;
+      Util.case "rejects bad k" rejects_bad_k ] )

@@ -1,0 +1,144 @@
+(* Tests specific to the long-lived implementations: Lamport (n registers),
+   EFR reconstruction (n-1 registers), vector timestamps (n registers). *)
+
+module L = Timestamp.Lamport
+module E = Timestamp.Efr
+module V = Timestamp.Vector_ts
+
+let lamport_registers () =
+  List.iter (fun n -> Util.check_int "n regs" n (L.num_registers ~n)) [ 1; 5; 9 ]
+
+let efr_registers () =
+  List.iter
+    (fun n -> Util.check_int "n-1 regs" (n - 1) (E.num_registers ~n))
+    [ 1; 5; 9 ]
+
+let lamport_sequential_counts () =
+  let module H = Timestamp.Harness.Make (L) in
+  let _, ts = H.run_sequential ~n:5 in
+  Alcotest.(check (list int)) "1..5" [ 1; 2; 3; 4; 5 ] ts
+
+let lamport_long_lived_monotone =
+  Util.qtest ~count:40 "lamport: per-process timestamps increase"
+    QCheck2.Gen.(pair (int_range 1 10) (int_bound 100_000))
+    (fun (n, seed) ->
+       let module H = Timestamp.Harness.Make (L) in
+       let cfg = H.run_random ~calls:4 ~n ~seed () in
+       let per_proc = Hashtbl.create 8 in
+       List.iter
+         (fun ((op : Shm.History.op), t) ->
+            let l = Option.value (Hashtbl.find_opt per_proc op.pid) ~default:[] in
+            Hashtbl.replace per_proc op.pid ((op.call, t) :: l))
+         (Shm.Sim.results cfg);
+       Hashtbl.fold
+         (fun _ l acc ->
+            let sorted = List.sort compare l in
+            let rec incr = function
+              | (_, a) :: ((_, b) :: _ as rest) -> a < b && incr rest
+              | _ -> true
+            in
+            acc && incr sorted)
+         per_proc true)
+
+(* EFR: process n-1 never writes. *)
+let efr_reader_never_writes =
+  Util.qtest ~count:40 "efr: the registerless process never writes"
+    QCheck2.Gen.(pair (int_range 2 10) (int_bound 100_000))
+    (fun (n, seed) ->
+       let cfg =
+         Shm.Sim.create ~n ~num_regs:(E.num_registers ~n)
+           ~init:(E.init_value ~n)
+       in
+       let sup ~pid ~call = E.program ~n ~pid ~call in
+       let rand = Random.State.make [| seed |] in
+       match
+         Shm.Schedule.run_workload ~fuel:500_000 ~rand
+           ~calls_per_proc:(Array.make n 3) sup cfg
+       with
+       | None -> false
+       | Some cfg ->
+         (* count write steps by driving a fresh solo run of the reader *)
+         let fresh =
+           Shm.Sim.invoke cfg ~pid:(n - 1) ~program:(fun ~call ->
+               sup ~pid:(n - 1) ~call)
+         in
+         let before = Shm.Sim.writes fresh in
+         let fresh = Option.get (Shm.Sim.run_solo ~fuel:10_000 fresh (n - 1)) in
+         Shm.Sim.writes fresh = before)
+
+(* EFR's universe is not nowhere dense: between Even m and Even (m+1) lie
+   infinitely many Odd (m, c) — sample a few. *)
+let efr_universe_dense () =
+  let between a b t = E.compare_ts a t && E.compare_ts t b in
+  List.iter
+    (fun c ->
+       Util.check_bool
+         (Printf.sprintf "E2 < O2.%d < E3" c)
+         true
+         (between (E.Even 2) (E.Even 3) (E.Odd (2, c))))
+    [ 0; 1; 5; 1000 ];
+  (* heights interleave correctly with the writers' Even timestamps *)
+  Util.check_bool "O2.c < E3 only" false (E.compare_ts (E.Even 3) (E.Odd (2, 99)))
+
+let efr_reader_timestamps_ordered () =
+  (* two sequential calls by the reader get increasing timestamps even
+     without any writes happening in between *)
+  let n = 3 in
+  let module H = Timestamp.Harness.Make (E) in
+  let cfg = H.create ~n in
+  let sup ~pid ~call = E.program ~n ~pid ~call in
+  let solo cfg pid =
+    let cfg = Shm.Sim.invoke cfg ~pid ~program:(fun ~call -> sup ~pid ~call) in
+    Option.get (Shm.Sim.run_solo ~fuel:1000 cfg pid)
+  in
+  let cfg = solo cfg 2 in
+  let cfg = solo cfg 2 in
+  let t0 = Option.get (Shm.Sim.result cfg { pid = 2; call = 0 }) in
+  let t1 = Option.get (Shm.Sim.result cfg { pid = 2; call = 1 }) in
+  Util.check_bool "t0 < t1" true (E.compare_ts t0 t1);
+  Util.check_bool "not t1 < t0" false (E.compare_ts t1 t0)
+
+let efr_one_process_zero_registers () =
+  Util.check_int "n=1 uses no registers" 0 (E.num_registers ~n:1);
+  let module H = Timestamp.Harness.Make (E) in
+  let cfg = H.run_random ~n:1 ~seed:5 () in
+  ignore (H.check_exn cfg)
+
+(* Vector timestamps: comparisons characterize happens-before exactly on
+   sequential executions and never order concurrent calls both ways. *)
+let vector_compare_antisymmetric =
+  Util.qtest ~count:40 "vector: compare never holds both ways"
+    QCheck2.Gen.(pair (int_range 1 8) (int_bound 100_000))
+    (fun (n, seed) ->
+       let module H = Timestamp.Harness.Make (V) in
+       let cfg = H.run_random ~calls:3 ~n ~seed () in
+       let ts = List.map snd (Shm.Sim.results cfg) in
+       List.for_all
+         (fun a ->
+            List.for_all
+              (fun b -> not (V.compare_ts a b && V.compare_ts b a))
+              ts)
+         ts)
+
+let vector_reflects_own_calls () =
+  let module H = Timestamp.Harness.Make (V) in
+  let _, ts = H.run_sequential ~n:3 in
+  match ts with
+  | [ a; b; c ] ->
+    Alcotest.(check (list int)) "first" [ 1; 0; 0 ] (Array.to_list a);
+    Alcotest.(check (list int)) "second" [ 1; 1; 0 ] (Array.to_list b);
+    Alcotest.(check (list int)) "third" [ 1; 1; 1 ] (Array.to_list c)
+  | _ -> Alcotest.fail "expected three timestamps"
+
+let suite =
+  ( "long-lived-impls",
+    [ Util.case "lamport register count" lamport_registers;
+      Util.case "efr register count" efr_registers;
+      Util.case "lamport sequential" lamport_sequential_counts;
+      lamport_long_lived_monotone;
+      efr_reader_never_writes;
+      Util.case "efr universe is dense between evens" efr_universe_dense;
+      Util.case "efr reader calls ordered" efr_reader_timestamps_ordered;
+      Util.case "efr n=1 zero registers" efr_one_process_zero_registers;
+      vector_compare_antisymmetric;
+      Util.case "vector components reflect calls" vector_reflects_own_calls ] )

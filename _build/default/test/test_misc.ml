@@ -1,0 +1,139 @@
+(* Targeted tests: the snapshot-based timestamps' chain property, the
+   wait-free snapshot's borrowed-view path, trace rendering, and harness
+   edge cases. *)
+
+open Shm
+
+(* snapshot-longlived: any two timestamps are comparable (scans chain),
+   unlike plain vector timestamps. *)
+let snapshot_ts_total_up_to_ties =
+  Util.qtest ~count:30 "snapshot timestamps form a chain"
+    QCheck2.Gen.(pair (int_range 2 6) (int_bound 100_000))
+    (fun (n, seed) ->
+       let module H = Timestamp.Harness.Make (Timestamp.Snapshot_ts) in
+       let cfg = H.run_random ~calls:2 ~n ~seed () in
+       let ts = List.map snd (Sim.results cfg) in
+       List.for_all
+         (fun a ->
+            List.for_all
+              (fun b ->
+                 Timestamp.Snapshot_ts.compare_ts a b
+                 || Timestamp.Snapshot_ts.compare_ts b a
+                 || a = b)
+              ts)
+         ts)
+
+(* Vector timestamps over plain collects do NOT have the chain property:
+   find incomparable concurrent vectors in some execution. *)
+let vector_ts_incomparable_witness () =
+  let module H = Timestamp.Harness.Make (Timestamp.Vector_ts) in
+  let witness = ref false in
+  for seed = 0 to 30 do
+    if not !witness then begin
+      let cfg = H.run_random ~calls:2 ~n:4 ~seed () in
+      let ts = List.map snd (Sim.results cfg) in
+      if
+        List.exists
+          (fun a ->
+             List.exists
+               (fun b ->
+                  a <> b
+                  && (not (Timestamp.Vector_ts.compare_ts a b))
+                  && not (Timestamp.Vector_ts.compare_ts b a))
+               ts)
+          ts
+      then witness := true
+    end
+  done;
+  Util.check_bool "incomparable vectors exist" true !witness
+
+(* Drive the wait-free snapshot into its borrowed-view branch: a scanner
+   sees a writer move twice across three collects and adopts the writer's
+   embedded view instead of ever getting a successful double collect. *)
+let wsnapshot_borrowed_view () =
+  let n = 2 in
+  let scanner_prog = Snapshot.Wsnapshot.scan ~n in
+  let update v = Prog.map (fun () -> [||]) (Snapshot.Wsnapshot.update ~n ~me:1 v) in
+  let cfg : (int Snapshot.Wsnapshot.cell, int array) Sim.t =
+    Sim.create ~n ~num_regs:n ~init:(Snapshot.Wsnapshot.init 0)
+  in
+  let cfg = Sim.invoke cfg ~pid:0 ~program:(fun ~call:_ -> scanner_prog) in
+  (* first collect *)
+  let cfg = Sim.step (Sim.step cfg 0) 0 in
+  (* writer's first update completes solo *)
+  let cfg = Sim.invoke cfg ~pid:1 ~program:(fun ~call:_ -> update 10) in
+  let cfg = Option.get (Sim.run_solo ~fuel:1000 cfg 1) in
+  (* second collect: sees the first move *)
+  let cfg = Sim.step (Sim.step cfg 0) 0 in
+  (* writer's second update *)
+  let cfg = Sim.invoke cfg ~pid:1 ~program:(fun ~call:_ -> update 20) in
+  let cfg = Option.get (Sim.run_solo ~fuel:1000 cfg 1) in
+  (* third collect: second move observed; the scanner must borrow *)
+  let before = Sim.steps cfg in
+  let cfg = Option.get (Sim.run_solo ~fuel:1000 cfg 0) in
+  let scanner_steps = Sim.steps cfg - before in
+  (* exactly one more collect (2 reads) + respond: no fourth collect *)
+  Util.check_int "borrow after the third collect" 3 scanner_steps;
+  let view = Option.get (Sim.result cfg { pid = 0; call = 0 }) in
+  (* the borrowed view is the writer's second embedded scan: [0; 10] *)
+  Alcotest.(check (list int)) "borrowed view" [ 0; 10 ] (Array.to_list view)
+
+let contains haystack needle =
+  let nl = String.length needle and hl = String.length haystack in
+  let rec find i =
+    i + nl <= hl && (String.sub haystack i nl = needle || find (i + 1))
+  in
+  find 0
+
+let trace_renders_actions () =
+  let n = 2 in
+  let supplier ~pid ~call = Timestamp.Lamport.program ~n ~pid ~call in
+  let cfg = Sim.create ~n ~num_regs:n ~init:0 in
+  let actions =
+    [ Schedule.Invoke 0; Schedule.Step 0; Schedule.Step 0; Schedule.Step 0;
+      Schedule.Step 0 ]
+  in
+  let s = Trace.render ~pp_value:Format.pp_print_int ~supplier cfg actions in
+  Util.check_bool "mentions invoke" true (contains s "invoke p0");
+  Util.check_int "five lines" 5
+    (List.length (String.split_on_char '\n' (String.trim s)));
+  Util.check_bool "shows a read" true (contains s "read R[1]");
+  Util.check_bool "shows the write value" true (contains s "write R[1] <- 1")
+
+let harness_waves_and_sequential () =
+  let module H = Timestamp.Harness.Make (Timestamp.Simple_oneshot) in
+  let cfg = H.run_waves ~wave_size:3 ~n:7 ~seed:5 () in
+  Util.check_int "all calls complete" 7 (List.length (Sim.results cfg));
+  ignore (H.check_exn cfg);
+  let _, ts = H.run_sequential ~n:4 in
+  Util.check_int "four timestamps" 4 (List.length ts)
+
+let pp_functions_output () =
+  (* exercise the pretty printers *)
+  Util.check_bool "sqrt value pp" true
+    (String.length
+       (Format.asprintf "%a" Timestamp.Sqrt.pp_value
+          (Timestamp.Sqrt.Cell
+             { Timestamp.Sqrt.ids = [ { pid = 1; seq_no = 2 } ]; rnd = 3 }))
+     > 0);
+  Util.check_bool "bot pp" true
+    (Format.asprintf "%a" Timestamp.Sqrt.pp_value Timestamp.Sqrt.Bot = "_");
+  Util.check_bool "efr pp" true
+    (Format.asprintf "%a" Timestamp.Efr.pp_ts (Timestamp.Efr.Odd (2, 3))
+     = "O2.3");
+  Util.check_bool "claims stats pp" true
+    (String.length
+       (Format.asprintf "%a" Timestamp.Sqrt_claims.pp_stats
+          (Timestamp.Sqrt_claims.run_random ~n:4 ~seed:0 ~total_calls:4
+             ~calls_per_proc:1 ()))
+     > 0)
+
+let suite =
+  ( "misc",
+    [ snapshot_ts_total_up_to_ties;
+      Util.case "vector timestamps can be incomparable"
+        vector_ts_incomparable_witness;
+      Util.case "wsnapshot borrowed-view path" wsnapshot_borrowed_view;
+      Util.case "trace rendering" trace_renders_actions;
+      Util.case "harness waves and sequential" harness_waves_and_sequential;
+      Util.case "pretty printers" pp_functions_output ] )

@@ -1,0 +1,175 @@
+(* Tests for the message-passing substrate and the logical clocks. *)
+
+let gen_net = QCheck2.Gen.(triple (int_range 2 8) (int_range 10 150) (int_bound 100_000))
+
+let trace_of (n, steps, seed) ~fifo =
+  let rand = Random.State.make [| seed |] in
+  Mp.Net.random_trace ~fifo ~n ~steps ~internal_prob:0.5 ~rand ()
+
+let trace_well_formed =
+  Util.qtest ~count:50 "every receive follows its send" gen_net (fun params ->
+      let trace = trace_of params ~fifo:false in
+      let sent = Hashtbl.create 16 in
+      List.for_all
+        (fun ev ->
+           match ev with
+           | Mp.Net.Sent { mid; _ } ->
+             Hashtbl.replace sent mid ();
+             true
+           | Mp.Net.Received { mid; _ } -> Hashtbl.mem sent mid
+           | Mp.Net.Internal _ -> true)
+        trace)
+
+let all_messages_delivered =
+  Util.qtest ~count:50 "drain delivers every message" gen_net (fun params ->
+      let trace = trace_of params ~fifo:false in
+      let sends =
+        List.length
+          (List.filter (function Mp.Net.Sent _ -> true | _ -> false) trace)
+      in
+      let recvs =
+        List.length
+          (List.filter (function Mp.Net.Received _ -> true | _ -> false) trace)
+      in
+      sends = recvs)
+
+let seqs_are_per_node_contiguous =
+  Util.qtest ~count:50 "per-node event numbering" gen_net (fun params ->
+      let trace = trace_of params ~fifo:false in
+      let next = Hashtbl.create 8 in
+      List.for_all
+        (fun ev ->
+           let id = Mp.Net.event_id ev in
+           let expected =
+             Option.value (Hashtbl.find_opt next id.Mp.Net.node) ~default:0
+           in
+           Hashtbl.replace next id.Mp.Net.node (expected + 1);
+           id.Mp.Net.seq = expected)
+        trace)
+
+let fifo_preserves_channel_order =
+  Util.qtest ~count:50 "fifo channels deliver in order" gen_net (fun params ->
+      let trace = trace_of params ~fifo:true in
+      (* per channel, the receive order equals the send order *)
+      let sends = Hashtbl.create 16 and recvs = Hashtbl.create 16 in
+      let push tbl key v =
+        Hashtbl.replace tbl key (v :: Option.value (Hashtbl.find_opt tbl key) ~default:[])
+      in
+      List.iter
+        (fun ev ->
+           match ev with
+           | Mp.Net.Sent { id; dst; mid; _ } -> push sends (id.Mp.Net.node, dst) mid
+           | Mp.Net.Received { id; src; mid; _ } -> push recvs (src, id.Mp.Net.node) mid
+           | Mp.Net.Internal _ -> ())
+        trace;
+      Hashtbl.fold
+        (fun key mids acc ->
+           acc
+           && Option.value (Hashtbl.find_opt recvs key) ~default:[] = mids)
+        sends true)
+
+let causal_ground_truth () =
+  (* hand-built trace: n0 sends m to n1; n1's receive is after n0's send;
+     an unrelated internal on n2 is concurrent with both *)
+  let trace =
+    [ Mp.Net.Sent { id = { node = 0; seq = 0 }; dst = 1; mid = 0; msg = () };
+      Mp.Net.Internal { id = { node = 2; seq = 0 } };
+      Mp.Net.Received { id = { node = 1; seq = 0 }; src = 0; mid = 0; msg = () };
+      Mp.Net.Internal { id = { node = 1; seq = 1 } } ]
+  in
+  let hb = Clocks.Causal.of_trace trace in
+  let e node seq : Mp.Net.event_id = { node; seq } in
+  Util.check_bool "send -> recv" true
+    (Clocks.Causal.happens_before hb (e 0 0) (e 1 0));
+  Util.check_bool "send -> later internal (transitive)" true
+    (Clocks.Causal.happens_before hb (e 0 0) (e 1 1));
+  Util.check_bool "unrelated concurrent" true
+    (Clocks.Causal.concurrent hb (e 2 0) (e 1 0));
+  Util.check_bool "no reverse" false
+    (Clocks.Causal.happens_before hb (e 1 0) (e 0 0))
+
+let lamport_clock_condition =
+  Util.qtest ~count:40 "lamport clock condition" gen_net (fun params ->
+      Clocks.Lamport_clock.check (trace_of params ~fifo:false) = Ok ())
+
+let lamport_clock_incomplete () =
+  (* the converse fails in general: find concurrent events with ordered
+     clocks in some trace — guaranteed to exist for enough events *)
+  let trace = trace_of (6, 120, 77) ~fifo:false in
+  let hb = Clocks.Causal.of_trace trace in
+  let annotated = Clocks.Lamport_clock.annotate trace in
+  let witness =
+    List.exists
+      (fun (e1, c1) ->
+         List.exists
+           (fun (e2, c2) -> c1 < c2 && Clocks.Causal.concurrent hb e1 e2)
+           annotated)
+      annotated
+  in
+  Util.check_bool "C(e1)<C(e2) with e1 || e2 exists" true witness
+
+let vector_clock_characterizes =
+  Util.qtest ~count:40 "vector clocks characterize causality"
+    gen_net
+    (fun ((n, _, _) as params) ->
+       Clocks.Vector_clock.check ~n (trace_of params ~fifo:false) = Ok ())
+
+let vector_ops () =
+  Util.check_bool "le" true (Clocks.Vector_clock.leq [| 1; 2 |] [| 1; 3 |]);
+  Util.check_bool "lt strict" false (Clocks.Vector_clock.lt [| 1; 2 |] [| 1; 2 |]);
+  Util.check_bool "concurrent" true
+    (Clocks.Vector_clock.concurrent [| 1; 0 |] [| 0; 1 |])
+
+let matrix_clock_sound =
+  Util.qtest ~count:30 "matrix clocks sound" gen_net
+    (fun ((n, _, _) as params) ->
+       Clocks.Matrix_clock.check ~n (trace_of params ~fifo:false) = Ok ())
+
+let matrix_gc_frontier () =
+  (* after a full round of gossip, the frontier advances *)
+  let trace = trace_of (3, 200, 5) ~fifo:false in
+  let annotated = Clocks.Matrix_clock.annotate ~n:3 trace in
+  let _, last = List.nth annotated (List.length annotated - 1) in
+  Util.check_bool "frontier non-negative" true
+    (Clocks.Matrix_clock.min_known last 0 >= 0)
+
+let behaviour_functor_runs () =
+  (* a ping-pong behaviour through the functorial interface *)
+  let module PingPong = struct
+    type state = int
+
+    type msg = Ping | Pong
+
+    let init ~me ~n:_ = if me = 0 then 1 else 0
+
+    let on_receive ~me:_ state ~src msg =
+      match msg with
+      | Ping -> (state + 1, [ (src, Pong) ])
+      | Pong -> (state + 1, [])
+
+    let on_internal ~me state =
+      if me = 0 && state = 1 then (state + 1, [ (1, Ping) ]) else (state, [])
+  end in
+  let module N = Mp.Net.Make (PingPong) in
+  let net = N.create ~n:2 () in
+  let rand = Random.State.make [| 1 |] in
+  let trace, states =
+    N.run_random ~steps:10 ~internal_prob:0.5 ~rand net
+  in
+  Util.check_bool "some events" true (List.length trace > 0);
+  Util.check_bool "pong received" true (states.(0) >= 1)
+
+let suite =
+  ( "mp-clocks",
+    [ trace_well_formed;
+      all_messages_delivered;
+      seqs_are_per_node_contiguous;
+      fifo_preserves_channel_order;
+      Util.case "causal ground truth" causal_ground_truth;
+      lamport_clock_condition;
+      Util.case "lamport clocks are incomplete" lamport_clock_incomplete;
+      vector_clock_characterizes;
+      Util.case "vector order operations" vector_ops;
+      matrix_clock_sound;
+      Util.case "matrix gc frontier" matrix_gc_frontier;
+      Util.case "behaviour functor runs" behaviour_functor_runs ] )

@@ -1,0 +1,59 @@
+(* Real-parallelism tests: the same programs on OCaml 5 domains. *)
+
+let exec_matches_sim () =
+  (* the atomic interpreter and the simulator agree on solo runs *)
+  let n = 6 in
+  List.iter
+    (fun (Timestamp.Registry.Impl (module T)) ->
+       let regs =
+         Multicore.Exec.make_regs ~num:(T.num_registers ~n)
+           ~init:(T.init_value ~n)
+       in
+       let atomic_ts =
+         List.init n (fun pid ->
+             Multicore.Exec.run ~regs (T.program ~n ~pid ~call:0))
+       in
+       let module H = Timestamp.Harness.Make (T) in
+       let _, sim_ts = H.run_sequential ~n in
+       List.iter2
+         (fun a b ->
+            Util.check_bool (T.name ^ ": same results") true (T.equal_ts a b))
+         atomic_ts sim_ts)
+    Timestamp.Registry.all
+
+let exec_counts_ops () =
+  let p = Shm.Prog.bind (Shm.Prog.write 0 1) (fun () -> Shm.Prog.read 0) in
+  let regs = Multicore.Exec.make_regs ~num:1 ~init:0 in
+  let v, ops = Multicore.Exec.run_counting ~regs p in
+  Util.check_int "value" 1 v;
+  Util.check_int "ops" 2 ops
+
+let stress impl_name (module T : Timestamp.Intf.S) ~n ~calls () =
+  let module S = Multicore.Stress.Make (T) in
+  match S.run_and_check ~n ~calls with
+  | Ok _ -> ()
+  | Error e -> Alcotest.fail (impl_name ^ ": " ^ e)
+
+let stress_repeated impl_name m ~n ~calls ~rounds () =
+  for _ = 1 to rounds do
+    stress impl_name m ~n ~calls ()
+  done
+
+let suite =
+  ( "multicore",
+    [ Util.case "atomic interpreter matches simulator" exec_matches_sim;
+      Util.case "run_counting counts" exec_counts_ops;
+      Util.slow_case "stress sqrt one-shot"
+        (stress_repeated "sqrt" (module Timestamp.Sqrt.One_shot) ~n:8 ~calls:1
+           ~rounds:20);
+      Util.slow_case "stress simple one-shot"
+        (stress_repeated "simple" (module Timestamp.Simple_oneshot) ~n:8
+           ~calls:1 ~rounds:20);
+      Util.slow_case "stress lamport"
+        (stress_repeated "lamport" (module Timestamp.Lamport) ~n:4 ~calls:100
+           ~rounds:5);
+      Util.slow_case "stress efr"
+        (stress_repeated "efr" (module Timestamp.Efr) ~n:4 ~calls:100 ~rounds:5);
+      Util.slow_case "stress vector"
+        (stress_repeated "vector" (module Timestamp.Vector_ts) ~n:4 ~calls:50
+           ~rounds:5) ] )

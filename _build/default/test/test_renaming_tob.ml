@@ -1,0 +1,136 @@
+(* Tests for order-based renaming (one-shot timestamps) and totally-ordered
+   broadcast (Lamport clocks). *)
+
+module R = Apps.Renaming.Make (Timestamp.Sqrt.One_shot)
+
+let run_renaming ~n ~seed =
+  let supplier ~pid ~call = R.program ~n ~pid ~call in
+  let rand = Random.State.make [| seed; n |] in
+  match
+    Shm.Schedule.run_workload ~fuel:5_000_000 ~rand
+      ~calls_per_proc:(Array.make n 1) supplier (R.create ~n)
+  with
+  | None -> Alcotest.fail "renaming did not quiesce"
+  | Some cfg -> cfg
+
+let names_are_a_permutation =
+  Util.qtest ~count:30 "renaming: names are exactly 1..n"
+    QCheck2.Gen.(pair (int_range 1 10) (int_bound 100_000))
+    (fun (n, seed) ->
+       let cfg = run_renaming ~n ~seed in
+       let names =
+         List.sort compare
+           (List.map (fun (_, (r : R.result)) -> r.new_name)
+              (Shm.Sim.results cfg))
+       in
+       names = List.init n (fun i -> i + 1))
+
+let renaming_respects_happens_before =
+  Util.qtest ~count:30 "renaming: earlier getTS, smaller name"
+    QCheck2.Gen.(pair (int_range 2 8) (int_bound 100_000))
+    (fun (n, seed) ->
+       let cfg = run_renaming ~n ~seed in
+       let results = Shm.Sim.results cfg in
+       let hist = Shm.Sim.hist cfg in
+       (* the whole renaming call interval bounds the getTS interval, so
+          call-level hb implies getTS-level hb *)
+       List.for_all
+         (fun (op1, (r1 : R.result)) ->
+            List.for_all
+              (fun (op2, (r2 : R.result)) ->
+                 (not (Shm.History.happens_before hist op1 op2))
+                 || r1.new_name < r2.new_name)
+              results)
+         results)
+
+let renaming_over_simple () =
+  (* works over the other one-shot algorithm too *)
+  let module R2 = Apps.Renaming.Make (Timestamp.Simple_oneshot) in
+  let n = 6 in
+  let supplier ~pid ~call = R2.program ~n ~pid ~call in
+  let rand = Random.State.make [| 4 |] in
+  match
+    Shm.Schedule.run_workload ~fuel:5_000_000 ~rand
+      ~calls_per_proc:(Array.make n 1) supplier (R2.create ~n)
+  with
+  | None -> Alcotest.fail "did not quiesce"
+  | Some cfg ->
+    let names =
+      List.sort compare
+        (List.map (fun (_, (r : R2.result)) -> r.new_name)
+           (Shm.Sim.results cfg))
+    in
+    Alcotest.(check (list int)) "permutation" [ 1; 2; 3; 4; 5; 6 ] names
+
+let renaming_rejects_second_call () =
+  Alcotest.check_raises "one-shot"
+    (Invalid_argument "Renaming.program: one-shot object") (fun () ->
+        ignore (R.program ~n:4 ~pid:0 ~call:1))
+
+(* Totally-ordered broadcast. *)
+
+let tob_agreement =
+  Util.qtest ~count:30 "total order: all nodes deliver the same sequence"
+    QCheck2.Gen.(triple (int_range 2 6) (int_range 20 150) (int_bound 100_000))
+    (fun (n, rounds, seed) ->
+       let r = Clocks.Total_order.run ~n ~rounds ~seed in
+       r.agree)
+
+let tob_delivers () =
+  let r = Clocks.Total_order.run ~n:4 ~rounds:120 ~seed:9 in
+  Util.check_bool "progress" true (r.total_delivered > 5);
+  Util.check_bool "agreement" true r.agree
+
+let tob_fifo_per_origin =
+  Util.qtest ~count:20 "total order: per-origin FIFO delivery"
+    QCheck2.Gen.(pair (int_range 2 5) (int_bound 100_000))
+    (fun (n, seed) ->
+       let r = Clocks.Total_order.run ~n ~rounds:100 ~seed in
+       Array.for_all
+         (fun seq ->
+            (* within one node's delivery sequence, each origin's seq
+               numbers appear in increasing order *)
+            let last = Hashtbl.create 8 in
+            List.for_all
+              (fun ((_, p) : int * Clocks.Total_order.payload) ->
+                 let prev =
+                   Option.value
+                     (Hashtbl.find_opt last p.Clocks.Total_order.origin)
+                     ~default:(-1)
+                 in
+                 Hashtbl.replace last p.Clocks.Total_order.origin
+                   p.Clocks.Total_order.seq;
+                 p.Clocks.Total_order.seq > prev)
+              seq)
+         r.sequences)
+
+let tob_timestamps_nondecreasing =
+  Util.qtest ~count:20 "total order: delivery timestamps non-decreasing"
+    QCheck2.Gen.(pair (int_range 2 5) (int_bound 100_000))
+    (fun (n, seed) ->
+       let r = Clocks.Total_order.run ~n ~rounds:100 ~seed in
+       Array.for_all
+         (fun seq ->
+            let rec mono = function
+              | (t1, (p1 : Clocks.Total_order.payload))
+                :: ((t2, p2) :: _ as rest) ->
+                (t1 < t2
+                 || (t1 = t2
+                     && p1.Clocks.Total_order.origin
+                        < p2.Clocks.Total_order.origin))
+                && mono rest
+              | _ -> true
+            in
+            mono seq)
+         r.sequences)
+
+let suite =
+  ( "renaming-broadcast",
+    [ names_are_a_permutation;
+      renaming_respects_happens_before;
+      Util.case "renaming over the simple algorithm" renaming_over_simple;
+      Util.case "renaming rejects second calls" renaming_rejects_second_call;
+      tob_agreement;
+      Util.case "broadcast makes progress" tob_delivers;
+      tob_fifo_per_origin;
+      tob_timestamps_nondecreasing ] )

@@ -1,0 +1,193 @@
+(* Tests for schedules and workload drivers. *)
+
+open Shm
+
+let n = 4
+
+let sup ~pid ~call = Timestamp.Lamport.program ~n ~pid ~call
+
+let make () = Sim.create ~n ~num_regs:n ~init:0
+
+let apply_script () =
+  let cfg =
+    Schedule.apply sup (make ())
+      [ Schedule.Invoke 0; Schedule.Step 0; Schedule.Invoke 1 ]
+  in
+  Util.check_int "calls 0" 1 (Sim.calls cfg 0);
+  Util.check_int "calls 1" 1 (Sim.calls cfg 1);
+  Util.check_int "one step" 1 (Sim.steps cfg)
+
+let invoke_all_starts_everyone () =
+  let cfg = Schedule.invoke_all sup (make ()) [ 0; 2 ] in
+  Alcotest.(check (list int)) "running" [ 0; 2 ] (Sim.running cfg)
+
+let round_robin_quiesces () =
+  let cfg = Schedule.invoke_all sup (make ()) [ 0; 1; 2; 3 ] in
+  match Schedule.run_round_robin ~fuel:10_000 cfg with
+  | None -> Alcotest.fail "did not quiesce"
+  | Some cfg ->
+    Util.check_bool "quiescent" true (Sim.is_quiescent cfg);
+    Util.check_int "all responded" 4 (List.length (Sim.results cfg))
+
+let round_robin_fuel () =
+  let cfg = Schedule.invoke_all sup (make ()) [ 0; 1; 2; 3 ] in
+  Util.check_bool "fuel out" true (Schedule.run_round_robin ~fuel:2 cfg = None)
+
+let random_quiesces_and_is_deterministic () =
+  let run seed =
+    let rand = Random.State.make [| seed |] in
+    let cfg = Schedule.invoke_all sup (make ()) [ 0; 1; 2; 3 ] in
+    match Schedule.run_random ~fuel:10_000 ~rand cfg with
+    | None -> Alcotest.fail "did not quiesce"
+    | Some cfg -> List.map snd (Sim.results cfg)
+  in
+  Util.check_bool "same seed same run" true (run 5 = run 5);
+  Util.check_int "all respond" 4 (List.length (run 9))
+
+let workload_runs_all_calls () =
+  let rand = Random.State.make [| 3 |] in
+  match
+    Schedule.run_workload ~fuel:100_000 ~rand
+      ~calls_per_proc:[| 2; 2; 2; 2 |] sup (make ())
+  with
+  | None -> Alcotest.fail "did not quiesce"
+  | Some cfg ->
+    Util.check_int "eight calls" 8 (List.length (Sim.results cfg));
+    Util.check_bool "quiescent" true (Sim.is_quiescent cfg)
+
+let workload_respects_calls_array () =
+  let rand = Random.State.make [| 3 |] in
+  match
+    Schedule.run_workload ~fuel:100_000 ~rand
+      ~calls_per_proc:[| 1; 0; 3; 0 |] sup (make ())
+  with
+  | None -> Alcotest.fail "did not quiesce"
+  | Some cfg ->
+    Util.check_int "calls of 0" 1 (Sim.calls cfg 0);
+    Util.check_int "calls of 1" 0 (Sim.calls cfg 1);
+    Util.check_int "calls of 2" 3 (Sim.calls cfg 2)
+
+let workload_with_crashes () =
+  let rand = Random.State.make [| 11 |] in
+  match
+    Schedule.run_workload ~crash_prob:0.05 ~max_crashes:2 ~fuel:100_000 ~rand
+      ~calls_per_proc:[| 3; 3; 3; 3 |] sup (make ())
+  with
+  | None -> Alcotest.fail "did not finish"
+  | Some cfg ->
+    (* Crashed processes lose their remaining calls; survivors finish. *)
+    Util.check_bool "no running procs" true (Sim.running cfg = [])
+
+let staggered_creates_hb_pairs () =
+  let rand = Random.State.make [| 21 |] in
+  match
+    Schedule.run_workload ~invoke_prob:0.02 ~fuel:100_000 ~rand
+      ~calls_per_proc:[| 2; 2; 2; 2 |] sup (make ())
+  with
+  | None -> Alcotest.fail "did not quiesce"
+  | Some cfg ->
+    let hist = Sim.hist cfg in
+    let completed = List.map (fun (o, _, _) -> o) (History.completed hist) in
+    let pairs =
+      List.concat_map
+        (fun a ->
+           List.filter (fun b -> History.happens_before hist a b) completed)
+        completed
+    in
+    Util.check_bool "some hb pairs" true (List.length pairs > 0)
+
+let solo_trace_returns_intermediates () =
+  let cfg =
+    Sim.invoke (make ()) ~pid:0 ~program:(fun ~call -> sup ~pid:0 ~call)
+  in
+  match Schedule.run_solo_trace ~fuel:100 cfg 0 with
+  | None -> Alcotest.fail "did not finish"
+  | Some (final, trace) ->
+    Util.check_bool "final idle" true (Sim.poised final 0 = Sim.P_idle);
+    (* lamport: n reads + 1 write + 1 respond = n + 2 steps *)
+    Util.check_int "trace length" (n + 2) (List.length trace)
+
+
+let pct_quiesces_and_checks () =
+  List.iter
+    (fun (Timestamp.Registry.Impl (module T)) ->
+       List.iter
+         (fun seed ->
+            let n = 6 in
+            let rand = Random.State.make [| seed |] in
+            let sup ~pid ~call = T.program ~n ~pid ~call in
+            let cfg =
+              Sim.create ~n ~num_regs:(T.num_registers ~n)
+                ~init:(T.init_value ~n)
+            in
+            let calls = match T.kind with `One_shot -> 1 | `Long_lived -> 2 in
+            match
+              Schedule.run_pct ~length_hint:200 ~fuel:500_000 ~rand ~depth:4
+                ~calls_per_proc:(Array.make n calls) sup cfg
+            with
+            | None -> Alcotest.failf "%s: PCT run did not quiesce" T.name
+            | Some cfg -> (
+                match Timestamp.Checker.check_sim (module T) cfg with
+                | Ok _ -> ()
+                | Error v ->
+                  Alcotest.failf "%s under PCT: %s" T.name
+                    (Format.asprintf "%a" Timestamp.Checker.pp_violation v)))
+         [ 1; 2; 3; 4; 5 ])
+    Timestamp.Registry.all
+
+let pct_is_seeded () =
+  let n = 4 in
+  let run seed =
+    let rand = Random.State.make [| seed |] in
+    let cfg = make () in
+    match
+      Schedule.run_pct ~fuel:100_000 ~rand ~depth:3
+        ~calls_per_proc:(Array.make n 2) sup cfg
+    with
+    | None -> Alcotest.fail "did not quiesce"
+    | Some cfg -> List.map snd (Sim.results cfg)
+  in
+  Util.check_bool "same seed same run" true (run 7 = run 7)
+
+let pct_prioritizes () =
+  (* with depth 1 (no change points), PCT runs strictly by priority: the
+     execution is a sequence of solo runs, so all hb pairs are ordered *)
+  let n = 4 in
+  let rand = Random.State.make [| 3 |] in
+  let cfg = make () in
+  match
+    Schedule.run_pct ~fuel:100_000 ~rand ~depth:1
+      ~calls_per_proc:(Array.make n 1) sup cfg
+  with
+  | None -> Alcotest.fail "did not quiesce"
+  | Some cfg ->
+    let hist = Sim.hist cfg in
+    let ops = List.map (fun (o, _) -> o) (Sim.results cfg) in
+    let ordered_pairs =
+      List.concat_map
+        (fun a ->
+           List.filter
+             (fun b ->
+                History.happens_before hist a b
+                || History.happens_before hist b a)
+             ops)
+        ops
+    in
+    (* n ops, all sequential: n*(n-1) ordered (a,b) pairs *)
+    Util.check_int "fully sequential" (n * (n - 1)) (List.length ordered_pairs)
+
+let suite =
+  ( "schedule",
+    [ Util.case "apply scripted schedule" apply_script;
+      Util.case "invoke_all" invoke_all_starts_everyone;
+      Util.case "round robin quiesces" round_robin_quiesces;
+      Util.case "round robin fuel" round_robin_fuel;
+      Util.case "random is seeded and quiesces" random_quiesces_and_is_deterministic;
+      Util.case "workload runs all calls" workload_runs_all_calls;
+      Util.case "workload respects per-proc calls" workload_respects_calls_array;
+      Util.case "workload with crash injection" workload_with_crashes;
+      Util.case "staggered workloads give hb pairs" staggered_creates_hb_pairs;
+      Util.case "solo trace intermediates" solo_trace_returns_intermediates;
+      Util.slow_case "PCT schedules quiesce and check" pct_quiesces_and_checks;
+      Util.case "PCT is seeded" pct_is_seeded;
+      Util.case "PCT depth 1 is sequential" pct_prioritizes ] )

@@ -1,0 +1,170 @@
+(* Tests for the simulator: stepping, covering, block writes, rollback. *)
+
+open Shm
+open Shm.Prog.Syntax
+
+(* A toy object: read register 0, write pid+10 to register 1, return the
+   read value. *)
+let toy_program ~pid =
+  let* v = Prog.read 0 in
+  let* () = Prog.write 1 (pid + 10) in
+  Prog.return v
+
+let make ?(n = 3) () = Sim.create ~n ~num_regs:2 ~init:0
+
+let invoke_toy cfg pid =
+  Sim.invoke cfg ~pid ~program:(fun ~call:_ -> toy_program ~pid)
+
+let poised_sequence () =
+  let cfg = make () in
+  Util.check_bool "idle" true (Sim.poised cfg 0 = Sim.P_idle);
+  let cfg = invoke_toy cfg 0 in
+  Util.check_bool "read 0" true (Sim.poised cfg 0 = Sim.P_read 0);
+  let cfg = Sim.step cfg 0 in
+  Util.check_bool "covers 1" true (Sim.covers cfg 0 = Some 1);
+  let cfg = Sim.step cfg 0 in
+  Util.check_bool "respond" true (Sim.poised cfg 0 = Sim.P_respond);
+  Util.check_int "register written" 10 (Sim.reg cfg 1);
+  let cfg = Sim.step cfg 0 in
+  Util.check_bool "idle again" true (Sim.poised cfg 0 = Sim.P_idle);
+  Util.check_bool "result recorded" true
+    (Sim.result cfg { pid = 0; call = 0 } = Some 0)
+
+let configurations_are_immutable () =
+  let cfg = invoke_toy (make ()) 0 in
+  let cfg1 = Sim.step cfg 0 in
+  (* branch: step the same configuration twice *)
+  let cfg2a = Sim.step cfg1 0 in
+  let cfg2b = Sim.step cfg1 0 in
+  Util.check_int "fork a wrote" 10 (Sim.reg cfg2a 1);
+  Util.check_int "fork b wrote" 10 (Sim.reg cfg2b 1);
+  Util.check_int "origin unchanged" 0 (Sim.reg cfg1 1);
+  Util.check_int "steps isolated" (Sim.steps cfg1 + 1) (Sim.steps cfg2a)
+
+(* The central property for the adversaries: forked executions do not
+   interfere, even mid-call, including through closure state. *)
+let rollback_forking =
+  Util.qtest ~count:50 "speculative forks are independent"
+    QCheck2.Gen.(int_bound 1000)
+    (fun seed ->
+       let rand = Random.State.make [| seed |] in
+       let n = 4 in
+       let sup ~pid ~call = Timestamp.Lamport.program ~n ~pid ~call in
+       let cfg = Sim.create ~n ~num_regs:n ~init:0 in
+       let cfg = Schedule.invoke_all sup cfg [ 0; 1; 2; 3 ] in
+       (* random common prefix *)
+       let cfg = ref cfg in
+       for _ = 1 to Random.State.int rand 8 do
+         match Sim.running !cfg with
+         | [] -> ()
+         | pids ->
+           cfg := Sim.step !cfg (List.nth pids (Random.State.int rand (List.length pids)))
+       done;
+       let base = !cfg in
+       (* Fork 1: finish everything round-robin; Fork 2: finish in pid
+          order; then re-run fork 1's schedule and expect identical
+          results. *)
+       let finish order cfg =
+         List.fold_left
+           (fun cfg pid ->
+              match Sim.run_solo ~fuel:1000 cfg pid with
+              | Some cfg -> cfg
+              | None -> Alcotest.fail "solo did not finish")
+           cfg order
+       in
+       let f1 = finish [ 0; 1; 2; 3 ] base in
+       let _f2 = finish [ 3; 2; 1; 0 ] base in
+       let f1' = finish [ 0; 1; 2; 3 ] base in
+       List.map snd (Sim.results f1) = List.map snd (Sim.results f1'))
+
+let block_write_requires_covering () =
+  let cfg = invoke_toy (make ()) 0 in
+  (* poised to read, not write *)
+  Alcotest.check_raises "not covering"
+    (Invalid_argument "Sim.block_write: process is not poised to write")
+    (fun () -> ignore (Sim.block_write cfg [ 0 ]))
+
+let block_write_steps_each_once () =
+  let cfg = make () in
+  let cfg = invoke_toy cfg 0 in
+  let cfg = invoke_toy cfg 1 in
+  let cfg = Sim.step (Sim.step cfg 0) 1 in
+  Util.check_bool "both cover" true
+    (Sim.covers cfg 0 = Some 1 && Sim.covers cfg 1 = Some 1);
+  let cfg' = Sim.block_write cfg [ 0; 1 ] in
+  Util.check_int "last writer wins" 11 (Sim.reg cfg' 1);
+  let cfg'' = Sim.block_write cfg [ 1; 0 ] in
+  Util.check_int "other order" 10 (Sim.reg cfg'' 1)
+
+let crash_stops_process () =
+  let cfg = invoke_toy (make ()) 0 in
+  let cfg = Sim.crash cfg 0 in
+  Util.check_bool "crashed" true (Sim.poised cfg 0 = Sim.P_crashed);
+  Util.check_bool "not quiescent mid-call" false (Sim.is_quiescent cfg);
+  Alcotest.check_raises "cannot step"
+    (Invalid_argument "Sim.step: process has crashed") (fun () ->
+        ignore (Sim.step cfg 0))
+
+let crash_when_idle_is_quiescent () =
+  let cfg = Sim.crash (make ()) 0 in
+  Util.check_bool "still quiescent" true (Sim.is_quiescent cfg)
+
+let run_solo_completes () =
+  let cfg = invoke_toy (make ()) 0 in
+  match Sim.run_solo ~fuel:10 cfg 0 with
+  | None -> Alcotest.fail "should complete"
+  | Some cfg ->
+    Util.check_bool "idle" true (Sim.poised cfg 0 = Sim.P_idle);
+    Util.check_int "three steps" 3 (Sim.steps cfg)
+
+let run_solo_fuel () =
+  let cfg = invoke_toy (make ()) 0 in
+  Util.check_bool "fuel out" true (Sim.run_solo ~fuel:2 cfg 0 = None)
+
+let instrumentation_counts () =
+  let cfg = invoke_toy (make ()) 0 in
+  let cfg = Option.get (Sim.run_solo ~fuel:10 cfg 0) in
+  Alcotest.(check (list int)) "written set" [ 1 ] (Sim.written_set cfg);
+  Alcotest.(check (list int)) "read set" [ 0 ] (Sim.read_set cfg);
+  Util.check_int "touched" 2 (Sim.touched_count cfg);
+  Util.check_int "writes" 1 (Sim.writes cfg)
+
+let never_invoked_tracking () =
+  let cfg = make () in
+  Alcotest.(check (list int)) "all fresh" [ 0; 1; 2 ] (Sim.never_invoked cfg);
+  let cfg = invoke_toy cfg 1 in
+  Alcotest.(check (list int)) "1 gone" [ 0; 2 ] (Sim.never_invoked cfg);
+  let cfg = Option.get (Sim.run_solo ~fuel:10 cfg 1) in
+  (* completed but no longer "in initial state" *)
+  Alcotest.(check (list int)) "still gone" [ 0; 2 ] (Sim.never_invoked cfg)
+
+let invoke_errors () =
+  let cfg = invoke_toy (make ()) 0 in
+  Alcotest.check_raises "double invoke"
+    (Invalid_argument "Sim.invoke: process has a call in progress") (fun () ->
+        ignore (invoke_toy cfg 0))
+
+let history_integration () =
+  let cfg = invoke_toy (make ()) 0 in
+  let cfg = Option.get (Sim.run_solo ~fuel:10 cfg 0) in
+  let cfg = invoke_toy cfg 1 in
+  let cfg = Option.get (Sim.run_solo ~fuel:10 cfg 1) in
+  Util.check_bool "hb" true
+    (History.happens_before (Sim.hist cfg) { pid = 0; call = 0 }
+       { pid = 1; call = 0 })
+
+let suite =
+  ( "sim",
+    [ Util.case "poised operation sequence" poised_sequence;
+      Util.case "configurations are immutable" configurations_are_immutable;
+      rollback_forking;
+      Util.case "block write requires covering" block_write_requires_covering;
+      Util.case "block write steps each once" block_write_steps_each_once;
+      Util.case "crash stops a process" crash_stops_process;
+      Util.case "idle crash keeps quiescence" crash_when_idle_is_quiescent;
+      Util.case "run_solo completes a call" run_solo_completes;
+      Util.case "run_solo respects fuel" run_solo_fuel;
+      Util.case "instrumentation counters" instrumentation_counts;
+      Util.case "never_invoked tracking" never_invoked_tracking;
+      Util.case "invoke errors" invoke_errors;
+      Util.case "history integration" history_integration ] )

@@ -1,0 +1,92 @@
+(* Tests specific to the Section-5 simple one-shot algorithm. *)
+
+module T = Timestamp.Simple_oneshot
+module H = Timestamp.Harness.Make (T)
+
+let registers_formula () =
+  List.iter
+    (fun (n, expect) -> Util.check_int (Printf.sprintf "m(%d)" n) expect (T.num_registers ~n))
+    [ (1, 1); (2, 1); (3, 2); (4, 2); (5, 3); (9, 5); (10, 5); (33, 17) ]
+
+(* Register values never exceed 2: each register has two writers, each
+   writing at most once, each adding one. *)
+let register_values_bounded =
+  Util.qtest ~count:50 "register values stay in {0,1,2}"
+    QCheck2.Gen.(pair (int_range 1 20) (int_bound 100_000))
+    (fun (n, seed) ->
+       let cfg = H.run_random ~n ~seed () in
+       Array.for_all (fun v -> v >= 0 && v <= 2) (Shm.Sim.regs cfg))
+
+(* Sequential runs give timestamps 1..n: each call observes all previous
+   increments. *)
+let sequential_is_identity () =
+  List.iter
+    (fun n ->
+       let _, ts = H.run_sequential ~n in
+       Alcotest.(check (list int))
+         (Printf.sprintf "n=%d" n)
+         (List.init n (fun i -> i + 1))
+         ts)
+    [ 1; 2; 5; 8; 13 ]
+
+(* The proof of Lemma 5.1: the sum over registers never decreases during
+   any execution.  Check that all timestamps are between 1 and n. *)
+let timestamps_in_range =
+  Util.qtest ~count:50 "timestamps lie in [1, n]"
+    QCheck2.Gen.(pair (int_range 1 20) (int_bound 100_000))
+    (fun (n, seed) ->
+       let cfg = H.run_random ~n ~seed () in
+       List.for_all (fun (_, t) -> t >= 1 && t <= n) (Shm.Sim.results cfg))
+
+(* Wait-freedom with an exact step count: getTS performs one read per
+   register plus one write plus the response. *)
+let solo_step_count () =
+  List.iter
+    (fun n ->
+       let cfg = H.create ~n in
+       let cfg =
+         Shm.Sim.invoke cfg ~pid:0 ~program:(fun ~call ->
+             T.program ~n ~pid:0 ~call)
+       in
+       let cfg = Option.get (Shm.Sim.run_solo ~fuel:1000 cfg 0) in
+       Util.check_int
+         (Printf.sprintf "steps n=%d" n)
+         (T.num_registers ~n + 2)
+         (Shm.Sim.steps cfg))
+    [ 1; 2; 7; 16 ]
+
+let partner_sharing () =
+  (* processes 2i and 2i+1 share register i: their writes hit the same
+     register *)
+  let n = 6 in
+  let cfg = H.create ~n in
+  let run_to_write cfg pid =
+    let cfg =
+      Shm.Sim.invoke cfg ~pid ~program:(fun ~call -> T.program ~n ~pid ~call)
+    in
+    let rec go cfg =
+      match Shm.Sim.covers cfg pid with
+      | Some r -> (cfg, r)
+      | None -> go (Shm.Sim.step cfg pid)
+    in
+    go cfg
+  in
+  let cfg, r2 = run_to_write cfg 2 in
+  let _, r3 = run_to_write cfg 3 in
+  Util.check_int "p2 writes register 1" 1 r2;
+  Util.check_int "p3 writes the same" 1 r3
+
+let compare_is_less_than () =
+  Util.check_bool "1 < 2" true (T.compare_ts 1 2);
+  Util.check_bool "2 < 1" false (T.compare_ts 2 1);
+  Util.check_bool "2 < 2" false (T.compare_ts 2 2)
+
+let suite =
+  ( "simple-oneshot",
+    [ Util.case "ceil(n/2) registers" registers_formula;
+      register_values_bounded;
+      Util.case "sequential timestamps are 1..n" sequential_is_identity;
+      timestamps_in_range;
+      Util.case "exact solo step count" solo_step_count;
+      Util.case "partners share a register" partner_sharing;
+      Util.case "compare is integer <" compare_is_less_than ] )

@@ -1,0 +1,96 @@
+(* Tests for the historyless (swap) extension of the model (Section 7) and
+   the swap-based simple one-shot algorithm. *)
+
+open Shm.Prog.Syntax
+
+let swap_returns_old () =
+  let p =
+    let* a = Shm.Prog.swap 0 10 in
+    let* b = Shm.Prog.swap 0 20 in
+    Shm.Prog.return (a, b)
+  in
+  let regs = [| 5 |] in
+  let (a, b), ops = Shm.Prog.run_pure ~regs p in
+  Util.check_int "first old" 5 a;
+  Util.check_int "second old" 10 b;
+  Util.check_int "final" 20 regs.(0);
+  Util.check_int "ops" 2 ops
+
+let swap_covers_in_sim () =
+  let p = Shm.Prog.map ignore (Shm.Prog.swap 1 42) in
+  let cfg : (int, unit) Shm.Sim.t = Shm.Sim.create ~n:1 ~num_regs:2 ~init:0 in
+  let cfg = Shm.Sim.invoke cfg ~pid:0 ~program:(fun ~call:_ -> p) in
+  Util.check_bool "poised swap" true
+    (match Shm.Sim.poised cfg 0 with Shm.Sim.P_swap (1, 42) -> true | _ -> false);
+  Util.check_bool "covers like a write" true (Shm.Sim.covers cfg 0 = Some 1);
+  (* block writes accept poised swaps *)
+  let cfg = Shm.Sim.block_write cfg [ 0 ] in
+  Util.check_int "swap applied" 42 (Shm.Sim.reg cfg 1);
+  Util.check_int "counts as a write" 1 (Shm.Sim.writes cfg)
+
+type wrapped = W of int
+
+let swap_through_embed_and_map_reg () =
+  let p = Shm.Prog.map_reg (fun r -> r + 1) (Shm.Prog.swap 0 3) in
+  let q = Shm.Prog.embed ~inj:(fun v -> W v) ~prj:(fun (W v) -> v) p in
+  let regs = [| W 0; W 9 |] in
+  let old, _ = Shm.Prog.run_pure ~regs q in
+  Util.check_int "old unwrapped" 9 old;
+  Util.check_bool "new wrapped" true (regs.(1) = W 3)
+
+let swap_on_atomics () =
+  let regs = Multicore.Exec.make_regs ~num:1 ~init:7 in
+  let old = Multicore.Exec.run ~regs (Shm.Prog.swap 0 8) in
+  Util.check_int "old" 7 old;
+  Util.check_int "new" 8 (Atomic.get regs.(0))
+
+module S = Timestamp.Simple_swap
+module H = Timestamp.Harness.Make (S)
+
+let simple_swap_sequential () =
+  List.iter
+    (fun n ->
+       let _, ts = H.run_sequential ~n in
+       Alcotest.(check (list int))
+         (Printf.sprintf "n=%d" n)
+         (List.init n (fun i -> i + 1))
+         ts)
+    [ 1; 2; 5; 9 ]
+
+let simple_swap_values_bounded =
+  Util.qtest ~count:50 "register values stay in {0,1,2}"
+    QCheck2.Gen.(pair (int_range 1 20) (int_bound 100_000))
+    (fun (n, seed) ->
+       let cfg = H.run_random ~n ~seed () in
+       Array.for_all (fun v -> v >= 0 && v <= 2) (Shm.Sim.regs cfg))
+
+(* Section 7: the one-shot covering construction runs unchanged against a
+   historyless implementation — poised swaps cover registers. *)
+let adversary_on_historyless () =
+  List.iter
+    (fun n ->
+       let supplier ~pid ~call = S.program ~n ~pid ~call in
+       let cfg =
+         Shm.Sim.create ~n ~num_regs:(S.num_registers ~n) ~init:0
+       in
+       match
+         Covering.Oneshot_adversary.run ~fuel:2_000_000 ~supplier ~cfg ()
+       with
+       | Error e -> Alcotest.fail e
+       | Ok o ->
+         let bound = int_of_float (ceil (Covering.Bounds.oneshot_lower n)) in
+         Util.check_bool
+           (Printf.sprintf "n=%d: j_last=%d >= %d" n o.j_last bound)
+           true (o.j_last >= bound))
+    [ 12; 24; 48 ]
+
+let suite =
+  ( "swap-historyless",
+    [ Util.case "swap returns the old value" swap_returns_old;
+      Util.case "poised swap covers" swap_covers_in_sim;
+      Util.case "swap through embed and map_reg" swap_through_embed_and_map_reg;
+      Util.case "swap on atomics" swap_on_atomics;
+      Util.case "simple-swap sequential timestamps" simple_swap_sequential;
+      simple_swap_values_bounded;
+      Util.slow_case "one-shot adversary vs historyless object"
+        adversary_on_historyless ] )

