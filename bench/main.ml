@@ -14,6 +14,10 @@
      E6  Lemma 2.1     empirical validation
      E7  Section 6     claim-level checks (phases, invalidation writes)
      E8  Section 7     M-bounded long-lived generalization
+     E9  (ours)        the full stack over ABD message-passing registers
+     E10 (ours)        exploration-engine comparison: naive DFS vs state
+                       dedup + independence reduction + domain parallelism
+                       (machine-readable copy in BENCH_explore.json)
 
    One Bechamel Test.make per experiment follows at the end (timings of
    the key operations involved in each).  Usage:
@@ -385,6 +389,156 @@ let e9_distributed () =
     ~crashed:[ 0; 3; 6 ] ~steps:10 ~seed:4
 
 (* ------------------------------------------------------------------ *)
+(* E10: the exploration engine (state dedup + independence reduction +  *)
+(* domain parallelism) old vs new, emitted as BENCH_explore.json        *)
+(* ------------------------------------------------------------------ *)
+
+type engine_sample = {
+  e_label : string;
+  e_expanded : int;
+  e_configs : int;
+  e_dedup : int;
+  e_sleep : int;
+  e_paths : int;
+  e_seconds : float;
+}
+
+let e10_run (type v r)
+    (module T : Timestamp.Intf.S with type value = v and type result = r) ~n
+    ~calls ~label ~dedup ~reduction ~domains () =
+  let supplier ~pid ~call = T.program ~n ~pid ~call in
+  let cfg =
+    Shm.Sim.create ~n ~num_regs:(T.num_registers ~n) ~init:(T.init_value ~n)
+  in
+  let t0 = Unix.gettimeofday () in
+  match
+    Shm.Explore.explore ~max_steps:400 ~max_paths:5_000_000 ~dedup ~reduction
+      ~domains ~supplier
+      ~calls_per_proc:(Array.make n calls)
+      ~leaf_check:(fun cfg ->
+          Result.is_ok (Timestamp.Checker.check_sim (module T) cfg))
+      cfg
+  with
+  | Shm.Explore.Counterexample _ ->
+    failwith (T.name ^ ": unexpected counterexample in E10")
+  | Shm.Explore.Ok s ->
+    { e_label = label;
+      e_expanded = s.expanded;
+      e_configs = s.configurations;
+      e_dedup = s.dedup_hits;
+      e_sleep = s.sleep_skips;
+      e_paths = s.paths;
+      e_seconds = Unix.gettimeofday () -. t0 }
+
+let e10_explore_engine () =
+  header
+    "E10: exploration engine (dedup + independence reduction + domains) — \
+     old vs new";
+  let domains = Domain.recommended_domain_count () in
+  Printf.printf
+    "(verdicts are engine-independent; 'expanded' is the work measure.  \
+     %d domain(s) available)\n"
+    domains;
+  Printf.printf "%-18s %2s %5s | %-9s %10s %10s %9s %11s %8s\n"
+    "workload" "n" "calls" "engine" "expanded" "dedup" "sleep" "configs/s"
+    "seconds";
+  Printf.printf "%s\n" (String.make 92 '-');
+  let workloads :
+    (string
+     * (label:string -> dedup:bool -> reduction:bool -> domains:int ->
+        unit -> engine_sample)
+     * int * int)
+      list =
+    List.filter_map
+      (fun x -> x)
+      [ Some
+          ( "simple-oneshot",
+            e10_run (module Timestamp.Simple_oneshot) ~n:3 ~calls:1, 3, 1 );
+        (if fast then None
+         else
+           Some
+             ( "simple-swap",
+               e10_run (module Timestamp.Simple_swap) ~n:3 ~calls:1, 3, 1 ));
+        Some ("efr", e10_run (module Timestamp.Efr) ~n:3 ~calls:1, 3, 1);
+        (if fast then None
+         else
+           Some
+             ( "lamport",
+               e10_run (module Timestamp.Lamport) ~n:2 ~calls:2, 2, 2 )) ]
+  in
+  let results =
+    List.map
+      (fun (name, run, n, calls) ->
+         let samples =
+           [ run ~label:"baseline" ~dedup:false ~reduction:false ~domains:1 ();
+             run ~label:"dedup" ~dedup:true ~reduction:false ~domains:1 ();
+             run ~label:"reduced" ~dedup:true ~reduction:true ~domains:1 ();
+             run ~label:"parallel" ~dedup:true ~reduction:true ~domains () ]
+         in
+         List.iter
+           (fun s ->
+              Printf.printf
+                "%-18s %2d %5d | %-9s %10d %10d %9d %11.0f %8.3f\n" name n
+                calls s.e_label s.e_expanded s.e_dedup s.e_sleep
+                (float_of_int s.e_configs /. max 1e-9 s.e_seconds)
+                s.e_seconds)
+           samples;
+         (name, n, calls, samples))
+      workloads
+  in
+  sub "headline ratios (baseline / reduced expanded configurations)";
+  List.iter
+    (fun (name, _, _, samples) ->
+       let find l = List.find (fun s -> s.e_label = l) samples in
+       let base = find "baseline" and red = find "reduced" in
+       let par = find "parallel" in
+       Printf.printf
+         "%-18s %10.1fx fewer expanded   %6.2fx wall speedup (seq)   \
+          %6.2fx wall speedup (par, %d domains)\n"
+         name
+         (float_of_int base.e_expanded /. float_of_int (max 1 red.e_expanded))
+         (base.e_seconds /. max 1e-9 red.e_seconds)
+         (base.e_seconds /. max 1e-9 par.e_seconds)
+         domains)
+    results;
+  (* machine-readable record for CI trend tracking *)
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"experiment\": \"E10-explore-engine\",\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"domains\": %d,\n  \"fast\": %b,\n  \"workloads\": [\n"
+       domains fast);
+  List.iteri
+    (fun i (name, n, calls, samples) ->
+       Buffer.add_string buf
+         (Printf.sprintf "    {\"name\": %S, \"n\": %d, \"calls\": %d, \
+                          \"engines\": {" name n calls);
+       List.iteri
+         (fun j s ->
+            Buffer.add_string buf
+              (Printf.sprintf
+                 "%s\"%s\": {\"expanded\": %d, \"configurations\": %d, \
+                  \"dedup_hits\": %d, \"sleep_skips\": %d, \"paths\": %d, \
+                  \"seconds\": %.6f, \"configs_per_sec\": %.0f}"
+                 (if j = 0 then "" else ", ")
+                 s.e_label s.e_expanded s.e_configs s.e_dedup s.e_sleep
+                 s.e_paths s.e_seconds
+                 (float_of_int s.e_configs /. max 1e-9 s.e_seconds)))
+         samples;
+       let find l = List.find (fun s -> s.e_label = l) samples in
+       Buffer.add_string buf
+         (Printf.sprintf
+            "}, \"expanded_reduction\": %.2f}%s\n"
+            (float_of_int (find "baseline").e_expanded
+             /. float_of_int (max 1 (find "reduced").e_expanded))
+            (if i = List.length results - 1 then "" else ","));
+    )
+    results;
+  Buffer.add_string buf "  ]\n}\n";
+  Out_channel.with_open_text "BENCH_explore.json" (fun oc ->
+      Out_channel.output_string oc (Buffer.contents buf));
+  Printf.printf "\n(wrote BENCH_explore.json)\n"
+
+(* ------------------------------------------------------------------ *)
 (* EA: ablation of the Algorithm-4 repair rule (Section 6.1)            *)
 (* ------------------------------------------------------------------ *)
 
@@ -562,7 +716,12 @@ let bechamel_tests () =
       (Staged.stage (fun () ->
            ignore
              (Timestamp.Sqrt_claims.run_random ~n:8 ~seed:1 ~total_calls:256
-                ~calls_per_proc:32 ()))) ]
+                ~calls_per_proc:32 ())));
+    Test.make ~name:"E10:explore reduced simple-oneshot n=3"
+      (Staged.stage (fun () ->
+           ignore
+             (e10_run (module Timestamp.Simple_oneshot) ~n:3 ~calls:1
+                ~label:"reduced" ~dedup:true ~reduction:true ~domains:1 ()))) ]
 
 let run_timings () =
   header "Timings (Bechamel, monotonic clock; ns per run)";
@@ -601,6 +760,7 @@ let () =
   e6_lemma21 ();
   e8_bounded_longlived ();
   e9_distributed ();
+  e10_explore_engine ();
   ea_ablation ();
   run_timings ();
   print_endline "\nAll experiments complete."

@@ -258,15 +258,17 @@ let stress_cmd =
     Term.(const run $ impl_arg $ n_arg $ calls_arg)
 
 let explore_cmd =
-  let run impl n calls max_paths max_steps =
+  let run impl n calls max_paths max_steps parallel no_dedup no_reduction =
     let (Timestamp.Registry.Impl (module T)) = impl in
     let supplier ~pid ~call = T.program ~n ~pid ~call in
     let cfg =
       Shm.Sim.create ~n ~num_regs:(T.num_registers ~n) ~init:(T.init_value ~n)
     in
     let calls = match T.kind with `One_shot -> 1 | `Long_lived -> calls in
+    let domains = if parallel then Domain.recommended_domain_count () else 1 in
     match
-      Shm.Explore.explore ~max_steps ~max_paths ~supplier
+      Shm.Explore.explore ~max_steps ~max_paths ~dedup:(not no_dedup)
+        ~reduction:(not no_reduction) ~domains ~supplier
         ~calls_per_proc:(Array.make n calls)
         ~leaf_check:(fun cfg ->
             Result.is_ok (Timestamp.Checker.check_sim (module T) cfg))
@@ -275,10 +277,12 @@ let explore_cmd =
     | Shm.Explore.Ok stats ->
       Printf.printf
         "%s n=%d calls=%d: %s over %d complete schedules (%d configurations \
-         visited, %d truncated paths)\n"
+         expanded, %d dedup hits, %d sleep-set skips, %d truncated paths%s)\n"
         T.name n calls
         (if stats.exhaustive then "EXHAUSTIVELY VERIFIED" else "verified")
-        stats.paths stats.configurations stats.truncated_paths
+        stats.paths stats.expanded stats.dedup_hits stats.sleep_skips
+        stats.truncated_paths
+        (if domains > 1 then Printf.sprintf ", %d domains" domains else "")
     | Shm.Explore.Counterexample { schedule; _ } ->
       Printf.printf "%s n=%d: COUNTEREXAMPLE, schedule of %d actions:\n"
         T.name n (List.length schedule);
@@ -295,12 +299,36 @@ let explore_cmd =
       value & opt int 300
       & info [ "max-steps" ] ~docv:"N" ~doc:"Per-schedule depth bound.")
   in
+  let parallel =
+    Arg.(
+      value & flag
+      & info [ "parallel"; "P" ]
+          ~doc:
+            "Split root-level branches across \
+             $(b,Domain.recommended_domain_count) worker domains.")
+  in
+  let no_dedup =
+    Arg.(
+      value & flag
+      & info [ "no-dedup" ]
+          ~doc:"Disable state deduplication (re-expand revisited states).")
+  in
+  let no_reduction =
+    Arg.(
+      value & flag
+      & info [ "no-reduction" ]
+          ~doc:
+            "Disable the independence (sleep-set) reduction; explore every \
+             interleaving of independent actions.")
+  in
   Cmd.v
     (Cmd.info "explore"
        ~doc:
          "Exhaustively enumerate every schedule of a small instance and \
           check the specification on each.")
-    Term.(const run $ impl_arg $ n_arg $ calls_arg $ max_paths $ max_steps)
+    Term.(
+      const run $ impl_arg $ n_arg $ calls_arg $ max_paths $ max_steps
+      $ parallel $ no_dedup $ no_reduction)
 
 let distributed_cmd =
   let run impl n replicas ncrashed seed =

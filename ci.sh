@@ -1,0 +1,17 @@
+#!/bin/sh
+# CI smoke: build, full test suite, fast benchmark pass.
+# Fails (non-zero exit) as soon as any step does.
+set -eu
+
+cd "$(dirname "$0")"
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== bench --fast =="
+dune exec bench/main.exe -- --fast
+
+echo "== ci.sh: all green =="

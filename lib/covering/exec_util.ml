@@ -10,6 +10,8 @@ type ('v, 'r) supplier = ('v, 'r) Shm.Schedule.supplier
 
 let apply = Shm.Schedule.apply
 
+let apply1 = Shm.Schedule.apply_action
+
 (* Invoke (if idle) and run [pid] solo to completion; returns the final
    configuration and the performed actions. *)
 let solo_complete ~fuel (supplier : _ supplier) cfg ~pid =
@@ -41,8 +43,8 @@ let wrote_outside (supplier : _ supplier) cfg actions ~outside =
         | Shm.Sim.P_write (r, _) | Shm.Sim.P_swap (r, _) -> outside r
         | _ -> false
       in
-      hits || go (apply supplier cfg [ a ]) rest
-    | a :: rest -> go (apply supplier cfg [ a ]) rest
+      hits || go (apply1 supplier cfg a) rest
+    | a :: rest -> go (apply1 supplier cfg a) rest
   in
   go cfg actions
 
@@ -57,7 +59,7 @@ let truncate_at_cover_outside (supplier : _ supplier) cfg actions ~pid ~outside 
     else
       match actions with
       | [] -> None
-      | a :: rest -> go (apply supplier cfg [ a ]) (taken + 1) (a :: rev_prefix) rest
+      | a :: rest -> go (apply1 supplier cfg a) (taken + 1) (a :: rev_prefix) rest
   in
   match go cfg 0 [] actions with
   | Some (prefix, _) -> Some prefix

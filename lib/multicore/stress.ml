@@ -35,36 +35,49 @@ module Make (T : Timestamp.Intf.S) = struct
 
   (* end1 < start2 means op1's final counter bump was observed before op2
      began, which is a sound happens-before witness. *)
-  let happens_before o1 o2 = o1.end_tick < o2.start_tick
-
   let check records =
     let exception Bad of string in
+    (* Sorting by [end_tick] and scanning the other axis by [start_tick]
+       turns the naive all-pairs pass into a prefix scan: for [o2] in
+       ascending [start_tick] order, the predecessors with
+       [end_tick < o2.start_tick] form a growing prefix of the
+       [end_tick]-sorted array, so only happens-before-eligible pairs are
+       ever compared (the naive version also probed every unordered pair —
+       the bulk of the quadratic work under heavy concurrency). *)
     try
+      let by_end = Array.of_list records in
+      Array.sort (fun a b -> Int.compare a.end_tick b.end_tick) by_end;
+      let by_start = Array.of_list records in
+      Array.sort (fun a b -> Int.compare a.start_tick b.start_tick) by_start;
+      let len = Array.length by_end in
       let pairs = ref 0 in
-      List.iter
-        (fun o1 ->
-           List.iter
-             (fun o2 ->
-                if happens_before o1 o2 then begin
-                  incr pairs;
-                  if not (T.compare_ts o1.ts o2.ts) then
-                    raise
-                      (Bad
-                         (Format.asprintf
-                            "p%d.%d(%a) happened before p%d.%d(%a) but \
-                             compare(t1,t2)=false"
-                            o1.pid o1.call T.pp_ts o1.ts o2.pid o2.call
-                            T.pp_ts o2.ts));
-                  if T.compare_ts o2.ts o1.ts then
-                    raise
-                      (Bad
-                         (Format.asprintf
-                            "p%d.%d happened before p%d.%d but \
-                             compare(t2,t1)=true"
-                            o1.pid o1.call o2.pid o2.call))
-                end)
-             records)
-        records;
+      let prefix = ref 0 in
+      Array.iter
+        (fun o2 ->
+           while !prefix < len && by_end.(!prefix).end_tick < o2.start_tick do
+             incr prefix
+           done;
+           for j = 0 to !prefix - 1 do
+             let o1 = by_end.(j) in
+             (* by construction [happens_before o1 o2] holds *)
+             incr pairs;
+             if not (T.compare_ts o1.ts o2.ts) then
+               raise
+                 (Bad
+                    (Format.asprintf
+                       "p%d.%d(%a) happened before p%d.%d(%a) but \
+                        compare(t1,t2)=false"
+                       o1.pid o1.call T.pp_ts o1.ts o2.pid o2.call
+                       T.pp_ts o2.ts));
+             if T.compare_ts o2.ts o1.ts then
+               raise
+                 (Bad
+                    (Format.asprintf
+                       "p%d.%d happened before p%d.%d but \
+                        compare(t2,t1)=true"
+                       o1.pid o1.call o2.pid o2.call))
+           done)
+        by_start;
       Ok !pairs
     with Bad msg -> Error msg
 

@@ -2,6 +2,9 @@ type stats = {
   paths : int;
   truncated_paths : int;
   configurations : int;
+  expanded : int;
+  dedup_hits : int;
+  sleep_skips : int;
   exhaustive : bool;
 }
 
@@ -13,7 +16,41 @@ type ('v, 'r) outcome =
       at_leaf : bool;
     }
 
+(* Mutable per-worker accounting; merged into [stats] at the end. *)
+type wstate = {
+  mutable w_paths : int;
+  mutable w_truncated : int;
+  mutable w_configs : int;
+  mutable w_expanded : int;
+  mutable w_dedup : int;
+  mutable w_sleep : int;
+  mutable w_budget_hit : bool;
+  (* fingerprint -> Pareto frontier of (remaining depth budget, sleep mask)
+     pairs under which the configuration was already expanded.  A revisit is
+     pruned only when dominated: some recorded visit had at least as much
+     remaining depth AND a sleep set included in the current one (so it
+     explored a superset of the transitions this visit would). *)
+  visited : (int, (int * int) list ref) Hashtbl.t;
+}
+
+let new_wstate () =
+  { w_paths = 0;
+    w_truncated = 0;
+    w_configs = 0;
+    w_expanded = 0;
+    w_dedup = 0;
+    w_sleep = 0;
+    w_budget_hit = false;
+    visited = Hashtbl.create 4096 }
+
+(* Branch verdicts in parallel mode. *)
+type ('v, 'r) branch_result =
+  | B_ok
+  | B_cex of ('v, 'r) Sim.t * Schedule.action list * bool
+  | B_aborted  (* cancelled because a lower-indexed branch already failed *)
+
 let explore (type v r) ?(max_steps = 200) ?(max_paths = 1_000_000)
+    ?(dedup = true) ?(reduction = true) ?(domains = 1)
     ~(supplier : (v, r) Schedule.supplier) ~calls_per_proc ?invariant
     ?leaf_check (cfg0 : (v, r) Sim.t) : (v, r) outcome =
   let n = Sim.n cfg0 in
@@ -21,54 +58,256 @@ let explore (type v r) ?(max_steps = 200) ?(max_paths = 1_000_000)
     invalid_arg "Explore.explore: calls_per_proc size mismatch";
   let invariant = Option.value invariant ~default:(fun _ -> true) in
   let leaf_check = Option.value leaf_check ~default:(fun _ -> true) in
-  let paths = ref 0 in
-  let truncated = ref 0 in
-  let configurations = ref 0 in
-  let counterexample = ref None in
+  let progs = Schedule.programs supplier ~n in
+  (* Sleep sets are bitmasks with one Step bit and one Invoke bit per
+     process; fall back to the unreduced search when they don't fit. *)
+  let reduction = reduction && (2 * n) + 1 < Sys.int_size in
+  let action_bit = function
+    | Schedule.Step pid -> 1 lsl pid
+    | Schedule.Invoke pid -> 1 lsl (n + pid)
+    | Schedule.Crash _ -> 0
+  in
+  let apply_action cfg = function
+    | Schedule.Step pid -> Sim.step cfg pid
+    | Schedule.Invoke pid -> Sim.invoke cfg ~pid ~program:progs.(pid)
+    | Schedule.Crash pid -> Sim.crash cfg pid
+  in
+  let enabled_of cfg =
+    List.map (fun pid -> Schedule.Step pid) (Sim.running cfg)
+    @ List.filter_map
+      (fun pid ->
+         if Sim.calls cfg pid < calls_per_proc.(pid) then
+           Some (Schedule.Invoke pid)
+         else None)
+      (Sim.idle cfg)
+  in
+  (* [sleep] keeps only the sleeping actions independent of [fp], the
+     footprint of the action being taken. *)
+  let filter_sleep cfg sleep fp =
+    if sleep = 0 then 0
+    else begin
+      let m = ref 0 in
+      for pid = 0 to n - 1 do
+        if sleep land (1 lsl pid) <> 0 then
+          if Schedule.independent (Schedule.footprint cfg (Schedule.Step pid)) fp
+          then m := !m lor (1 lsl pid);
+        if sleep land (1 lsl (n + pid)) <> 0 then
+          if Schedule.independent Schedule.F_hist fp then
+            m := !m lor (1 lsl (n + pid))
+      done;
+      !m
+    end
+  in
+  (* Cooperative cancellation for parallel branches: the lowest branch index
+     whose subtree contains a counterexample so far. *)
+  let best_cex = Atomic.make max_int in
   let exception Stop in
-  let fail cfg schedule at_leaf =
-    counterexample := Some (cfg, List.rev schedule, at_leaf);
-    raise Stop
-  in
-  (* [schedule] is the reversed action list leading to [cfg]. *)
-  let rec go cfg depth schedule =
-    incr configurations;
-    if not (invariant cfg) then fail cfg schedule false;
-    let enabled =
-      List.map (fun pid -> Schedule.Step pid) (Sim.running cfg)
-      @ List.filter_map
-        (fun pid ->
-           if Sim.calls cfg pid < calls_per_proc.(pid) then
-             Some (Schedule.Invoke pid)
-           else None)
-        (Sim.idle cfg)
+  let exception Aborted in
+  (* Explores the subtree under [cfg]; raises [Stop] with [st.found] set on
+     the first counterexample (DFS order), [Aborted] when a lower-indexed
+     parallel branch already failed.  [rev_sched] is the reversed action
+     list from the root to [cfg]; [sleep] the sleep-set bitmask. *)
+  let run_branch st ~branch_index cfg depth0 sleep0 rev_sched0 =
+    let found = ref None in
+    let fail cfg rev_sched at_leaf =
+      found := Some (cfg, List.rev rev_sched, at_leaf);
+      raise Stop
     in
-    match enabled with
-    | [] ->
-      if not (leaf_check cfg) then fail cfg schedule true;
-      incr paths
-    | _ ->
-      if depth >= max_steps then incr truncated
-      else
-        List.iter
-          (fun action ->
-             (* truncated paths consume the same budget as complete ones,
-                otherwise deep trees (wait loops) never terminate *)
-             if !paths + !truncated < max_paths then
-               go
-                 (Schedule.apply supplier cfg [ action ])
-                 (depth + 1) (action :: schedule))
-          enabled
+    let rec go cfg depth sleep rev_sched =
+      if Atomic.get best_cex < branch_index then raise Aborted;
+      st.w_configs <- st.w_configs + 1;
+      if not (invariant cfg) then fail cfg rev_sched false;
+      let proceed =
+        if not dedup then true
+        else begin
+          let fp = Sim.fingerprint cfg in
+          let remaining = max_steps - depth in
+          match Hashtbl.find_opt st.visited fp with
+          | None ->
+            Hashtbl.add st.visited fp (ref [ (remaining, sleep) ]);
+            true
+          | Some entries ->
+            if
+              List.exists
+                (fun (b, sl) -> b >= remaining && sl land lnot sleep = 0)
+                !entries
+            then begin
+              st.w_dedup <- st.w_dedup + 1;
+              false
+            end
+            else begin
+              entries :=
+                (remaining, sleep)
+                :: List.filter
+                  (fun (b, sl) ->
+                     not (b <= remaining && sleep land lnot sl = 0))
+                  !entries;
+              true
+            end
+        end
+      in
+      if proceed then begin
+        st.w_expanded <- st.w_expanded + 1;
+        match enabled_of cfg with
+        | [] ->
+          if not (leaf_check cfg) then fail cfg rev_sched true;
+          st.w_paths <- st.w_paths + 1
+        | enabled ->
+          if depth >= max_steps then
+            (* truncated paths consume the same budget as complete ones,
+               otherwise deep trees (wait loops) never terminate *)
+            st.w_truncated <- st.w_truncated + 1
+          else begin
+            let rec iter sleep = function
+              | [] -> ()
+              | action :: rest ->
+                let abit = action_bit action in
+                if reduction && sleep land abit <> 0 then begin
+                  st.w_sleep <- st.w_sleep + 1;
+                  iter sleep rest
+                end
+                else if st.w_paths + st.w_truncated >= max_paths then
+                  st.w_budget_hit <- true
+                else begin
+                  let child_sleep =
+                    if reduction then
+                      filter_sleep cfg sleep (Schedule.footprint cfg action)
+                    else 0
+                  in
+                  go (apply_action cfg action) (depth + 1) child_sleep
+                    (action :: rev_sched);
+                  (* the explored action joins the sleep set of its later
+                     siblings: orders that merely commute it past an
+                     independent action revisit the same trace *)
+                  iter (sleep lor abit) rest
+                end
+            in
+            iter sleep enabled
+          end
+      end
+    in
+    match go cfg depth0 sleep0 rev_sched0 with
+    | () -> B_ok
+    | exception Stop -> (
+        match !found with
+        | Some (cfg, schedule, at_leaf) ->
+          let current = Atomic.get best_cex in
+          if branch_index < current then
+            ignore (Atomic.compare_and_set best_cex current branch_index);
+          B_cex (cfg, schedule, at_leaf)
+        | None -> assert false)
+    | exception Aborted -> B_aborted
   in
-  match go cfg0 0 [] with
-  | () ->
+  let finish ~exhaustive_extra sts =
+    let paths = List.fold_left (fun a st -> a + st.w_paths) 0 sts in
+    let truncated = List.fold_left (fun a st -> a + st.w_truncated) 0 sts in
     Ok
-      { paths = !paths;
-        truncated_paths = !truncated;
-        configurations = !configurations;
-        exhaustive = !truncated = 0 && !paths + !truncated < max_paths }
-  | exception Stop ->
-    (match !counterexample with
-     | Some (cfg, schedule, at_leaf) ->
-       Counterexample { cfg; schedule; at_leaf }
-     | None -> assert false)
+      { paths;
+        truncated_paths = truncated;
+        configurations =
+          List.fold_left (fun a st -> a + st.w_configs) 0 sts;
+        expanded = List.fold_left (fun a st -> a + st.w_expanded) 0 sts;
+        dedup_hits = List.fold_left (fun a st -> a + st.w_dedup) 0 sts;
+        sleep_skips = List.fold_left (fun a st -> a + st.w_sleep) 0 sts;
+        exhaustive =
+          exhaustive_extra && truncated = 0
+          && not (List.exists (fun st -> st.w_budget_hit) sts) }
+  in
+  if domains <= 1 then begin
+    let st = new_wstate () in
+    match run_branch st ~branch_index:0 cfg0 0 0 [] with
+    | B_ok -> finish ~exhaustive_extra:true [ st ]
+    | B_cex (cfg, schedule, at_leaf) -> Counterexample { cfg; schedule; at_leaf }
+    | B_aborted -> assert false
+  end
+  else begin
+    (* Domain-parallel frontier: the root is expanded here, its branches are
+       distributed over worker domains, each with its own visited set.  The
+       root-level sleep sets are replayed deterministically per branch, so
+       the reduction is identical to the sequential one at the root.
+       Counterexample reporting is deterministic: the lowest-indexed branch
+       containing one wins, and a branch is only cancelled when a
+       lower-indexed branch has already failed. *)
+    let root_st = new_wstate () in
+    root_st.w_configs <- 1;
+    if not (invariant cfg0) then
+      Counterexample { cfg = cfg0; schedule = []; at_leaf = false }
+    else begin
+      root_st.w_expanded <- 1;
+      match enabled_of cfg0 with
+      | [] ->
+        if not (leaf_check cfg0) then
+          Counterexample { cfg = cfg0; schedule = []; at_leaf = true }
+        else begin
+          root_st.w_paths <- 1;
+          finish ~exhaustive_extra:true [ root_st ]
+        end
+      | enabled ->
+        if max_steps <= 0 then begin
+          root_st.w_truncated <- 1;
+          finish ~exhaustive_extra:true [ root_st ]
+        end
+        else begin
+          let actions = Array.of_list enabled in
+          let fps =
+            Array.map (fun a -> Schedule.footprint cfg0 a) actions
+          in
+          let nb = Array.length actions in
+          (* sleep mask of branch k: every earlier branch's action that is
+             independent of action k (exactly what sequential DFS passes) *)
+          let branch_sleep k =
+            if not reduction then 0
+            else begin
+              let m = ref 0 in
+              for j = 0 to k - 1 do
+                if Schedule.independent fps.(j) fps.(k) then
+                  m := !m lor action_bit actions.(j)
+              done;
+              !m
+            end
+          in
+          let results = Array.make nb B_ok in
+          let states = Array.init nb (fun _ -> new_wstate ()) in
+          let skipped = Array.make nb false in
+          let next = Atomic.make 0 in
+          let worker () =
+            let rec loop () =
+              let k = Atomic.fetch_and_add next 1 in
+              if k < nb then begin
+                if Atomic.get best_cex < k then skipped.(k) <- true
+                else
+                  results.(k) <-
+                    run_branch states.(k) ~branch_index:k
+                      (apply_action cfg0 actions.(k))
+                      1 (branch_sleep k)
+                      [ actions.(k) ];
+                loop ()
+              end
+            in
+            loop ()
+          in
+          let nd = max 1 (min domains nb) in
+          let doms = List.init (nd - 1) (fun _ -> Domain.spawn worker) in
+          worker ();
+          List.iter Domain.join doms;
+          (* deterministic merge: lowest-indexed failing branch wins *)
+          let rec first_cex k =
+            if k >= nb then None
+            else
+              match results.(k) with
+              | B_cex (cfg, schedule, at_leaf) -> Some (cfg, schedule, at_leaf)
+              | B_ok | B_aborted -> first_cex (k + 1)
+          in
+          match first_cex 0 with
+          | Some (cfg, schedule, at_leaf) ->
+            Counterexample { cfg; schedule; at_leaf }
+          | None ->
+            let all_ran =
+              Array.for_all (fun s -> not s) skipped
+              && Array.for_all (function B_ok -> true | _ -> false) results
+            in
+            finish ~exhaustive_extra:all_ran
+              (root_st :: Array.to_list states)
+        end
+    end
+  end

@@ -1,24 +1,69 @@
-(** Exhaustive exploration of schedules for small instances.
+(** Exploration engine: exhaustive and reduced schedule checking for small
+    instances.
 
-    Random workloads sample the schedule space; for small systems this
-    module enumerates it completely: at every configuration each enabled
-    action (step a running process, or start the next call of a process
-    with calls remaining) is explored.  An invariant is evaluated at every
-    visited configuration, and a leaf check at every maximal configuration
-    (no enabled actions).  The first failure is returned with the exact
-    schedule that produces it, which replays deterministically.
+    Random workloads sample the schedule space; this module enumerates it:
+    at every configuration each enabled action (step a running process, or
+    start the next call of a process with calls remaining) is explored.  An
+    invariant is evaluated at every visited configuration, and a leaf check
+    at every maximal configuration (no enabled actions).  The first failure
+    is returned with the exact schedule that produces it, which replays
+    deterministically.
+
+    On top of the plain DFS the engine layers three accelerations, all on by
+    default and all preserving verdicts:
+
+    - {b state deduplication} ([dedup]): configurations are canonically
+      fingerprinted ({!Sim.fingerprint}: registers, continuation identities,
+      call counts, history) and a configuration reached again by a different
+      interleaving is not re-expanded — unless the new visit has more
+      remaining depth budget or a smaller sleep set than every previous
+      visit, in which case it is re-expanded so that no state or transition
+      within bounds is lost.
+
+    - {b independence reduction} ([reduction]): a sleep-set partial-order
+      reduction.  When two enabled actions have independent footprints
+      ({!Schedule.independent} — e.g. they touch disjoint registers), only
+      one of the two orders is explored; the commuted order provably reaches
+      the same configuration.  Sleep sets never lose reachable
+      configurations, so invariant and leaf verdicts are preserved exactly.
+
+    - {b domain parallelism} ([domains]): root-level branches are spread
+      over worker domains (dynamic work stealing via an atomic counter),
+      each with its own visited set.  Counterexample reporting stays
+      deterministic: the branch with the lowest root-action index wins, and
+      a branch is cancelled only when a lower-indexed branch already found a
+      counterexample.  Each branch gets its own [max_paths] budget, and
+      [invariant]/[leaf_check] must be safe to call from several domains
+      (pure functions are).  Statistics (but never verdicts) can vary run to
+      run in parallel mode when a counterexample triggers cancellation.
 
     Programs with unbounded wait loops (e.g., mutual exclusion) generate
     infinitely deep schedules; [max_steps] truncates each path, and
     truncated paths are reported separately (their prefixes still went
     through the invariant).  [max_paths] bounds the total enumeration so
     callers can run partial sweeps of larger instances honestly: the result
-    says whether the enumeration was exhaustive. *)
+    says whether the enumeration was exhaustive.
+
+    Caveats of deduplication: fingerprints are 62-bit hashes, so a
+    colliding pair of distinct configurations would wrongly merge (the
+    probability is about [k^2 / 2^63] for [k] distinct states — negligible
+    at model-checking scales, and [~dedup:false] restores the exact
+    search).  The invariant and leaf check should depend only on what the
+    fingerprint observes (registers, process states, call counts, history,
+    results) — not on path-dependent telemetry such as {!Sim.steps} or
+    {!Sim.written_set}. *)
 
 type stats = {
   paths : int;  (** maximal (leaf) paths fully explored *)
   truncated_paths : int;  (** paths cut by [max_steps] *)
-  configurations : int;  (** total configurations visited *)
+  configurations : int;
+      (** total configuration visits, including visits pruned by
+          deduplication *)
+  expanded : int;
+      (** configurations actually expanded (visits minus dedup prunes): the
+          measure of work the accelerations save *)
+  dedup_hits : int;  (** visits answered by the visited set *)
+  sleep_skips : int;  (** transitions skipped by the independence rule *)
   exhaustive : bool;  (** no budget was hit *)
 }
 
@@ -33,13 +78,19 @@ type ('v, 'r) outcome =
 val explore :
   ?max_steps:int ->
   ?max_paths:int ->
+  ?dedup:bool ->
+  ?reduction:bool ->
+  ?domains:int ->
   supplier:('v, 'r) Schedule.supplier ->
   calls_per_proc:int array ->
   ?invariant:(('v, 'r) Sim.t -> bool) ->
   ?leaf_check:(('v, 'r) Sim.t -> bool) ->
   ('v, 'r) Sim.t ->
   ('v, 'r) outcome
-(** Defaults: [max_steps = 200], [max_paths = 1_000_000], both checks
-    accept everything.  The invariant runs on every configuration including
-    the initial one; the leaf check runs on configurations where no action
-    is enabled (all calls performed and everything quiescent). *)
+(** Defaults: [max_steps = 200], [max_paths = 1_000_000], [dedup = true],
+    [reduction = true], [domains = 1] (sequential), both checks accept
+    everything.  The invariant runs on every configuration including the
+    initial one; the leaf check runs on configurations where no action is
+    enabled (all calls performed and everything quiescent).
+    [~dedup:false ~reduction:false] is the exact naive DFS (the engine-v1
+    baseline used for differential testing and benchmarking). *)

@@ -15,21 +15,59 @@ let create (type v r)
   (v, r) Sim.t =
   Sim.create ~n ~num_regs:(O.num_registers ~n) ~init:(O.init_value ~n)
 
+let programs supplier ~n =
+  Array.init n (fun pid -> fun ~call -> supplier ~pid ~call)
+
+let apply_action supplier cfg action =
+  match action with
+  | Invoke pid ->
+    Sim.invoke cfg ~pid ~program:(fun ~call -> supplier ~pid ~call)
+  | Step pid -> Sim.step cfg pid
+  | Crash pid -> Sim.crash cfg pid
+
 let apply supplier cfg actions =
+  (* Build each process's program closure at most once per replay instead of
+     once per action; replays inside adversary and DFS inner loops apply
+     thousands of actions over the same few processes. *)
+  let progs = lazy (programs supplier ~n:(Sim.n cfg)) in
   List.fold_left
     (fun cfg action ->
        match action with
-       | Invoke pid ->
-         Sim.invoke cfg ~pid ~program:(fun ~call -> supplier ~pid ~call)
+       | Invoke pid -> Sim.invoke cfg ~pid ~program:(Lazy.force progs).(pid)
        | Step pid -> Sim.step cfg pid
        | Crash pid -> Sim.crash cfg pid)
     cfg actions
 
 let invoke_all supplier cfg pids =
+  let progs = programs supplier ~n:(Sim.n cfg) in
   List.fold_left
-    (fun cfg pid ->
-       Sim.invoke cfg ~pid ~program:(fun ~call -> supplier ~pid ~call))
+    (fun cfg pid -> Sim.invoke cfg ~pid ~program:progs.(pid))
     cfg pids
+
+type footprint =
+  | F_read of int
+  | F_write of int
+  | F_hist
+  | F_none
+
+let footprint cfg action =
+  match action with
+  | Invoke _ | Crash _ -> F_hist
+  | Step pid -> (
+      match Sim.poised cfg pid with
+      | Sim.P_read r -> F_read r
+      | Sim.P_write (r, _) | Sim.P_swap (r, _) -> F_write r
+      | Sim.P_respond -> F_hist
+      | Sim.P_idle | Sim.P_crashed -> F_none)
+
+let independent a b =
+  match a, b with
+  | F_none, _ | _, F_none -> true
+  | F_hist, F_hist -> false
+  | F_hist, (F_read _ | F_write _) | (F_read _ | F_write _), F_hist -> true
+  | F_read _, F_read _ -> true
+  | F_read r, F_write w | F_write w, F_read r -> r <> w
+  | F_write r, F_write w -> r <> w
 
 let run_round_robin ~fuel cfg =
   let rec go fuel cfg =

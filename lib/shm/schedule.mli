@@ -23,7 +23,39 @@ val create :
 (** Initial configuration sized for the given object. *)
 
 val apply : ('v, 'r) supplier -> ('v, 'r) Sim.t -> action list -> ('v, 'r) Sim.t
-(** Replays a scripted schedule. *)
+(** Replays a scripted schedule.  Program closures are constructed at most
+    once per process per replay, not once per action. *)
+
+val apply_action :
+  ('v, 'r) supplier -> ('v, 'r) Sim.t -> action -> ('v, 'r) Sim.t
+(** [apply supplier cfg [a]] without the list; for replay inner loops. *)
+
+val programs :
+  ('v, 'r) supplier -> n:int -> (call:int -> ('v, 'r) Prog.t) array
+(** [programs supplier ~n] hoists the per-process program closures out of a
+    driver's inner loop: [(programs s ~n).(pid) ~call = s ~pid ~call]. *)
+
+type footprint =
+  | F_read of int  (** next step reads that register *)
+  | F_write of int  (** next step writes (or swaps) that register *)
+  | F_hist  (** touches the invocation/response history (invoke, respond,
+                crash): ordered against every other history toucher *)
+  | F_none  (** no effect (stepping an idle/crashed process is an error,
+                but such an action is never enabled) *)
+
+val footprint : ('v, 'r) Sim.t -> action -> footprint
+(** The shared state the action touches when taken from [cfg], derivable
+    from the pending {!Prog} operation of the process it names. *)
+
+val independent : footprint -> footprint -> bool
+(** Actions of {e distinct} processes with independent footprints commute:
+    applying them in either order from the same configuration yields equal
+    configurations (equal up to {!Sim.fingerprint}, including histories and
+    results), and neither enables or disables the other.  Reads of the same
+    register commute; a write conflicts with any access to its register;
+    history events conflict with each other (their order is observable in
+    the history).  This is the independence relation used by the partial
+    -order reduction in {!Explore}. *)
 
 val invoke_all :
   ('v, 'r) supplier -> ('v, 'r) Sim.t -> int list -> ('v, 'r) Sim.t

@@ -14,7 +14,24 @@ type ('v, 'r) t = {
   writes : int;
   reg_written : bool array;
   reg_read : bool array;
+  (* Incremental fingerprint support (see {!fingerprint}).  [proc_sig.(p)]
+     identifies the continuation of [p]'s call in progress: programs are
+     deterministic in [(pid, call)] and the sequence of values their shared
+     -memory operations returned, so hashing that sequence identifies the
+     closure without inspecting it.  [hist_sig] hashes the sequence of
+     invocation/response events together with response values, so equal
+     fingerprints also mean equal histories and result lists (up to hash
+     collisions). *)
+  proc_sig : int array;
+  hist_sig : int;
 }
+
+(* FNV-style mixing; [vhash] bounds the traversal generously so that values
+   such as length-n vectors still hash with full fidelity at model-checking
+   scales. *)
+let mix h k = (h * 0x01000193) lxor k
+
+let vhash v = Hashtbl.hash_param 256 256 v
 
 type 'v poised =
   | P_idle
@@ -36,7 +53,9 @@ let of_regs ~n ~regs =
     steps = 0;
     writes = 0;
     reg_written = Array.make num_regs false;
-    reg_read = Array.make num_regs false }
+    reg_read = Array.make num_regs false;
+    proc_sig = Array.make n 0;
+    hist_sig = 0 }
 
 let create ~n ~num_regs ~init =
   if num_regs < 0 then invalid_arg "Sim.create: num_regs must be >= 0";
@@ -82,7 +101,12 @@ let invoke cfg ~pid ~program =
   let calls = Array.copy cfg.calls in
   procs.(pid) <- Running (program ~call);
   calls.(pid) <- call + 1;
-  { cfg with procs; calls; hist = History.invoke cfg.hist ~pid ~call }
+  let proc_sig = Array.copy cfg.proc_sig in
+  proc_sig.(pid) <- mix (mix 0x5bd1 pid) call;
+  { cfg with
+    procs; calls; proc_sig;
+    hist_sig = mix cfg.hist_sig (vhash (0, pid, call));
+    hist = History.invoke cfg.hist ~pid ~call }
 
 let step cfg pid =
   check_pid cfg pid;
@@ -91,29 +115,34 @@ let step cfg pid =
   | Crashed _ -> invalid_arg "Sim.step: process has crashed"
   | Running p ->
     let procs = Array.copy cfg.procs in
+    let proc_sig = Array.copy cfg.proc_sig in
     (match p with
      | Prog.Done res ->
        let call = cfg.calls.(pid) - 1 in
        procs.(pid) <- Idle;
+       proc_sig.(pid) <- 0;
        let op : History.op = { pid; call } in
        { cfg with
-         procs;
+         procs; proc_sig;
          rev_results = (op, res) :: cfg.rev_results;
          hist = History.respond cfg.hist ~pid ~call;
+         hist_sig = mix (mix cfg.hist_sig (vhash (1, pid, call))) (vhash res);
          steps = cfg.steps + 1 }
      | Prog.Read (r, k) ->
        procs.(pid) <- Running (k cfg.regs.(r));
+       proc_sig.(pid) <- mix (mix proc_sig.(pid) 1) (vhash cfg.regs.(r));
        let reg_read = Array.copy cfg.reg_read in
        reg_read.(r) <- true;
-       { cfg with procs; reg_read; steps = cfg.steps + 1 }
+       { cfg with procs; proc_sig; reg_read; steps = cfg.steps + 1 }
      | Prog.Write (r, v, k) ->
        let regs = Array.copy cfg.regs in
        regs.(r) <- v;
        procs.(pid) <- Running (k ());
+       proc_sig.(pid) <- mix proc_sig.(pid) 2;
        let reg_written = Array.copy cfg.reg_written in
        reg_written.(r) <- true;
        { cfg with
-         procs; regs; reg_written;
+         procs; proc_sig; regs; reg_written;
          steps = cfg.steps + 1;
          writes = cfg.writes + 1 }
      | Prog.Swap (r, v, k) ->
@@ -121,10 +150,11 @@ let step cfg pid =
        let regs = Array.copy cfg.regs in
        regs.(r) <- v;
        procs.(pid) <- Running (k old);
+       proc_sig.(pid) <- mix (mix proc_sig.(pid) 3) (vhash old);
        let reg_written = Array.copy cfg.reg_written in
        reg_written.(r) <- true;
        { cfg with
-         procs; regs; reg_written;
+         procs; proc_sig; regs; reg_written;
          steps = cfg.steps + 1;
          writes = cfg.writes + 1 })
 
@@ -133,7 +163,11 @@ let crash cfg pid =
   let procs = Array.copy cfg.procs in
   let mid_call = match cfg.procs.(pid) with Running _ -> true | _ -> false in
   procs.(pid) <- Crashed mid_call;
-  { cfg with procs }
+  (* A crashed process never steps again, so where exactly it died inside its
+     call is irrelevant to future behaviour: canonicalize its signature. *)
+  let proc_sig = Array.copy cfg.proc_sig in
+  proc_sig.(pid) <- 0;
+  { cfg with procs; proc_sig }
 
 let is_quiescent cfg =
   Array.for_all
@@ -203,6 +237,21 @@ let set_to_list flags =
 let written_set cfg = set_to_list cfg.reg_written
 
 let read_set cfg = set_to_list cfg.reg_read
+
+let fingerprint cfg =
+  let h = ref (mix 0x811c9dc5 cfg.n) in
+  Array.iter (fun v -> h := mix !h (vhash v)) cfg.regs;
+  for pid = 0 to cfg.n - 1 do
+    let tag =
+      match cfg.procs.(pid) with
+      | Idle -> 1
+      | Crashed false -> 2
+      | Crashed true -> 3
+      | Running _ -> 4
+    in
+    h := mix (mix (mix !h tag) cfg.proc_sig.(pid)) cfg.calls.(pid)
+  done;
+  mix !h cfg.hist_sig
 
 let touched_count cfg =
   let count = ref 0 in

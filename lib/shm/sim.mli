@@ -113,3 +113,18 @@ val read_set : ('v, 'r) t -> int list
 val touched_count : ('v, 'r) t -> int
 (** Number of distinct registers ever read or written: the space actually
     used by the execution. *)
+
+val fingerprint : ('v, 'r) t -> int
+(** A hash identifying the configuration up to future behaviour: register
+    contents, per-process status and call counts, the identity of every
+    suspended continuation (derived incrementally from [(pid, call)] and the
+    values its operations returned — programs are deterministic, so this
+    pins down the closure), and the invocation/response history including
+    response values.  Two executions reaching configurations with equal
+    fingerprints are indistinguishable to any observer of registers,
+    process states, histories or results — the basis of state
+    deduplication in {!Explore}.  Deliberately {e not} included: the step
+    and write counters and the touched-register telemetry, which depend on
+    the path taken rather than on future behaviour.  Equality is up to hash
+    collisions (62-bit fingerprints; see DESIGN.md for the collision
+    budget). *)

@@ -35,4 +35,4 @@ The long-lived covering construction reaches a (3,k)-configuration.
 Exhaustive exploration of a tiny instance verifies every schedule.
 
   $ ts_cli explore -i simple-oneshot -n 2
-  simple-oneshot n=2 calls=1: EXHAUSTIVELY VERIFIED over 70 complete schedules (251 configurations visited, 0 truncated paths)
+  simple-oneshot n=2 calls=1: EXHAUSTIVELY VERIFIED over 14 complete schedules (81 configurations expanded, 4 dedup hits, 18 sleep-set skips, 0 truncated paths)

@@ -14,6 +14,7 @@ let () =
       Test_adversary.suite;
       Test_ablation.suite;
       Test_explore.suite;
+      Test_explore_v2.suite;
       Test_bounded.suite;
       Test_swap.suite;
       Test_k_exclusion.suite;
