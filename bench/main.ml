@@ -501,42 +501,67 @@ let e10_explore_engine () =
          (base.e_seconds /. max 1e-9 par.e_seconds)
          domains)
     results;
-  (* machine-readable record for CI trend tracking *)
-  let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n  \"experiment\": \"E10-explore-engine\",\n";
-  Buffer.add_string buf
-    (Printf.sprintf "  \"domains\": %d,\n  \"fast\": %b,\n  \"workloads\": [\n"
-       domains fast);
-  List.iteri
-    (fun i (name, n, calls, samples) ->
-       Buffer.add_string buf
-         (Printf.sprintf "    {\"name\": %S, \"n\": %d, \"calls\": %d, \
-                          \"engines\": {" name n calls);
-       List.iteri
-         (fun j s ->
-            Buffer.add_string buf
-              (Printf.sprintf
-                 "%s\"%s\": {\"expanded\": %d, \"configurations\": %d, \
-                  \"dedup_hits\": %d, \"sleep_skips\": %d, \"paths\": %d, \
-                  \"seconds\": %.6f, \"configs_per_sec\": %.0f}"
-                 (if j = 0 then "" else ", ")
-                 s.e_label s.e_expanded s.e_configs s.e_dedup s.e_sleep
-                 s.e_paths s.e_seconds
-                 (float_of_int s.e_configs /. max 1e-9 s.e_seconds)))
-         samples;
-       let find l = List.find (fun s -> s.e_label = l) samples in
-       Buffer.add_string buf
-         (Printf.sprintf
-            "}, \"expanded_reduction\": %.2f}%s\n"
-            (float_of_int (find "baseline").e_expanded
-             /. float_of_int (max 1 (find "reduced").e_expanded))
-            (if i = List.length results - 1 then "" else ","));
-    )
-    results;
-  Buffer.add_string buf "  ]\n}\n";
+  (* Machine-readable record for CI trend tracking, built with the shared
+     Obs.Json printer (written in fast and full mode alike). *)
+  let sample_json s : Obs.Json.t =
+    Obs.Json.Obj
+      [ ("expanded", Obs.Json.Int s.e_expanded);
+        ("configurations", Obs.Json.Int s.e_configs);
+        ("dedup_hits", Obs.Json.Int s.e_dedup);
+        ("sleep_skips", Obs.Json.Int s.e_sleep);
+        ("paths", Obs.Json.Int s.e_paths);
+        ("seconds", Obs.Json.Float s.e_seconds);
+        ("configs_per_sec",
+         Obs.Json.Float (float_of_int s.e_configs /. max 1e-9 s.e_seconds)) ]
+  in
+  let workload_json (name, n, calls, samples) : Obs.Json.t =
+    let find l = List.find (fun s -> s.e_label = l) samples in
+    Obs.Json.Obj
+      [ ("name", Obs.Json.String name);
+        ("n", Obs.Json.Int n);
+        ("calls", Obs.Json.Int calls);
+        ("engines",
+         Obs.Json.Obj (List.map (fun s -> (s.e_label, sample_json s)) samples));
+        ("expanded_reduction",
+         Obs.Json.Float
+           (float_of_int (find "baseline").e_expanded
+            /. float_of_int (max 1 (find "reduced").e_expanded))) ]
+  in
+  let doc =
+    Obs.Json.Obj
+      [ ("schema_version", Obs.Json.Int Obs.Metric.schema_version);
+        ("experiment", Obs.Json.String "E10-explore-engine");
+        ("domains", Obs.Json.Int domains);
+        ("fast", Obs.Json.Bool fast);
+        ("workloads", Obs.Json.List (List.map workload_json results)) ]
+  in
   Out_channel.with_open_text "BENCH_explore.json" (fun oc ->
-      Out_channel.output_string oc (Buffer.contents buf));
-  Printf.printf "\n(wrote BENCH_explore.json)\n"
+      Out_channel.output_string oc (Obs.Json.pretty_to_string doc);
+      Out_channel.output_char oc '\n');
+  Printf.printf "\n(wrote BENCH_explore.json)\n";
+  (* flat metrics sidecar of the same numbers, one metric per line *)
+  let reg = Obs.Metric.registry ~name:"bench.e10" () in
+  List.iter
+    (fun (name, _, _, samples) ->
+       List.iter
+         (fun s ->
+            let metric suffix = name ^ "." ^ s.e_label ^ "." ^ suffix in
+            Obs.Metric.add
+              (Obs.Metric.counter reg (metric "expanded"))
+              s.e_expanded;
+            Obs.Metric.add
+              (Obs.Metric.counter reg (metric "dedup_hits"))
+              s.e_dedup;
+            Obs.Metric.add
+              (Obs.Metric.counter reg (metric "sleep_skips"))
+              s.e_sleep;
+            Obs.Metric.set
+              (Obs.Metric.gauge reg (metric "seconds"))
+              s.e_seconds)
+         samples)
+    results;
+  Obs.Metric.write_jsonl_file reg "BENCH_explore_metrics.jsonl";
+  Printf.printf "(wrote BENCH_explore_metrics.jsonl)\n"
 
 (* ------------------------------------------------------------------ *)
 (* EA: ablation of the Algorithm-4 repair rule (Section 6.1)            *)

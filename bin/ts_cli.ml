@@ -43,6 +43,93 @@ let calls_arg =
         ~doc:"getTS calls per process (long-lived objects only).")
 
 (* ------------------------------------------------------------------ *)
+(* Instrumentation plumbing.  [--metrics-out] / [--trace-out] attach the
+   Obs sinks around a whole command; with neither flag (and no [~force])
+   the hooks stay disarmed and the command runs uninstrumented. *)
+
+type obs_out = { metrics_out : string option; trace_out : string option }
+
+let obs_out_term =
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics-out" ] ~docv:"FILE"
+          ~doc:"Write run metrics as JSONL (one metric per line) to $(docv).")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-out" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace-event file (load it in chrome://tracing \
+             or Perfetto) to $(docv).")
+  in
+  Term.(
+    const (fun metrics_out trace_out -> { metrics_out; trace_out })
+    $ metrics $ trace)
+
+type obs_ctx = {
+  registry : Obs.Metric.registry;
+  collector : Obs.Collector.t;
+  trace : Obs.Trace.t;
+}
+
+(* Runs [f] with the sinks installed (collector + metrics registry + trace),
+   then flushes the sidecar files and calls [after] for command-specific
+   reporting.  [f] receives [Some ctx] to record extra metrics of its own. *)
+let with_obs ?(force = false) ?(after = fun _ -> ()) out f =
+  match force, out.metrics_out, out.trace_out with
+  | false, None, None -> f None
+  | _ ->
+    let registry = Obs.Metric.registry ~name:"ts_cli" () in
+    let collector = Obs.Collector.create () in
+    let trace = Obs.Trace.create ~process_name:"ts_cli" () in
+    let ctx = { registry; collector; trace } in
+    let hooks =
+      Obs.Hooks.combine
+        [ Obs.Collector.hooks collector;
+          Obs.Hooks.metrics_hooks registry;
+          Obs.Trace.hooks trace ]
+    in
+    let result = Obs.Hooks.with_hooks hooks (fun () -> f (Some ctx)) in
+    Obs.Collector.fill_registry collector registry;
+    Option.iter (Obs.Metric.write_jsonl_file registry) out.metrics_out;
+    Option.iter (Obs.Trace.write_file trace) out.trace_out;
+    after ctx;
+    result
+
+let validate_json_file path =
+  let read_all path =
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
+  match read_all path with
+  | exception Sys_error e ->
+    Printf.eprintf "%s: %s\n" path e;
+    false
+  | contents ->
+    if Filename.check_suffix path ".jsonl" then (
+      match Obs.Json.of_lines contents with
+      | Ok docs ->
+        Printf.printf "%s: OK (%d JSONL documents)\n" path (List.length docs);
+        true
+      | Error e ->
+        Printf.eprintf "%s: INVALID: %s\n" path e;
+        false)
+    else
+      match Obs.Json.of_string contents with
+      | Ok _ ->
+        Printf.printf "%s: OK (valid JSON)\n" path;
+        true
+      | Error e ->
+        Printf.eprintf "%s: INVALID: %s\n" path e;
+        false
+
+(* ------------------------------------------------------------------ *)
 
 let list_cmd =
   let run () =
@@ -63,7 +150,8 @@ let list_cmd =
     Term.(const run $ const ())
 
 let run_cmd =
-  let run impl n seed calls =
+  let run impl n seed calls out =
+    with_obs out @@ fun _ ->
     let (Timestamp.Registry.Impl (module T)) = impl in
     let module H = Timestamp.Harness.Make (T) in
     let cfg = H.run_random ~invoke_prob:0.05 ~calls ~n ~seed () in
@@ -85,7 +173,7 @@ let run_cmd =
   Cmd.v
     (Cmd.info "run"
        ~doc:"Run a random workload on an implementation and check it.")
-    Term.(const run $ impl_arg $ n_arg $ seed_arg $ calls_arg)
+    Term.(const run $ impl_arg $ n_arg $ seed_arg $ calls_arg $ obs_out_term)
 
 let adversary_oneshot_cmd =
   let run impl n grid verbose =
@@ -239,55 +327,97 @@ let claims_cmd =
     Term.(const run $ n_arg $ m_arg $ seed_arg)
 
 let stress_cmd =
-  let run impl n calls =
-    let (Timestamp.Registry.Impl (module T)) = impl in
-    let module S = Multicore.Stress.Make (T) in
-    match S.run_and_check ~n ~calls with
-    | Ok pairs ->
-      Printf.printf "%s: %d domains x %d calls OK (%d ordered pairs checked)\n"
-        T.name n
-        (match T.kind with `One_shot -> 1 | `Long_lived -> calls)
-        pairs
-    | Error e ->
-      Printf.eprintf "VIOLATION: %s\n" e;
-      exit 1
+  let run impl n calls out =
+    let rc =
+      with_obs out @@ fun _ ->
+      let (Timestamp.Registry.Impl (module T)) = impl in
+      let module S = Multicore.Stress.Make (T) in
+      match S.run_and_check ~n ~calls with
+      | Ok pairs ->
+        Printf.printf
+          "%s: %d domains x %d calls OK (%d ordered pairs checked)\n" T.name n
+          (match T.kind with `One_shot -> 1 | `Long_lived -> calls)
+          pairs;
+        0
+      | Error e ->
+        Printf.eprintf "VIOLATION: %s\n" e;
+        1
+    in
+    if rc <> 0 then exit rc
   in
   Cmd.v
     (Cmd.info "stress"
        ~doc:"Run the implementation on real domains and check it.")
-    Term.(const run $ impl_arg $ n_arg $ calls_arg)
+    Term.(const run $ impl_arg $ n_arg $ calls_arg $ obs_out_term)
 
 let explore_cmd =
-  let run impl n calls max_paths max_steps parallel no_dedup no_reduction =
-    let (Timestamp.Registry.Impl (module T)) = impl in
-    let supplier ~pid ~call = T.program ~n ~pid ~call in
-    let cfg =
-      Shm.Sim.create ~n ~num_regs:(T.num_registers ~n) ~init:(T.init_value ~n)
+  let run impl n calls max_paths max_steps parallel no_dedup no_reduction out
+    =
+    let rc =
+      with_obs out @@ fun ctx ->
+      let (Timestamp.Registry.Impl (module T)) = impl in
+      let supplier ~pid ~call = T.program ~n ~pid ~call in
+      let cfg =
+        Shm.Sim.create ~n ~num_regs:(T.num_registers ~n)
+          ~init:(T.init_value ~n)
+      in
+      let calls = match T.kind with `One_shot -> 1 | `Long_lived -> calls in
+      let domains =
+        if parallel then Domain.recommended_domain_count () else 1
+      in
+      match
+        Shm.Explore.explore ~max_steps ~max_paths ~dedup:(not no_dedup)
+          ~reduction:(not no_reduction) ~domains ~supplier
+          ~calls_per_proc:(Array.make n calls)
+          ~leaf_check:(fun cfg ->
+              Result.is_ok (Timestamp.Checker.check_sim (module T) cfg))
+          cfg
+      with
+      | Shm.Explore.Ok stats ->
+        Printf.printf
+          "%s n=%d calls=%d: %s over %d complete schedules (%d configurations \
+           expanded, %d dedup hits, %d sleep-set skips, %d truncated paths%s)\n"
+          T.name n calls
+          (if stats.exhaustive then "EXHAUSTIVELY VERIFIED" else "verified")
+          stats.paths stats.expanded stats.dedup_hits stats.sleep_skips
+          stats.truncated_paths
+          (if domains > 1 then Printf.sprintf ", %d domains" domains else "");
+        (* Per-worker-domain breakdown: work stolen, dedup and sleep-set
+           pruning, busy time.  Only under --parallel; the single-domain
+           line above is pinned byte-for-byte by test/cli.t. *)
+        if domains > 1 then begin
+          Printf.printf "  %.3fs wall, %.0f configurations expanded/s\n"
+            stats.seconds
+            (float_of_int stats.expanded /. Float.max stats.seconds 1e-9);
+          Array.iteri
+            (fun i (d : Shm.Explore.domain_stats) ->
+               Printf.printf
+                 "  domain %d: %d branches, %d expanded, %d dedup hits, %d \
+                  sleep-set skips, %.3fs busy\n"
+                 i d.d_branches d.d_expanded d.d_dedup_hits d.d_sleep_skips
+                 d.d_seconds)
+            stats.per_domain
+        end;
+        Option.iter
+          (fun ctx ->
+             let g name v = Obs.Metric.set (Obs.Metric.gauge ctx.registry name) v in
+             g "explore.seconds" stats.seconds;
+             g "explore.expanded_per_sec"
+               (float_of_int stats.expanded /. Float.max stats.seconds 1e-9);
+             g "explore.dedup_hit_rate"
+               (float_of_int stats.dedup_hits
+                /. float_of_int (max 1 stats.configurations));
+             g "explore.sleep_skips" (float_of_int stats.sleep_skips);
+             g "explore.domains" (float_of_int domains))
+          ctx;
+        0
+      | Shm.Explore.Counterexample { schedule; _ } ->
+        Printf.printf "%s n=%d: COUNTEREXAMPLE, schedule of %d actions:\n"
+          T.name n (List.length schedule);
+        print_string (Shm.Trace.render ~supplier cfg schedule);
+        1
     in
-    let calls = match T.kind with `One_shot -> 1 | `Long_lived -> calls in
-    let domains = if parallel then Domain.recommended_domain_count () else 1 in
-    match
-      Shm.Explore.explore ~max_steps ~max_paths ~dedup:(not no_dedup)
-        ~reduction:(not no_reduction) ~domains ~supplier
-        ~calls_per_proc:(Array.make n calls)
-        ~leaf_check:(fun cfg ->
-            Result.is_ok (Timestamp.Checker.check_sim (module T) cfg))
-        cfg
-    with
-    | Shm.Explore.Ok stats ->
-      Printf.printf
-        "%s n=%d calls=%d: %s over %d complete schedules (%d configurations \
-         expanded, %d dedup hits, %d sleep-set skips, %d truncated paths%s)\n"
-        T.name n calls
-        (if stats.exhaustive then "EXHAUSTIVELY VERIFIED" else "verified")
-        stats.paths stats.expanded stats.dedup_hits stats.sleep_skips
-        stats.truncated_paths
-        (if domains > 1 then Printf.sprintf ", %d domains" domains else "")
-    | Shm.Explore.Counterexample { schedule; _ } ->
-      Printf.printf "%s n=%d: COUNTEREXAMPLE, schedule of %d actions:\n"
-        T.name n (List.length schedule);
-      print_string (Shm.Trace.render ~supplier cfg schedule);
-      exit 1
+    if rc <> 0 then exit rc
   in
   let max_paths =
     Arg.(
@@ -328,7 +458,55 @@ let explore_cmd =
           check the specification on each.")
     Term.(
       const run $ impl_arg $ n_arg $ calls_arg $ max_paths $ max_steps
-      $ parallel $ no_dedup $ no_reduction)
+      $ parallel $ no_dedup $ no_reduction $ obs_out_term)
+
+let obs_cmd =
+  let run impl n seed calls validate out =
+    if validate <> [] then begin
+      if not (List.for_all validate_json_file validate) then exit 1
+    end
+    else begin
+      let (Timestamp.Registry.Impl (module T)) = impl in
+      let module H = Timestamp.Harness.Make (T) in
+      let calls = match T.kind with `One_shot -> 1 | `Long_lived -> calls in
+      with_obs ~force:true
+        ~after:(fun ctx ->
+            Printf.printf "\nregister heatmap:\n";
+            Format.printf "%a" Obs.Collector.pp_heatmap ctx.collector;
+            Printf.printf "\nmetrics:\n";
+            Format.printf "%a@?" Obs.Metric.pp_table ctx.registry)
+        out
+        (fun _ ->
+           let cfg = H.run_random ~invoke_prob:0.05 ~calls ~n ~seed () in
+           Printf.printf "implementation: %s   n=%d seed=%d calls=%d\n" T.name
+             n seed calls;
+           match H.check cfg with
+           | Ok pairs ->
+             Printf.printf "compare-consistency: OK (%d ordered pairs)\n"
+               pairs
+           | Error v ->
+             Printf.printf "VIOLATION: %s\n"
+               (Format.asprintf "%a" Timestamp.Checker.pp_violation v))
+    end
+  in
+  let validate =
+    Arg.(
+      value
+      & opt_all string []
+      & info [ "validate" ] ~docv:"FILE"
+          ~doc:
+            "Instead of running a workload, parse $(docv) as JSON (or JSONL \
+             when it ends in .jsonl) and fail on any syntax error.  \
+             Repeatable; used by ci.sh to check the emitted sidecars.")
+  in
+  Cmd.v
+    (Cmd.info "obs"
+       ~doc:
+         "Run an instrumented workload and print the register heatmap and \
+          metrics table (write sidecars with --metrics-out/--trace-out).")
+    Term.(
+      const run $ impl_arg $ n_arg $ seed_arg $ calls_arg $ validate
+      $ obs_out_term)
 
 let distributed_cmd =
   let run impl n replicas ncrashed seed =
@@ -419,4 +597,4 @@ let () =
        (Cmd.group
           (Cmd.info "ts_cli" ~version:"1.0.0" ~doc)
           [ list_cmd; run_cmd; adversary_cmd; figure_cmd; claims_cmd;
-            stress_cmd; clocks_cmd; explore_cmd; distributed_cmd ]))
+            stress_cmd; clocks_cmd; explore_cmd; distributed_cmd; obs_cmd ]))

@@ -14,4 +14,10 @@ dune runtest
 echo "== bench --fast =="
 dune exec bench/main.exe -- --fast
 
+echo "== obs smoke: instrumented run + sidecar validation =="
+dune exec bin/ts_cli.exe -- obs --impl efr-longlived -n 8 \
+  --trace-out /tmp/trace.json --metrics-out /tmp/m.jsonl
+dune exec bin/ts_cli.exe -- obs \
+  --validate /tmp/trace.json --validate /tmp/m.jsonl
+
 echo "== ci.sh: all green =="

@@ -22,6 +22,7 @@ module Make (T : Intf.S) = struct
      calls (see {!Shm.Schedule.run_workload}). *)
   let run_random ?invoke_prob ?(crash_prob = 0.) ?(max_crashes = 0) ?calls ~n
       ~seed () : cfg =
+    Obs.Hooks.with_span "harness.run_random" @@ fun () ->
     let calls = Option.value calls ~default:(default_calls ~n) in
     let rand = Random.State.make [| seed; n; calls |] in
     let cfg = create ~n in
@@ -39,6 +40,7 @@ module Make (T : Intf.S) = struct
      objects get a rich happens-before relation while calls within a wave
      stay concurrent. *)
   let run_waves ?(wave_size = 2) ~n ~seed () : cfg =
+    Obs.Hooks.with_span "harness.run_waves" @@ fun () ->
     let rand = Random.State.make [| seed; n; wave_size; 77 |] in
     let sup = supplier ~n in
     let rec waves cfg pids =
@@ -63,6 +65,7 @@ module Make (T : Intf.S) = struct
 
   (* All n processes call getTS once, sequentially in pid order. *)
   let run_sequential ~n : cfg * T.result list =
+    Obs.Hooks.with_span "harness.run_sequential" @@ fun () ->
     let sup = supplier ~n in
     let cfg, rev =
       List.fold_left
@@ -84,7 +87,9 @@ module Make (T : Intf.S) = struct
     in
     (cfg, List.rev rev)
 
-  let check (cfg : cfg) = Checker.check_sim (module T) cfg
+  let check (cfg : cfg) =
+    Obs.Hooks.with_span "harness.check" @@ fun () ->
+    Checker.check_sim (module T) cfg
 
   let check_exn (cfg : cfg) =
     match check cfg with

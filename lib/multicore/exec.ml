@@ -10,6 +10,25 @@ let rec run ~regs = function
     run ~regs (k ())
   | Shm.Prog.Swap (r, v, k) -> run ~regs (k (Atomic.exchange regs.(r) v))
 
+(* Instrumented twin of [run], kept separate so the uninstrumented
+   interpreter (a benchmarked hot path) pays nothing.  Emits the same
+   telemetry events as [Shm.Sim]; real executions and simulated ones then
+   feed identical collectors. *)
+let rec run_obs ~pid ~regs = function
+  | Shm.Prog.Done x ->
+    Obs.Hooks.sim Obs.Hooks.Respond ~pid ~reg:(-1);
+    x
+  | Shm.Prog.Read (r, k) ->
+    Obs.Hooks.sim Obs.Hooks.Read ~pid ~reg:r;
+    run_obs ~pid ~regs (k (Atomic.get regs.(r)))
+  | Shm.Prog.Write (r, v, k) ->
+    Obs.Hooks.sim Obs.Hooks.Write ~pid ~reg:r;
+    Atomic.set regs.(r) v;
+    run_obs ~pid ~regs (k ())
+  | Shm.Prog.Swap (r, v, k) ->
+    Obs.Hooks.sim Obs.Hooks.Swap ~pid ~reg:r;
+    run_obs ~pid ~regs (k (Atomic.exchange regs.(r) v))
+
 let run_counting ~regs p =
   let rec go ops = function
     | Shm.Prog.Done x -> (x, ops)

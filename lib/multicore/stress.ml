@@ -13,6 +13,9 @@ module Make (T : Timestamp.Intf.S) = struct
     let regs = Exec.make_regs ~num:(T.num_registers ~n) ~init:(T.init_value ~n) in
     let tick = Atomic.make 0 in
     let ready = Atomic.make 0 in
+    (* Sampled once: the armed interpreter must not flip mid-run, and the
+       spawned domains must not read the hook installation racily. *)
+    let armed = Obs.Hooks.armed () in
     let worker pid () =
       Atomic.incr ready;
       (* Barrier: start all domains together to maximize contention. *)
@@ -22,20 +25,29 @@ module Make (T : Timestamp.Intf.S) = struct
       let rec go call acc =
         if call >= calls then List.rev acc
         else begin
+          if armed then Obs.Hooks.sim Obs.Hooks.Invoke ~pid ~reg:(-1);
           let start_tick = Atomic.get tick in
-          let ts = Exec.run ~regs (T.program ~n ~pid ~call) in
+          let ts =
+            if armed then Exec.run_obs ~pid ~regs (T.program ~n ~pid ~call)
+            else Exec.run ~regs (T.program ~n ~pid ~call)
+          in
           let end_tick = Atomic.fetch_and_add tick 1 in
           go (call + 1) ({ pid; call; start_tick; end_tick; ts } :: acc)
         end
       in
       go 0 []
     in
-    let domains = List.init n (fun pid -> Domain.spawn (worker pid)) in
+    Obs.Hooks.with_span "stress.run" @@ fun () ->
+    let domains =
+      Obs.Hooks.with_span "stress.spawn" @@ fun () ->
+      List.init n (fun pid -> Domain.spawn (worker pid))
+    in
     List.concat_map Domain.join domains
 
   (* end1 < start2 means op1's final counter bump was observed before op2
      began, which is a sound happens-before witness. *)
   let check records =
+    Obs.Hooks.with_span "stress.check" @@ fun () ->
     let exception Bad of string in
     (* Sorting by [end_tick] and scanning the other axis by [start_tick]
        turns the naive all-pairs pass into a prefix scan: for [o2] in

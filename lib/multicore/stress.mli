@@ -6,7 +6,13 @@
     fetch-and-add counter): an operation reads the counter before its first
     step and bumps it after its last, so [end1 < start2] implies the first
     operation really happened before the second.  Compare-consistency is
-    then checked exactly as in the simulator. *)
+    then checked exactly as in the simulator.
+
+    When the instrumentation layer is armed ({!Obs.Hooks.armed}), the run
+    is bracketed by ["stress.spawn"]/["stress.run"]/["stress.check"] spans
+    and each operation executes under {!Exec.run_obs}, reporting per
+    -register telemetry.  The armed flag is sampled once at the start of
+    {!Make.run}, before any domain spawns. *)
 
 module Make (T : Timestamp.Intf.S) : sig
   type op_record = {

@@ -1,0 +1,101 @@
+type sim_event =
+  | Read
+  | Write
+  | Swap
+  | Invoke
+  | Respond
+  | Crash
+
+type t = {
+  on_sim : sim_event -> pid:int -> reg:int -> unit;
+  on_span_begin : name:string -> unit;
+  on_span_end : name:string -> unit;
+  on_counter : name:string -> float -> unit;
+  on_observe : name:string -> float -> unit;
+}
+
+let noop =
+  { on_sim = (fun _ ~pid:_ ~reg:_ -> ());
+    on_span_begin = (fun ~name:_ -> ());
+    on_span_end = (fun ~name:_ -> ());
+    on_counter = (fun ~name:_ _ -> ());
+    on_observe = (fun ~name:_ _ -> ()) }
+
+let combine hs =
+  { on_sim = (fun ev ~pid ~reg -> List.iter (fun h -> h.on_sim ev ~pid ~reg) hs);
+    on_span_begin = (fun ~name -> List.iter (fun h -> h.on_span_begin ~name) hs);
+    on_span_end = (fun ~name -> List.iter (fun h -> h.on_span_end ~name) hs);
+    on_counter = (fun ~name v -> List.iter (fun h -> h.on_counter ~name v) hs);
+    on_observe = (fun ~name v -> List.iter (fun h -> h.on_observe ~name v) hs) }
+
+(* The armed flag is read unsynchronized on hot paths.  A racing install
+   from another domain may be observed late; that only delays the first few
+   events of a sink, never corrupts state (the current record is written
+   before the flag). *)
+let armed_flag = ref false
+
+let current = ref noop
+
+let install h =
+  current := h;
+  armed_flag := true
+
+let clear () =
+  armed_flag := false;
+  current := noop
+
+let armed () = !armed_flag
+
+let with_hooks h f =
+  install h;
+  Fun.protect ~finally:clear f
+
+let sim ev ~pid ~reg = if !armed_flag then !current.on_sim ev ~pid ~reg
+
+let span_begin ~name = if !armed_flag then !current.on_span_begin ~name
+
+let span_end ~name = if !armed_flag then !current.on_span_end ~name
+
+let with_span name f =
+  if not !armed_flag then f ()
+  else begin
+    !current.on_span_begin ~name;
+    Fun.protect ~finally:(fun () -> span_end ~name) f
+  end
+
+let counter ~name v = if !armed_flag then !current.on_counter ~name v
+
+let observe ~name v = if !armed_flag then !current.on_observe ~name v
+
+let sim_event_name = function
+  | Read -> "sim.reads"
+  | Write -> "sim.writes"
+  | Swap -> "sim.swaps"
+  | Invoke -> "sim.invocations"
+  | Respond -> "sim.responses"
+  | Crash -> "sim.crashes"
+
+let metrics_hooks registry =
+  (* pre-register the six sim counters so the hot path is a field increment *)
+  let cs =
+    [| Metric.counter registry (sim_event_name Read);
+       Metric.counter registry (sim_event_name Write);
+       Metric.counter registry (sim_event_name Swap);
+       Metric.counter registry (sim_event_name Invoke);
+       Metric.counter registry (sim_event_name Respond);
+       Metric.counter registry (sim_event_name Crash) |]
+  in
+  let index = function
+    | Read -> 0
+    | Write -> 1
+    | Swap -> 2
+    | Invoke -> 3
+    | Respond -> 4
+    | Crash -> 5
+  in
+  { on_sim = (fun ev ~pid:_ ~reg:_ -> Metric.incr cs.(index ev));
+    on_span_begin = (fun ~name:_ -> ());
+    on_span_end = (fun ~name:_ -> ());
+    on_counter = (fun ~name v -> Metric.set (Metric.gauge registry name) v);
+    on_observe =
+      (fun ~name v -> Metric.observe (Metric.histogram registry name) v) }

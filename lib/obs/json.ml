@@ -1,0 +1,316 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+(* ------------------------------------------------------------------ *)
+(* Serialization                                                       *)
+(* ------------------------------------------------------------------ *)
+
+let add_escaped buf s =
+  Buffer.add_char buf '"';
+  String.iter
+    (fun c ->
+       match c with
+       | '"' -> Buffer.add_string buf "\\\""
+       | '\\' -> Buffer.add_string buf "\\\\"
+       | '\n' -> Buffer.add_string buf "\\n"
+       | '\r' -> Buffer.add_string buf "\\r"
+       | '\t' -> Buffer.add_string buf "\\t"
+       | '\b' -> Buffer.add_string buf "\\b"
+       | '\012' -> Buffer.add_string buf "\\f"
+       | c when Char.code c < 0x20 ->
+         Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+       | c -> Buffer.add_char buf c)
+    s;
+  Buffer.add_char buf '"'
+
+(* JSON has no NaN/infinity literals, and a trailing '.' (OCaml's
+   [string_of_float 3. = "3."]) is invalid: normalize both. *)
+let add_float buf f =
+  if Float.is_nan f || f = Float.infinity || f = Float.neg_infinity then
+    Buffer.add_string buf "null"
+  else begin
+    let s = Printf.sprintf "%.12g" f in
+    Buffer.add_string buf s;
+    if
+      not
+        (String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s)
+    then Buffer.add_string buf ".0"
+  end
+
+let rec to_buffer buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int i -> Buffer.add_string buf (string_of_int i)
+  | Float f -> add_float buf f
+  | String s -> add_escaped buf s
+  | List xs ->
+    Buffer.add_char buf '[';
+    List.iteri
+      (fun i x ->
+         if i > 0 then Buffer.add_char buf ',';
+         to_buffer buf x)
+      xs;
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    Buffer.add_char buf '{';
+    List.iteri
+      (fun i (k, v) ->
+         if i > 0 then Buffer.add_char buf ',';
+         add_escaped buf k;
+         Buffer.add_string buf ": ";
+         to_buffer buf v)
+      fields;
+    Buffer.add_char buf '}'
+
+let to_string j =
+  let buf = Buffer.create 256 in
+  to_buffer buf j;
+  Buffer.contents buf
+
+let to_channel oc j = Out_channel.output_string oc (to_string j)
+
+let rec pretty buf indent = function
+  | (Null | Bool _ | Int _ | Float _ | String _) as j -> to_buffer buf j
+  | List [] -> Buffer.add_string buf "[]"
+  | Obj [] -> Buffer.add_string buf "{}"
+  | List xs ->
+    let pad = String.make (indent + 2) ' ' in
+    Buffer.add_string buf "[\n";
+    List.iteri
+      (fun i x ->
+         if i > 0 then Buffer.add_string buf ",\n";
+         Buffer.add_string buf pad;
+         pretty buf (indent + 2) x)
+      xs;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (String.make indent ' ');
+    Buffer.add_char buf ']'
+  | Obj fields ->
+    let pad = String.make (indent + 2) ' ' in
+    Buffer.add_string buf "{\n";
+    List.iteri
+      (fun i (k, v) ->
+         if i > 0 then Buffer.add_string buf ",\n";
+         Buffer.add_string buf pad;
+         add_escaped buf k;
+         Buffer.add_string buf ": ";
+         pretty buf (indent + 2) v)
+      fields;
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf (String.make indent ' ');
+    Buffer.add_char buf '}'
+
+let pretty_to_buffer buf j = pretty buf 0 j
+
+let pretty_to_string j =
+  let buf = Buffer.create 1024 in
+  pretty_to_buffer buf j;
+  Buffer.contents buf
+
+(* ------------------------------------------------------------------ *)
+(* Parsing (recursive descent)                                         *)
+(* ------------------------------------------------------------------ *)
+
+exception Parse_error of int * string
+
+let parse s =
+  let len = String.length s in
+  let pos = ref 0 in
+  let fail msg = raise (Parse_error (!pos, msg)) in
+  let peek () = if !pos < len then Some s.[!pos] else None in
+  let advance () = incr pos in
+  let skip_ws () =
+    while
+      !pos < len
+      && (match s.[!pos] with ' ' | '\t' | '\n' | '\r' -> true | _ -> false)
+    do
+      advance ()
+    done
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected %C" c)
+  in
+  let literal word value =
+    let l = String.length word in
+    if !pos + l <= len && String.sub s !pos l = word then begin
+      pos := !pos + l;
+      value
+    end
+    else fail (Printf.sprintf "expected %s" word)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      if !pos >= len then fail "unterminated string";
+      let c = s.[!pos] in
+      advance ();
+      match c with
+      | '"' -> Buffer.contents buf
+      | '\\' -> (
+          if !pos >= len then fail "unterminated escape";
+          let e = s.[!pos] in
+          advance ();
+          (match e with
+           | '"' -> Buffer.add_char buf '"'
+           | '\\' -> Buffer.add_char buf '\\'
+           | '/' -> Buffer.add_char buf '/'
+           | 'n' -> Buffer.add_char buf '\n'
+           | 't' -> Buffer.add_char buf '\t'
+           | 'r' -> Buffer.add_char buf '\r'
+           | 'b' -> Buffer.add_char buf '\b'
+           | 'f' -> Buffer.add_char buf '\012'
+           | 'u' ->
+             if !pos + 4 > len then fail "truncated \\u escape";
+             let hex = String.sub s !pos 4 in
+             pos := !pos + 4;
+             let code =
+               try int_of_string ("0x" ^ hex)
+               with _ -> fail "bad \\u escape"
+             in
+             (match Uchar.of_int code with
+              | u -> Buffer.add_utf_8_uchar buf u
+              | exception Invalid_argument _ -> fail "bad \\u code point")
+           | _ -> fail "bad escape character");
+          go ())
+      | c when Char.code c < 0x20 -> fail "control character in string"
+      | c ->
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ()
+  in
+  let parse_number () =
+    let start = !pos in
+    if peek () = Some '-' then advance ();
+    let is_digit () =
+      match peek () with Some ('0' .. '9') -> true | _ -> false
+    in
+    if not (is_digit ()) then fail "expected digit";
+    while is_digit () do
+      advance ()
+    done;
+    let is_float = ref false in
+    if peek () = Some '.' then begin
+      is_float := true;
+      advance ();
+      if not (is_digit ()) then fail "expected fraction digit";
+      while is_digit () do
+        advance ()
+      done
+    end;
+    (match peek () with
+     | Some ('e' | 'E') ->
+       is_float := true;
+       advance ();
+       (match peek () with Some ('+' | '-') -> advance () | _ -> ());
+       if not (is_digit ()) then fail "expected exponent digit";
+       while is_digit () do
+         advance ()
+       done
+     | _ -> ());
+    let text = String.sub s start (!pos - start) in
+    if !is_float then Float (float_of_string text)
+    else
+      match int_of_string_opt text with
+      | Some i -> Int i
+      | None -> Float (float_of_string text)
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | None -> fail "unexpected end of input"
+    | Some '"' -> String (parse_string ())
+    | Some 't' -> literal "true" (Bool true)
+    | Some 'f' -> literal "false" (Bool false)
+    | Some 'n' -> literal "null" Null
+    | Some '[' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some ']' then begin
+        advance ();
+        List []
+      end
+      else begin
+        let rec items acc =
+          let v = parse_value () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            items (v :: acc)
+          | Some ']' ->
+            advance ();
+            List.rev (v :: acc)
+          | _ -> fail "expected ',' or ']'"
+        in
+        List (items [])
+      end
+    | Some '{' ->
+      advance ();
+      skip_ws ();
+      if peek () = Some '}' then begin
+        advance ();
+        Obj []
+      end
+      else begin
+        let field () =
+          skip_ws ();
+          let k = parse_string () in
+          skip_ws ();
+          expect ':';
+          let v = parse_value () in
+          (k, v)
+        in
+        let rec fields acc =
+          let kv = field () in
+          skip_ws ();
+          match peek () with
+          | Some ',' ->
+            advance ();
+            fields (kv :: acc)
+          | Some '}' ->
+            advance ();
+            List.rev (kv :: acc)
+          | _ -> fail "expected ',' or '}'"
+        in
+        Obj (fields [])
+      end
+    | Some ('-' | '0' .. '9') -> parse_number ()
+    | Some c -> fail (Printf.sprintf "unexpected character %C" c)
+  in
+  let v = parse_value () in
+  skip_ws ();
+  if !pos <> len then fail "trailing garbage after document";
+  v
+
+let of_string s =
+  match parse s with
+  | v -> Ok v
+  | exception Parse_error (pos, msg) ->
+    Error (Printf.sprintf "JSON parse error at offset %d: %s" pos msg)
+
+let of_lines s =
+  let lines = String.split_on_char '\n' s in
+  let rec go i acc = function
+    | [] -> Ok (List.rev acc)
+    | line :: rest ->
+      if String.trim line = "" then go (i + 1) acc rest
+      else (
+        match of_string line with
+        | Ok v -> go (i + 1) (v :: acc) rest
+        | Error e -> Error (Printf.sprintf "line %d: %s" i e))
+  in
+  go 1 [] lines
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None

@@ -1,3 +1,12 @@
+type domain_stats = {
+  d_branches : int;
+  d_expanded : int;
+  d_configurations : int;
+  d_dedup_hits : int;
+  d_sleep_skips : int;
+  d_seconds : float;
+}
+
 type stats = {
   paths : int;
   truncated_paths : int;
@@ -6,6 +15,8 @@ type stats = {
   dedup_hits : int;
   sleep_skips : int;
   exhaustive : bool;
+  seconds : float;
+  per_domain : domain_stats array;
 }
 
 type ('v, 'r) outcome =
@@ -16,14 +27,21 @@ type ('v, 'r) outcome =
       at_leaf : bool;
     }
 
-(* Mutable per-worker accounting; merged into [stats] at the end. *)
+(* Mutable per-worker-domain accounting; merged into [stats] at the end.
+   In parallel mode one wstate (and hence one visited table) is reused for
+   every root branch the domain steals: cross-branch dedup is sound for the
+   same reason sequential whole-tree dedup is — a dominating visit proves
+   the subtree was already explored at least as deeply, by an
+   earlier-stolen (hence lower-indexed) branch of the same domain. *)
 type wstate = {
+  mutable w_branches : int;  (* root branches this domain processed *)
   mutable w_paths : int;
   mutable w_truncated : int;
   mutable w_configs : int;
   mutable w_expanded : int;
   mutable w_dedup : int;
   mutable w_sleep : int;
+  mutable w_seconds : float;  (* wall time spent inside branches *)
   mutable w_budget_hit : bool;
   (* fingerprint -> Pareto frontier of (remaining depth budget, sleep mask)
      pairs under which the configuration was already expanded.  A revisit is
@@ -34,14 +52,24 @@ type wstate = {
 }
 
 let new_wstate () =
-  { w_paths = 0;
+  { w_branches = 0;
+    w_paths = 0;
     w_truncated = 0;
     w_configs = 0;
     w_expanded = 0;
     w_dedup = 0;
     w_sleep = 0;
+    w_seconds = 0.;
     w_budget_hit = false;
     visited = Hashtbl.create 4096 }
+
+let domain_stats_of st =
+  { d_branches = st.w_branches;
+    d_expanded = st.w_expanded;
+    d_configurations = st.w_configs;
+    d_dedup_hits = st.w_dedup;
+    d_sleep_skips = st.w_sleep;
+    d_seconds = st.w_seconds }
 
 (* Branch verdicts in parallel mode. *)
 type ('v, 'r) branch_result =
@@ -58,6 +86,7 @@ let explore (type v r) ?(max_steps = 200) ?(max_paths = 1_000_000)
     invalid_arg "Explore.explore: calls_per_proc size mismatch";
   let invariant = Option.value invariant ~default:(fun _ -> true) in
   let leaf_check = Option.value leaf_check ~default:(fun _ -> true) in
+  let t_start = Obs.Trace.Clock.now_s () in
   let progs = Schedule.programs supplier ~n in
   (* Sleep sets are bitmasks with one Step bit and one Invoke bit per
      process; fall back to the unreduced search when they don't fit. *)
@@ -116,6 +145,17 @@ let explore (type v r) ?(max_steps = 200) ?(max_paths = 1_000_000)
     let rec go cfg depth sleep rev_sched =
       if Atomic.get best_cex < branch_index then raise Aborted;
       st.w_configs <- st.w_configs + 1;
+      (* Telemetry (armed-only, so the guards keep the disarmed DFS
+         allocation-free): frontier depth distribution and a periodic
+         sample of the per-domain expansion counter. *)
+      if Obs.Hooks.armed () then begin
+        Obs.Hooks.observe ~name:"explore.depth" (float_of_int depth);
+        if st.w_configs land 8191 = 0 then
+          Obs.Hooks.counter
+            ~name:("explore.configurations.d"
+                   ^ string_of_int (Domain.self () :> int))
+            (float_of_int st.w_configs)
+      end;
       if not (invariant cfg) then fail cfg rev_sched false;
       let proceed =
         if not dedup then true
@@ -198,7 +238,10 @@ let explore (type v r) ?(max_steps = 200) ?(max_paths = 1_000_000)
         | None -> assert false)
     | exception Aborted -> B_aborted
   in
-  let finish ~exhaustive_extra sts =
+  (* [workers] are the per-domain accounting states (one in sequential
+     mode); [extra] holds root-level accounting outside any domain. *)
+  let finish ~exhaustive_extra ~workers ~extra =
+    let sts = extra @ Array.to_list workers in
     let paths = List.fold_left (fun a st -> a + st.w_paths) 0 sts in
     let truncated = List.fold_left (fun a st -> a + st.w_truncated) 0 sts in
     Ok
@@ -211,23 +254,39 @@ let explore (type v r) ?(max_steps = 200) ?(max_paths = 1_000_000)
         sleep_skips = List.fold_left (fun a st -> a + st.w_sleep) 0 sts;
         exhaustive =
           exhaustive_extra && truncated = 0
-          && not (List.exists (fun st -> st.w_budget_hit) sts) }
+          && not (List.exists (fun st -> st.w_budget_hit) sts);
+        seconds = Obs.Trace.Clock.now_s () -. t_start;
+        per_domain = Array.map domain_stats_of workers }
+  in
+  let run_timed_branch st ~branch_index cfg depth sleep rev_sched =
+    st.w_branches <- st.w_branches + 1;
+    let t0 = Obs.Trace.Clock.now_s () in
+    let result =
+      if Obs.Hooks.armed () then
+        Obs.Hooks.with_span
+          ("explore.branch-" ^ string_of_int branch_index)
+          (fun () -> run_branch st ~branch_index cfg depth sleep rev_sched)
+      else run_branch st ~branch_index cfg depth sleep rev_sched
+    in
+    st.w_seconds <- st.w_seconds +. (Obs.Trace.Clock.now_s () -. t0);
+    result
   in
   if domains <= 1 then begin
     let st = new_wstate () in
-    match run_branch st ~branch_index:0 cfg0 0 0 [] with
-    | B_ok -> finish ~exhaustive_extra:true [ st ]
+    match run_timed_branch st ~branch_index:0 cfg0 0 0 [] with
+    | B_ok -> finish ~exhaustive_extra:true ~workers:[| st |] ~extra:[]
     | B_cex (cfg, schedule, at_leaf) -> Counterexample { cfg; schedule; at_leaf }
     | B_aborted -> assert false
   end
   else begin
     (* Domain-parallel frontier: the root is expanded here, its branches are
-       distributed over worker domains, each with its own visited set.  The
-       root-level sleep sets are replayed deterministically per branch, so
-       the reduction is identical to the sequential one at the root.
-       Counterexample reporting is deterministic: the lowest-indexed branch
-       containing one wins, and a branch is only cancelled when a
-       lower-indexed branch has already failed. *)
+       distributed over worker domains, each with its own visited set (kept
+       across the branches it steals).  The root-level sleep sets are
+       replayed deterministically per branch, so the reduction is identical
+       to the sequential one at the root.  Counterexample reporting is
+       deterministic: the lowest-indexed branch containing one wins, and a
+       branch is only cancelled when a lower-indexed branch has already
+       failed. *)
     let root_st = new_wstate () in
     root_st.w_configs <- 1;
     if not (invariant cfg0) then
@@ -240,12 +299,12 @@ let explore (type v r) ?(max_steps = 200) ?(max_paths = 1_000_000)
           Counterexample { cfg = cfg0; schedule = []; at_leaf = true }
         else begin
           root_st.w_paths <- 1;
-          finish ~exhaustive_extra:true [ root_st ]
+          finish ~exhaustive_extra:true ~workers:[||] ~extra:[ root_st ]
         end
       | enabled ->
         if max_steps <= 0 then begin
           root_st.w_truncated <- 1;
-          finish ~exhaustive_extra:true [ root_st ]
+          finish ~exhaustive_extra:true ~workers:[||] ~extra:[ root_st ]
         end
         else begin
           let actions = Array.of_list enabled in
@@ -266,18 +325,20 @@ let explore (type v r) ?(max_steps = 200) ?(max_paths = 1_000_000)
               !m
             end
           in
+          let nd = max 1 (min domains nb) in
           let results = Array.make nb B_ok in
-          let states = Array.init nb (fun _ -> new_wstate ()) in
+          let states = Array.init nd (fun _ -> new_wstate ()) in
           let skipped = Array.make nb false in
           let next = Atomic.make 0 in
-          let worker () =
+          let worker wid () =
+            let st = states.(wid) in
             let rec loop () =
               let k = Atomic.fetch_and_add next 1 in
               if k < nb then begin
                 if Atomic.get best_cex < k then skipped.(k) <- true
                 else
                   results.(k) <-
-                    run_branch states.(k) ~branch_index:k
+                    run_timed_branch st ~branch_index:k
                       (apply_action cfg0 actions.(k))
                       1 (branch_sleep k)
                       [ actions.(k) ];
@@ -286,9 +347,10 @@ let explore (type v r) ?(max_steps = 200) ?(max_paths = 1_000_000)
             in
             loop ()
           in
-          let nd = max 1 (min domains nb) in
-          let doms = List.init (nd - 1) (fun _ -> Domain.spawn worker) in
-          worker ();
+          let doms =
+            List.init (nd - 1) (fun wid -> Domain.spawn (worker (wid + 1)))
+          in
+          worker 0 ();
           List.iter Domain.join doms;
           (* deterministic merge: lowest-indexed failing branch wins *)
           let rec first_cex k =
@@ -306,8 +368,8 @@ let explore (type v r) ?(max_steps = 200) ?(max_paths = 1_000_000)
               Array.for_all (fun s -> not s) skipped
               && Array.for_all (function B_ok -> true | _ -> false) results
             in
-            finish ~exhaustive_extra:all_ran
-              (root_st :: Array.to_list states)
+            finish ~exhaustive_extra:all_ran ~workers:states
+              ~extra:[ root_st ]
         end
     end
   end

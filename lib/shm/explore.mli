@@ -28,14 +28,25 @@
       configurations, so invariant and leaf verdicts are preserved exactly.
 
     - {b domain parallelism} ([domains]): root-level branches are spread
-      over worker domains (dynamic work stealing via an atomic counter),
-      each with its own visited set.  Counterexample reporting stays
+      over worker domains (dynamic work stealing via an atomic counter).
+      Each {e domain} owns one visited set, reused across every branch it
+      steals: a configuration one branch expanded prunes dominated revisits
+      from the domain's later branches, which is sound by the same
+      dominance rule as within a single DFS (the earlier branch explored at
+      least as much below it).  Counterexample reporting stays
       deterministic: the branch with the lowest root-action index wins, and
       a branch is cancelled only when a lower-indexed branch already found a
-      counterexample.  Each branch gets its own [max_paths] budget, and
-      [invariant]/[leaf_check] must be safe to call from several domains
+      counterexample.  Each worker domain gets its own [max_paths] budget,
+      and [invariant]/[leaf_check] must be safe to call from several domains
       (pure functions are).  Statistics (but never verdicts) can vary run to
-      run in parallel mode when a counterexample triggers cancellation.
+      run in parallel mode: branch-to-domain assignment depends on timing,
+      which moves dedup hits between domains and changes their totals.
+
+    The engine also feeds the instrumentation layer when a sink is attached
+    ({!Obs.Hooks}): a histogram of visited frontier depths
+    (["explore.depth"]), periodic per-domain expansion-counter samples, and
+    one span per root branch in parallel mode.  Disarmed, none of this
+    allocates or runs.
 
     Programs with unbounded wait loops (e.g., mutual exclusion) generate
     infinitely deep schedules; [max_steps] truncates each path, and
@@ -53,6 +64,17 @@
     results) — not on path-dependent telemetry such as {!Sim.steps} or
     {!Sim.written_set}. *)
 
+type domain_stats = {
+  d_branches : int;
+      (** root branches this worker domain stole (work-steal count; always 1
+          in sequential mode) *)
+  d_expanded : int;  (** configurations this domain expanded *)
+  d_configurations : int;  (** configuration visits, including pruned ones *)
+  d_dedup_hits : int;  (** visits answered by this domain's visited set *)
+  d_sleep_skips : int;  (** transitions its sleep sets skipped *)
+  d_seconds : float;  (** wall time this domain spent inside branches *)
+}
+
 type stats = {
   paths : int;  (** maximal (leaf) paths fully explored *)
   truncated_paths : int;  (** paths cut by [max_steps] *)
@@ -65,6 +87,13 @@ type stats = {
   dedup_hits : int;  (** visits answered by the visited set *)
   sleep_skips : int;  (** transitions skipped by the independence rule *)
   exhaustive : bool;  (** no budget was hit *)
+  seconds : float;  (** wall clock of the whole exploration *)
+  per_domain : domain_stats array;
+      (** one entry per worker domain, in domain order (a single entry in
+          sequential mode).  Root-level accounting of the parallel frontier
+          is counted in the aggregate fields but belongs to no worker, so
+          the per-domain columns can sum to slightly less than the
+          aggregates. *)
 }
 
 type ('v, 'r) outcome =

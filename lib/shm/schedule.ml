@@ -69,6 +69,27 @@ let independent a b =
   | F_read r, F_write w | F_write w, F_read r -> r <> w
   | F_write r, F_write w -> r <> w
 
+let covered_count cfg =
+  let m = Sim.num_regs cfg in
+  let covered = Array.make m false in
+  let rec go pid count =
+    if pid >= Sim.n cfg then count
+    else
+      match Sim.covers cfg pid with
+      | Some r when not covered.(r) ->
+        covered.(r) <- true;
+        go (pid + 1) (count + 1)
+      | Some _ | None -> go (pid + 1) count
+  in
+  go 0 0
+
+(* Telemetry sample of the live covering occupancy — the quantity the
+   paper's lower-bound adversaries maximize.  Armed-only: the O(n) scan and
+   the array never run in ordinary workloads. *)
+let sample_covered cfg =
+  if Obs.Hooks.armed () then
+    Obs.Hooks.counter ~name:"sim.covered" (float_of_int (covered_count cfg))
+
 let run_round_robin ~fuel cfg =
   let rec go fuel cfg =
     match Sim.running cfg with
@@ -149,6 +170,7 @@ let run_workload ?invoke_prob ?(crash_prob = 0.) ?(max_crashes = 0) ~fuel
             Sim.invoke cfg ~pid ~program:(fun ~call -> supplier ~pid ~call)
           else Sim.step cfg (pick runnable)
         in
+        sample_covered cfg;
         go (fuel - 1) cfg
       end
   in

@@ -47,6 +47,13 @@ val footprint : ('v, 'r) Sim.t -> action -> footprint
 (** The shared state the action touches when taken from [cfg], derivable
     from the pending {!Prog} operation of the process it names. *)
 
+val covered_count : ('v, 'r) Sim.t -> int
+(** Number of {e distinct} registers currently covered (a poised write or
+    swap), i.e. the paper's [|sig(C)|-ish] occupancy that the covering
+    adversaries maximize.  {!run_workload} samples it into the
+    instrumentation layer (counter ["sim.covered"]) after every action when
+    a sink is attached. *)
+
 val independent : footprint -> footprint -> bool
 (** Actions of {e distinct} processes with independent footprints commute:
     applying them in either order from the same configuration yields equal

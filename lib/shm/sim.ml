@@ -96,6 +96,7 @@ let invoke cfg ~pid ~program =
    | Idle -> ()
    | Running _ -> invalid_arg "Sim.invoke: process has a call in progress"
    | Crashed _ -> invalid_arg "Sim.invoke: process has crashed");
+  Obs.Hooks.sim Obs.Hooks.Invoke ~pid ~reg:(-1);
   let call = cfg.calls.(pid) in
   let procs = Array.copy cfg.procs in
   let calls = Array.copy cfg.calls in
@@ -118,6 +119,7 @@ let step cfg pid =
     let proc_sig = Array.copy cfg.proc_sig in
     (match p with
      | Prog.Done res ->
+       Obs.Hooks.sim Obs.Hooks.Respond ~pid ~reg:(-1);
        let call = cfg.calls.(pid) - 1 in
        procs.(pid) <- Idle;
        proc_sig.(pid) <- 0;
@@ -129,12 +131,14 @@ let step cfg pid =
          hist_sig = mix (mix cfg.hist_sig (vhash (1, pid, call))) (vhash res);
          steps = cfg.steps + 1 }
      | Prog.Read (r, k) ->
+       Obs.Hooks.sim Obs.Hooks.Read ~pid ~reg:r;
        procs.(pid) <- Running (k cfg.regs.(r));
        proc_sig.(pid) <- mix (mix proc_sig.(pid) 1) (vhash cfg.regs.(r));
        let reg_read = Array.copy cfg.reg_read in
        reg_read.(r) <- true;
        { cfg with procs; proc_sig; reg_read; steps = cfg.steps + 1 }
      | Prog.Write (r, v, k) ->
+       Obs.Hooks.sim Obs.Hooks.Write ~pid ~reg:r;
        let regs = Array.copy cfg.regs in
        regs.(r) <- v;
        procs.(pid) <- Running (k ());
@@ -146,6 +150,7 @@ let step cfg pid =
          steps = cfg.steps + 1;
          writes = cfg.writes + 1 }
      | Prog.Swap (r, v, k) ->
+       Obs.Hooks.sim Obs.Hooks.Swap ~pid ~reg:r;
        let old = cfg.regs.(r) in
        let regs = Array.copy cfg.regs in
        regs.(r) <- v;
@@ -160,6 +165,7 @@ let step cfg pid =
 
 let crash cfg pid =
   check_pid cfg pid;
+  Obs.Hooks.sim Obs.Hooks.Crash ~pid ~reg:(-1);
   let procs = Array.copy cfg.procs in
   let mid_call = match cfg.procs.(pid) with Running _ -> true | _ -> false in
   procs.(pid) <- Crashed mid_call;

@@ -11,7 +11,14 @@
     configuration and never mutates its input.  This gives speculative
     execution and rollback for free, which the covering-argument adversaries
     rely on ("run q solo from pi_B(C); if it never writes outside R,
-    rewind"). *)
+    rewind").
+
+    Every {!invoke}, {!step} and {!crash} also reports one telemetry event
+    through {!Obs.Hooks} (register read/write/swap with its index,
+    invocation, response, crash).  With no sink attached this costs a flag
+    load and a branch — nothing is allocated; speculative (later rewound)
+    transitions are reported like any other, so attached collectors see the
+    work performed, not just the surviving execution. *)
 
 type ('v, 'r) t
 

@@ -24,4 +24,5 @@ let () =
       Test_api.suite;
       Test_mp_clocks.suite;
       Test_apps.suite;
-      Test_multicore.suite ]
+      Test_multicore.suite;
+      Test_obs.suite ]
