@@ -18,6 +18,8 @@
      E10 (ours)        exploration-engine comparison: naive DFS vs state
                        dedup + independence reduction + domain parallelism
                        (machine-readable copy in BENCH_explore.json)
+     E12 (ours)        fuzzer sensitivity: iterations-to-kill and shrink
+                       quality for each planted mutant across seeds
 
    One Bechamel Test.make per experiment follows at the end (timings of
    the key operations involved in each).  Usage:
@@ -564,6 +566,62 @@ let e10_explore_engine () =
   Printf.printf "(wrote BENCH_explore_metrics.jsonl)\n"
 
 (* ------------------------------------------------------------------ *)
+(* E12: fuzzer sensitivity — iterations-to-kill for planted mutants     *)
+(* ------------------------------------------------------------------ *)
+
+let e12_fuzz_sensitivity () =
+  header "E12: differential fuzzer sensitivity (iterations-to-kill)";
+  print_endline
+    "(each planted mutant is fuzzed from several seeds; a kill reports the\n\
+    \ first failing iteration and the size of the shrunk counterexample)";
+  let seeds = if fast then [ 1; 42 ] else [ 1; 7; 42; 1001; 65537 ] in
+  let iters = if fast then 200 else 1000 in
+  Printf.printf "%-26s %6s | %10s %10s %12s %10s\n" "mutant" "seed"
+    "kill iter" "orig len" "shrunk len" "shrunk n";
+  Printf.printf "%s\n" (String.make 82 '-');
+  List.iter
+    (fun (Timestamp.Registry.Impl (module M) as mutant) ->
+       let kills = ref [] in
+       List.iter
+         (fun seed ->
+            match
+              Fuzz.Harness.run ~iters ~n:4 ~calls:2 ~seed
+                ~explore_fallback:false ~impls:[ mutant ] ()
+            with
+            | Fuzz.Harness.Passed _ ->
+              Printf.printf "%-26s %6d | %10s\n" M.name seed "SURVIVED"
+            | Fuzz.Harness.Failed f ->
+              kills := f.iteration :: !kills;
+              Printf.printf "%-26s %6d | %10d %10d %12d %10d\n" M.name seed
+                f.iteration f.original_len
+                (List.length f.repro.schedule)
+                f.repro.n)
+         seeds;
+       let n_kills = List.length !kills in
+       let mean =
+         if n_kills = 0 then 0.
+         else
+           float_of_int (List.fold_left ( + ) 0 !kills) /. float_of_int n_kills
+       in
+       Printf.printf "%-26s  mean kill iteration %.1f (%d/%d seeds)\n" ""
+         mean n_kills (List.length seeds))
+    Fuzz.Mutant.all;
+  (* the clean baseline: no false positives on the same budget *)
+  sub "clean-implementation control (same generator, same budget)";
+  (match
+     Fuzz.Harness.run ~iters ~n:4 ~calls:2 ~seed:42
+       ~impls:Timestamp.Registry.all ()
+   with
+   | Fuzz.Harness.Passed s ->
+     Printf.printf
+       "all %d registered implementations: %d iterations, %d hb pairs, 0 \
+        violations\n"
+       (List.length Timestamp.Registry.all)
+       s.iterations s.hb_pairs
+   | Fuzz.Harness.Failed f ->
+     Printf.printf "UNEXPECTED violation on %s: %s\n" f.impl f.violation)
+
+(* ------------------------------------------------------------------ *)
 (* EA: ablation of the Algorithm-4 repair rule (Section 6.1)            *)
 (* ------------------------------------------------------------------ *)
 
@@ -786,6 +844,7 @@ let () =
   e8_bounded_longlived ();
   e9_distributed ();
   e10_explore_engine ();
+  e12_fuzz_sensitivity ();
   ea_ablation ();
   run_timings ();
   print_endline "\nAll experiments complete."

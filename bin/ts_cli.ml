@@ -508,6 +508,176 @@ let obs_cmd =
       const run $ impl_arg $ n_arg $ seed_arg $ calls_arg $ validate
       $ obs_out_term)
 
+let fuzz_cmd =
+  let run impl mutant n seed calls iters crashes burst no_fallback repro_out
+      replay out =
+    let rc =
+      with_obs out @@ fun ctx ->
+      match replay with
+      | Some path -> (
+          match Fuzz.Repro.load path with
+          | Error e ->
+            Printf.eprintf "%s: %s\n" path e;
+            2
+          | Ok repro -> (
+              match Fuzz.Harness.replay_repro repro with
+              | Error e ->
+                Printf.eprintf "%s: %s\n" path e;
+                2
+              | Ok (Some violation) ->
+                Printf.printf "repro %s: VIOLATION reproduced (%s, %d actions)\n"
+                  path repro.impl
+                  (List.length repro.schedule);
+                Printf.printf "  %s\n" violation;
+                0
+              | Ok None ->
+                Printf.printf "repro %s: no violation (stale repro?)\n" path;
+                3))
+      | None ->
+        let impls, what =
+          match mutant, impl with
+          | Some m, _ ->
+            ([ m ], "mutant " ^ Timestamp.Registry.name m)
+          | None, Some i ->
+            ([ i ], Timestamp.Registry.name i)
+          | None, None ->
+            ( Timestamp.Registry.all,
+              Printf.sprintf "differential over %d implementations"
+                (List.length Timestamp.Registry.all) )
+        in
+        Printf.printf "fuzz seed=%d n=%d calls=%d iters=%d: %s\n" seed n calls
+          iters what;
+        (match
+           Fuzz.Harness.run ~iters ~n ~calls ~max_crashes:crashes ~burst
+             ~explore_fallback:(not no_fallback) ~seed ~impls ()
+         with
+         | Fuzz.Harness.Passed stats ->
+           if stats.exhaustive then
+             Printf.printf
+               "fuzz: OK — state space small, exhaustively explored instead \
+                (every schedule checked)\n"
+           else
+             Printf.printf
+               "fuzz: OK — %d schedules (%d actions), %d hb pairs checked, 0 \
+                violations\n"
+               stats.iterations stats.actions stats.hb_pairs;
+           Option.iter
+             (fun ctx ->
+                let g name v =
+                  Obs.Metric.set (Obs.Metric.gauge ctx.registry name) v
+                in
+                g "fuzz.hb_pairs" (float_of_int stats.hb_pairs);
+                g "fuzz.actions" (float_of_int stats.actions))
+             ctx;
+           0
+         | Fuzz.Harness.Failed f ->
+           Printf.printf "fuzz: VIOLATION (%s, iteration %d)\n" f.impl
+             f.iteration;
+           Printf.printf "  %s\n" f.violation;
+           Printf.printf "  shrunk: %d -> %d actions, n=%d (%d accepted / %d \
+                          attempted reductions)\n"
+             f.original_len
+             (List.length f.repro.schedule)
+             f.repro.n f.shrink_accepted f.shrink_attempts;
+           Printf.printf "  repro (OCaml): %s\n" (Fuzz.Repro.to_ocaml f.repro);
+           Option.iter
+             (fun path ->
+                Fuzz.Repro.save f.repro path;
+                Printf.printf "  repro written to %s\n" path)
+             repro_out;
+           1)
+    in
+    if rc <> 0 then exit rc
+  in
+  let impl_opt =
+    Arg.(
+      value
+      & opt (some impl_conv) None
+      & info [ "impl"; "i" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf
+               "Fuzz a single implementation (one of %s).  Default: all of \
+                them, differentially."
+               (String.concat ", " impl_names)))
+  in
+  let mutant_conv =
+    let parse s =
+      match Fuzz.Mutant.find s with
+      | Some impl -> Ok impl
+      | None ->
+        Error
+          (`Msg
+             (Printf.sprintf "unknown mutant %S (expected one of %s)" s
+                (String.concat ", " Fuzz.Mutant.names)))
+    in
+    let print ppf impl =
+      Format.pp_print_string ppf (Timestamp.Registry.name impl)
+    in
+    Arg.conv (parse, print)
+  in
+  let mutant =
+    Arg.(
+      value
+      & opt (some mutant_conv) None
+      & info [ "mutant" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf
+               "Fuzz a deliberately broken implementation (one of %s); used \
+                to calibrate the harness — the fuzzer must catch it."
+               (String.concat ", " Fuzz.Mutant.names)))
+  in
+  let iters =
+    Arg.(
+      value & opt int 1000
+      & info [ "iters" ] ~docv:"N" ~doc:"Random schedules to generate.")
+  in
+  let crashes =
+    Arg.(
+      value & opt int 0
+      & info [ "crashes" ] ~docv:"K"
+          ~doc:"Inject up to $(docv) crash-stop failures per schedule.")
+  in
+  let burst =
+    Arg.(
+      value & opt int 4
+      & info [ "burst" ] ~docv:"B"
+          ~doc:
+            "Contention bursts: a scheduling decision runs one process for \
+             up to $(docv) consecutive steps.")
+  in
+  let no_fallback =
+    Arg.(
+      value & flag
+      & info [ "no-explore-fallback" ]
+          ~doc:
+            "Always sample randomly, even when the instance is small enough \
+             for exhaustive exploration.")
+  in
+  let repro_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro-out" ] ~docv:"FILE"
+          ~doc:"On violation, write the minimized repro as JSON to $(docv).")
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a saved repro instead of fuzzing; exits 0 when the \
+             violation reproduces, 3 when it no longer does.")
+  in
+  Cmd.v
+    (Cmd.info "fuzz"
+       ~doc:
+         "Property-based differential fuzzing: random schedules over every \
+          implementation, cross-checked and shrunk to minimal repros.")
+    Term.(
+      const run $ impl_opt $ mutant $ n_arg $ seed_arg $ calls_arg $ iters
+      $ crashes $ burst $ no_fallback $ repro_out $ replay $ obs_out_term)
+
 let distributed_cmd =
   let run impl n replicas ncrashed seed =
     let (Timestamp.Registry.Impl (module T)) = impl in
@@ -597,4 +767,5 @@ let () =
        (Cmd.group
           (Cmd.info "ts_cli" ~version:"1.0.0" ~doc)
           [ list_cmd; run_cmd; adversary_cmd; figure_cmd; claims_cmd;
-            stress_cmd; clocks_cmd; explore_cmd; distributed_cmd; obs_cmd ]))
+            stress_cmd; clocks_cmd; explore_cmd; distributed_cmd; obs_cmd;
+            fuzz_cmd ]))

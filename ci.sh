@@ -14,6 +14,22 @@ dune runtest
 echo "== bench --fast =="
 dune exec bench/main.exe -- --fast
 
+echo "== fuzz smoke: seeded differential run =="
+dune exec bin/ts_cli.exe -- fuzz --seed 42 --iters 200 -n 4 -c 2
+
+echo "== fuzz smoke: planted mutant must be killed and shrunk =="
+if dune exec bin/ts_cli.exe -- fuzz --mutant mutant-lost-increment \
+     --seed 42 --iters 200 -n 4 -c 2 --repro-out /tmp/fuzz_repro.json; then
+  echo "mutant survived the fuzzer" >&2
+  exit 1
+fi
+dune exec bin/ts_cli.exe -- fuzz --replay /tmp/fuzz_repro.json
+
+echo "== fuzz smoke: repro corpus replays =="
+for repro in test/repro_corpus/*.json; do
+  dune exec bin/ts_cli.exe -- fuzz --replay "$repro"
+done
+
 echo "== obs smoke: instrumented run + sidecar validation =="
 dune exec bin/ts_cli.exe -- obs --impl efr-longlived -n 8 \
   --trace-out /tmp/trace.json --metrics-out /tmp/m.jsonl

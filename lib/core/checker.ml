@@ -64,6 +64,23 @@ let check (type r) ~compare_ts ~(pp : Format.formatter -> r -> unit)
                 { op1 = op; op2 = op; t1 = str t; t2 = str t;
                   reason = "compare is not irreflexive at" }))
       completed;
+    (* Symmetry: no strict order holds both ways, and a compare that does
+       (even on a concurrent pair, which happens-before leaves
+       unconstrained) cannot be consistent with any execution order. *)
+    let rec antisym = function
+      | [] -> ()
+      | (op1, t1) :: rest ->
+        List.iter
+          (fun (op2, t2) ->
+             if compare_ts t1 t2 && compare_ts t2 t1 then
+               raise
+                 (Violation
+                    { op1; op2; t1 = str t1; t2 = str t2;
+                      reason = "compare holds symmetrically between" }))
+          rest;
+        antisym rest
+    in
+    antisym completed;
     Ok !pairs
   with Violation v -> Error v
 

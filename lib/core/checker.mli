@@ -3,8 +3,11 @@
     For every pair of completed getTS instances [g1, g2] of an execution
     returning [t1, t2]: if [g1] happens before [g2] then
     [compare t1 t2 = true] and [compare t2 t1 = false].  Additionally flags
-    reflexive compares ([compare t t = true]), which no strict order
-    produces.  Concurrent pairs are unconstrained, as in the paper. *)
+    reflexive compares ([compare t t = true]) and {e symmetric} ones
+    ([compare t1 t2] and [compare t2 t1] both true for distinct completed
+    calls), neither of which any strict order produces.  Concurrent pairs
+    are otherwise unconstrained, as in the paper: both comparisons may
+    return [false]. *)
 
 type violation = {
   op1 : Shm.History.op;

@@ -1,0 +1,78 @@
+type config = {
+  n : int;
+  calls : int;
+  invoke_weight : int;
+  step_weight : int;
+  crash_weight : int;
+  max_crashes : int;
+  burst : int;
+  len : int;
+}
+
+let default ?(calls = 1) ?(max_crashes = 0) ?(burst = 4) ~n () =
+  if n <= 0 then invalid_arg "Fuzz.Gen.default: n must be positive";
+  if calls <= 0 then invalid_arg "Fuzz.Gen.default: calls must be positive";
+  { n;
+    calls;
+    invoke_weight = 2;
+    step_weight = 6;
+    crash_weight = (if max_crashes > 0 then 1 else 0);
+    max_crashes;
+    burst = max 1 burst;
+    len = 16 * n * calls }
+
+(* The generator tracks only what is knowable without an implementation:
+   how many invocations each process has had and who has crashed.  A
+   "startable" process has calls left; an "active" one has been invoked at
+   least once and not crashed (whether its call is still running depends on
+   the implementation, which is exactly what Replay resolves leniently). *)
+let schedule cfg rand =
+  if cfg.n <= 0 then invalid_arg "Fuzz.Gen.schedule: n must be positive";
+  let started = Array.make cfg.n 0 in
+  let crashed = Array.make cfg.n false in
+  let crashes = ref 0 in
+  let pids p = Array.to_list (Array.init cfg.n (fun i -> i)) |> List.filter p in
+  let pick l = List.nth l (Random.State.int rand (List.length l)) in
+  let rev_actions = ref [] in
+  let emit a = rev_actions := a :: !rev_actions in
+  for _ = 1 to cfg.len do
+    let startable =
+      pids (fun p -> (not crashed.(p)) && started.(p) < cfg.calls)
+    in
+    let active = pids (fun p -> (not crashed.(p)) && started.(p) > 0) in
+    let w_invoke = if startable = [] then 0 else cfg.invoke_weight in
+    let w_step = if active = [] then 0 else cfg.step_weight in
+    let w_crash =
+      if active = [] || !crashes >= cfg.max_crashes then 0
+      else cfg.crash_weight
+    in
+    let total = w_invoke + w_step + w_crash in
+    if total > 0 then begin
+      let r = Random.State.int rand total in
+      if r < w_invoke then begin
+        let p = pick startable in
+        started.(p) <- started.(p) + 1;
+        emit (Shm.Schedule.Invoke p)
+      end
+      else if r < w_invoke + w_step then begin
+        let p = pick active in
+        let b = 1 + Random.State.int rand cfg.burst in
+        for _ = 1 to b do
+          emit (Shm.Schedule.Step p)
+        done
+      end
+      else begin
+        let p = pick active in
+        crashed.(p) <- true;
+        incr crashes;
+        emit (Shm.Schedule.Crash p)
+      end
+    end
+  done;
+  List.rev !rev_actions
+
+let max_pid actions =
+  List.fold_left
+    (fun acc (a : Shm.Schedule.action) ->
+       match a with Invoke p | Step p | Crash p -> max acc p)
+    (-1) actions

@@ -1,0 +1,42 @@
+(** Seeded random schedule generation.
+
+    The generator produces {e abstract} schedules: action lists over process
+    indices that never consult an implementation.  The same schedule can
+    therefore drive every implementation in the registry — the point of the
+    differential harness — because {!Replay} interprets actions leniently
+    (an action that is not enabled for some implementation is skipped).
+
+    Generation is a pure function of the configuration and the random
+    state: the same seed always yields the same schedule, byte for byte,
+    which the regression corpus and the CLI's [--seed] rely on. *)
+
+type config = {
+  n : int;  (** number of processes *)
+  calls : int;  (** getTS calls generated per process (>= 1) *)
+  invoke_weight : int;  (** weight of starting a fresh call *)
+  step_weight : int;  (** weight of stepping a started process *)
+  crash_weight : int;  (** weight of crash-stopping a process; [0] disables *)
+  max_crashes : int;  (** upper bound on injected crashes *)
+  burst : int;
+      (** contention bursts: a step decision lets the chosen process take
+          [1..burst] consecutive steps.  [1] is the uniform schedule; larger
+          values produce the solo-run-then-preempt shapes the covering
+          adversaries use. *)
+  len : int;  (** number of scheduling decisions (not actions; bursts and
+                  the final drain make actual executions longer) *)
+}
+
+val default : ?calls:int -> ?max_crashes:int -> ?burst:int -> n:int -> unit -> config
+(** Balanced defaults: [invoke_weight = 2], [step_weight = 6],
+    [crash_weight] 1 when [max_crashes > 0] else 0, [burst = 4],
+    [len = 16 * n * calls]. *)
+
+val schedule : config -> Random.State.t -> Shm.Schedule.action list
+(** Draws one abstract schedule.  Every [Invoke p] appears at most [calls]
+    times per process; [Step]/[Crash] actions only name processes with at
+    least one invocation emitted before them, so lenient replay skips an
+    action only when the implementation at hand has already finished (or
+    never supported) the corresponding call. *)
+
+val max_pid : Shm.Schedule.action list -> int
+(** Largest process index named by the schedule, [-1] when empty. *)

@@ -1,0 +1,82 @@
+(** The differential fuzz loop.
+
+    Every iteration draws one abstract schedule ({!Gen}), replays it
+    against {e each} implementation under test ({!Replay}), and checks:
+
+    - {b the specification oracle}: {!Timestamp.Checker.check_sim} on every
+      implementation's history and results (Section 2 of the paper: getTS
+      instances ordered by happens-before must compare accordingly, compare
+      must be irreflexive and antisymmetric);
+    - {b differential agreement}: all implementations given the same
+      schedule complete the same set of method calls (crash-free schedules
+      only — a crash can land mid-call in one implementation and after the
+      response in another), and on every pair of calls that is
+      happens-before ordered in {e both} histories, both implementations'
+      [compare] must order the timestamps forward.
+
+    On a failure the schedule is handed to {!Shrink} with an oracle that
+    re-runs the full check, and the minimized counterexample is returned as
+    a {!Repro}.  The loop is deterministic: one seeded [Random.State]
+    drives generation and nothing else is random.
+
+    When the instance is tiny ([n * calls <= 4] and no crash injection) the
+    loop falls back to {!Shm.Explore}: the whole schedule space is
+    enumerated per implementation instead of sampled, and the outcome says
+    so.  When a sink is attached ({!Obs.Hooks}) the harness reports
+    iteration/violation counters, schedule-length and shrink-effort
+    distributions, and brackets the run and every shrink in spans; disarmed
+    it reports nothing and allocates nothing extra. *)
+
+type stats = {
+  iterations : int;  (** random schedules executed (0 under the fallback) *)
+  actions : int;  (** generated schedule actions, total *)
+  hb_pairs : int;  (** happens-before pairs checked, summed over impls *)
+  exhaustive : bool;  (** the {!Shm.Explore} fallback covered everything *)
+}
+
+type failure = {
+  impl : string;  (** implementation the violation was detected on, or
+                      ["differential"] for a cross-implementation mismatch *)
+  iteration : int;  (** iteration of first detection ([0] under fallback) *)
+  violation : string;  (** human-readable description of the {e minimized}
+                           schedule's violation *)
+  original_len : int;  (** actions in the schedule as first caught *)
+  repro : Repro.t;  (** minimized counterexample *)
+  shrink_accepted : int;
+  shrink_attempts : int;
+}
+
+type outcome = Passed of stats | Failed of failure
+
+val run :
+  ?iters:int ->
+  ?n:int ->
+  ?calls:int ->
+  ?max_crashes:int ->
+  ?burst:int ->
+  ?explore_fallback:bool ->
+  seed:int ->
+  impls:Timestamp.Registry.impl list ->
+  unit ->
+  outcome
+(** Defaults: [iters = 1000], [n = 4], [calls = 2], [max_crashes = 0],
+    [burst = 4], [explore_fallback = true].  [calls] is clamped to [1] for
+    one-shot implementations by replay.  Raises [Invalid_argument] when
+    [impls] is empty. *)
+
+val check_schedule :
+  impls:Timestamp.Registry.impl list ->
+  n:int ->
+  Shm.Schedule.action list ->
+  (int, string * string) result
+(** One differential check of one schedule: [Ok hb_pairs], or
+    [Error (impl, description)] naming the implementation (or
+    ["differential"]) that failed.  This is also the shrinking oracle. *)
+
+val resolve_impl : string -> Timestamp.Registry.impl option
+(** Looks the name up in {!Timestamp.Registry.all}, then in {!Mutant.all}. *)
+
+val replay_repro : Repro.t -> (string option, string) result
+(** Replays a saved repro: [Ok (Some description)] when the violation still
+    reproduces, [Ok None] when the schedule passes, [Error msg] when the
+    repro names an unknown implementation. *)

@@ -1,0 +1,36 @@
+(** Deliberately broken timestamp implementations.
+
+    Each mutant is a copy of a registry implementation with one planted
+    spec violation.  They calibrate the whole pipeline: the differential
+    harness must catch every mutant within a bounded number of seeded
+    iterations and shrink the counterexample to a few actions, while the
+    clean implementations survive the same schedules (the mutant-kill tests
+    in [test/test_fuzz.ml] and experiment E12 pin this).
+
+    Mutants are {e not} listed in {!Timestamp.Registry.all} — they must
+    never enroll in the generic correctness suites — but they are packed
+    with the same existential so every registry-polymorphic driver also
+    runs on them. *)
+
+val all : Timestamp.Registry.impl list
+(** Every mutant:
+
+    - ["mutant-lost-increment"]: [simple-oneshot] writing back the value it
+      read instead of the value plus one — the register never advances, so
+      two sequential calls through the same register get equal timestamps;
+    - ["mutant-inverted-compare"]: [simple-oneshot] with the comparison
+      direction flipped — every happens-before pair is ordered backwards;
+    - ["mutant-reflexive-compare"]: [simple-oneshot] comparing with [<=]
+      instead of [<] — equal timestamps compare [true] both ways, caught by
+      the checker's symmetry and irreflexivity rules;
+    - ["mutant-lamport-no-max"]: [lamport-longlived] bumping its own
+      register instead of the maximum of all registers — a process that
+      calls after a faster process responds can issue a smaller timestamp. *)
+
+val find : string -> Timestamp.Registry.impl option
+
+val clean_counterpart : string -> Timestamp.Registry.impl option
+(** The registry implementation a mutant was copied from, for
+    differential "clean survives the repro" checks. *)
+
+val names : string list

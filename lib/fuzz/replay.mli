@@ -1,0 +1,40 @@
+(** Lenient replay of abstract schedules against any implementation.
+
+    An abstract schedule ({!Gen}) names processes, not implementation
+    steps, so the same list drives implementations whose method calls have
+    different lengths.  Replay applies each action when it is enabled and
+    skips it otherwise:
+
+    - [Invoke p] is skipped when [p] is not idle, has crashed, or has
+      exhausted the implementation's supported calls (one-shot objects
+      accept a single call per process);
+    - [Step p] is skipped unless [p] has a call in progress;
+    - [Crash p] is skipped unless [p] has a call in progress (crashing an
+      idle process would only silence later invokes — not interesting);
+    - any action naming a process outside [0 .. n-1] is skipped (the
+      shrinker probes smaller systems against unchanged schedules).
+
+    After the script, the configuration is {e drained}: remaining running
+    processes are stepped round-robin to quiescence, so every surviving
+    call completes (wait-freedom makes this terminate; the fuel bound turns
+    a non-terminating implementation into a reported failure rather than a
+    hang).  Draining never starts new calls — the schedule alone decides
+    invocations — so two replays of one schedule produce the same
+    invocation order on every implementation. *)
+
+type stats = {
+  applied : int;  (** actions that were enabled and taken *)
+  skipped : int;  (** actions dropped by leniency *)
+  drained : int;  (** steps added by the final drain *)
+}
+
+val run :
+  ?fuel:int ->
+  (module Timestamp.Intf.S with type value = 'v and type result = 'r) ->
+  n:int ->
+  Shm.Schedule.action list ->
+  ('v, 'r) Shm.Sim.t * stats
+(** [run (module T) ~n actions] builds the initial configuration for [T]
+    and replays.  Raises [Failure] when [fuel] (default [1_000_000]) is
+    exhausted during the drain — a wait-freedom violation, itself a fuzzing
+    verdict. *)

@@ -1,0 +1,189 @@
+type 'w oracle = n:int -> Shm.Schedule.action list -> 'w option
+
+type 'w minimized = {
+  n : int;
+  schedule : Shm.Schedule.action list;
+  witness : 'w;
+  accepted : int;
+  attempts : int;
+}
+
+type 'w state = {
+  mutable cur_n : int;
+  mutable cur : Shm.Schedule.action list;
+  mutable cur_witness : 'w;
+  mutable n_accepted : int;
+  mutable n_attempts : int;
+  max_attempts : int;
+  run : 'w oracle;
+}
+
+exception Budget
+
+(* One oracle probe; commits the candidate when the violation persists. *)
+let try_candidate st ~n candidate =
+  if st.n_attempts >= st.max_attempts then raise Budget;
+  st.n_attempts <- st.n_attempts + 1;
+  match st.run ~n candidate with
+  | None -> false
+  | Some w ->
+    st.cur_n <- n;
+    st.cur <- candidate;
+    st.cur_witness <- w;
+    st.n_accepted <- st.n_accepted + 1;
+    true
+
+(* Delete up to [len] actions starting at index [i]. *)
+let remove_chunk actions i len =
+  let total = List.length actions in
+  if i >= total then None
+  else
+    let j = min total (i + len) in
+    Some (List.filteri (fun k _ -> k < i || k >= j) actions)
+
+(* ddmin-style pass: chunk sizes from half the schedule down to 1. *)
+let drop_pass st =
+  let progressed = ref false in
+  let chunk = ref (max 1 (List.length st.cur / 2)) in
+  while !chunk >= 1 do
+    let i = ref 0 in
+    while !i < List.length st.cur do
+      match remove_chunk st.cur !i !chunk with
+      | None -> i := List.length st.cur
+      | Some candidate ->
+        if try_candidate st ~n:st.cur_n candidate then progressed := true
+          (* stay at [i]: the list shifted left under it *)
+        else i := !i + !chunk
+    done;
+    chunk := if !chunk = 1 then 0 else !chunk / 2
+  done;
+  !progressed
+
+(* Collapse runs of >= 2 identical adjacent actions to a single action, one
+   oracle call per run. *)
+let merge_pass st =
+  let progressed = ref false in
+  let rec loop start =
+    let arr = Array.of_list st.cur in
+    let len = Array.length arr in
+    let rec find i =
+      if i >= len - 1 then None
+      else if arr.(i) = arr.(i + 1) then Some i
+      else find (i + 1)
+    in
+    match find start with
+    | None -> ()
+    | Some i ->
+      let j = ref i in
+      while !j + 1 < len && arr.(!j + 1) = arr.(i) do
+        incr j
+      done;
+      let last = !j in
+      let candidate = List.filteri (fun k _ -> k <= i || k > last) st.cur in
+      if try_candidate st ~n:st.cur_n candidate then begin
+        progressed := true;
+        loop i
+      end
+      else loop (last + 1)
+  in
+  loop 0;
+  !progressed
+
+(* Remove every action of the highest-numbered process, then lower [n] to
+   the highest process still referenced. *)
+let lower_n_pass st =
+  let progressed = ref false in
+  let continue = ref true in
+  while !continue do
+    continue := false;
+    let mp = Gen.max_pid st.cur in
+    if mp >= 0 && mp + 1 < st.cur_n then
+      if try_candidate st ~n:(mp + 1) st.cur then begin
+        progressed := true;
+        continue := true
+      end;
+    let mp = Gen.max_pid st.cur in
+    if mp >= 1 then begin
+      let without =
+        List.filter
+          (fun (a : Shm.Schedule.action) ->
+             match a with Invoke p | Step p | Crash p -> p <> mp)
+          st.cur
+      in
+      if List.length without < List.length st.cur then
+        if try_candidate st ~n:st.cur_n without then begin
+          progressed := true;
+          continue := true
+        end
+    end
+  done;
+  !progressed
+
+(* Rename the surviving pids densely onto [0 .. k-1] so that [n] can drop
+   to the number of processes actually used (e.g. a repro over processes
+   {2, 3} becomes one over {0, 1} in a 2-process system).  Renaming changes
+   which registers the processes touch, so the oracle re-validates. *)
+let remap_pass st =
+  let pids =
+    List.sort_uniq Int.compare
+      (List.map
+         (fun (a : Shm.Schedule.action) ->
+            match a with Invoke p | Step p | Crash p -> p)
+         st.cur)
+  in
+  match pids with
+  | [] -> false
+  | _ ->
+    let k = List.length pids in
+    let dense = List.for_all2 ( = ) pids (List.init k (fun i -> i)) in
+    if dense && st.cur_n = k then false
+    else begin
+      let rank p =
+        let rec go i = function
+          | [] -> assert false
+          | q :: _ when q = p -> i
+          | _ :: tl -> go (i + 1) tl
+        in
+        go 0 pids
+      in
+      let candidate =
+        List.map
+          (fun (a : Shm.Schedule.action) ->
+             match a with
+             | Shm.Schedule.Invoke p -> Shm.Schedule.Invoke (rank p)
+             | Step p -> Step (rank p)
+             | Crash p -> Crash (rank p))
+          st.cur
+      in
+      try_candidate st ~n:k candidate
+    end
+
+let minimize ?(max_attempts = 20_000) ~oracle ~n actions =
+  match oracle ~n actions with
+  | None -> None
+  | Some w ->
+    let st =
+      { cur_n = n;
+        cur = actions;
+        cur_witness = w;
+        n_accepted = 0;
+        n_attempts = 1;
+        max_attempts;
+        run = oracle }
+    in
+    (try
+       let progressed = ref true in
+       while !progressed do
+         progressed := false;
+         if drop_pass st then progressed := true;
+         if merge_pass st then progressed := true;
+         if lower_n_pass st then progressed := true;
+         if remap_pass st then progressed := true
+       done
+     with Budget -> ());
+    Some
+      { n = st.cur_n;
+        schedule = st.cur;
+        witness = st.cur_witness;
+        accepted = st.n_accepted;
+        attempts = st.n_attempts }

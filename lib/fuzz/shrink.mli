@@ -1,0 +1,44 @@
+(** Greedy minimization of failing schedules.
+
+    Given an oracle that replays a candidate and reports whether the
+    violation persists, the shrinker descends a lattice of reductions until
+    no reduction is accepted:
+
+    - {b drop}: delete contiguous chunks of actions, halving the chunk size
+      from half the schedule down to single actions (delta-debugging
+      style);
+    - {b merge}: collapse a run of identical adjacent actions (e.g. a burst
+      of [Step p]) to a single action, one oracle call per run;
+    - {b lower n}: shrink the system itself — drop every action of the
+      highest-numbered process, re-run the remaining schedule in a system
+      with fewer processes when the tail processes are unused, and rename
+      the surviving pids densely onto [0 .. k-1] so that [n] can fall to
+      the number of processes the repro actually uses.  (Changing [n] or a
+      pid changes register counts and program shapes, so the oracle decides
+      whether the violation survives the smaller system.)
+
+    Each accepted reduction strictly decreases [(n, length)]
+    lexicographically, so the loop terminates; [max_attempts] additionally
+    bounds the number of oracle calls for pathological oracles.  The result
+    is deterministic: passes probe candidates in a fixed order. *)
+
+type 'w oracle = n:int -> Shm.Schedule.action list -> 'w option
+(** [Some w] when the candidate still fails, carrying the witness (e.g. the
+    checker violation); [None] when the candidate passes. *)
+
+type 'w minimized = {
+  n : int;  (** possibly lowered system size *)
+  schedule : Shm.Schedule.action list;
+  witness : 'w;  (** the witness of the {e minimized} schedule *)
+  accepted : int;  (** reductions that kept the violation *)
+  attempts : int;  (** oracle calls made *)
+}
+
+val minimize :
+  ?max_attempts:int ->
+  oracle:'w oracle ->
+  n:int ->
+  Shm.Schedule.action list ->
+  'w minimized option
+(** [None] when the input schedule does not fail the oracle in the first
+    place.  Default [max_attempts = 20_000]. *)

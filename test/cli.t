@@ -36,3 +36,31 @@ Exhaustive exploration of a tiny instance verifies every schedule.
 
   $ ts_cli explore -i simple-oneshot -n 2
   simple-oneshot n=2 calls=1: EXHAUSTIVELY VERIFIED over 14 complete schedules (81 configurations expanded, 4 dedup hits, 18 sleep-set skips, 0 truncated paths)
+
+A seeded differential fuzz run is deterministic and byte-stable.
+
+  $ ts_cli fuzz --seed 42 --iters 50 -n 4 -c 2
+  fuzz seed=42 n=4 calls=2 iters=50: differential over 7 implementations
+  fuzz: OK — 50 schedules (15455 actions), 1892 hb pairs checked, 0 violations
+
+A planted mutant is caught, shrunk to a handful of actions, and the repro
+round-trips through a file and --replay.
+
+  $ ts_cli fuzz --mutant mutant-lost-increment --seed 42 --iters 200 -n 4 -c 2 --repro-out repro.json
+  fuzz seed=42 n=4 calls=2 iters=200: mutant mutant-lost-increment
+  fuzz: VIOLATION (mutant-lost-increment, iteration 0)
+    p0.0(->1) happens before, but compare(t1,t2)=false p1.0(->1)
+    shrunk: 330 -> 5 actions, n=2 (13 accepted / 53 attempted reductions)
+    repro (OCaml): [ Invoke 0; Step 0; Step 0; Step 0; Invoke 1 ]
+    repro written to repro.json
+  [1]
+
+  $ ts_cli fuzz --replay repro.json
+  repro repro.json: VIOLATION reproduced (mutant-lost-increment, 5 actions)
+    p0.0(->1) happens before, but compare(t1,t2)=false p1.0(->1)
+
+Tiny instances fall back to exhaustive exploration automatically.
+
+  $ ts_cli fuzz --seed 1 -n 2 -c 1
+  fuzz seed=1 n=2 calls=1 iters=1000: differential over 7 implementations
+  fuzz: OK — state space small, exhaustively explored instead (every schedule checked)

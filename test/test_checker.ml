@@ -40,6 +40,39 @@ let ignores_pending_operations () =
   | Ok _ -> ()
   | Error _ -> Alcotest.fail "pending op must not affect checking"
 
+(* Symmetric compares must be flagged even on pairs that happens-before
+   leaves unconstrained (concurrent calls). *)
+let detects_symmetric_compare () =
+  (* two concurrent calls: both invoked before either responds *)
+  let h = Shm.History.empty in
+  let h = Shm.History.invoke h ~pid:0 ~call:0 in
+  let h = Shm.History.invoke h ~pid:1 ~call:0 in
+  let h = Shm.History.respond h ~pid:0 ~call:0 in
+  let h = Shm.History.respond h ~pid:1 ~call:0 in
+  (* a "compare" that orders distinct values both ways but is irreflexive *)
+  match
+    Timestamp.Checker.check ~compare_ts:(fun (a : int) b -> a <> b)
+      ~pp:Format.pp_print_int ~hist:h ~results:[ (op 0, 1); (op 1, 2) ]
+  with
+  | Ok _ -> Alcotest.fail "symmetric compare must be flagged"
+  | Error v ->
+    Util.check_bool "reason mentions symmetry" true
+      (v.reason = "compare holds symmetrically between")
+
+let symmetric_check_skips_pending () =
+  (* the symmetric rule only applies to completed calls: this compare is
+     symmetric exactly between the values 2 and 9, and only a pending op
+     carries 9 *)
+  let h = Shm.History.invoke (fabricate_history ()) ~pid:2 ~call:0 in
+  match
+    Timestamp.Checker.check
+      ~compare_ts:(fun (a : int) b -> a < b || (a = 9 && b = 2))
+      ~pp:Format.pp_print_int ~hist:h
+      ~results:[ (op 0, 1); (op 1, 2); ({ pid = 2; call = 0 }, 9) ]
+  with
+  | Ok pairs -> Util.check_int "still one hb pair" 1 pairs
+  | Error _ -> Alcotest.fail "pending op must not affect the symmetric rule"
+
 let detects_reflexive_compare () =
   match
     Timestamp.Checker.check ~compare_ts:(fun (a : int) b -> a <= b)
@@ -55,4 +88,6 @@ let suite =
       Util.case "rejects equal timestamps on hb pair" rejects_equal_timestamps;
       Util.case "rejects inverted timestamps" rejects_inverted_timestamps;
       Util.case "ignores pending operations" ignores_pending_operations;
-      Util.case "detects reflexive compare" detects_reflexive_compare ] )
+      Util.case "detects reflexive compare" detects_reflexive_compare;
+      Util.case "detects symmetric compare" detects_symmetric_compare;
+      Util.case "symmetric rule skips pending ops" symmetric_check_skips_pending ] )

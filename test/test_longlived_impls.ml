@@ -18,27 +18,40 @@ let lamport_sequential_counts () =
   let _, ts = H.run_sequential ~n:5 in
   Alcotest.(check (list int)) "1..5" [ 1; 2; 3; 4; 5 ] ts
 
-let lamport_long_lived_monotone =
-  Util.qtest ~count:40 "lamport: per-process timestamps increase"
-    QCheck2.Gen.(pair (int_range 1 10) (int_bound 100_000))
-    (fun (n, seed) ->
-       let module H = Timestamp.Harness.Make (L) in
-       let cfg = H.run_random ~calls:4 ~n ~seed () in
-       let per_proc = Hashtbl.create 8 in
+let lamport_long_lived_monotone () =
+  (* seeded fuzz schedules instead of an ad-hoc random workload: the same
+     [Fuzz.Gen] generator the differential harness uses drives Lamport
+     through interleaved, partially-completed calls *)
+  List.iter
+    (fun n ->
        List.iter
-         (fun ((op : Shm.History.op), t) ->
-            let l = Option.value (Hashtbl.find_opt per_proc op.pid) ~default:[] in
-            Hashtbl.replace per_proc op.pid ((op.call, t) :: l))
-         (Shm.Sim.results cfg);
-       Hashtbl.fold
-         (fun _ l acc ->
-            let sorted = List.sort compare l in
-            let rec incr = function
-              | (_, a) :: ((_, b) :: _ as rest) -> a < b && incr rest
-              | _ -> true
+         (fun seed ->
+            let cfg = Fuzz.Gen.default ~calls:4 ~n () in
+            let actions =
+              Fuzz.Gen.schedule cfg (Random.State.make [| seed |])
             in
-            acc && incr sorted)
-         per_proc true)
+            let sim, _ = Fuzz.Replay.run (module L) ~n actions in
+            let per_proc = Hashtbl.create 8 in
+            List.iter
+              (fun ((op : Shm.History.op), t) ->
+                 let l =
+                   Option.value (Hashtbl.find_opt per_proc op.pid) ~default:[]
+                 in
+                 Hashtbl.replace per_proc op.pid ((op.call, t) :: l))
+              (Shm.Sim.results sim);
+            Hashtbl.iter
+              (fun pid l ->
+                 let sorted = List.sort compare l in
+                 let rec incr = function
+                   | (_, a) :: ((_, b) :: _ as rest) -> a < b && incr rest
+                   | _ -> true
+                 in
+                 Util.check_bool
+                   (Printf.sprintf "n=%d seed=%d p%d increasing" n seed pid)
+                   true (incr sorted))
+              per_proc)
+         Util.seeds)
+    [ 1; 4; 10 ]
 
 (* EFR: process n-1 never writes. *)
 let efr_reader_never_writes =
@@ -106,19 +119,29 @@ let efr_one_process_zero_registers () =
 
 (* Vector timestamps: comparisons characterize happens-before exactly on
    sequential executions and never order concurrent calls both ways. *)
-let vector_compare_antisymmetric =
-  Util.qtest ~count:40 "vector: compare never holds both ways"
-    QCheck2.Gen.(pair (int_range 1 8) (int_bound 100_000))
-    (fun (n, seed) ->
-       let module H = Timestamp.Harness.Make (V) in
-       let cfg = H.run_random ~calls:3 ~n ~seed () in
-       let ts = List.map snd (Shm.Sim.results cfg) in
-       List.for_all
-         (fun a ->
-            List.for_all
-              (fun b -> not (V.compare_ts a b && V.compare_ts b a))
+let vector_compare_antisymmetric () =
+  List.iter
+    (fun n ->
+       List.iter
+         (fun seed ->
+            let cfg = Fuzz.Gen.default ~calls:3 ~n () in
+            let actions =
+              Fuzz.Gen.schedule cfg (Random.State.make [| seed |])
+            in
+            let sim, _ = Fuzz.Replay.run (module V) ~n actions in
+            let ts = List.map snd (Shm.Sim.results sim) in
+            List.iter
+              (fun a ->
+                 List.iter
+                   (fun b ->
+                      Util.check_bool
+                        (Printf.sprintf "n=%d seed=%d not both ways" n seed)
+                        false
+                        (V.compare_ts a b && V.compare_ts b a))
+                   ts)
               ts)
-         ts)
+         Util.seeds)
+    [ 1; 3; 8 ]
 
 let vector_reflects_own_calls () =
   let module H = Timestamp.Harness.Make (V) in
@@ -135,10 +158,12 @@ let suite =
     [ Util.case "lamport register count" lamport_registers;
       Util.case "efr register count" efr_registers;
       Util.case "lamport sequential" lamport_sequential_counts;
-      lamport_long_lived_monotone;
+      Util.case "lamport: per-process timestamps increase"
+        lamport_long_lived_monotone;
       efr_reader_never_writes;
       Util.case "efr universe is dense between evens" efr_universe_dense;
       Util.case "efr reader calls ordered" efr_reader_timestamps_ordered;
       Util.case "efr n=1 zero registers" efr_one_process_zero_registers;
-      vector_compare_antisymmetric;
+      Util.case "vector: compare never holds both ways"
+        vector_compare_antisymmetric;
       Util.case "vector components reflect calls" vector_reflects_own_calls ] )

@@ -25,4 +25,5 @@ let () =
       Test_mp_clocks.suite;
       Test_apps.suite;
       Test_multicore.suite;
-      Test_obs.suite ]
+      Test_obs.suite;
+      Test_fuzz.suite ]

@@ -55,13 +55,19 @@ let sequential_strictly_increasing (impl : Timestamp.Registry.impl) () =
     [ 1; 2; 3; 7; 16; 31 ]
 
 let crash_tolerance (impl : Timestamp.Registry.impl) () =
-  let (Timestamp.Registry.Impl (module T)) = impl in
-  let module H = Timestamp.Harness.Make (T) in
+  (* wait-free implementations must keep working when processes die; the
+     fuzz harness also shrinks any counterexample before reporting it *)
   List.iter
     (fun seed ->
-       (* wait-free implementations must keep working when processes die *)
-       let cfg = H.run_random ~crash_prob:0.03 ~max_crashes:3 ~n:12 ~seed () in
-       ignore (H.check_exn cfg))
+       match
+         Fuzz.Harness.run ~iters:40 ~n:12 ~calls:2 ~max_crashes:3 ~seed
+           ~explore_fallback:false ~impls:[ impl ] ()
+       with
+       | Fuzz.Harness.Passed _ -> ()
+       | Fuzz.Harness.Failed f ->
+         Alcotest.fail
+           (Printf.sprintf "%s seed %d: %s\nrepro: %s" f.impl seed f.violation
+              (Fuzz.Repro.to_ocaml f.repro)))
     Util.seeds
 
 let compare_irreflexive (impl : Timestamp.Registry.impl) () =
