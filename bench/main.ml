@@ -61,13 +61,16 @@ let e5_bounds () =
     (fun impl ->
        List.iter
          (fun n ->
-            let _, written, touched, provisioned =
-              Timestamp.Registry.space_probe ~invoke_prob:0.05 impl ~n ~seed:1
-                ~calls:3
+            let r =
+              Timestamp.Registry.(
+                probe impl ~n ~seed:1
+                  (Workload.Staggered { invoke_prob = 0.05; calls = 3 }))
             in
             Printf.printf "%-18s | %6d %12d %12d %12d\n"
               (Timestamp.Registry.name impl)
-              n written touched provisioned)
+              n r.Timestamp.Registry.regs_written
+              r.Timestamp.Registry.regs_touched
+              r.Timestamp.Registry.regs_provisioned)
          (if fast then [ 16; 64 ] else [ 16; 64; 256 ]))
     Timestamp.Registry.all
 
@@ -622,6 +625,113 @@ let e12_fuzz_sensitivity () =
      Printf.printf "UNEXPECTED violation on %s: %s\n" f.impl f.violation)
 
 (* ------------------------------------------------------------------ *)
+(* E13: service layer — batched vs unbatched throughput and latency,    *)
+(* emitted as BENCH_service.json                                        *)
+(* ------------------------------------------------------------------ *)
+
+let e13_service () =
+  header "E13: timestamp service — batched vs unbatched (real domains)";
+  print_endline
+    "(seeded closed-loop loadgen, 2 clients; 'unbatched' = pipeline 1 over \
+     1 shard\n\
+    \ with batch cap 1, 'batched' = pipeline 8 over 2 shards with batch \
+     cap 64,\n\
+    \ 'direct' = clients execute getTS themselves with no service in \
+     between;\n\
+    \ machine-readable copy in BENCH_service.json)";
+  let requests = if fast then 150 else 400 in
+  let base =
+    { Svc.Loadgen.default with
+      clients = 2; requests_per_client = requests; n = 4; seed = 1 }
+  in
+  let modes =
+    [ ("direct", { base with mode = Svc.Loadgen.Direct });
+      ( "unbatched",
+        { base with
+          mode = Svc.Loadgen.Service { shards = 1; batch_max = 1 };
+          pipeline = 1 } );
+      ( "batched",
+        { base with
+          mode = Svc.Loadgen.Service { shards = 2; batch_max = 64 };
+          pipeline = 8 } ) ]
+  in
+  Printf.printf "%-18s %-10s | %10s %9s %9s %9s\n" "implementation" "mode"
+    "req/s" "p50 us" "p99 us" "hb pairs";
+  Printf.printf "%s\n" (String.make 72 '-');
+  let results =
+    List.map
+      (fun impl ->
+         let rows =
+           List.map
+             (fun (label, cfg) ->
+                let r = Svc.Loadgen.run impl cfg in
+                (match r.lg_violation with
+                 | Some v ->
+                   failwith
+                     (Printf.sprintf "E13 %s/%s: VIOLATION %s"
+                        (Timestamp.Registry.name impl) label v)
+                 | None -> ());
+                Printf.printf "%-18s %-10s | %10.0f %9.1f %9.1f %9d\n"
+                  (Timestamp.Registry.name impl)
+                  label r.lg_throughput r.lg_p50_us r.lg_p99_us r.lg_hb_pairs;
+                (label, r))
+             modes
+         in
+         let find l = List.assoc l rows in
+         let speedup =
+           (find "batched").Svc.Loadgen.lg_throughput
+           /. Float.max 1e-9 (find "unbatched").Svc.Loadgen.lg_throughput
+         in
+         Printf.printf "%-18s batched/unbatched speedup: %.2fx\n"
+           (Timestamp.Registry.name impl)
+           speedup;
+         (Timestamp.Registry.name impl, rows, speedup))
+      [ Timestamp.Registry.lamport; Timestamp.Registry.efr;
+        Timestamp.Registry.vector; Timestamp.Registry.sqrt_oneshot ]
+  in
+  let shard_json (s : Svc.Loadgen.shard_report) : Obs.Json.t =
+    Obs.Json.Obj
+      [ ("shard", Obs.Json.Int s.sr_shard);
+        ("served", Obs.Json.Int s.sr_served);
+        ("batches", Obs.Json.Int s.sr_batches);
+        ("max_batch", Obs.Json.Int s.sr_max_batch);
+        ("p50_us", Obs.Json.Float s.sr_p50_us);
+        ("p99_us", Obs.Json.Float s.sr_p99_us) ]
+  in
+  let mode_json (label, (r : Svc.Loadgen.report)) =
+    ( label,
+      Obs.Json.Obj
+        [ ("config", Obs.Json.String r.lg_mode);
+          ("requests", Obs.Json.Int r.lg_total);
+          ("seconds", Obs.Json.Float r.lg_elapsed_s);
+          ("throughput_rps", Obs.Json.Float r.lg_throughput);
+          ("p50_us", Obs.Json.Float r.lg_p50_us);
+          ("p99_us", Obs.Json.Float r.lg_p99_us);
+          ("hb_pairs", Obs.Json.Int r.lg_hb_pairs);
+          ("checker", Obs.Json.String "OK");
+          ("shards", Obs.Json.List (List.map shard_json r.lg_shards)) ] )
+  in
+  let impl_json (name, rows, speedup) : Obs.Json.t =
+    Obs.Json.Obj
+      [ ("name", Obs.Json.String name);
+        ("modes", Obs.Json.Obj (List.map mode_json rows));
+        ("batched_speedup", Obs.Json.Float speedup) ]
+  in
+  let doc =
+    Obs.Json.Obj
+      [ ("schema_version", Obs.Json.Int Obs.Metric.schema_version);
+        ("experiment", Obs.Json.String "E13-service");
+        ("fast", Obs.Json.Bool fast);
+        ("clients", Obs.Json.Int base.Svc.Loadgen.clients);
+        ("requests_per_client", Obs.Json.Int requests);
+        ("implementations", Obs.Json.List (List.map impl_json results)) ]
+  in
+  Out_channel.with_open_text "BENCH_service.json" (fun oc ->
+      Out_channel.output_string oc (Obs.Json.pretty_to_string doc);
+      Out_channel.output_char oc '\n');
+  Printf.printf "\n(wrote BENCH_service.json)\n"
+
+(* ------------------------------------------------------------------ *)
 (* EA: ablation of the Algorithm-4 repair rule (Section 6.1)            *)
 (* ------------------------------------------------------------------ *)
 
@@ -845,6 +955,7 @@ let () =
   e9_distributed ();
   e10_explore_engine ();
   e12_fuzz_sensitivity ();
+  e13_service ();
   ea_ablation ();
   run_timings ();
   print_endline "\nAll experiments complete."

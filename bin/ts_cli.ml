@@ -8,13 +8,9 @@ let impl_names = List.map Timestamp.Registry.name Timestamp.Registry.all
 
 let impl_conv =
   let parse s =
-    match Timestamp.Registry.find s with
-    | Some impl -> Ok impl
-    | None ->
-      Error
-        (`Msg
-           (Printf.sprintf "unknown implementation %S (expected one of %s)" s
-              (String.concat ", " impl_names)))
+    match Timestamp.Registry.find_exn s with
+    | impl -> Ok impl
+    | exception Failure msg -> Error (`Msg msg)
   in
   let print ppf impl =
     Format.pp_print_string ppf (Timestamp.Registry.name impl)
@@ -757,6 +753,156 @@ let clocks_cmd =
          "Generate a message-passing execution and verify the logical clocks.")
     Term.(const run $ n_arg $ steps_arg $ seed_arg)
 
+(* ------------------------------------------------------------------ *)
+(* Service layer: serve (deterministic, cram-pinned) and loadgen.       *)
+
+let serve_cmd =
+  let run impl n requests batch_max shards out =
+    let rc =
+      with_obs out @@ fun _ ->
+      let (Timestamp.Registry.Impl (module T)) = impl in
+      let module S = Svc.Service.Make (T) in
+      (* a one-shot object consumes one process id per request *)
+      let n = match T.kind with `One_shot -> max n requests | `Long_lived -> n in
+      let svc = S.start ~batch_max ~shards ~n () in
+      let session = S.open_session svc in
+      Printf.printf "service: %s  n=%d shards=%d batch_max=%d\n" T.name n
+        (S.num_shards svc) batch_max;
+      let resps = List.init requests (fun _ -> S.get_ts session) in
+      S.stop svc;
+      List.iter
+        (fun (r : S.resp) ->
+           Printf.printf "  req p%d.%d (shard %d) -> %s\n" r.pid r.call r.shard
+             (Format.asprintf "%a" T.pp_ts r.ts))
+        resps;
+      (* the requests were issued sequentially, so every adjacent pair is
+         happens-before ordered and compare must agree *)
+      let rec chain = function
+        | (a : S.resp) :: (b :: _ as rest) ->
+          T.compare_ts a.ts b.ts && not (T.compare_ts b.ts a.ts) && chain rest
+        | _ -> true
+      in
+      if chain resps then begin
+        Printf.printf "serve: OK (%d requests, compare chain holds)\n"
+          (List.length resps);
+        0
+      end
+      else begin
+        Printf.printf "serve: VIOLATION (compare chain broken)\n";
+        1
+      end
+    in
+    if rc <> 0 then exit rc
+  in
+  let requests =
+    Arg.(
+      value & opt int 6
+      & info [ "requests"; "r" ] ~docv:"K" ~doc:"getTS requests to serve.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 64
+      & info [ "batch" ] ~docv:"B" ~doc:"Worker batch-size cap.")
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"S" ~doc:"Worker domains / shards.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Start the sharded timestamp service, serve a sequential session \
+          and check the served timestamps.")
+    Term.(const run $ impl_arg $ n_arg $ requests $ batch $ shards
+          $ obs_out_term)
+
+let loadgen_cmd =
+  let run impl n clients requests pipeline shards batch_max direct think_us
+      seed out =
+    let rc =
+      with_obs out @@ fun _ ->
+      let open Svc.Loadgen in
+      let mode =
+        if direct then Direct else Service { shards; batch_max }
+      in
+      let cfg =
+        { default with mode; clients; requests_per_client = requests;
+          pipeline; n; seed; think_us }
+      in
+      let r = Svc.Loadgen.run impl cfg in
+      Printf.printf "loadgen: %s  %s  seed=%d\n" r.lg_impl r.lg_mode seed;
+      Printf.printf "served %d requests in %.3fs (%.0f req/s)\n" r.lg_total
+        r.lg_elapsed_s r.lg_throughput;
+      Printf.printf "latency: p50=%.1fus p99=%.1fus\n" r.lg_p50_us r.lg_p99_us;
+      List.iter
+        (fun s ->
+           Printf.printf
+             "  shard %d: served=%d batches=%d max_batch=%d p50=%.1fus \
+              p99=%.1fus\n"
+             s.sr_shard s.sr_served s.sr_batches s.sr_max_batch s.sr_p50_us
+             s.sr_p99_us)
+        r.lg_shards;
+      match r.lg_violation with
+      | None ->
+        Printf.printf "checker: OK (%d hb pairs)\n" r.lg_hb_pairs;
+        0
+      | Some v ->
+        Printf.printf "checker: VIOLATION: %s\n" v;
+        1
+    in
+    if rc <> 0 then exit rc
+  in
+  let clients =
+    Arg.(
+      value & opt int 4
+      & info [ "clients" ] ~docv:"C" ~doc:"Client domains.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 100
+      & info [ "requests"; "r" ] ~docv:"K" ~doc:"getTS requests per client.")
+  in
+  let pipeline =
+    Arg.(
+      value & opt int 1
+      & info [ "pipeline" ] ~docv:"P"
+          ~doc:"In-flight requests per client (client-side batching).")
+  in
+  let shards =
+    Arg.(
+      value & opt int 1
+      & info [ "shards" ] ~docv:"S" ~doc:"Worker domains / shards.")
+  in
+  let batch =
+    Arg.(
+      value & opt int 64
+      & info [ "batch" ] ~docv:"B" ~doc:"Worker batch-size cap.")
+  in
+  let direct =
+    Arg.(
+      value & flag
+      & info [ "direct" ]
+          ~doc:
+            "Bypass the service: clients execute getTS themselves on the \
+             shared registers (the unbatched baseline).")
+  in
+  let think =
+    Arg.(
+      value & opt int 0
+      & info [ "think-us" ] ~docv:"US"
+          ~doc:"Max seeded random think time between bursts, microseconds.")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:
+         "Closed-loop load generator over the timestamp service; reports \
+          throughput, latency percentiles and a happens-before checker \
+          verdict.")
+    Term.(
+      const run $ impl_arg $ n_arg $ clients $ requests $ pipeline $ shards
+      $ batch $ direct $ think $ seed_arg $ obs_out_term)
+
 let () =
   let doc =
     "Timestamp objects from atomic registers: algorithms, adversaries and \
@@ -768,4 +914,4 @@ let () =
           (Cmd.info "ts_cli" ~version:"1.0.0" ~doc)
           [ list_cmd; run_cmd; adversary_cmd; figure_cmd; claims_cmd;
             stress_cmd; clocks_cmd; explore_cmd; distributed_cmd; obs_cmd;
-            fuzz_cmd ]))
+            fuzz_cmd; serve_cmd; loadgen_cmd ]))

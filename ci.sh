@@ -36,4 +36,13 @@ dune exec bin/ts_cli.exe -- obs --impl efr-longlived -n 8 \
 dune exec bin/ts_cli.exe -- obs \
   --validate /tmp/trace.json --validate /tmp/m.jsonl
 
+echo "== service smoke: closed-loop loadgen + hb checker =="
+lg_out=$(dune exec bin/ts_cli.exe -- loadgen -i efr-longlived \
+  --clients 3 -r 40 --shards 2 --batch 16 --pipeline 4)
+echo "$lg_out"
+echo "$lg_out" | grep -q "served 120 requests" || {
+  echo "loadgen smoke: wrong request count" >&2; exit 1; }
+echo "$lg_out" | grep -q "checker: OK" || {
+  echo "loadgen smoke: checker did not pass" >&2; exit 1; }
+
 echo "== ci.sh: all green =="

@@ -84,6 +84,59 @@ let check (type r) ~compare_ts ~(pp : Format.formatter -> r -> unit)
     Ok !pairs
   with Violation v -> Error v
 
+type 'r timed = {
+  td_pid : int;
+  td_call : int;
+  td_start : int;
+  td_end : int;
+  td_ts : 'r;
+}
+
+(* Sorting by end tick and scanning the other axis by start tick turns the
+   naive all-pairs pass into a prefix scan: for [o2] in ascending start-tick
+   order, the predecessors with [td_end < o2.td_start] form a growing prefix
+   of the end-sorted array, so only happens-before-eligible pairs are ever
+   compared (the naive version also probed every unordered pair — the bulk
+   of the quadratic work under heavy concurrency). *)
+let check_timed (type r) ~compare_ts ~(pp : Format.formatter -> r -> unit)
+    (records : r timed list) : (int, violation) result =
+  let str t = Format.asprintf "%a" pp t in
+  let op r : Shm.History.op = { pid = r.td_pid; call = r.td_call } in
+  let exception Violation of violation in
+  try
+    let by_end = Array.of_list records in
+    Array.sort (fun a b -> Int.compare a.td_end b.td_end) by_end;
+    let by_start = Array.of_list records in
+    Array.sort (fun a b -> Int.compare a.td_start b.td_start) by_start;
+    let len = Array.length by_end in
+    let pairs = ref 0 in
+    let prefix = ref 0 in
+    Array.iter
+      (fun o2 ->
+         while !prefix < len && by_end.(!prefix).td_end < o2.td_start do
+           incr prefix
+         done;
+         for j = 0 to !prefix - 1 do
+           let o1 = by_end.(j) in
+           (* by construction [o1] happens before [o2] *)
+           incr pairs;
+           if not (compare_ts o1.td_ts o2.td_ts) then
+             raise
+               (Violation
+                  { op1 = op o1; op2 = op o2;
+                    t1 = str o1.td_ts; t2 = str o2.td_ts;
+                    reason = "happens before, but compare(t1,t2)=false" });
+           if compare_ts o2.td_ts o1.td_ts then
+             raise
+               (Violation
+                  { op1 = op o1; op2 = op o2;
+                    t1 = str o1.td_ts; t2 = str o2.td_ts;
+                    reason = "happens before, but compare(t2,t1)=true" })
+         done)
+      by_start;
+    Ok !pairs
+  with Violation v -> Error v
+
 let check_sim (type v r)
     (module T : Intf.S with type value = v and type result = r)
     (cfg : (v, r) Shm.Sim.t) : (int, violation) result =

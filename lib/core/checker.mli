@@ -27,6 +27,27 @@ val check :
   (int, violation) result
 (** [Ok pairs] reports how many happens-before pairs were checked. *)
 
+type 'r timed = {
+  td_pid : int;
+  td_call : int;
+  td_start : int;  (** logical clock read before the call's first step *)
+  td_end : int;  (** logical clock bumped after the call's last step *)
+  td_ts : 'r;
+}
+(** One completed getTS with its interval endpoints on a linearizable
+    logical clock, so [td_end r1 < td_start r2] soundly witnesses that
+    [r1] happens before [r2]. *)
+
+val check_timed :
+  compare_ts:('r -> 'r -> bool) ->
+  pp:(Format.formatter -> 'r -> unit) ->
+  'r timed list ->
+  (int, violation) result
+(** {!check} over the tick-derived happens-before order of a real parallel
+    run, as a prefix scan (sort by end tick, sweep by start tick) so only
+    ordered pairs are ever compared.  Backs [Multicore.Stress.check] and
+    the service load generator's verdict. *)
+
 val check_sim :
   (module Intf.S with type value = 'v and type result = 'r) ->
   ('v, 'r) Shm.Sim.t ->

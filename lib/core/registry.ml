@@ -37,26 +37,71 @@ let long_lived = List.filter (fun i -> kind i = `Long_lived) all
 
 let find name_ = List.find_opt (fun i -> name i = name_) all
 
+let find_exn ?kind name_ =
+  let pool, what =
+    match kind with
+    | None -> (all, "implementation")
+    | Some `One_shot -> (one_shot, "one-shot implementation")
+    | Some `Long_lived -> (long_lived, "long-lived implementation")
+  in
+  match List.find_opt (fun i -> name i = name_) pool with
+  | Some i -> i
+  | None ->
+    failwith
+      (Printf.sprintf "unknown %s %S, try: %s" what name_
+         (String.concat ", " (List.map name pool)))
+
 (* Generic experiment drivers over a packed implementation. *)
 
-(* Run a staggered random workload and return (happens-before pairs checked,
-   registers written, registers touched, provisioned registers). *)
-let space_probe ?invoke_prob (Impl (module T)) ~n ~seed ~calls =
-  let module H = Harness.Make (T) in
-  let calls = match T.kind with `One_shot -> 1 | `Long_lived -> calls in
-  let cfg = H.run_random ?invoke_prob ~calls ~n ~seed () in
-  let pairs = H.check_exn cfg in
-  let written, touched = H.space_used cfg in
-  (pairs, written, touched, T.num_registers ~n)
+module Workload = struct
+  type t =
+    | Random of { calls : int }
+    | Staggered of { invoke_prob : float; calls : int }
+    | Wave of { wave_size : int }
 
-(* Wave workload probe: later waves happen after earlier ones, giving
-   one-shot objects a rich happens-before relation. *)
-let wave_probe (Impl (module T)) ~n ~seed ~wave_size =
+  let pp ppf = function
+    | Random { calls } -> Format.fprintf ppf "random calls=%d" calls
+    | Staggered { invoke_prob; calls } ->
+      Format.fprintf ppf "staggered invoke_prob=%g calls=%d" invoke_prob calls
+    | Wave { wave_size } -> Format.fprintf ppf "wave size=%d" wave_size
+end
+
+type probe_result = {
+  hb_pairs : int;
+  regs_written : int;
+  regs_touched : int;
+  regs_provisioned : int;
+}
+
+let probe (Impl (module T)) ~n ~seed workload =
   let module H = Harness.Make (T) in
-  let cfg = H.run_waves ~wave_size ~n ~seed () in
-  let pairs = H.check_exn cfg in
-  let written, touched = H.space_used cfg in
-  (pairs, written, touched, T.num_registers ~n)
+  let clamp calls = match T.kind with `One_shot -> 1 | `Long_lived -> calls in
+  let cfg =
+    match (workload : Workload.t) with
+    | Random { calls } -> H.run_random ~calls:(clamp calls) ~n ~seed ()
+    | Staggered { invoke_prob; calls } ->
+      H.run_random ~invoke_prob ~calls:(clamp calls) ~n ~seed ()
+    | Wave { wave_size } -> H.run_waves ~wave_size ~n ~seed ()
+  in
+  let hb_pairs = H.check_exn cfg in
+  let regs_written, regs_touched = H.space_used cfg in
+  { hb_pairs; regs_written; regs_touched;
+    regs_provisioned = T.num_registers ~n }
+
+(* Deprecated tuple shims over [probe]; see the interface. *)
+
+let tuple { hb_pairs; regs_written; regs_touched; regs_provisioned } =
+  (hb_pairs, regs_written, regs_touched, regs_provisioned)
+
+let space_probe ?invoke_prob impl ~n ~seed ~calls =
+  tuple
+    (probe impl ~n ~seed
+       (match invoke_prob with
+        | None -> Workload.Random { calls }
+        | Some invoke_prob -> Workload.Staggered { invoke_prob; calls }))
+
+let wave_probe impl ~n ~seed ~wave_size =
+  tuple (probe impl ~n ~seed (Workload.Wave { wave_size }))
 
 (* All-sequential run returning the timestamps in issue order. *)
 let sequential_kinds (Impl (module T)) ~n =

@@ -36,17 +36,55 @@ val long_lived : impl list
 
 val find : string -> impl option
 
+val find_exn : ?kind:[ `One_shot | `Long_lived ] -> string -> impl
+(** Lookup by name, optionally restricted to one kind.  Raises [Failure]
+    with a uniform ["unknown implementation %S, try: ..."] message listing
+    the valid names — the single source of that error for every CLI
+    subcommand. *)
+
+(** Simulator workload descriptors for {!probe}. *)
+module Workload : sig
+  type t =
+    | Random of { calls : int }
+        (** closed random workload: every process always has a pending
+            invocation until it has performed [calls] getTS calls *)
+    | Staggered of { invoke_prob : float; calls : int }
+        (** like [Random], but a quiescent process re-invokes only with
+            probability [invoke_prob] per step, staggering the calls so
+            some pairs are happens-before ordered *)
+    | Wave of { wave_size : int }
+        (** processes invoked in waves of [wave_size]; each wave runs to
+            quiescence before the next starts, so cross-wave calls are
+            ordered — the workload that gives one-shot objects a rich
+            happens-before relation *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+type probe_result = {
+  hb_pairs : int;  (** happens-before pairs the checker verified *)
+  regs_written : int;
+  regs_touched : int;  (** read or written *)
+  regs_provisioned : int;  (** [num_registers ~n] *)
+}
+
+val probe : impl -> n:int -> seed:int -> Workload.t -> probe_result
+(** Runs the workload under the deterministic simulator, checks the
+    timestamp specification, and reports happens-before coverage plus
+    space accounting.  [calls] is forced to 1 for one-shot objects.
+    Raises [Failure] on a specification violation. *)
+
 val space_probe :
   ?invoke_prob:float -> impl -> n:int -> seed:int -> calls:int ->
   int * int * int * int
-(** Runs a staggered random workload, checks it, and returns
-    [(happens-before pairs checked, registers written, registers touched,
-    registers provisioned)].  Raises [Failure] on a specification
-    violation. *)
+[@@ocaml.deprecated "use Registry.probe with Workload.Random/Staggered"]
+(** @deprecated Tuple shim over {!probe}: [Staggered] when [invoke_prob]
+    is given, [Random] otherwise. *)
 
-val wave_probe : impl -> n:int -> seed:int -> wave_size:int -> int * int * int * int
-(** Like {!space_probe} under a wave workload: later waves happen after
-    earlier ones, giving one-shot objects a rich happens-before relation. *)
+val wave_probe :
+  impl -> n:int -> seed:int -> wave_size:int -> int * int * int * int
+[@@ocaml.deprecated "use Registry.probe with Workload.Wave"]
+(** @deprecated Tuple shim over {!probe} with [Workload.Wave]. *)
 
 val sequential_kinds : impl -> n:int -> string list
 (** Pretty-printed timestamps of an all-sequential run, in issue order. *)

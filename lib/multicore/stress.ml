@@ -45,53 +45,24 @@ module Make (T : Timestamp.Intf.S) = struct
     List.concat_map Domain.join domains
 
   (* end1 < start2 means op1's final counter bump was observed before op2
-     began, which is a sound happens-before witness. *)
+     began, which is a sound happens-before witness; the prefix-scan pass
+     itself lives in [Timestamp.Checker.check_timed] so the service load
+     generator shares the same verdict code. *)
   let check records =
     Obs.Hooks.with_span "stress.check" @@ fun () ->
-    let exception Bad of string in
-    (* Sorting by [end_tick] and scanning the other axis by [start_tick]
-       turns the naive all-pairs pass into a prefix scan: for [o2] in
-       ascending [start_tick] order, the predecessors with
-       [end_tick < o2.start_tick] form a growing prefix of the
-       [end_tick]-sorted array, so only happens-before-eligible pairs are
-       ever compared (the naive version also probed every unordered pair —
-       the bulk of the quadratic work under heavy concurrency). *)
-    try
-      let by_end = Array.of_list records in
-      Array.sort (fun a b -> Int.compare a.end_tick b.end_tick) by_end;
-      let by_start = Array.of_list records in
-      Array.sort (fun a b -> Int.compare a.start_tick b.start_tick) by_start;
-      let len = Array.length by_end in
-      let pairs = ref 0 in
-      let prefix = ref 0 in
-      Array.iter
-        (fun o2 ->
-           while !prefix < len && by_end.(!prefix).end_tick < o2.start_tick do
-             incr prefix
-           done;
-           for j = 0 to !prefix - 1 do
-             let o1 = by_end.(j) in
-             (* by construction [happens_before o1 o2] holds *)
-             incr pairs;
-             if not (T.compare_ts o1.ts o2.ts) then
-               raise
-                 (Bad
-                    (Format.asprintf
-                       "p%d.%d(%a) happened before p%d.%d(%a) but \
-                        compare(t1,t2)=false"
-                       o1.pid o1.call T.pp_ts o1.ts o2.pid o2.call
-                       T.pp_ts o2.ts));
-             if T.compare_ts o2.ts o1.ts then
-               raise
-                 (Bad
-                    (Format.asprintf
-                       "p%d.%d happened before p%d.%d but \
-                        compare(t2,t1)=true"
-                       o1.pid o1.call o2.pid o2.call))
-           done)
-        by_start;
-      Ok !pairs
-    with Bad msg -> Error msg
+    let timed =
+      List.map
+        (fun r ->
+           { Timestamp.Checker.td_pid = r.pid; td_call = r.call;
+             td_start = r.start_tick; td_end = r.end_tick; td_ts = r.ts })
+        records
+    in
+    match
+      Timestamp.Checker.check_timed ~compare_ts:T.compare_ts ~pp:T.pp_ts timed
+    with
+    | Ok pairs -> Ok pairs
+    | Error v ->
+      Error (Format.asprintf "%a" Timestamp.Checker.pp_violation v)
 
   let run_and_check ~n ~calls = check (run ~n ~calls)
 end

@@ -113,6 +113,31 @@ let observe h v =
   if v < h.h_min then h.h_min <- v;
   if v > h.h_max then h.h_max <- v
 
+let percentile h p =
+  if h.h_count = 0 then nan
+  else begin
+    let p = if p < 0. then 0. else if p > 100. then 100. else p in
+    let rank = p /. 100. *. float_of_int h.h_count in
+    let nb = Array.length h.bounds in
+    let rec go i cum =
+      if i > nb then h.h_max
+      else
+        let cum' = cum + h.counts.(i) in
+        if h.counts.(i) > 0 && float_of_int cum' >= rank then begin
+          (* interpolate within the bucket, then clamp to the observed
+             range so an almost-empty histogram doesn't report a bucket
+             bound nothing ever reached *)
+          let lo = if i = 0 then 0. else h.bounds.(i - 1) in
+          let hi = if i < nb then h.bounds.(i) else h.h_max in
+          let frac = (rank -. float_of_int cum) /. float_of_int h.counts.(i) in
+          let v = lo +. ((hi -. lo) *. Float.max 0. frac) in
+          Float.min h.h_max (Float.max h.h_min v)
+        end
+        else go (i + 1) cum'
+    in
+    go 0 0
+  end
+
 let hist_count h = h.h_count
 
 let hist_sum h = h.h_sum
@@ -199,8 +224,9 @@ let pp_table ppf r =
            Format.fprintf ppf "%-*s  %-9s  (empty)@." widest name "histogram"
          else
            Format.fprintf ppf
-             "%-*s  %-9s  count=%d sum=%.1f min=%.1f mean=%.2f max=%.1f@."
+             "%-*s  %-9s  count=%d sum=%.1f min=%.1f mean=%.2f p50=%.1f \
+              p99=%.1f max=%.1f@."
              widest name "histogram" h.h_count h.h_sum h.h_min
              (h.h_sum /. float_of_int h.h_count)
-             h.h_max)
+             (percentile h 50.) (percentile h 99.) h.h_max)
     metrics

@@ -54,6 +54,13 @@ val gauge_value : gauge -> float
 
 val observe : histogram -> float -> unit
 
+val percentile : histogram -> float -> float
+(** [percentile h p] estimates the [p]-th percentile ([p] clamped to
+    [0..100]) by walking the cumulative bucket counts and interpolating
+    linearly inside the bucket where the rank falls, Prometheus-style.
+    The estimate is clamped to the observed [min..max] range.  [nan] when
+    the histogram is empty. *)
+
 val hist_count : histogram -> int
 
 val hist_sum : histogram -> float

@@ -1,0 +1,237 @@
+let now_us () = Obs.Trace.Clock.now_s () *. 1e6
+
+let sleep_us us =
+  try Unix.sleepf (float_of_int us *. 1e-6)
+  with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+type mode = Direct | Service of { shards : int; batch_max : int }
+
+type cfg = {
+  mode : mode;
+  clients : int;
+  requests_per_client : int;
+  pipeline : int;
+  n : int;
+  seed : int;
+  think_us : int;
+  backoff_us : int;
+}
+
+let default =
+  { mode = Direct;
+    clients = 4;
+    requests_per_client = 100;
+    pipeline = 1;
+    n = 8;
+    seed = 1;
+    think_us = 0;
+    backoff_us = 50 }
+
+type shard_report = {
+  sr_shard : int;
+  sr_served : int;
+  sr_batches : int;
+  sr_max_batch : int;
+  sr_p50_us : float;
+  sr_p99_us : float;
+}
+
+type report = {
+  lg_impl : string;
+  lg_mode : string;
+  lg_total : int;
+  lg_elapsed_s : float;
+  lg_throughput : float;
+  lg_hb_pairs : int;
+  lg_violation : string option;
+  lg_p50_us : float;
+  lg_p99_us : float;
+  lg_shards : shard_report list;
+  lg_timestamps : string list;
+}
+
+(* p50/p99 over a fresh default-bucket histogram (powers of two up to
+   2^20 us — plenty for sub-second request latencies). *)
+let percentiles lats =
+  let reg = Obs.Metric.registry ~name:"loadgen" () in
+  let h = Obs.Metric.histogram reg "latency_us" in
+  List.iter (Obs.Metric.observe h) lats;
+  (Obs.Metric.percentile h 50., Obs.Metric.percentile h 99.)
+
+module Run (T : Timestamp.Intf.S) = struct
+  module S = Service.Make (T)
+
+  (* one completed request, mode-agnostic *)
+  type sample = {
+    sm_pid : int;
+    sm_call : int;
+    sm_start : int;
+    sm_end : int;
+    sm_ts : T.result;
+    sm_lat_us : float;
+    sm_shard : int;
+  }
+
+  let think rng think_us =
+    if think_us > 0 then begin
+      let us = Random.State.int rng (think_us + 1) in
+      if us > 0 then sleep_us us
+    end
+
+  (* Raise [n] when the workload needs more process ids than configured:
+     every client of a long-lived object is one process, every request to a
+     one-shot object is one. *)
+  let effective_n cfg =
+    match T.kind with
+    | `One_shot -> max cfg.n (cfg.clients * cfg.requests_per_client)
+    | `Long_lived -> max cfg.n cfg.clients
+
+  let direct cfg =
+    let n = effective_n cfg in
+    let regs =
+      Multicore.Exec.make_regs ~num:(T.num_registers ~n)
+        ~init:(T.init_value ~n)
+    in
+    let tick = Atomic.make 0 in
+    let next_pid = Atomic.make 0 in
+    let client i () =
+      let rng = Random.State.make [| cfg.seed; i; 0x5eed |] in
+      let rec go call acc =
+        if call >= cfg.requests_per_client then List.rev acc
+        else begin
+          let pid, callno =
+            match T.kind with
+            | `One_shot -> (Atomic.fetch_and_add next_pid 1, 0)
+            | `Long_lived -> (i, call)
+          in
+          let t0 = now_us () in
+          let sm_start = Atomic.get tick in
+          let ts = Multicore.Exec.run ~regs (T.program ~n ~pid ~call:callno) in
+          let sm_end = Atomic.fetch_and_add tick 1 in
+          let lat = now_us () -. t0 in
+          think rng cfg.think_us;
+          go (call + 1)
+            ({ sm_pid = pid; sm_call = callno; sm_start; sm_end; sm_ts = ts;
+               sm_lat_us = lat; sm_shard = 0 }
+             :: acc)
+        end
+      in
+      go 0 []
+    in
+    let t0 = now_us () in
+    let domains = List.init cfg.clients (fun i -> Domain.spawn (client i)) in
+    let samples = List.concat_map Domain.join domains in
+    let elapsed = (now_us () -. t0) *. 1e-6 in
+    (samples, elapsed, None)
+
+  let service cfg ~shards ~batch_max =
+    let n = effective_n cfg in
+    let svc = S.start ~batch_max ~backoff_us:cfg.backoff_us ~shards ~n () in
+    (* open the sessions here, not in the client domains, so client [i]
+       deterministically owns process id [i] *)
+    let sessions = Array.init cfg.clients (fun _ -> S.open_session svc) in
+    let client i () =
+      let session = sessions.(i) in
+      let rng = Random.State.make [| cfg.seed; i; 0x5eed |] in
+      let rec go remaining acc =
+        if remaining = 0 then acc
+        else begin
+          let burst = min cfg.pipeline remaining in
+          let tickets = List.init burst (fun _ -> S.submit session) in
+          let resps = List.map S.await tickets in
+          let acc =
+            List.fold_left
+              (fun acc (r : S.resp) ->
+                 { sm_pid = r.pid; sm_call = r.call; sm_start = r.start_tick;
+                   sm_end = r.end_tick; sm_ts = r.ts;
+                   sm_lat_us = r.resp_us -. r.submit_us; sm_shard = r.shard }
+                 :: acc)
+              acc resps
+          in
+          think rng cfg.think_us;
+          go (remaining - burst) acc
+        end
+      in
+      go cfg.requests_per_client []
+    in
+    let t0 = now_us () in
+    let domains = List.init cfg.clients (fun i -> Domain.spawn (client i)) in
+    let samples = List.concat_map Domain.join domains in
+    let elapsed = (now_us () -. t0) *. 1e-6 in
+    S.stop svc;
+    (samples, elapsed, Some (S.stats svc))
+
+  let mode_string cfg =
+    match cfg.mode with
+    | Direct -> Printf.sprintf "direct clients=%d" cfg.clients
+    | Service { shards; batch_max } ->
+      Printf.sprintf "service clients=%d shards=%d batch_max=%d pipeline=%d"
+        cfg.clients shards batch_max cfg.pipeline
+
+  let run cfg =
+    if cfg.clients <= 0 then
+      invalid_arg "Loadgen.run: clients must be positive";
+    if cfg.requests_per_client <= 0 then
+      invalid_arg "Loadgen.run: requests_per_client must be positive";
+    if cfg.pipeline <= 0 then
+      invalid_arg "Loadgen.run: pipeline must be positive";
+    let samples, elapsed, stats =
+      match cfg.mode with
+      | Direct -> direct cfg
+      | Service { shards; batch_max } -> service cfg ~shards ~batch_max
+    in
+    let total = List.length samples in
+    let timed =
+      List.map
+        (fun s ->
+           { Timestamp.Checker.td_pid = s.sm_pid; td_call = s.sm_call;
+             td_start = s.sm_start; td_end = s.sm_end; td_ts = s.sm_ts })
+        samples
+    in
+    let hb_pairs, violation =
+      match
+        Timestamp.Checker.check_timed ~compare_ts:T.compare_ts ~pp:T.pp_ts
+          timed
+      with
+      | Ok pairs -> (pairs, None)
+      | Error v ->
+        (0, Some (Format.asprintf "%a" Timestamp.Checker.pp_violation v))
+    in
+    let p50, p99 = percentiles (List.map (fun s -> s.sm_lat_us) samples) in
+    let num_shards =
+      match cfg.mode with Direct -> 1 | Service { shards; _ } -> shards
+    in
+    let shard_report i =
+      let here = List.filter (fun s -> s.sm_shard = i) samples in
+      let sp50, sp99 = percentiles (List.map (fun s -> s.sm_lat_us) here) in
+      let served, batches, max_batch =
+        match stats with
+        | None -> (List.length here, 0, 0)
+        | Some st ->
+          let (s : S.shard_stats) = st.(i) in
+          (s.served, s.batches, s.max_batch)
+      in
+      { sr_shard = i; sr_served = served; sr_batches = batches;
+        sr_max_batch = max_batch; sr_p50_us = sp50; sr_p99_us = sp99 }
+    in
+    let by_end =
+      List.sort (fun a b -> Int.compare a.sm_end b.sm_end) samples
+    in
+    { lg_impl = T.name;
+      lg_mode = mode_string cfg;
+      lg_total = total;
+      lg_elapsed_s = elapsed;
+      lg_throughput =
+        (if elapsed > 0. then float_of_int total /. elapsed else 0.);
+      lg_hb_pairs = hb_pairs;
+      lg_violation = violation;
+      lg_p50_us = p50;
+      lg_p99_us = p99;
+      lg_shards = List.init num_shards shard_report;
+      lg_timestamps =
+        List.map (fun s -> Format.asprintf "%a" T.pp_ts s.sm_ts) by_end }
+end
+
+let run (Timestamp.Registry.Impl (module T)) cfg =
+  let module R = Run (T) in
+  R.run cfg

@@ -1,0 +1,68 @@
+(** Seeded closed-loop load generator for the timestamp service.
+
+    Spawns [clients] domains; each performs [requests_per_client] getTS
+    calls, either through a {!Service} (mode [Service]) or by executing the
+    program itself on the shared registers (mode [Direct], the
+    {!Multicore.Stress} model — the unbatched baseline).  A client keeps at
+    most [pipeline] requests in flight: it submits a burst, awaits all of
+    its responses, optionally sleeps a seeded random think time, and
+    repeats.  [pipeline = 1] is the classic one-outstanding-call closed
+    loop; larger pipelines are client-side batching, the lever a timestamp
+    oracle uses to amortize the request round trip.
+
+    Every request's submit/response order is recorded against the global
+    tick, so the report carries a {!Timestamp.Checker.check_timed} verdict
+    over the real happens-before order the clients observed, plus
+    throughput and per-shard latency percentiles (computed with
+    {!Obs.Metric.percentile} over microsecond histograms). *)
+
+type mode =
+  | Direct  (** no service: each client runs its own getTS on the registers *)
+  | Service of { shards : int; batch_max : int }
+
+type cfg = {
+  mode : mode;
+  clients : int;
+  requests_per_client : int;
+  pipeline : int;  (** in-flight requests per client; ignored by [Direct] *)
+  n : int;  (** processes to provision; raised automatically when the
+                implementation needs more (one-shot: total requests,
+                long-lived: [clients]) *)
+  seed : int;
+  think_us : int;  (** max seeded random pause between bursts; 0 = none *)
+  backoff_us : int;  (** worker idle backoff (service mode) *)
+}
+
+val default : cfg
+(** [Direct], 4 clients, 100 requests each, pipeline 1, n = 8, seed 1, no
+    think time, 50us backoff. *)
+
+type shard_report = {
+  sr_shard : int;
+  sr_served : int;
+  sr_batches : int;
+  sr_max_batch : int;
+  sr_p50_us : float;
+  sr_p99_us : float;
+}
+
+type report = {
+  lg_impl : string;
+  lg_mode : string;  (** human-readable mode summary *)
+  lg_total : int;  (** requests completed (= clients * requests_per_client) *)
+  lg_elapsed_s : float;  (** wall clock over all client domains *)
+  lg_throughput : float;  (** requests per second *)
+  lg_hb_pairs : int;  (** happens-before pairs the checker verified *)
+  lg_violation : string option;  (** [None] = specification holds *)
+  lg_p50_us : float;
+  lg_p99_us : float;
+  lg_shards : shard_report list;  (** one entry ([Direct]: a single pseudo
+                                      shard with no batch counters) *)
+  lg_timestamps : string list;
+      (** pretty-printed timestamps in response (tick) order — the served
+          sequence, used by determinism tests *)
+}
+
+val run : Timestamp.Registry.impl -> cfg -> report
+(** Runs the workload to completion (service mode shuts the service down
+    gracefully afterwards and asserts the drain lost nothing). *)

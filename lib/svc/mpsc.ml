@@ -1,0 +1,26 @@
+type 'a t = {
+  head : 'a list Atomic.t;  (* LIFO; reversed on drain *)
+  depth : int Atomic.t;
+}
+
+let create () = { head = Atomic.make []; depth = Atomic.make 0 }
+
+let rec push t x =
+  let cur = Atomic.get t.head in
+  if Atomic.compare_and_set t.head cur (x :: cur) then
+    ignore (Atomic.fetch_and_add t.depth 1)
+  else begin
+    Domain.cpu_relax ();
+    push t x
+  end
+
+let drain t =
+  match Atomic.exchange t.head [] with
+  | [] -> []
+  | l ->
+    ignore (Atomic.fetch_and_add t.depth (-(List.length l)));
+    List.rev l
+
+let length t = Atomic.get t.depth
+
+let is_empty t = Atomic.get t.head == []

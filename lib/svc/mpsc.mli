@@ -1,0 +1,25 @@
+(** Lock-free multi-producer single-consumer inbox.
+
+    Producers [push] concurrently with a CAS loop; the single consumer
+    [drain]s the whole inbox with one [Atomic.exchange] and receives the
+    elements in FIFO order.  Draining in one exchange is what makes the
+    service's batching cheap: the consumer pays one atomic operation per
+    batch instead of one per request.  The consumer must be unique —
+    concurrent drains would both succeed but split the FIFO order. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val push : 'a t -> 'a -> unit
+(** Lock-free; safe from any domain. *)
+
+val drain : 'a t -> 'a list
+(** Empties the inbox and returns its contents oldest-first.  Single
+    consumer only. *)
+
+val length : 'a t -> int
+(** Approximate current depth (producers update the counter after the
+    element is visible, so it can momentarily under-report). *)
+
+val is_empty : 'a t -> bool

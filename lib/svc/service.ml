@@ -1,0 +1,258 @@
+let now_us () = Obs.Trace.Clock.now_s () *. 1e6
+
+(* One sleep quantum for all blocking waits.  On an oversubscribed box a
+   sleeping domain frees the core (and, unlike a spinning one, drops out of
+   the runnable set the GC's stop-the-world barrier has to cycle through);
+   50us is comfortably above the scheduler's wakeup granularity. *)
+let sleep_us us =
+  try Unix.sleepf (float_of_int us *. 1e-6)
+  with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+module Make (T : Timestamp.Intf.S) = struct
+  type resp = {
+    ts : T.result;
+    pid : int;
+    call : int;
+    shard : int;
+    start_tick : int;
+    end_tick : int;
+    submit_us : float;
+    resp_us : float;
+  }
+
+  type request = {
+    r_pid : int;
+    r_call : int;
+    r_shard : int;
+    r_start_tick : int;
+    r_submit_us : float;
+    cell : resp option Atomic.t;
+  }
+
+  type shard = {
+    inbox : request Mpsc.t;
+    (* worker-owned counters; published to other domains by Domain.join *)
+    mutable served : int;
+    mutable batches : int;
+    mutable max_batch : int;
+  }
+
+  type t = {
+    regs : T.value Atomic.t array;
+    n : int;
+    shards : shard array;
+    batch_max : int;
+    backoff_us : int;
+    tick : int Atomic.t;
+    next_pid : int Atomic.t;  (* one-shot: fresh pid per request *)
+    next_session : int Atomic.t;
+    accepting : bool Atomic.t;
+    inflight : int Atomic.t;
+    stop_flag : bool Atomic.t;
+    mutable workers : unit Domain.t list;
+  }
+
+  type session = {
+    svc : t;
+    s_pid : int;
+    s_shard : int;
+    mutable s_call : int;
+  }
+
+  type ticket = request
+
+  exception Stopped
+
+  (* ------------------------------------------------------------------ *)
+  (* Worker: drain the shard inbox in FIFO batches and execute.           *)
+
+  let execute t armed req =
+    let program = T.program ~n:t.n ~pid:req.r_pid ~call:req.r_call in
+    let ts =
+      if armed then Multicore.Exec.run_obs ~pid:req.r_pid ~regs:t.regs program
+      else Multicore.Exec.run ~regs:t.regs program
+    in
+    (* The tick bump must precede the cell write: a client that sees the
+       response (and only then submits its next request) must pick a larger
+       start tick, which is the happens-before witness the checker uses. *)
+    let end_tick = Atomic.fetch_and_add t.tick 1 in
+    Atomic.set req.cell
+      (Some
+         { ts;
+           pid = req.r_pid;
+           call = req.r_call;
+           shard = req.r_shard;
+           start_tick = req.r_start_tick;
+           end_tick;
+           submit_us = req.r_submit_us;
+           resp_us = now_us () });
+    ignore (Atomic.fetch_and_add t.inflight (-1))
+
+  let idle_spin_budget = 200
+
+  let worker t i () =
+    let shard = t.shards.(i) in
+    let armed = Obs.Hooks.armed () in
+    (* requests drained but not yet executed (batch cap smaller than a
+       drain), oldest first *)
+    let backlog = ref [] in
+    let idle = ref 0 in
+    let rec take k acc = function
+      | req :: rest when k < t.batch_max -> take (k + 1) (req :: acc) rest
+      | rest -> (List.rev acc, k, rest)
+    in
+    let rec loop () =
+      match !backlog with
+      | [] -> (
+          match Mpsc.drain shard.inbox with
+          | [] ->
+            (* [stop] only raises the flag once inflight = 0, so an empty
+               inbox here means there is nothing left to drain. *)
+            if not (Atomic.get t.stop_flag) then begin
+              incr idle;
+              if !idle > idle_spin_budget then sleep_us t.backoff_us
+              else Domain.cpu_relax ();
+              loop ()
+            end
+          | reqs ->
+            idle := 0;
+            backlog := reqs;
+            loop ())
+      | reqs ->
+        if armed then
+          Obs.Hooks.counter ~name:"svc.queue_depth"
+            (float_of_int (List.length reqs + Mpsc.length shard.inbox));
+        let batch, size, rest = take 0 [] reqs in
+        Obs.Hooks.with_span "svc.batch" (fun () ->
+            List.iter (execute t armed) batch);
+        shard.served <- shard.served + size;
+        shard.batches <- shard.batches + 1;
+        if size > shard.max_batch then shard.max_batch <- size;
+        if armed then begin
+          Obs.Hooks.observe ~name:"svc.batch_size" (float_of_int size);
+          Obs.Hooks.counter ~name:"svc.served" (float_of_int shard.served)
+        end;
+        backlog := rest;
+        loop ()
+    in
+    loop ()
+
+  (* ------------------------------------------------------------------ *)
+
+  let start ?(batch_max = 64) ?(backoff_us = 50) ?(shards = 1) ~n () =
+    if n <= 0 then invalid_arg "Service.start: n must be positive";
+    if shards <= 0 then invalid_arg "Service.start: shards must be positive";
+    if batch_max <= 0 then
+      invalid_arg "Service.start: batch_max must be positive";
+    let t =
+      { regs =
+          Multicore.Exec.make_regs ~num:(T.num_registers ~n)
+            ~init:(T.init_value ~n);
+        n;
+        shards =
+          Array.init shards (fun _ ->
+              { inbox = Mpsc.create (); served = 0; batches = 0; max_batch = 0 });
+        batch_max;
+        backoff_us;
+        tick = Atomic.make 0;
+        next_pid = Atomic.make 0;
+        next_session = Atomic.make 0;
+        accepting = Atomic.make true;
+        inflight = Atomic.make 0;
+        stop_flag = Atomic.make false;
+        workers = [] }
+    in
+    t.workers <- List.init shards (fun i -> Domain.spawn (worker t i));
+    t
+
+  let open_session t =
+    let id = Atomic.fetch_and_add t.next_session 1 in
+    (match T.kind with
+     | `Long_lived ->
+       if id >= t.n then
+         invalid_arg
+           (Printf.sprintf "Service.open_session: %s supports at most n=%d \
+                            sessions" T.name t.n)
+     | `One_shot -> ());
+    { svc = t; s_pid = id; s_shard = id mod Array.length t.shards; s_call = 0 }
+
+  let submit session =
+    let t = session.svc in
+    if not (Atomic.get t.accepting) then raise Stopped;
+    ignore (Atomic.fetch_and_add t.inflight 1);
+    (* Re-check after announcing the request: [stop] sets [accepting] and
+       then reads [inflight]; OCaml atomics are SC, so one side always sees
+       the other and a request is never both refused and drained-for. *)
+    if not (Atomic.get t.accepting) then begin
+      ignore (Atomic.fetch_and_add t.inflight (-1));
+      raise Stopped
+    end;
+    let pid, call =
+      match T.kind with
+      | `One_shot ->
+        let pid = Atomic.fetch_and_add t.next_pid 1 in
+        if pid >= t.n then begin
+          ignore (Atomic.fetch_and_add t.inflight (-1));
+          invalid_arg
+            (Printf.sprintf
+               "Service.submit: one-shot %s exhausted its n=%d process ids"
+               T.name t.n)
+        end;
+        (pid, 0)
+      | `Long_lived ->
+        let call = session.s_call in
+        session.s_call <- call + 1;
+        (session.s_pid, call)
+    in
+    let req =
+      { r_pid = pid;
+        r_call = call;
+        r_shard = session.s_shard;
+        r_start_tick = Atomic.get t.tick;
+        r_submit_us = now_us ();
+        cell = Atomic.make None }
+    in
+    Mpsc.push t.shards.(session.s_shard).inbox req;
+    req
+
+  let await_spin_budget = 500
+
+  let await (req : ticket) =
+    let rec wait spins =
+      match Atomic.get req.cell with
+      | Some r -> r
+      | None ->
+        if spins < await_spin_budget then begin
+          Domain.cpu_relax ();
+          wait (spins + 1)
+        end
+        else begin
+          sleep_us 50;
+          wait await_spin_budget
+        end
+    in
+    wait 0
+
+  let get_ts session = await (submit session)
+
+  let stop t =
+    if Atomic.compare_and_set t.accepting true false then begin
+      while Atomic.get t.inflight > 0 do
+        sleep_us t.backoff_us
+      done;
+      Atomic.set t.stop_flag true;
+      List.iter Domain.join t.workers
+    end
+
+  type shard_stats = { served : int; batches : int; max_batch : int }
+
+  let stats t =
+    Array.map
+      (fun (s : shard) ->
+         { served = s.served; batches = s.batches; max_batch = s.max_batch })
+      t.shards
+
+  let num_shards t = Array.length t.shards
+
+  let shard_of_session session = session.s_shard
+end

@@ -1,0 +1,89 @@
+(** Sharded, batched timestamp service on real OCaml domains.
+
+    A fixed pool of worker domains each owns one shard.  Clients open
+    sessions (a session is pinned to a shard), enqueue getTS requests into
+    the shard's lock-free MPSC inbox, and block on a completion cell; the
+    worker drains its inbox in FIFO batches and executes each request
+    against one shared register array via {!Multicore.Exec} — so requests
+    from different shards still contend on the same registers, exactly the
+    paper's model, but each request's program runs on a single domain and
+    the per-request queue synchronization is amortized over a batch.
+
+    Happens-before accounting mirrors {!Multicore.Stress}: a global tick is
+    read at submit time and bumped once per response, so if a client
+    receives request [r1]'s response before some client submits [r2] then
+    [end_tick r1 < start_tick r2] — a sound witness for the checker
+    ({!Timestamp.Checker.check_timed}).
+
+    Per-session request order is preserved: a session's requests land in
+    one FIFO inbox and one worker serves them in order, so a long-lived
+    process's calls stay sequential even when a client pipelines several
+    submissions. *)
+
+module Make (T : Timestamp.Intf.S) : sig
+  type t
+
+  type session
+
+  type resp = {
+    ts : T.result;
+    pid : int;  (** process id the request ran as *)
+    call : int;  (** 0-based call number of that process *)
+    shard : int;
+    start_tick : int;  (** global tick at submit *)
+    end_tick : int;  (** global tick at response *)
+    submit_us : float;  (** wall clock at submit, microseconds *)
+    resp_us : float;  (** wall clock at response, microseconds *)
+  }
+
+  type ticket
+  (** An in-flight request; redeem with {!await}. *)
+
+  exception Stopped
+  (** Raised by {!submit} once {!stop} has begun. *)
+
+  val start :
+    ?batch_max:int -> ?backoff_us:int -> ?shards:int -> n:int -> unit -> t
+  (** Provisions [T.num_registers ~n] shared registers and spawns [shards]
+      worker domains (default 1).  [batch_max] (default 64) caps how many
+      requests a worker executes per batch; [batch_max = 1] is the
+      unbatched mode benchmarked by E13.  [backoff_us] (default 50) is the
+      idle sleep once a worker's spin budget is exhausted — workers poll,
+      so no wakeup signal can be missed. *)
+
+  val open_session : t -> session
+  (** For long-lived implementations the session owns process id
+      [session index] (at most [n] sessions).  For one-shot implementations
+      every request consumes a globally fresh process id instead (at most
+      [n] requests service-wide); the session only pins the shard. *)
+
+  val submit : session -> ticket
+  (** Enqueues one getTS.  Not thread-safe per session (each session has
+      one owning client); different sessions submit concurrently freely.
+      Raises {!Stopped} after {!stop}, [Invalid_argument] when a one-shot
+      service has exhausted its [n] process ids. *)
+
+  val await : ticket -> resp
+  (** Blocks (brief spin, then sleep-backoff) until the response. *)
+
+  val get_ts : session -> resp
+  (** [await (submit session)]. *)
+
+  val stop : t -> unit
+  (** Graceful shutdown: refuses new submissions, waits until every
+      in-flight request has been answered, then stops and joins the
+      workers.  Idempotent. *)
+
+  type shard_stats = {
+    served : int;
+    batches : int;  (** nonempty batches executed *)
+    max_batch : int;
+  }
+
+  val stats : t -> shard_stats array
+  (** Per-shard counters; exact once {!stop} has returned. *)
+
+  val num_shards : t -> int
+
+  val shard_of_session : session -> int
+end

@@ -64,3 +64,35 @@ Tiny instances fall back to exhaustive exploration automatically.
   $ ts_cli fuzz --seed 1 -n 2 -c 1
   fuzz seed=1 n=2 calls=1 iters=1000: differential over 7 implementations
   fuzz: OK — state space small, exhaustively explored instead (every schedule checked)
+
+The timestamp service serves a sequential session deterministically and
+checks the served timestamps.
+
+  $ ts_cli serve -i lamport-longlived -n 4 -r 5
+  service: lamport-longlived  n=4 shards=1 batch_max=64
+    req p0.0 (shard 0) -> 1
+    req p0.1 (shard 0) -> 2
+    req p0.2 (shard 0) -> 3
+    req p0.3 (shard 0) -> 4
+    req p0.4 (shard 0) -> 5
+  serve: OK (5 requests, compare chain holds)
+
+A one-shot object consumes a fresh process id per request.
+
+  $ ts_cli serve -i sqrt-oneshot -n 4 -r 4
+  service: sqrt-oneshot  n=4 shards=1 batch_max=64
+    req p0.0 (shard 0) -> (1,0)
+    req p1.0 (shard 0) -> (2,0)
+    req p2.0 (shard 0) -> (2,1)
+    req p3.0 (shard 0) -> (3,0)
+  serve: OK (4 requests, compare chain holds)
+
+Every subcommand shares one uniform unknown-implementation error.
+
+  $ ts_cli run -i nope
+  ts_cli: option '-i': unknown implementation "nope", try: simple-oneshot,
+          simple-swap-oneshot, sqrt-oneshot, lamport-longlived, efr-longlived,
+          vector-longlived, snapshot-longlived
+  Usage: ts_cli run [OPTION]…
+  Try 'ts_cli run --help' or 'ts_cli --help' for more information.
+  [124]

@@ -26,4 +26,5 @@ let () =
       Test_apps.suite;
       Test_multicore.suite;
       Test_obs.suite;
+      Test_svc.suite;
       Test_fuzz.suite ]

@@ -245,6 +245,46 @@ let explore_per_domain () =
   Util.check_bool "parallel: exhaustive" true par.exhaustive;
   Util.check_bool "verdict-relevant totals positive" true (par.paths > 0)
 
+let percentile_estimates () =
+  let reg = Obs.Metric.registry ~name:"pct-test" () in
+  let h = Obs.Metric.histogram ~buckets:[| 10.; 20.; 40. |] reg "h" in
+  Util.check_bool "empty histogram is nan" true
+    (Float.is_nan (Obs.Metric.percentile h 50.));
+  List.iter (Obs.Metric.observe h) [ 5.; 15.; 15.; 35. ];
+  (* cumulative counts: 1 (<=10), 3 (<=20), 4 (<=40); ranks interpolate
+     linearly inside the bucket where they fall *)
+  Alcotest.(check (float 1e-9)) "p50 interpolates inside (10,20]" 15.
+    (Obs.Metric.percentile h 50.);
+  Alcotest.(check (float 1e-9)) "p25 at the first bucket bound" 10.
+    (Obs.Metric.percentile h 25.);
+  (* estimates clamp to the observed range *)
+  Alcotest.(check (float 1e-9)) "p0 clamps to the min" 5.
+    (Obs.Metric.percentile h 0.);
+  Alcotest.(check (float 1e-9)) "p100 clamps to the max" 35.
+    (Obs.Metric.percentile h 100.);
+  Alcotest.(check (float 1e-9)) "out-of-range p clamps to 100" 35.
+    (Obs.Metric.percentile h 250.);
+  Util.check_bool "p99 between p50 and max" true
+    (let p99 = Obs.Metric.percentile h 99. in
+     p99 >= 15. && p99 <= 35.)
+
+let percentile_monotone () =
+  let reg = Obs.Metric.registry ~name:"pct-mono" () in
+  let h = Obs.Metric.histogram reg "h" in
+  (* default power-of-two buckets; a spread of latencies-in-us values *)
+  List.iter
+    (fun i -> Obs.Metric.observe h (float_of_int (1 + ((i * 37) mod 900))))
+    (List.init 200 Fun.id);
+  let prev = ref neg_infinity in
+  List.iter
+    (fun p ->
+       let v = Obs.Metric.percentile h (float_of_int p) in
+       Util.check_bool (Printf.sprintf "p%d finite" p) true
+         (Float.is_finite v);
+       Util.check_bool (Printf.sprintf "p%d monotone" p) true (v >= !prev);
+       prev := v)
+    [ 0; 10; 25; 50; 75; 90; 99; 100 ]
+
 (* Depth observations reach an armed metrics registry from the explore
    DFS (the frontier-depth histogram of the trace/metrics sinks). *)
 let explore_depth_histogram () =
@@ -275,5 +315,7 @@ let suite =
       Util.case "collector agrees with the simulator" collector_vs_sim;
       Util.case "chrome trace is well-formed" trace_well_formed;
       Util.case "disarmed hooks allocate nothing" disarmed_no_alloc;
+      Util.case "percentile estimates" percentile_estimates;
+      Util.case "percentile is monotone" percentile_monotone;
       Util.case "explore per-domain stats" explore_per_domain;
       Util.case "explore depth histogram" explore_depth_histogram ] )

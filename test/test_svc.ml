@@ -1,0 +1,147 @@
+(* Service layer: the MPSC inbox, graceful shutdown, batched/unbatched
+   equivalence, checker verdicts over served timestamps, determinism. *)
+
+let mpsc_fifo () =
+  let q = Svc.Mpsc.create () in
+  Util.check_bool "fresh queue empty" true (Svc.Mpsc.is_empty q);
+  List.iter (Svc.Mpsc.push q) [ 1; 2; 3; 4; 5 ];
+  Util.check_int "depth counts pushes" 5 (Svc.Mpsc.length q);
+  Alcotest.(check (list int)) "drain is FIFO" [ 1; 2; 3; 4; 5 ]
+    (Svc.Mpsc.drain q);
+  Util.check_bool "drained queue empty" true (Svc.Mpsc.is_empty q);
+  Util.check_int "depth back to zero" 0 (Svc.Mpsc.length q);
+  Alcotest.(check (list int)) "second drain empty" [] (Svc.Mpsc.drain q)
+
+let mpsc_concurrent_producers () =
+  let q = Svc.Mpsc.create () in
+  let producers = 4 and per = 250 in
+  let doms =
+    List.init producers (fun i ->
+        Domain.spawn (fun () ->
+            for j = 0 to per - 1 do
+              Svc.Mpsc.push q (i, j)
+            done))
+  in
+  (* consume concurrently with the producers *)
+  let total = producers * per in
+  let chunks = ref [] in
+  let got = ref 0 in
+  while !got < total do
+    match Svc.Mpsc.drain q with
+    | [] -> ignore (Unix.sleepf 1e-4)
+    | xs ->
+      chunks := xs :: !chunks;
+      got := !got + List.length xs
+  done;
+  List.iter Domain.join doms;
+  let drained = List.concat (List.rev !chunks) in
+  Util.check_int "nothing lost or duplicated" total (List.length drained);
+  (* each producer's pushes stay in order across the merged drains *)
+  for i = 0 to producers - 1 do
+    let js =
+      List.filter_map (fun (p, j) -> if p = i then Some j else None) drained
+    in
+    Alcotest.(check (list int))
+      (Printf.sprintf "producer %d FIFO" i)
+      (List.init per Fun.id) js
+  done
+
+let shutdown_drains_inflight () =
+  let module S = Svc.Service.Make (Timestamp.Efr) in
+  let svc = S.start ~batch_max:4 ~shards:2 ~n:4 () in
+  let sessions = List.init 4 (fun _ -> S.open_session svc) in
+  (* pile up pipelined requests, then stop while they are in flight *)
+  let tickets =
+    List.concat_map (fun s -> List.init 25 (fun _ -> S.submit s)) sessions
+  in
+  S.stop svc;
+  let resps = List.map S.await tickets in
+  Util.check_int "every in-flight request answered" 100 (List.length resps);
+  let served =
+    Array.fold_left (fun a (st : S.shard_stats) -> a + st.served) 0
+      (S.stats svc)
+  in
+  Util.check_int "shard stats agree" 100 served;
+  Util.check_bool "submit after stop raises Stopped" true
+    (match S.submit (List.hd sessions) with
+     | _ -> false
+     | exception S.Stopped -> true);
+  (* stop is idempotent *)
+  S.stop svc
+
+let batched_equals_unbatched () =
+  let open Svc.Loadgen in
+  let base =
+    { default with clients = 3; requests_per_client = 20; n = 3; seed = 42 }
+  in
+  let unbatched =
+    run Timestamp.Registry.efr
+      { base with mode = Service { shards = 1; batch_max = 1 }; pipeline = 1 }
+  in
+  let batched =
+    run Timestamp.Registry.efr
+      { base with mode = Service { shards = 2; batch_max = 16 }; pipeline = 4 }
+  in
+  Util.check_int "unbatched serves every request" 60 unbatched.lg_total;
+  Util.check_int "batched serves every request" 60 batched.lg_total;
+  Util.check_bool "unbatched passes the checker" true
+    (unbatched.lg_violation = None);
+  Util.check_bool "batched passes the checker" true
+    (batched.lg_violation = None);
+  Util.check_bool "unbatched checked real hb pairs" true
+    (unbatched.lg_hb_pairs > 0);
+  Util.check_bool "batched checked real hb pairs" true
+    (batched.lg_hb_pairs > 0);
+  (* per-shard served counts add up *)
+  Util.check_int "batched shard counts sum" 60
+    (List.fold_left (fun a s -> a + s.sr_served) 0 batched.lg_shards)
+
+let oneshot_service_checks () =
+  let open Svc.Loadgen in
+  let r =
+    run Timestamp.Registry.sqrt_oneshot
+      { default with
+        mode = Service { shards = 2; batch_max = 8 };
+        clients = 3; requests_per_client = 10; pipeline = 3; n = 4 }
+  in
+  (* the loadgen raises n to the 30 one-shot process ids it needs *)
+  Util.check_int "one-shot serves every request" 30 r.lg_total;
+  Util.check_bool "one-shot passes the checker" true (r.lg_violation = None);
+  Util.check_bool "one-shot checked real hb pairs" true (r.lg_hb_pairs > 0)
+
+let direct_mode_checks () =
+  let open Svc.Loadgen in
+  let r =
+    run Timestamp.Registry.vector
+      { default with mode = Direct; clients = 3; requests_per_client = 15;
+        n = 3 }
+  in
+  Util.check_int "direct serves every request" 45 r.lg_total;
+  Util.check_bool "direct passes the checker" true (r.lg_violation = None)
+
+let single_domain_deterministic () =
+  let open Svc.Loadgen in
+  let cfg =
+    { default with
+      mode = Service { shards = 1; batch_max = 8 };
+      clients = 1; requests_per_client = 30; pipeline = 4; n = 2; seed = 7 }
+  in
+  let a = run Timestamp.Registry.lamport cfg in
+  let b = run Timestamp.Registry.lamport cfg in
+  Util.check_int "one client serves every request" 30 a.lg_total;
+  Alcotest.(check (list string)) "identical served sequence under a fixed seed"
+    a.lg_timestamps b.lg_timestamps;
+  Util.check_bool "deterministic run passes the checker" true
+    (a.lg_violation = None)
+
+let suite =
+  ( "svc",
+    [ Util.case "mpsc drain is FIFO" mpsc_fifo;
+      Util.case "mpsc concurrent producers" mpsc_concurrent_producers;
+      Util.case "shutdown drains in-flight requests" shutdown_drains_inflight;
+      Util.case "batched and unbatched serve the same requests"
+        batched_equals_unbatched;
+      Util.case "one-shot service passes the checker" oneshot_service_checks;
+      Util.case "direct mode passes the checker" direct_mode_checks;
+      Util.case "single-domain service is deterministic"
+        single_domain_deterministic ] )

@@ -6,33 +6,38 @@ let prop_compare_consistent (impl : Timestamp.Registry.impl) =
   Util.qtest ~count:40 name
     QCheck2.Gen.(pair (int_range 2 24) (int_bound 100_000))
     (fun (n, seed) ->
-       let pairs, _, _, _ =
-         Timestamp.Registry.space_probe ~invoke_prob:0.05 impl ~n ~seed
-           ~calls:3
+       let r =
+         Timestamp.Registry.(
+           probe impl ~n ~seed
+             (Workload.Staggered { invoke_prob = 0.05; calls = 3 }))
        in
-       pairs >= 0)
+       r.Timestamp.Registry.hb_pairs >= 0)
 
 let prop_space_within_bound (impl : Timestamp.Registry.impl) =
   let name = Printf.sprintf "%s: space within provisioned" (Util.impl_name impl) in
   Util.qtest ~count:40 name
     QCheck2.Gen.(pair (int_range 1 32) (int_bound 100_000))
     (fun (n, seed) ->
-       let _, written, touched, provisioned =
-         Timestamp.Registry.space_probe impl ~n ~seed ~calls:2
+       let r =
+         Timestamp.Registry.(
+           probe impl ~n ~seed (Workload.Random { calls = 2 }))
        in
-       written <= provisioned && touched <= provisioned)
+       r.Timestamp.Registry.regs_written <= r.Timestamp.Registry.regs_provisioned
+       && r.Timestamp.Registry.regs_touched
+          <= r.Timestamp.Registry.regs_provisioned)
 
 let prop_waves (impl : Timestamp.Registry.impl) =
   let name = Printf.sprintf "%s: wave workloads check" (Util.impl_name impl) in
   Util.qtest ~count:25 name
     QCheck2.Gen.(pair (int_range 2 20) (int_bound 100_000))
     (fun (n, seed) ->
-       let pairs, _, _, _ =
-         Timestamp.Registry.wave_probe impl ~n ~seed ~wave_size:2
+       let r =
+         Timestamp.Registry.(
+           probe impl ~n ~seed (Workload.Wave { wave_size = 2 }))
        in
        (* later waves happen after earlier ones: with w waves there are at
           least as many hb pairs as cross-wave pairs of completed calls *)
-       pairs > 0 || n <= 2)
+       r.Timestamp.Registry.hb_pairs > 0 || n <= 2)
 
 let sequential_strictly_increasing (impl : Timestamp.Registry.impl) () =
   let (Timestamp.Registry.Impl (module T)) = impl in
@@ -99,6 +104,31 @@ let registry_find () =
     (Timestamp.Registry.find "lamport-longlived" <> None);
   Util.check_bool "find missing" true (Timestamp.Registry.find "nope" = None)
 
+let registry_find_exn () =
+  Alcotest.(check string) "find_exn existing"
+    "efr-longlived"
+    (Timestamp.Registry.(name (find_exn "efr-longlived")));
+  Alcotest.(check string) "find_exn with matching kind"
+    "sqrt-oneshot"
+    (Timestamp.Registry.(name (find_exn ~kind:`One_shot "sqrt-oneshot")));
+  (match Timestamp.Registry.find_exn "nope" with
+   | _ -> Alcotest.fail "find_exn should raise on an unknown name"
+   | exception Failure msg ->
+     Alcotest.(check string) "uniform unknown-implementation message"
+       "unknown implementation \"nope\", try: simple-oneshot, \
+        simple-swap-oneshot, sqrt-oneshot, lamport-longlived, efr-longlived, \
+        vector-longlived, snapshot-longlived"
+       msg);
+  (* the kind filter excludes implementations of the other kind and only
+     suggests names from the requested pool *)
+  match Timestamp.Registry.find_exn ~kind:`One_shot "lamport-longlived" with
+  | _ -> Alcotest.fail "find_exn should respect the kind filter"
+  | exception Failure msg ->
+    Alcotest.(check string) "kind-filtered message"
+      "unknown one-shot implementation \"lamport-longlived\", try: \
+       simple-oneshot, simple-swap-oneshot, sqrt-oneshot"
+      msg
+
 let suite =
   ( "timestamp-generic",
     List.concat_map
@@ -118,4 +148,5 @@ let suite =
       Timestamp.Registry.all
     @ [ Util.case "one-shot objects reject second calls" one_shot_rejects_second_call;
         Util.case "registry names unique" registry_names_unique;
-        Util.case "registry find" registry_find ] )
+        Util.case "registry find" registry_find;
+        Util.case "registry find_exn" registry_find_exn ] )
