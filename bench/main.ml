@@ -217,7 +217,11 @@ let e1_longlived_adversary () =
     "k" "covered" "ceil(k/3)" "floor(n/6)" "schedule";
   Printf.printf "%s\n" (String.make 76 '-');
   let cases =
-    if fast then [ (8, 4); (10, 5) ] else [ (6, 3); (8, 4); (10, 5); (12, 6); (14, 7) ]
+    (* The checkpointed adversary (PR 5) reaches n = 20 within the default
+       fuel; n <= 14 rows are pinned exactly by test_explore_v3. *)
+    if fast then [ (8, 4); (10, 5) ]
+    else
+      [ (6, 3); (8, 4); (10, 5); (12, 6); (14, 7); (16, 8); (18, 9); (20, 10) ]
   in
   List.iter
     (fun (n, k) ->
@@ -567,6 +571,167 @@ let e10_explore_engine () =
     results;
   Obs.Metric.write_jsonl_file reg "BENCH_explore_metrics.jsonl";
   Printf.printf "(wrote BENCH_explore_metrics.jsonl)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E14: exploration v3 (hb-abstract fingerprints + process-symmetry    *)
+(* quotient) vs the PR-1 engine, and the checkpointed E1 adversary at  *)
+(* n >= 16; emitted as BENCH_explore_v3.json                           *)
+(* ------------------------------------------------------------------ *)
+
+(* Reference constants: expanded-configuration counts of the PR-1 engine
+   (dedup + reduction, sequential, max_steps = 400, max_paths = 5M),
+   captured on this machine immediately before the v3 changes landed.
+   They are commitments, not measurements — the PR-1 engine no longer
+   exists in the tree, so the v3/PR-1 ratio is computed against these. *)
+let e14_pr1_expanded =
+  [ ("simple-oneshot", 3, 1, 8_808);
+    ("simple-oneshot", 4, 1, 1_792_989);
+    ("simple-swap", 3, 1, 5_861);
+    ("simple-swap", 4, 1, 1_105_051);
+    ("efr", 3, 1, 3_337);
+    ("lamport", 2, 2, 3_397) ]
+
+let e14_v3_run (type v r)
+    (module T : Timestamp.Intf.S with type value = v and type result = r) ~n
+    ~calls ~symmetry () =
+  let supplier ~pid ~call = T.program ~n ~pid ~call in
+  let cfg =
+    Shm.Sim.create ~n ~num_regs:(T.num_registers ~n) ~init:(T.init_value ~n)
+  in
+  let t0 = Unix.gettimeofday () in
+  match
+    Shm.Explore.explore ~max_steps:400 ~max_paths:5_000_000 ~symmetry
+      ~supplier
+      ~calls_per_proc:(Array.make n calls)
+      ~leaf_check:(fun cfg ->
+          Result.is_ok (Timestamp.Checker.check_sim (module T) cfg))
+      cfg
+  with
+  | Shm.Explore.Counterexample _ ->
+    failwith (T.name ^ ": unexpected counterexample in E14")
+  | Shm.Explore.Ok s -> (s, Unix.gettimeofday () -. t0)
+
+let e14_explore_v3 () =
+  header
+    "E14: exploration v3 — hb-abstract fingerprints + symmetry quotient vs \
+     the PR-1 engine; checkpointed E1 adversary depth";
+  Printf.printf
+    "(pr1-expanded are committed reference constants of the PR-1 engine; \
+     verdicts are engine-independent)\n";
+  Printf.printf "%-16s %2s %5s | %12s %10s %10s %8s %9s %8s\n" "workload" "n"
+    "calls" "pr1-expanded" "v3" "v3-nosym" "merges" "vs-pr1" "seconds";
+  Printf.printf "%s\n" (String.make 92 '-');
+  let workloads =
+    List.filter
+      (fun (name, n, _, _) ->
+         not (fast && (n > 3 || name = "simple-swap" || name = "lamport")))
+      e14_pr1_expanded
+  in
+  let results =
+    List.map
+      (fun (name, n, calls, pr1) ->
+         let run ~symmetry =
+           match name with
+           | "simple-oneshot" ->
+             e14_v3_run (module Timestamp.Simple_oneshot) ~n ~calls ~symmetry ()
+           | "simple-swap" ->
+             e14_v3_run (module Timestamp.Simple_swap) ~n ~calls ~symmetry ()
+           | "efr" -> e14_v3_run (module Timestamp.Efr) ~n ~calls ~symmetry ()
+           | "lamport" ->
+             e14_v3_run (module Timestamp.Lamport) ~n ~calls ~symmetry ()
+           | _ -> assert false
+         in
+         let s, secs = run ~symmetry:true in
+         let ns, _ = run ~symmetry:false in
+         Printf.printf "%-16s %2d %5d | %12d %10d %10d %8d %8.1fx %8.3f\n"
+           name n calls pr1 s.expanded ns.expanded s.canon_hits
+           (float_of_int pr1 /. float_of_int (max 1 s.expanded))
+           secs;
+         (name, n, calls, pr1, s, ns, secs))
+      workloads
+  in
+  (* The deep end of E1: the checkpointed adversary past the old n = 14
+     ceiling.  covered must stay >= ceil(k/3) (Theorem 1.1's bound). *)
+  sub "E1 at depth: checkpointed long-lived adversary, n >= 16";
+  Printf.printf "%-18s %4s %4s | %8s %10s %10s %8s\n" "implementation" "n" "k"
+    "covered" "ceil(k/3)" "schedule" "seconds";
+  Printf.printf "%s\n" (String.make 72 '-');
+  let e1_cases = if fast then [ (16, 8) ] else [ (16, 8); (18, 9); (20, 10) ] in
+  let e1_impls =
+    if fast then [ "lamport"; "efr" ]
+    else [ "lamport"; "efr"; "vector"; "snapshot" ]
+  in
+  let e1_rows =
+    List.concat_map
+      (fun (n, k) ->
+         List.map
+           (fun impl ->
+              let t0 = Unix.gettimeofday () in
+              let res =
+                match impl with
+                | "lamport" -> run_longlived (module Timestamp.Lamport) ~n ~k
+                | "efr" -> run_longlived (module Timestamp.Efr) ~n ~k
+                | "vector" -> run_longlived (module Timestamp.Vector_ts) ~n ~k
+                | "snapshot" ->
+                  run_longlived (module Timestamp.Snapshot_ts) ~n ~k
+                | _ -> assert false
+              in
+              let secs = Unix.gettimeofday () -. t0 in
+              match res with
+              | Error e ->
+                Printf.printf "%-18s %4d %4d | ERROR %s\n" impl n k e;
+                (impl, n, k, 0, 0, secs, false)
+              | Ok (covered, len) ->
+                let ok = covered >= (k + 2) / 3 in
+                Printf.printf "%-18s %4d %4d | %8d %10d %10d %8.3f%s\n" impl n
+                  k covered
+                  ((k + 2) / 3)
+                  len secs
+                  (if ok then "" else "  BELOW BOUND");
+                (impl, n, k, covered, len, secs, ok))
+           e1_impls)
+      e1_cases
+  in
+  let row_json (name, n, calls, pr1, (s : Shm.Explore.stats), ns, secs) :
+    Obs.Json.t =
+    Obs.Json.Obj
+      [ ("name", Obs.Json.String name);
+        ("n", Obs.Json.Int n);
+        ("calls", Obs.Json.Int calls);
+        ("pr1_expanded", Obs.Json.Int pr1);
+        ("v3_expanded", Obs.Json.Int s.expanded);
+        ("v3_nosym_expanded", Obs.Json.Int ns.Shm.Explore.expanded);
+        ("canon_hits", Obs.Json.Int s.canon_hits);
+        ("symmetric", Obs.Json.Bool s.symmetric);
+        ("paths", Obs.Json.Int s.paths);
+        ("seconds", Obs.Json.Float secs);
+        ("reduction_vs_pr1",
+         Obs.Json.Float
+           (float_of_int pr1 /. float_of_int (max 1 s.expanded))) ]
+  in
+  let e1_json (impl, n, k, covered, len, secs, ok) : Obs.Json.t =
+    Obs.Json.Obj
+      [ ("impl", Obs.Json.String impl);
+        ("n", Obs.Json.Int n);
+        ("k", Obs.Json.Int k);
+        ("covered", Obs.Json.Int covered);
+        ("ceil_k_3", Obs.Json.Int ((k + 2) / 3));
+        ("schedule_length", Obs.Json.Int len);
+        ("seconds", Obs.Json.Float secs);
+        ("meets_bound", Obs.Json.Bool ok) ]
+  in
+  let doc =
+    Obs.Json.Obj
+      [ ("schema_version", Obs.Json.Int Obs.Metric.schema_version);
+        ("experiment", Obs.Json.String "E14-explore-v3");
+        ("fast", Obs.Json.Bool fast);
+        ("explore", Obs.Json.List (List.map row_json results));
+        ("e1_deep", Obs.Json.List (List.map e1_json e1_rows)) ]
+  in
+  Out_channel.with_open_text "BENCH_explore_v3.json" (fun oc ->
+      Out_channel.output_string oc (Obs.Json.pretty_to_string doc);
+      Out_channel.output_char oc '\n');
+  Printf.printf "\n(wrote BENCH_explore_v3.json)\n"
 
 (* ------------------------------------------------------------------ *)
 (* E12: fuzzer sensitivity — iterations-to-kill for planted mutants     *)
@@ -954,6 +1119,7 @@ let () =
   e8_bounded_longlived ();
   e9_distributed ();
   e10_explore_engine ();
+  e14_explore_v3 ();
   e12_fuzz_sensitivity ();
   e13_service ();
   ea_ablation ();

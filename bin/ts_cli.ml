@@ -347,8 +347,8 @@ let stress_cmd =
     Term.(const run $ impl_arg $ n_arg $ calls_arg $ obs_out_term)
 
 let explore_cmd =
-  let run impl n calls max_paths max_steps parallel no_dedup no_reduction out
-    =
+  let run impl n calls max_paths max_steps parallel no_dedup no_reduction
+      no_symmetry out =
     let rc =
       with_obs out @@ fun ctx ->
       let (Timestamp.Registry.Impl (module T)) = impl in
@@ -363,7 +363,8 @@ let explore_cmd =
       in
       match
         Shm.Explore.explore ~max_steps ~max_paths ~dedup:(not no_dedup)
-          ~reduction:(not no_reduction) ~domains ~supplier
+          ~reduction:(not no_reduction) ~symmetry:(not no_symmetry) ~domains
+          ~supplier
           ~calls_per_proc:(Array.make n calls)
           ~leaf_check:(fun cfg ->
               Result.is_ok (Timestamp.Checker.check_sim (module T) cfg))
@@ -377,7 +378,10 @@ let explore_cmd =
           (if stats.exhaustive then "EXHAUSTIVELY VERIFIED" else "verified")
           stats.paths stats.expanded stats.dedup_hits stats.sleep_skips
           stats.truncated_paths
-          (if domains > 1 then Printf.sprintf ", %d domains" domains else "");
+          ((if stats.symmetric then
+              Printf.sprintf ", %d symmetry merges" stats.canon_hits
+            else "")
+           ^ if domains > 1 then Printf.sprintf ", %d domains" domains else "");
         (* Per-worker-domain breakdown: work stolen, dedup and sleep-set
            pruning, busy time.  Only under --parallel; the single-domain
            line above is pinned byte-for-byte by test/cli.t. *)
@@ -389,8 +393,11 @@ let explore_cmd =
             (fun i (d : Shm.Explore.domain_stats) ->
                Printf.printf
                  "  domain %d: %d branches, %d expanded, %d dedup hits, %d \
-                  sleep-set skips, %.3fs busy\n"
+                  sleep-set skips%s, %.3fs busy\n"
                  i d.d_branches d.d_expanded d.d_dedup_hits d.d_sleep_skips
+                 (if stats.symmetric then
+                    Printf.sprintf ", %d symmetry merges" d.d_canon_hits
+                  else "")
                  d.d_seconds)
             stats.per_domain
         end;
@@ -404,6 +411,8 @@ let explore_cmd =
                (float_of_int stats.dedup_hits
                 /. float_of_int (max 1 stats.configurations));
              g "explore.sleep_skips" (float_of_int stats.sleep_skips);
+             g "explore.canon_hits" (float_of_int stats.canon_hits);
+             g "explore.symmetric" (if stats.symmetric then 1. else 0.);
              g "explore.domains" (float_of_int domains))
           ctx;
         0
@@ -447,6 +456,14 @@ let explore_cmd =
             "Disable the independence (sleep-set) reduction; explore every \
              interleaving of independent actions.")
   in
+  let no_symmetry =
+    Arg.(
+      value & flag
+      & info [ "no-symmetry" ]
+          ~doc:
+            "Disable the process-symmetry quotient (deduplicate on raw \
+             fingerprints even when processes run identical programs).")
+  in
   Cmd.v
     (Cmd.info "explore"
        ~doc:
@@ -454,7 +471,7 @@ let explore_cmd =
           check the specification on each.")
     Term.(
       const run $ impl_arg $ n_arg $ calls_arg $ max_paths $ max_steps
-      $ parallel $ no_dedup $ no_reduction $ obs_out_term)
+      $ parallel $ no_dedup $ no_reduction $ no_symmetry $ obs_out_term)
 
 let obs_cmd =
   let run impl n seed calls validate out =

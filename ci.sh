@@ -36,6 +36,22 @@ dune exec bin/ts_cli.exe -- obs --impl efr-longlived -n 8 \
 dune exec bin/ts_cli.exe -- obs \
   --validate /tmp/trace.json --validate /tmp/m.jsonl
 
+echo "== symmetry smoke: quotient must not change the verdict =="
+sym_out=$(dune exec bin/ts_cli.exe -- explore -i simple-oneshot -n 3)
+echo "$sym_out"
+echo "$sym_out" | grep -q "symmetry merges" || {
+  echo "symmetry smoke: quotient not engaged on a symmetric workload" >&2
+  exit 1; }
+nosym_out=$(dune exec bin/ts_cli.exe -- explore -i simple-oneshot -n 3 \
+  --no-symmetry)
+echo "$nosym_out"
+sym_verdict=$(echo "$sym_out" | grep -o "EXHAUSTIVELY VERIFIED\|OK\|VIOLATION" | head -1)
+nosym_verdict=$(echo "$nosym_out" | grep -o "EXHAUSTIVELY VERIFIED\|OK\|VIOLATION" | head -1)
+[ "$sym_verdict" = "$nosym_verdict" ] || {
+  echo "symmetry smoke: verdict changed with --no-symmetry" \
+       "($sym_verdict vs $nosym_verdict)" >&2
+  exit 1; }
+
 echo "== service smoke: closed-loop loadgen + hb checker =="
 lg_out=$(dune exec bin/ts_cli.exe -- loadgen -i efr-longlived \
   --clients 3 -r 40 --shards 2 --batch 16 --pipeline 4)

@@ -88,21 +88,6 @@ let probe (Impl (module T)) ~n ~seed workload =
   { hb_pairs; regs_written; regs_touched;
     regs_provisioned = T.num_registers ~n }
 
-(* Deprecated tuple shims over [probe]; see the interface. *)
-
-let tuple { hb_pairs; regs_written; regs_touched; regs_provisioned } =
-  (hb_pairs, regs_written, regs_touched, regs_provisioned)
-
-let space_probe ?invoke_prob impl ~n ~seed ~calls =
-  tuple
-    (probe impl ~n ~seed
-       (match invoke_prob with
-        | None -> Workload.Random { calls }
-        | Some invoke_prob -> Workload.Staggered { invoke_prob; calls }))
-
-let wave_probe impl ~n ~seed ~wave_size =
-  tuple (probe impl ~n ~seed (Workload.Wave { wave_size }))
-
 (* All-sequential run returning the timestamps in issue order. *)
 let sequential_kinds (Impl (module T)) ~n =
   let module H = Harness.Make (T) in

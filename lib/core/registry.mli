@@ -74,17 +74,5 @@ val probe : impl -> n:int -> seed:int -> Workload.t -> probe_result
     space accounting.  [calls] is forced to 1 for one-shot objects.
     Raises [Failure] on a specification violation. *)
 
-val space_probe :
-  ?invoke_prob:float -> impl -> n:int -> seed:int -> calls:int ->
-  int * int * int * int
-[@@ocaml.deprecated "use Registry.probe with Workload.Random/Staggered"]
-(** @deprecated Tuple shim over {!probe}: [Staggered] when [invoke_prob]
-    is given, [Random] otherwise. *)
-
-val wave_probe :
-  impl -> n:int -> seed:int -> wave_size:int -> int * int * int * int
-[@@ocaml.deprecated "use Registry.probe with Workload.Wave"]
-(** @deprecated Tuple shim over {!probe} with [Workload.Wave]. *)
-
 val sequential_kinds : impl -> n:int -> string list
 (** Pretty-printed timestamps of an all-sequential run, in issue order. *)

@@ -37,6 +37,81 @@ val finish_all :
     quiescent (the paper's "every process with a pending operation finishes
     it"). *)
 
+(** {2 Checkpointed replay}
+
+    The constructions re-execute near-identical schedules from a fixed base
+    configuration: Lemma 4.1 re-checks one side per round while the other is
+    unchanged, truncates a side (a prefix of what just ran), then extends it
+    (the old list plus a solo suffix).  A {!Cache.t} keeps every
+    intermediate configuration of the last replay — free, configurations
+    are immutable — so each re-execution only simulates past the longest
+    common prefix with the previous one. *)
+
+module Cache : sig
+  type ('v, 'r) t
+
+  val create : ('v, 'r) supplier -> base:('v, 'r) Shm.Sim.t -> ('v, 'r) t
+
+  val base : ('v, 'r) t -> ('v, 'r) Shm.Sim.t
+
+  val ensure : ('v, 'r) t -> Shm.Schedule.action list -> int
+  (** Aligns the cached checkpoints with the given action list, re-simulating
+      only past the longest common prefix with the previous alignment.
+      Returns the action count, so [cfg_at t (ensure t acts)] is the final
+      configuration. *)
+
+  val cfg_at : ('v, 'r) t -> int -> ('v, 'r) Shm.Sim.t
+  (** Configuration after the first [i] actions of the last {!ensure}d list
+      ([cfg_at t 0] is the base).  Raises [Invalid_argument] out of range. *)
+
+  val apply : ('v, 'r) t -> Shm.Schedule.action list -> ('v, 'r) Shm.Sim.t
+  (** [apply t acts = cfg_at t (ensure t acts)]: drop-in replacement for
+      {!val:apply} from the same base. *)
+
+  val stats : ('v, 'r) t -> int * int
+  (** [(reused, replayed)] action counts over the cache's lifetime: actions
+      answered by checkpoints vs actually re-simulated. *)
+end
+
+val solo_complete_c :
+  fuel:int -> ('v, 'r) Cache.t -> prefix:Shm.Schedule.action list ->
+  pid:int -> (('v, 'r) Shm.Sim.t * Shm.Schedule.action list) option
+(** {!solo_complete} from the configuration after [prefix], reusing and
+    extending the cache's checkpoints (the solo steps are recorded, so a
+    later {!Cache.ensure} of [prefix @ returned] replays nothing). *)
+
+val wrote_outside_c :
+  ('v, 'r) Cache.t -> Shm.Schedule.action list -> outside:(int -> bool) ->
+  bool
+(** {!wrote_outside} from the cache's base, served from checkpoints. *)
+
+val truncate_at_cover_outside_c :
+  ('v, 'r) Cache.t -> Shm.Schedule.action list -> pid:int ->
+  outside:(int -> bool) -> Shm.Schedule.action list option
+(** {!truncate_at_cover_outside} from the cache's base, served from
+    checkpoints. *)
+
+(** Exact memo over replay-derived facts.  Replay is deterministic, so any
+    fact about (base configuration, action list) — e.g. "does this side
+    write outside R?" — is cacheable under the base's {!Shm.Sim.fingerprint}
+    plus the literal action list.  The fingerprint component carries the
+    same 62-bit collision budget as exploration deduplication; action lists
+    are compared structurally. *)
+module Fp_memo : sig
+  type 'a t
+
+  val create : unit -> 'a t
+
+  val memo :
+    'a t -> ('v, 'r) Shm.Sim.t -> Shm.Schedule.action list ->
+    (unit -> 'a) -> 'a
+  (** [memo t base acts f] returns the cached value for [(base, acts)] or
+      computes, stores and returns [f ()]. *)
+
+  val stats : 'a t -> int * int
+  (** [(hits, misses)]. *)
+end
+
 val block_actions : int list -> Shm.Schedule.action list
 (** The paper's block write [pi_P] as an action list. *)
 

@@ -37,29 +37,33 @@ let run ?(sig_cap = 12) ~fuel ~supplier ~cfg ~k () =
       let outside reg = not (List.mem reg r3_c0) in
       (* Probe processes p_{2k-2}, p_{2k-1} (0-based). *)
       let cand0 = (2 * k) - 2 and cand1 = (2 * k) - 1 in
+      (* Each probe replays its solo run up to three times (record, check
+         for an outside write, truncate at the first outside cover); a
+         per-probe checkpoint cache makes the second and third passes
+         lookups. *)
       let probe b cand =
         let cfg_b = Shm.Sim.block_write l31.c0 b in
-        match Exec_util.solo_complete ~fuel supplier cfg_b ~pid:cand with
+        let cache = Exec_util.Cache.create supplier ~base:cfg_b in
+        match Exec_util.solo_complete_c ~fuel cache ~prefix:[] ~pid:cand with
         | None -> Error (Printf.sprintf "p%d: getTS did not terminate" cand)
         | Some (_, acts) ->
-          Ok (Exec_util.wrote_outside supplier cfg_b acts ~outside, acts)
+          Ok (Exec_util.wrote_outside_c cache acts ~outside, acts, cache)
       in
-      let* w0, acts0 = probe l31.b0 cand0 in
+      let* w0, acts0, cache0 = probe l31.b0 cand0 in
       let* chosen =
-        if w0 then Ok (l31.b0, l31.b1, cand0, acts0)
+        if w0 then Ok (l31.b0, l31.b1, cand0, acts0, cache0)
         else
-          let* w1, acts1 = probe l31.b1 cand1 in
-          if w1 then Ok (l31.b1, l31.b0, cand1, acts1)
+          let* w1, acts1, cache1 = probe l31.b1 cand1 in
+          if w1 then Ok (l31.b1, l31.b0, cand1, acts1, cache1)
           else
             Error
               "Lemma 2.1 violated during Lemma 3.2 induction: neither probe \
                wrote outside R3(C0)"
       in
-      let b_i, b_other, cand, cand_acts = chosen in
-      let cfg_bi = Shm.Sim.block_write l31.c0 b_i in
+      let b_i, b_other, cand, cand_acts, cand_cache = chosen in
       let* lambda =
         match
-          Exec_util.truncate_at_cover_outside supplier cfg_bi cand_acts
+          Exec_util.truncate_at_cover_outside_c cand_cache cand_acts
             ~pid:cand ~outside
         with
         | Some prefix -> Ok prefix
@@ -105,9 +109,9 @@ let run ?(sig_cap = 12) ~fuel ~supplier ~cfg ~k () =
       else
         let sg = Signature.signature cur in
         match
-          List.find_opt (fun (sg', _, _) -> sg' = sg) seen
+          List.find_opt (fun (sg', _, _, _) -> sg' = sg) seen
         with
-        | Some (_, j_acts, j_index) ->
+        | Some (_, j_cfg, j_acts, j_index) ->
           (* C0 = E_j, C1 = current.  gamma1 starts with the block writes of
              iterate j. *)
           let rec drop_until idx = function
@@ -129,8 +133,11 @@ let run ?(sig_cap = 12) ~fuel ~supplier ~cfg ~k () =
                     @ lt @ dl)
                  later
              in
-             (* Reconstruct C0 by replaying j_acts from d. *)
-             let c0 = Exec_util.apply supplier d j_acts in
+             (* C0 is the configuration checkpointed when iterate [j] pushed
+                its signature — no replay of j_acts from d needed (replay is
+                deterministic, so the checkpoint IS [apply supplier d
+                j_acts]). *)
+             let c0 = j_cfg in
              Ok { gamma0 = j_acts; c0; b0; b1; b2; eta })
         | None ->
           let r3 = Signature.r3 cur in
@@ -157,7 +164,7 @@ let run ?(sig_cap = 12) ~fuel ~supplier ~cfg ~k () =
           let lambda_tail = finish_acts in
           let step = ((b0, b1, b2), lambda_tail, delta, e_next) in
           iterate (i + 1)
-            ((sg, cur_acts_from_d, i) :: seen)
+            ((sg, cur, cur_acts_from_d, i) :: seen)
             e_next
             (cur_acts_from_d @ blocks @ lambda_tail @ delta)
             (step :: steps)

@@ -11,9 +11,13 @@ type ('v, 'r) lemma41_result = {
    its block write B_i.  [actions] is meaningful only as the execution
    (block_write C block; actions).  Participants appear in order; the last
    one is the only one whose getTS ran to completion (all earlier ones are
-   truncated at the point where they cover a register outside R). *)
-type side = {
+   truncated at the point where they cover a register outside R).  [cache]
+   holds replay checkpoints from the side's fixed base [block_write C
+   block]; each round's truncation and extension are prefix-compatible with
+   the previous replay, so re-simulation only covers new solo steps. *)
+type ('v, 'r) side = {
   block : int list;
+  cache : ('v, 'r) Exec_util.Cache.t;
   actions : Shm.Schedule.action list;
   participants : int list;  (* reversed: head = last participant *)
   last_start : int;  (* index in [actions] where the last participant begins *)
@@ -41,15 +45,20 @@ let lemma41 ~fuel ~supplier ~cfg ~b0 ~b1 ~u ~r =
   let base block = Shm.Sim.block_write cfg block in
   (* Base case: delta^1_i is a solo complete getTS by u_i after pi_Bi. *)
   let init_side block pid =
-    match Exec_util.solo_complete ~fuel supplier (base block) ~pid with
+    let cache = Exec_util.Cache.create supplier ~base:(base block) in
+    match Exec_util.solo_complete_c ~fuel cache ~prefix:[] ~pid with
     | None -> Error (Printf.sprintf "p%d: solo getTS did not terminate" pid)
     | Some (_, acts) ->
-      Ok { block; actions = acts; participants = [ pid ]; last_start = 0 }
+      Ok { block; cache; actions = acts; participants = [ pid ]; last_start = 0 }
   in
   (* Which side's replay writes outside R?  By the induction invariant only
-     the last participant can, so attribution is unnecessary. *)
+     the last participant can, so attribution is unnecessary.  Memoized:
+     every round re-asks the question about both sides but modifies only
+     one, so the unchanged side answers from the memo. *)
+  let wo_memo = Exec_util.Fp_memo.create () in
   let side_writes_outside s =
-    Exec_util.wrote_outside supplier (base s.block) s.actions ~outside
+    Exec_util.Fp_memo.memo wo_memo (Exec_util.Cache.base s.cache) s.actions
+      (fun () -> Exec_util.wrote_outside_c s.cache s.actions ~outside)
   in
   let choose_j s0 s1 =
     if side_writes_outside s0 then Ok 0
@@ -64,8 +73,7 @@ let lemma41 ~fuel ~supplier ~cfg ~b0 ~b1 ~u ~r =
   let truncate_side s =
     let q = last_participant s in
     match
-      Exec_util.truncate_at_cover_outside supplier (base s.block) s.actions
-        ~pid:q ~outside
+      Exec_util.truncate_at_cover_outside_c s.cache s.actions ~pid:q ~outside
     with
     | None ->
       Error
@@ -75,8 +83,7 @@ let lemma41 ~fuel ~supplier ~cfg ~b0 ~b1 ~u ~r =
   in
   (* Append a solo complete getTS of [pid] to (truncated) side [s]. *)
   let extend_side s pid =
-    let cfg_after = Exec_util.apply supplier (base s.block) s.actions in
-    match Exec_util.solo_complete ~fuel supplier cfg_after ~pid with
+    match Exec_util.solo_complete_c ~fuel s.cache ~prefix:s.actions ~pid with
     | None -> Error (Printf.sprintf "p%d: solo getTS did not terminate" pid)
     | Some (_, acts) ->
       Ok
@@ -198,9 +205,10 @@ type ('v, 'r) outcome = {
 
 (* The Q' condition of the construction: a set of nu registers outside R,
    each covered by at least (l - j - nu) processes.  Returns the largest
-   viable nu with its witness set (the nu most-covered outside registers). *)
-let find_q cfg ~r_set ~l ~j =
-  let sig_ = Signature.signature cfg in
+   viable nu with its witness set (the nu most-covered outside registers).
+   Takes the covering vector rather than the configuration so the
+   shortest-prefix search can feed it incrementally maintained signatures. *)
+let find_q_sig sig_ ~r_set ~l ~j =
   let outside_regs =
     List.init (Array.length sig_) Fun.id
     |> List.filter (fun reg -> not (List.mem reg r_set))
@@ -243,15 +251,20 @@ let run ?grid_width ~fuel ~supplier ~cfg () =
   let n = Shm.Sim.n cfg in
   let l0 = match grid_width with Some w -> w | None -> Bounds.grid_width n in
   (* Replay [actions] from [cfg] one action at a time, looking for the first
-     prefix after which some Q' exists. *)
+     prefix after which some Q' exists.  The covering vector is maintained
+     incrementally (O(1) per action) instead of rescanned per prefix. *)
   let shortest_prefix cfg actions ~r_set ~l ~j =
+    let inc = Signature.Incremental.create cfg in
     let rec go cfg len actions =
-      match find_q cfg ~r_set ~l ~j with
+      match find_q_sig (Signature.Incremental.signature inc) ~r_set ~l ~j with
       | Some (nu, q) -> Some (cfg, len, nu, q)
       | None -> (
           match actions with
           | [] -> None
-          | a :: rest -> go (Exec_util.apply supplier cfg [ a ]) (len + 1) rest)
+          | a :: rest ->
+            let cfg' = Shm.Schedule.apply_action supplier cfg a in
+            Signature.Incremental.advance inc cfg' a;
+            go cfg' (len + 1) rest)
     in
     go cfg 0 actions
   in

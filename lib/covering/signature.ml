@@ -7,6 +7,42 @@ let signature cfg =
   done;
   sig_
 
+(* Incremental maintenance of the covering vector.  Replaying a schedule
+   and rescanning all n processes at every position is O(n) per action; an
+   action only changes the poised operation of the one process it names, so
+   tracking per-process covers makes each update O(1). *)
+module Incremental = struct
+  type t = {
+    covers : int array;  (* per pid: covered register, or -1 *)
+    sig_ : int array;
+  }
+
+  let create cfg =
+    let covers =
+      Array.init (Shm.Sim.n cfg) (fun pid ->
+          match Shm.Sim.covers cfg pid with Some r -> r | None -> -1)
+    in
+    let sig_ = Array.make (Shm.Sim.num_regs cfg) 0 in
+    Array.iter (fun r -> if r >= 0 then sig_.(r) <- sig_.(r) + 1) covers;
+    { covers; sig_ }
+
+  let signature t = t.sig_
+
+  let advance t after action =
+    let pid =
+      match (action : Shm.Schedule.action) with
+      | Shm.Schedule.Invoke pid | Shm.Schedule.Step pid
+      | Shm.Schedule.Crash pid -> pid
+    in
+    let now = match Shm.Sim.covers after pid with Some r -> r | None -> -1 in
+    let was = t.covers.(pid) in
+    if now <> was then begin
+      if was >= 0 then t.sig_.(was) <- t.sig_.(was) - 1;
+      if now >= 0 then t.sig_.(now) <- t.sig_.(now) + 1;
+      t.covers.(pid) <- now
+    end
+end
+
 let ordered_signature cfg =
   let sig_ = signature cfg in
   Array.sort (fun a b -> Int.compare b a) sig_;

@@ -18,6 +18,26 @@ val signature : ('v, 'r) Shm.Sim.t -> int array
 (** [signature cfg] has one entry per register: the number of processes
     covering it. *)
 
+(** Incremental maintenance of the covering vector along a replay: an
+    action changes only the poised operation of the process it names, so the
+    signature can be updated in O(1) per action instead of rescanned in
+    O(n).  Used by the adversaries' shortest-prefix searches. *)
+module Incremental : sig
+  type t
+
+  val create : ('v, 'r) Shm.Sim.t -> t
+  (** One full scan of the starting configuration. *)
+
+  val signature : t -> int array
+  (** The current covering vector.  Borrowed: owned and mutated by
+      {!advance}; copy it to keep a snapshot. *)
+
+  val advance : t -> ('v, 'r) Shm.Sim.t -> Shm.Schedule.action -> unit
+  (** [advance t after a] updates the vector for one replayed action; [after]
+      is the configuration the action produced.  The tracker must have been
+      tracking the configuration the action was applied to. *)
+end
+
 val ordered_signature : ('v, 'r) Shm.Sim.t -> int array
 
 val coverers : ('v, 'r) Shm.Sim.t -> reg:int -> int list

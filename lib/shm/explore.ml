@@ -4,6 +4,7 @@ type domain_stats = {
   d_configurations : int;
   d_dedup_hits : int;
   d_sleep_skips : int;
+  d_canon_hits : int;
   d_seconds : float;
 }
 
@@ -14,6 +15,8 @@ type stats = {
   expanded : int;
   dedup_hits : int;
   sleep_skips : int;
+  canon_hits : int;
+  symmetric : bool;
   exhaustive : bool;
   seconds : float;
   per_domain : domain_stats array;
@@ -33,6 +36,22 @@ type ('v, 'r) outcome =
    same reason sequential whole-tree dedup is — a dominating visit proves
    the subtree was already explored at least as deeply, by an
    earlier-stolen (hence lower-indexed) branch of the same domain. *)
+(* One visited-set entry: the Pareto frontier of (remaining depth budget,
+   sleep mask) pairs under which the configuration (or, under the symmetry
+   quotient, its orbit) was already expanded, plus the raw fingerprint of
+   the entry's creator so orbit-crossing hits can be counted.  A revisit is
+   pruned only when dominated: some recorded visit had at least as much
+   remaining depth AND a sleep set included in the current one (so it
+   explored a superset of the transitions this visit would).  Under the
+   quotient, sleep masks are stored and compared in canonical coordinates
+   ({!Sim.canonical_perm}): subset relations between masks of different
+   orbit members are only meaningful after mapping both through their own
+   canonical permutations. *)
+type entry = {
+  e_raw : int;
+  mutable e_frontier : (int * int) list;
+}
+
 type wstate = {
   mutable w_branches : int;  (* root branches this domain processed *)
   mutable w_paths : int;
@@ -41,17 +60,16 @@ type wstate = {
   mutable w_expanded : int;
   mutable w_dedup : int;
   mutable w_sleep : int;
+  mutable w_canon : int;  (* visits keyed to an orbit-mate's entry *)
   mutable w_seconds : float;  (* wall time spent inside branches *)
   mutable w_budget_hit : bool;
-  (* fingerprint -> Pareto frontier of (remaining depth budget, sleep mask)
-     pairs under which the configuration was already expanded.  A revisit is
-     pruned only when dominated: some recorded visit had at least as much
-     remaining depth AND a sleep set included in the current one (so it
-     explored a superset of the transitions this visit would). *)
-  visited : (int, (int * int) list ref) Hashtbl.t;
+  visited : (int, entry) Hashtbl.t;
+  (* per-domain canonicalizer (mutable scratch, not shared across domains);
+     None when the symmetry quotient is off or trivial *)
+  canon : Sim.canonicalizer option;
 }
 
-let new_wstate () =
+let new_wstate ~classes () =
   { w_branches = 0;
     w_paths = 0;
     w_truncated = 0;
@@ -59,9 +77,11 @@ let new_wstate () =
     w_expanded = 0;
     w_dedup = 0;
     w_sleep = 0;
+    w_canon = 0;
     w_seconds = 0.;
     w_budget_hit = false;
-    visited = Hashtbl.create 4096 }
+    visited = Hashtbl.create 4096;
+    canon = Option.map (fun classes -> Sim.canonicalizer ~classes) classes }
 
 let domain_stats_of st =
   { d_branches = st.w_branches;
@@ -69,6 +89,7 @@ let domain_stats_of st =
     d_configurations = st.w_configs;
     d_dedup_hits = st.w_dedup;
     d_sleep_skips = st.w_sleep;
+    d_canon_hits = st.w_canon;
     d_seconds = st.w_seconds }
 
 (* Branch verdicts in parallel mode. *)
@@ -78,7 +99,7 @@ type ('v, 'r) branch_result =
   | B_aborted  (* cancelled because a lower-indexed branch already failed *)
 
 let explore (type v r) ?(max_steps = 200) ?(max_paths = 1_000_000)
-    ?(dedup = true) ?(reduction = true) ?(domains = 1)
+    ?(dedup = true) ?(reduction = true) ?(symmetry = true) ?(domains = 1)
     ~(supplier : (v, r) Schedule.supplier) ~calls_per_proc ?invariant
     ?leaf_check (cfg0 : (v, r) Sim.t) : (v, r) outcome =
   let n = Sim.n cfg0 in
@@ -88,6 +109,19 @@ let explore (type v r) ?(max_steps = 200) ?(max_paths = 1_000_000)
   let leaf_check = Option.value leaf_check ~default:(fun _ -> true) in
   let t_start = Obs.Trace.Clock.now_s () in
   let progs = Schedule.programs supplier ~n in
+  (* The symmetry quotient is a deduplication key, so it is inert without
+     dedup; it is also skipped when detection finds only singleton classes
+     (every process runs a distinct program). *)
+  let classes =
+    if dedup && symmetry then begin
+      let cls = Schedule.symmetry_classes supplier ~n ~calls_per_proc in
+      let nontrivial = ref false in
+      Array.iteri (fun pid c -> if c <> pid then nontrivial := true) cls;
+      if !nontrivial then Some cls else None
+    end
+    else None
+  in
+  let new_wstate () = new_wstate ~classes () in
   (* Sleep sets are bitmasks with one Step bit and one Invoke bit per
      process; fall back to the unreduced search when they don't fit. *)
   let reduction = reduction && (2 * n) + 1 < Sys.int_size in
@@ -121,10 +155,25 @@ let explore (type v r) ?(max_steps = 200) ?(max_paths = 1_000_000)
           if Schedule.independent (Schedule.footprint cfg (Schedule.Step pid)) fp
           then m := !m lor (1 lsl pid);
         if sleep land (1 lsl (n + pid)) <> 0 then
-          if Schedule.independent Schedule.F_hist fp then
+          if Schedule.independent Schedule.F_invoke fp then
             m := !m lor (1 lsl (n + pid))
       done;
       !m
+    end
+  in
+  (* Maps a sleep mask (one Step bit and one Invoke bit per pid) through a
+     canonical pid permutation, so masks recorded from different members of
+     one orbit are compared in a common coordinate system. *)
+  let map_mask perm m =
+    if m = 0 then 0
+    else begin
+      let r = ref 0 in
+      for pid = 0 to n - 1 do
+        if m land (1 lsl pid) <> 0 then r := !r lor (1 lsl perm.(pid));
+        if m land (1 lsl (n + pid)) <> 0 then
+          r := !r lor (1 lsl (n + perm.(pid)))
+      done;
+      !r
     end
   in
   (* Cooperative cancellation for parallel branches: the lowest branch index
@@ -150,38 +199,56 @@ let explore (type v r) ?(max_steps = 200) ?(max_paths = 1_000_000)
          sample of the per-domain expansion counter. *)
       if Obs.Hooks.armed () then begin
         Obs.Hooks.observe ~name:"explore.depth" (float_of_int depth);
-        if st.w_configs land 8191 = 0 then
+        if st.w_configs land 8191 = 0 then begin
+          let d = string_of_int (Domain.self () :> int) in
           Obs.Hooks.counter
-            ~name:("explore.configurations.d"
-                   ^ string_of_int (Domain.self () :> int))
-            (float_of_int st.w_configs)
+            ~name:("explore.configurations.d" ^ d)
+            (float_of_int st.w_configs);
+          if st.canon <> None then
+            Obs.Hooks.counter
+              ~name:("explore.canon_hits.d" ^ d)
+              (float_of_int st.w_canon)
+        end
       end;
       if not (invariant cfg) then fail cfg rev_sched false;
       let proceed =
         if not dedup then true
         else begin
-          let fp = Sim.fingerprint cfg in
+          let raw = Sim.fingerprint cfg in
+          (* Under the quotient the visited set is keyed by the orbit's
+             canonical fingerprint and masks live in canonical coordinates;
+             the DFS itself always continues from the concrete [cfg] with
+             the concrete [sleep], so counterexamples replay verbatim. *)
+          let key, cmask =
+            match st.canon with
+            | Some c ->
+              let key = Sim.canonical_fingerprint c cfg in
+              (key, map_mask (Sim.canonical_perm c) sleep)
+            | None -> (raw, sleep)
+          in
           let remaining = max_steps - depth in
-          match Hashtbl.find_opt st.visited fp with
+          match Hashtbl.find_opt st.visited key with
           | None ->
-            Hashtbl.add st.visited fp (ref [ (remaining, sleep) ]);
+            Hashtbl.add st.visited key
+              { e_raw = raw; e_frontier = [ (remaining, cmask) ] };
             true
-          | Some entries ->
+          | Some entry ->
+            if entry.e_raw <> raw then st.w_canon <- st.w_canon + 1;
             if
               List.exists
-                (fun (b, sl) -> b >= remaining && sl land lnot sleep = 0)
-                !entries
+                (fun (b, sl) -> b >= remaining && sl land lnot cmask = 0)
+                entry.e_frontier
             then begin
               st.w_dedup <- st.w_dedup + 1;
               false
             end
             else begin
-              entries :=
-                (remaining, sleep)
+              entry.e_frontier <-
+                (remaining, cmask)
                 :: List.filter
                   (fun (b, sl) ->
-                     not (b <= remaining && sleep land lnot sl = 0))
-                  !entries;
+                     not (b <= remaining && cmask land lnot sl = 0))
+                  entry.e_frontier;
               true
             end
         end
@@ -252,6 +319,8 @@ let explore (type v r) ?(max_steps = 200) ?(max_paths = 1_000_000)
         expanded = List.fold_left (fun a st -> a + st.w_expanded) 0 sts;
         dedup_hits = List.fold_left (fun a st -> a + st.w_dedup) 0 sts;
         sleep_skips = List.fold_left (fun a st -> a + st.w_sleep) 0 sts;
+        canon_hits = List.fold_left (fun a st -> a + st.w_canon) 0 sts;
+        symmetric = classes <> None;
         exhaustive =
           exhaustive_extra && truncated = 0
           && not (List.exists (fun st -> st.w_budget_hit) sts);

@@ -9,7 +9,7 @@
     is returned with the exact schedule that produces it, which replays
     deterministically.
 
-    On top of the plain DFS the engine layers three accelerations, all on by
+    On top of the plain DFS the engine layers four accelerations, all on by
     default and all preserving verdicts:
 
     - {b state deduplication} ([dedup]): configurations are canonically
@@ -26,6 +26,19 @@
       one of the two orders is explored; the commuted order provably reaches
       the same configuration.  Sleep sets never lose reachable
       configurations, so invariant and leaf verdicts are preserved exactly.
+
+    - {b process-symmetry quotient} ([symmetry]): when several processes
+      run structurally identical programs ({!Schedule.symmetry_classes}),
+      the visited set is keyed by {!Sim.canonical_fingerprint} — the orbit
+      of the configuration under within-class pid permutations — so up to
+      [prod |class_i|!] isomorphic states share one entry.  The quotient is
+      purely a deduplication key: the DFS always walks the concrete
+      configurations it reached, so a reported counterexample schedule
+      replays verbatim (the inverse-permutation mapping back to a concrete
+      trace is the identity).  Sleep masks are mapped through the canonical
+      permutation before dominance comparisons, keeping the combination
+      with the independence reduction sound.  Inert when detection finds
+      only singleton classes, or when [dedup] is off.
 
     - {b domain parallelism} ([domains]): root-level branches are spread
       over worker domains (dynamic work stealing via an atomic counter).
@@ -72,6 +85,9 @@ type domain_stats = {
   d_configurations : int;  (** configuration visits, including pruned ones *)
   d_dedup_hits : int;  (** visits answered by this domain's visited set *)
   d_sleep_skips : int;  (** transitions its sleep sets skipped *)
+  d_canon_hits : int;
+      (** dedup hits that crossed a symmetry orbit: the stored entry was
+          created from a configuration with a different raw fingerprint *)
   d_seconds : float;  (** wall time this domain spent inside branches *)
 }
 
@@ -86,6 +102,14 @@ type stats = {
           measure of work the accelerations save *)
   dedup_hits : int;  (** visits answered by the visited set *)
   sleep_skips : int;  (** transitions skipped by the independence rule *)
+  canon_hits : int;
+      (** dedup hits merging configurations from {e different} symmetry
+          orbits — the extra pruning the quotient buys beyond plain
+          fingerprint dedup.  Always [0] when [symmetric] is false. *)
+  symmetric : bool;
+      (** the symmetry quotient was active: [symmetry] was on, [dedup] was
+          on, and {!Schedule.symmetry_classes} found at least one class
+          with two or more processes *)
   exhaustive : bool;  (** no budget was hit *)
   seconds : float;  (** wall clock of the whole exploration *)
   per_domain : domain_stats array;
@@ -109,6 +133,7 @@ val explore :
   ?max_paths:int ->
   ?dedup:bool ->
   ?reduction:bool ->
+  ?symmetry:bool ->
   ?domains:int ->
   supplier:('v, 'r) Schedule.supplier ->
   calls_per_proc:int array ->
@@ -117,8 +142,10 @@ val explore :
   ('v, 'r) Sim.t ->
   ('v, 'r) outcome
 (** Defaults: [max_steps = 200], [max_paths = 1_000_000], [dedup = true],
-    [reduction = true], [domains = 1] (sequential), both checks accept
-    everything.  The invariant runs on every configuration including the
+    [reduction = true], [symmetry = true] (the quotient engages only when
+    [dedup] is on and {!Schedule.symmetry_classes} detects a nontrivial
+    class; otherwise it is inert and [stats.symmetric] is false),
+    [domains = 1] (sequential), both checks accept everything.  The invariant runs on every configuration including the
     initial one; the leaf check runs on configurations where no action is
     enabled (all calls performed and everything quiescent).
     [~dedup:false ~reduction:false] is the exact naive DFS (the engine-v1

@@ -45,6 +45,19 @@ let rec embed ~inj ~prj = function
   | Write (r, v, k) -> Write (r, inj v, fun () -> embed ~inj ~prj (k ()))
   | Swap (r, v, k) -> Swap (r, inj v, fun old -> embed ~inj ~prj (k (prj old)))
 
+(* Two independently seeded polymorphic hashes of the whole program tree.
+   The traversal descends into closure environments, so programs built from
+   the same code with the same captured values (e.g. the same [mine] index)
+   key equal, while any difference in structure, captured data or code
+   pointer keys different.  Equality of keys is therefore "structurally the
+   same program" up to a ~2^-60 double-hash collision — the same trust level
+   as the fingerprint-based state deduplication that consumes it.  The
+   absolute key values depend on code addresses and are only meaningful
+   within one process: compare keys, never persist them. *)
+let structural_key p =
+  (Hashtbl.seeded_hash_param 1000 1000 0x9e37 p,
+   Hashtbl.seeded_hash_param 1000 1000 0x85eb p)
+
 let run_pure ~regs p =
   let rec go ops = function
     | Done x -> (x, ops)

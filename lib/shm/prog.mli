@@ -65,6 +65,17 @@ val embed : inj:('v -> 'w) -> prj:('w -> 'v) -> ('v, 'a) t -> ('w, 'a) t
     if the register holds a foreign value; composed objects must partition
     the register space with {!map_reg} so that this cannot happen. *)
 
+val structural_key : ('v, 'a) t -> int * int
+(** A pair of independently seeded structural hashes of the program tree,
+    closure environments included.  Two programs with equal keys are
+    structurally the same program — same shape, same captured values, same
+    code — up to a double-hash collision (~2^-60 per pair), which is the
+    same trust level as fingerprint-based state deduplication.  This is the
+    primitive behind process-symmetry detection ({!Schedule.symmetry_classes}):
+    processes whose programs key equal are interchangeable.  Keys depend on
+    code addresses, so they are only comparable within one process run;
+    never persist them. *)
+
 val run_pure : regs:'v array -> ('v, 'a) t -> 'a * int
 (** [run_pure ~regs p] executes [p] to completion, solo, against the given
     register array (mutating it in place) and returns the result together

@@ -47,12 +47,14 @@ let invoke_all supplier cfg pids =
 type footprint =
   | F_read of int
   | F_write of int
+  | F_invoke
   | F_hist
   | F_none
 
 let footprint cfg action =
   match action with
-  | Invoke _ | Crash _ -> F_hist
+  | Invoke _ -> F_invoke
+  | Crash _ -> F_hist
   | Step pid -> (
       match Sim.poised cfg pid with
       | Sim.P_read r -> F_read r
@@ -63,11 +65,42 @@ let footprint cfg action =
 let independent a b =
   match a, b with
   | F_none, _ | _, F_none -> true
+  (* Two invocations of distinct processes commute: happens-before only
+     relates a response to a *later* invocation, so which of two adjacent
+     invocations came first is unobservable (both have the same invocation
+     epoch).  An invocation and a response do NOT commute — their order is
+     exactly what happens-before records.  Crashes stay conservatively
+     dependent on all history events. *)
+  | F_invoke, F_invoke -> true
+  | F_invoke, F_hist | F_hist, F_invoke -> false
   | F_hist, F_hist -> false
-  | F_hist, (F_read _ | F_write _) | (F_read _ | F_write _), F_hist -> true
+  | (F_invoke | F_hist), (F_read _ | F_write _)
+  | (F_read _ | F_write _), (F_invoke | F_hist) -> true
   | F_read _, F_read _ -> true
   | F_read r, F_write w | F_write w, F_read r -> r <> w
   | F_write r, F_write w -> r <> w
+
+(* Process-symmetry detection: two pids are interchangeable when every call
+   they can make is structurally the same program ({!Prog.structural_key}
+   descends into closure environments, so a pid-dependent register index or
+   seed captured anywhere in the tree separates the classes).  Detection is
+   O(n^2) key comparisons on at most [max calls] keys per pid — negligible
+   next to exploration, and conservative: an undetected symmetry only costs
+   work, a falsely detected one would need a double-hash collision. *)
+let symmetry_classes (supplier : _ supplier) ~n ~calls_per_proc =
+  if Array.length calls_per_proc <> n then
+    invalid_arg "Schedule.symmetry_classes: calls_per_proc size mismatch";
+  let keys =
+    Array.init n (fun pid ->
+        Array.init calls_per_proc.(pid) (fun call ->
+            Prog.structural_key (supplier ~pid ~call)))
+  in
+  let classes = Array.make n 0 in
+  for pid = 0 to n - 1 do
+    let rec rep p = if keys.(p) = keys.(pid) then p else rep (p + 1) in
+    classes.(pid) <- rep 0
+  done;
+  classes
 
 let covered_count cfg =
   let m = Sim.num_regs cfg in

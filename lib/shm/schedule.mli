@@ -38,8 +38,13 @@ val programs :
 type footprint =
   | F_read of int  (** next step reads that register *)
   | F_write of int  (** next step writes (or swaps) that register *)
-  | F_hist  (** touches the invocation/response history (invoke, respond,
-                crash): ordered against every other history toucher *)
+  | F_invoke
+      (** an invocation: commutes with other invocations (two concurrent
+          invocations have the same invocation epoch, so their relative
+          order is invisible to happens-before) but not with responses or
+          crashes *)
+  | F_hist  (** touches the response/crash side of the history: ordered
+                against every other history toucher including invokes *)
   | F_none  (** no effect (stepping an idle/crashed process is an error,
                 but such an action is never enabled) *)
 
@@ -57,12 +62,26 @@ val covered_count : ('v, 'r) Sim.t -> int
 val independent : footprint -> footprint -> bool
 (** Actions of {e distinct} processes with independent footprints commute:
     applying them in either order from the same configuration yields equal
-    configurations (equal up to {!Sim.fingerprint}, including histories and
-    results), and neither enables or disables the other.  Reads of the same
+    configurations (equal up to {!Sim.fingerprint}, which abstracts the
+    history to its happens-before relation — hence two invocations
+    commute), and neither enables or disables the other.  Reads of the same
     register commute; a write conflicts with any access to its register;
-    history events conflict with each other (their order is observable in
-    the history).  This is the independence relation used by the partial
-    -order reduction in {!Explore}. *)
+    responses and crashes conflict with every history event including
+    invokes (their order {e is} observable through happens-before).  This
+    is the independence relation used by the partial-order reduction in
+    {!Explore}; like deduplication, it requires invariant/leaf checks to be
+    happens-before-abstract rather than inspect literal event order. *)
+
+val symmetry_classes :
+  ('v, 'r) supplier -> n:int -> calls_per_proc:int array -> int array
+(** Interchangeability classes for the process-symmetry quotient:
+    [classes.(pid)] is the smallest pid all of whose potential calls are
+    structurally identical programs to [pid]'s ({!Prog.structural_key} on
+    every [call < calls_per_proc.(pid)]).  Processes in one class are fully
+    interchangeable: same program trees including captured register indices
+    and values, so any reachable configuration maps to an isomorphic one
+    under a within-class pid permutation.  Feed the result to
+    {!Sim.canonicalizer}. *)
 
 val invoke_all :
   ('v, 'r) supplier -> ('v, 'r) Sim.t -> int list -> ('v, 'r) Sim.t

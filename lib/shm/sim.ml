@@ -16,14 +16,32 @@ type ('v, 'r) t = {
   reg_read : bool array;
   (* Incremental fingerprint support (see {!fingerprint}).  [proc_sig.(p)]
      identifies the continuation of [p]'s call in progress: programs are
-     deterministic in [(pid, call)] and the sequence of values their shared
-     -memory operations returned, so hashing that sequence identifies the
-     closure without inspecting it.  [hist_sig] hashes the sequence of
-     invocation/response events together with response values, so equal
-     fingerprints also mean equal histories and result lists (up to hash
-     collisions). *)
+     deterministic in the call number and the sequence of values their
+     shared-memory operations returned, so hashing that sequence identifies
+     the closure without inspecting it.  The hash is deliberately
+     {e pid-blind} (the pid enters the fingerprint positionally, or through
+     the canonical sort under the symmetry quotient), so that two processes
+     running the same program in the same per-call state carry equal
+     signatures.
+
+     The history enters the fingerprint through its happens-before
+     abstraction rather than its literal event sequence.  Each operation
+     [(pid, call)] is summarized by an {e op core}: a hash of its call
+     number, the invocation epoch (how many responses had completed when it
+     was invoked) and, once completed, its response index and result hash.
+     [A happens-before B] iff [resp_index A <= inv_epoch B], so equal
+     multisets of op cores mean equal happens-before relations, results and
+     response orders — everything an hb-based checker can observe.
+     [hist_acc.(p)] is the commutative (wrapping-sum) accumulator of [p]'s
+     op cores; invocation {e order} within an epoch is thereby quotiented
+     away, merging states that differ only in how concurrent invocations
+     interleaved.  [inv_epoch.(p)] remembers the epoch of [p]'s open call so
+     its provisional open-op core can be replaced by the completed one on
+     response; [resp_count] is the epoch clock. *)
   proc_sig : int array;
-  hist_sig : int;
+  hist_acc : int array;
+  inv_epoch : int array;
+  resp_count : int;
 }
 
 (* FNV-style mixing; [vhash] bounds the traversal generously so that values
@@ -32,6 +50,16 @@ type ('v, 'r) t = {
 let mix h k = (h * 0x01000193) lxor k
 
 let vhash v = Hashtbl.hash_param 256 256 v
+
+(* Op cores for the happens-before history abstraction (see the [hist_acc]
+   field).  Open and closed cores use distinct tags so an in-progress call
+   never collides with a completed one; accumulation uses wrapping [+],
+   which is commutative and invertible (the open core is subtracted when
+   the call responds). *)
+let op_open ~call ~epoch = mix (mix (mix 0x811c 1) call) epoch
+
+let op_closed ~call ~epoch ~resp_index ~res_hash =
+  mix (mix (mix (mix (mix 0x811c 2) call) epoch) resp_index) res_hash
 
 type 'v poised =
   | P_idle
@@ -55,7 +83,9 @@ let of_regs ~n ~regs =
     reg_written = Array.make num_regs false;
     reg_read = Array.make num_regs false;
     proc_sig = Array.make n 0;
-    hist_sig = 0 }
+    hist_acc = Array.make n 0;
+    inv_epoch = Array.make n 0;
+    resp_count = 0 }
 
 let create ~n ~num_regs ~init =
   if num_regs < 0 then invalid_arg "Sim.create: num_regs must be >= 0";
@@ -103,10 +133,14 @@ let invoke cfg ~pid ~program =
   procs.(pid) <- Running (program ~call);
   calls.(pid) <- call + 1;
   let proc_sig = Array.copy cfg.proc_sig in
-  proc_sig.(pid) <- mix (mix 0x5bd1 pid) call;
+  proc_sig.(pid) <- mix 0x5bd1 call;
+  let hist_acc = Array.copy cfg.hist_acc in
+  let inv_epoch = Array.copy cfg.inv_epoch in
+  let epoch = cfg.resp_count in
+  hist_acc.(pid) <- hist_acc.(pid) + op_open ~call ~epoch;
+  inv_epoch.(pid) <- epoch;
   { cfg with
-    procs; calls; proc_sig;
-    hist_sig = mix cfg.hist_sig (vhash (0, pid, call));
+    procs; calls; proc_sig; hist_acc; inv_epoch;
     hist = History.invoke cfg.hist ~pid ~call }
 
 let step cfg pid =
@@ -124,11 +158,18 @@ let step cfg pid =
        procs.(pid) <- Idle;
        proc_sig.(pid) <- 0;
        let op : History.op = { pid; call } in
+       let hist_acc = Array.copy cfg.hist_acc in
+       let epoch = cfg.inv_epoch.(pid) in
+       hist_acc.(pid) <-
+         hist_acc.(pid)
+         - op_open ~call ~epoch
+         + op_closed ~call ~epoch ~resp_index:cfg.resp_count
+             ~res_hash:(vhash res);
        { cfg with
-         procs; proc_sig;
+         procs; proc_sig; hist_acc;
+         resp_count = cfg.resp_count + 1;
          rev_results = (op, res) :: cfg.rev_results;
          hist = History.respond cfg.hist ~pid ~call;
-         hist_sig = mix (mix cfg.hist_sig (vhash (1, pid, call))) (vhash res);
          steps = cfg.steps + 1 }
      | Prog.Read (r, k) ->
        Obs.Hooks.sim Obs.Hooks.Read ~pid ~reg:r;
@@ -244,20 +285,117 @@ let written_set cfg = set_to_list cfg.reg_written
 
 let read_set cfg = set_to_list cfg.reg_read
 
+let status_tag = function
+  | Idle -> 1
+  | Crashed false -> 2
+  | Crashed true -> 3
+  | Running _ -> 4
+
+(* Top-level recursive helpers so that [fingerprint] allocates nothing on
+   the DFS hot path: no closures, no refs, accumulators in registers (pinned
+   by a [Gc.minor_words] test). *)
+let rec fp_regs regs i h =
+  if i >= Array.length regs then h
+  else fp_regs regs (i + 1) (mix h (vhash (Array.unsafe_get regs i)))
+
+(* The per-process summary: status, continuation signature, call count and
+   happens-before accumulator.  The pid itself enters only through the fold
+   position. *)
+let proc_key cfg pid =
+  mix
+    (mix
+       (mix (status_tag cfg.procs.(pid)) cfg.proc_sig.(pid))
+       cfg.calls.(pid))
+    cfg.hist_acc.(pid)
+
+let rec fp_procs cfg pid h =
+  if pid >= cfg.n then h else fp_procs cfg (pid + 1) (mix h (proc_key cfg pid))
+
 let fingerprint cfg =
-  let h = ref (mix 0x811c9dc5 cfg.n) in
-  Array.iter (fun v -> h := mix !h (vhash v)) cfg.regs;
-  for pid = 0 to cfg.n - 1 do
-    let tag =
-      match cfg.procs.(pid) with
-      | Idle -> 1
-      | Crashed false -> 2
-      | Crashed true -> 3
-      | Running _ -> 4
-    in
-    h := mix (mix (mix !h tag) cfg.proc_sig.(pid)) cfg.calls.(pid)
-  done;
-  mix !h cfg.hist_sig
+  mix (fp_procs cfg 0 (fp_regs cfg.regs 0 (mix 0x811c9dc5 cfg.n)))
+    cfg.resp_count
+
+(* Process-symmetry quotient.  A canonicalizer carries the interchangeability
+   classes (pids running structurally identical programs; see
+   {!Schedule.symmetry_classes}) plus preallocated scratch, so the per-state
+   cost is one insertion sort of [n] small integers and no allocation.
+
+   Registers are {e not} remapped: interchangeable processes run literally
+   the same program, hence address the same register indices, so permuting
+   them moves no register.  (Implementations that index registers by pid —
+   Lamport, EFR — have per-pid program trees and thus singleton classes;
+   the quotient is inert for them.)  Sorting each class's per-process
+   summaries yields the lexicographically least representative of the
+   permutation orbit directly — no enumeration of the permutation group. *)
+type canonicalizer = {
+  c_classes : int array;  (* pid -> class representative (smallest pid) *)
+  c_keys : int array;  (* scratch: per-pid summaries *)
+  c_slots : int array;  (* scratch: pids in canonical order *)
+  c_perm : int array;  (* pid -> canonical slot, from the last call *)
+  c_nontrivial : bool;
+}
+
+let canonicalizer ~classes =
+  let n = Array.length classes in
+  Array.iteri
+    (fun pid c ->
+       if c < 0 || c > pid || classes.(c) <> c then
+         invalid_arg "Sim.canonicalizer: malformed class array")
+    classes;
+  { c_classes = Array.copy classes;
+    c_keys = Array.make n 0;
+    c_slots = Array.init n Fun.id;
+    c_perm = Array.init n Fun.id;
+    c_nontrivial =
+      (let nt = ref false in
+       Array.iteri (fun pid c -> if c <> pid then nt := true) classes;
+       !nt) }
+
+let canonical_nontrivial c = c.c_nontrivial
+
+let canonical_perm c = c.c_perm
+
+let canonical_fingerprint c cfg =
+  let n = cfg.n in
+  if Array.length c.c_classes <> n then
+    invalid_arg "Sim.canonical_fingerprint: class array size mismatch";
+  if not c.c_nontrivial then begin
+    (* identity permutation is already in c_perm *)
+    fingerprint cfg
+  end
+  else begin
+    let keys = c.c_keys and slots = c.c_slots and cls = c.c_classes in
+    for pid = 0 to n - 1 do
+      keys.(pid) <- proc_key cfg pid;
+      slots.(pid) <- pid
+    done;
+    (* Insertion sort by (class representative, summary, pid): pids stay
+       grouped by class, tuple order within a class is canonical, and the
+       final pid tiebreak makes the permutation a deterministic function of
+       the configuration (needed so sleep-mask mapping is reproducible). *)
+    for i = 1 to n - 1 do
+      let p = slots.(i) in
+      let kc = cls.(p) and kk = keys.(p) in
+      let j = ref (i - 1) in
+      while
+        !j >= 0
+        && (let q = slots.(!j) in
+            cls.(q) > kc
+            || (cls.(q) = kc && (keys.(q) > kk || (keys.(q) = kk && q > p))))
+      do
+        slots.(!j + 1) <- slots.(!j);
+        decr j
+      done;
+      slots.(!j + 1) <- p
+    done;
+    let h = ref (fp_regs cfg.regs 0 (mix 0x811c9dc5 n)) in
+    for s = 0 to n - 1 do
+      let p = slots.(s) in
+      c.c_perm.(p) <- s;
+      h := mix (mix !h cls.(p)) keys.(p)
+    done;
+    mix !h cfg.resp_count
+  end
 
 let touched_count cfg =
   let count = ref 0 in

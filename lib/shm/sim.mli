@@ -122,16 +122,64 @@ val touched_count : ('v, 'r) t -> int
     used by the execution. *)
 
 val fingerprint : ('v, 'r) t -> int
-(** A hash identifying the configuration up to future behaviour: register
-    contents, per-process status and call counts, the identity of every
-    suspended continuation (derived incrementally from [(pid, call)] and the
-    values its operations returned — programs are deterministic, so this
-    pins down the closure), and the invocation/response history including
-    response values.  Two executions reaching configurations with equal
-    fingerprints are indistinguishable to any observer of registers,
-    process states, histories or results — the basis of state
-    deduplication in {!Explore}.  Deliberately {e not} included: the step
-    and write counters and the touched-register telemetry, which depend on
-    the path taken rather than on future behaviour.  Equality is up to hash
-    collisions (62-bit fingerprints; see DESIGN.md for the collision
-    budget). *)
+(** A hash identifying the configuration up to future behaviour and
+    happens-before-observable past: register contents, per-process status
+    and call counts, the identity of every suspended continuation (derived
+    incrementally from the call number and the values its operations
+    returned — programs are deterministic, so this pins down the closure),
+    and the {e happens-before abstraction} of the history: the multiset of
+    operations with their invocation epochs, response indices and result
+    values.  Two configurations with equal fingerprints have equal
+    registers, process states, results, response orders and happens-before
+    relations; they may differ in how {e concurrent invocations} were
+    interleaved, which no hb-based checker can observe — the basis of state
+    deduplication in {!Explore} (whose invariant/leaf checks must therefore
+    not inspect the literal event order of {!hist}).  Deliberately {e not}
+    included: the step and write counters and the touched-register
+    telemetry, which depend on the path taken rather than on future
+    behaviour.  The function is allocation-free (pinned by test), so it can
+    run on the DFS hot path.  Equality is up to hash collisions (62-bit
+    fingerprints; see DESIGN.md for the collision budget). *)
+
+(** {2 Process-symmetry quotient}
+
+    When several processes run structurally identical programs
+    ({!Schedule.symmetry_classes}), configurations that differ only by a
+    permutation of such processes are isomorphic: the permuted process
+    states tell the same story about the same registers (identical programs
+    address identical register indices, so no register remapping is
+    involved).  A {!canonicalizer} hashes the orbit representative instead
+    of the configuration itself, letting {!Explore} merge the whole orbit
+    into one visited-set entry. *)
+
+type canonicalizer
+(** Preallocated scratch for {!canonical_fingerprint}; not thread-safe —
+    use one per domain. *)
+
+val canonicalizer : classes:int array -> canonicalizer
+(** [canonicalizer ~classes] with [classes.(pid)] the smallest pid whose
+    programs are structurally identical to [pid]'s (so [classes.(pid) <=
+    pid] and class representatives are fixpoints); raises
+    [Invalid_argument] on malformed arrays. *)
+
+val canonical_nontrivial : canonicalizer -> bool
+(** Whether any class has two or more members (otherwise
+    {!canonical_fingerprint} degenerates to {!fingerprint}). *)
+
+val canonical_fingerprint : canonicalizer -> ('v, 'r) t -> int
+(** The fingerprint of the configuration's orbit under permutations of
+    interchangeable processes: per-process summaries are sorted within each
+    class, so all [prod |class_i|!] permuted variants hash equal.  Because
+    the canonical form is only used as a {e deduplication key} — the engine
+    always explores the concrete configuration it actually reached —
+    counterexample schedules replay verbatim; no inverse-permutation
+    mapping of reported traces is ever needed (the mapping is the
+    identity). *)
+
+val canonical_perm : canonicalizer -> int array
+(** The permutation (pid -> canonical slot) chosen by the most recent
+    {!canonical_fingerprint} call on this canonicalizer — the identity for
+    trivial class arrays.  {!Explore} uses it to map sleep-set masks into
+    canonical coordinates so dominance comparisons across an orbit are
+    sound.  The array is owned by the canonicalizer and overwritten by the
+    next call; read it immediately. *)

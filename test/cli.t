@@ -35,7 +35,28 @@ The long-lived covering construction reaches a (3,k)-configuration.
 Exhaustive exploration of a tiny instance verifies every schedule.
 
   $ ts_cli explore -i simple-oneshot -n 2
-  simple-oneshot n=2 calls=1: EXHAUSTIVELY VERIFIED over 14 complete schedules (81 configurations expanded, 4 dedup hits, 18 sleep-set skips, 0 truncated paths)
+  simple-oneshot n=2 calls=1: EXHAUSTIVELY VERIFIED over 4 complete schedules (27 configurations expanded, 4 dedup hits, 6 sleep-set skips, 0 truncated paths, 5 symmetry merges)
+
+--no-symmetry disables the process-symmetry quotient (more states, same
+verdict); on an asymmetric workload the quotient is inert and the stats
+line omits the merges clause.
+
+  $ ts_cli explore -i simple-oneshot -n 2 --no-symmetry
+  simple-oneshot n=2 calls=1: EXHAUSTIVELY VERIFIED over 8 complete schedules (49 configurations expanded, 2 dedup hits, 12 sleep-set skips, 0 truncated paths)
+
+  $ ts_cli explore -i efr-longlived -n 2 -c 1
+  efr-longlived n=2 calls=1: EXHAUSTIVELY VERIFIED over 6 complete schedules (33 configurations expanded, 0 dedup hits, 8 sleep-set skips, 0 truncated paths)
+
+The canonicalization counters flow through the metrics sidecar and pass
+the obs validator.
+
+  $ ts_cli explore -i simple-oneshot -n 2 --metrics-out metrics.jsonl
+  simple-oneshot n=2 calls=1: EXHAUSTIVELY VERIFIED over 4 complete schedules (27 configurations expanded, 4 dedup hits, 6 sleep-set skips, 0 truncated paths, 5 symmetry merges)
+  $ grep -E '"explore\.(canon_hits|symmetric)"' metrics.jsonl
+  {"schema_version": 1,"registry": "ts_cli","name": "explore.canon_hits","kind": "gauge","value": 5.0,"max": 5.0}
+  {"schema_version": 1,"registry": "ts_cli","name": "explore.symmetric","kind": "gauge","value": 1.0,"max": 1.0}
+  $ ts_cli obs --validate metrics.jsonl
+  metrics.jsonl: OK (20 JSONL documents)
 
 A seeded differential fuzz run is deterministic and byte-stable.
 

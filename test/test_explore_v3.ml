@@ -1,0 +1,333 @@
+(* Exploration v3: the process-symmetry quotient against the PR-1 engine
+   and the exhaustive baseline — identical verdicts with and without the
+   quotient on correct and fault-injected objects under every flag
+   combination, replayable counterexamples, allocation-free fingerprints —
+   plus the E1 regression pinning the checkpointed adversary to the exact
+   covered counts and schedule lengths of the pre-checkpointing engine. *)
+
+let flag_combos =
+  (* label, dedup, reduction, domains *)
+  [ ("dedup", true, false, 1);
+    ("reduction", false, true, 1);
+    ("dedup+reduction", true, true, 1);
+    ("dedup+reduction+domains", true, true, 3) ]
+
+let checker_leaf (type v r)
+    (module T : Timestamp.Intf.S with type value = v and type result = r)
+    (cfg : (v, r) Shm.Sim.t) =
+  Result.is_ok (Timestamp.Checker.check_sim (module T) cfg)
+
+let run_engine (type v r) ?invariant ~dedup ~reduction ~symmetry ~domains
+    (module T : Timestamp.Intf.S with type value = v and type result = r) ~n
+    ~calls =
+  let supplier ~pid ~call = T.program ~n ~pid ~call in
+  let cfg =
+    Shm.Sim.create ~n ~num_regs:(T.num_registers ~n) ~init:(T.init_value ~n)
+  in
+  Shm.Explore.explore ~max_steps:400 ~dedup ~reduction ~symmetry ~domains
+    ~supplier
+    ~calls_per_proc:(Array.make n calls)
+    ?invariant
+    ~leaf_check:(checker_leaf (module T))
+    cfg
+
+let outcome_signature = function
+  | Shm.Explore.Ok _ -> "ok"
+  | Shm.Explore.Counterexample { at_leaf; _ } ->
+    if at_leaf then "cex-leaf" else "cex-invariant"
+
+(* Detection: pids sharing a register of Simple_oneshot (pid/2) are
+   structurally identical; Lamport programs capture their own pid, so every
+   class is a singleton. *)
+let symmetry_detection () =
+  let classes (type v r)
+      (module T : Timestamp.Intf.S with type value = v and type result = r)
+      ~n =
+    Shm.Schedule.symmetry_classes
+      (fun ~pid ~call -> T.program ~n ~pid ~call)
+      ~n ~calls_per_proc:(Array.make n 1)
+  in
+  Util.check_bool "simple-oneshot n=4: {0,1}{2,3}" true
+    (classes (module Timestamp.Simple_oneshot) ~n:4 = [| 0; 0; 2; 2 |]);
+  Util.check_bool "simple-oneshot n=3: {0,1}{2}" true
+    (classes (module Timestamp.Simple_oneshot) ~n:3 = [| 0; 0; 2 |]);
+  Util.check_bool "lamport n=3: all singletons" true
+    (classes (module Timestamp.Lamport) ~n:3 = [| 0; 1; 2 |])
+
+(* The DFS hot path must not allocate: {!Shm.Sim.fingerprint} is called at
+   every visited configuration.  Same pinning pattern as the disarmed-hooks
+   test; the slack absorbs the boxed Gc.minor_words readings. *)
+let fingerprint_no_alloc () =
+  let n = 3 in
+  let module T = Timestamp.Simple_oneshot in
+  let supplier ~pid ~call = T.program ~n ~pid ~call in
+  let cfg =
+    Shm.Sim.create ~n ~num_regs:(T.num_registers ~n) ~init:(T.init_value ~n)
+  in
+  let cfg =
+    Shm.Schedule.apply supplier cfg
+      [ Shm.Schedule.Invoke 0; Shm.Schedule.Step 0; Shm.Schedule.Invoke 1 ]
+  in
+  let acc = ref 0 in
+  let rounds = 10_000 in
+  let w0 = Gc.minor_words () in
+  for _ = 1 to rounds do
+    acc := !acc lxor Shm.Sim.fingerprint cfg
+  done;
+  let w1 = Gc.minor_words () in
+  Sys.opaque_identity !acc |> ignore;
+  Util.check_bool
+    (Printf.sprintf "fingerprint allocated %.0f minor words" (w1 -. w0))
+    true
+    (w1 -. w0 < 64.)
+
+(* Verdicts are invariant under the quotient: for correct objects every
+   (flags x symmetry) combination matches the exhaustive baseline. *)
+let verdicts_symmetry_invariant () =
+  let check (type v r) name
+      (module T : Timestamp.Intf.S with type value = v and type result = r)
+      ~n ~calls =
+    let baseline =
+      run_engine ~dedup:false ~reduction:false ~symmetry:false ~domains:1
+        (module T) ~n ~calls
+    in
+    (match baseline with
+     | Shm.Explore.Ok stats ->
+       Util.check_bool (name ^ ": baseline exhaustive") true stats.exhaustive
+     | Shm.Explore.Counterexample _ ->
+       Alcotest.failf "%s: baseline found an unexpected counterexample" name);
+    List.iter
+      (fun (label, dedup, reduction, domains) ->
+         List.iter
+           (fun symmetry ->
+              let r =
+                run_engine ~dedup ~reduction ~symmetry ~domains (module T) ~n
+                  ~calls
+              in
+              Util.check_bool
+                (Printf.sprintf "%s/%s/sym=%b: verdict matches baseline" name
+                   label symmetry)
+                true
+                (outcome_signature baseline = outcome_signature r);
+              match r with
+              | Shm.Explore.Ok s ->
+                Util.check_bool
+                  (Printf.sprintf "%s/%s/sym=%b: exhaustive" name label
+                     symmetry)
+                  true s.exhaustive
+              | Shm.Explore.Counterexample _ -> assert false)
+           [ false; true ])
+      flag_combos
+  in
+  check "simple-oneshot n=2" (module Timestamp.Simple_oneshot) ~n:2 ~calls:1;
+  check "simple-oneshot n=3" (module Timestamp.Simple_oneshot) ~n:3 ~calls:1;
+  check "simple-swap n=3" (module Timestamp.Simple_swap) ~n:3 ~calls:1;
+  check "sqrt n=2" (module Timestamp.Sqrt.One_shot) ~n:2 ~calls:1
+
+(* Seeded fault injection (pid-targeted, hence symmetry-breaking for the
+   corrupted pid): the quotient must not change the verdict whatever the
+   seed does, under every flag combination. *)
+let injected (type v) ~seed
+    (module T : Timestamp.Intf.S with type value = v and type result = int) :
+  (module Timestamp.Intf.S with type value = v and type result = int) =
+  (module struct
+    include (val (module T
+                   : Timestamp.Intf.S
+                   with type value = v and type result = int))
+
+    let name = Printf.sprintf "%s-injected-%d" T.name seed
+
+    let program ~n ~pid ~call =
+      let p = T.program ~n ~pid ~call in
+      if seed mod 3 <> 0 && pid = seed mod n then
+        Shm.Prog.map (fun ts -> ts + 1_000_000) p
+      else p
+  end)
+
+let injected_symmetry_property =
+  Util.qtest ~count:25 "quotient preserves verdicts on fault injections"
+    QCheck2.Gen.(int_range 0 1000)
+    (fun seed ->
+       let n = 3 in
+       let m = injected ~seed (module Timestamp.Simple_oneshot) in
+       let reference =
+         outcome_signature
+           (run_engine ~dedup:true ~reduction:true ~symmetry:false ~domains:1
+              m ~n ~calls:1)
+       in
+       List.for_all
+         (fun (_, dedup, reduction, domains) ->
+            List.for_all
+              (fun symmetry ->
+                 outcome_signature
+                   (run_engine ~dedup ~reduction ~symmetry ~domains m ~n
+                      ~calls:1)
+                 = reference)
+              [ false; true ])
+         flag_combos)
+
+(* A symmetry-preserving bug (every process returns the same constant, so
+   all programs stay structurally identical and the quotient is active):
+   the counterexample must be found with the quotient on, and the reported
+   schedule must replay verbatim to a rejected configuration — the paper
+   trail for "the inverse-permutation mapping is the identity". *)
+let symmetric_bug_cex_replays () =
+  let n = 3 in
+  let m : (module Timestamp.Intf.S with type value = int and type result = int)
+    =
+    (module struct
+      include Timestamp.Simple_oneshot
+
+      let name = "simple-oneshot-constant"
+
+      let program ~n ~pid ~call =
+        Shm.Prog.map (fun _ -> 42) (Timestamp.Simple_oneshot.program ~n ~pid ~call)
+    end)
+  in
+  let (module B) = m in
+  let supplier ~pid ~call = B.program ~n ~pid ~call in
+  let cfg0 =
+    Shm.Sim.create ~n ~num_regs:(B.num_registers ~n) ~init:(B.init_value ~n)
+  in
+  let classes =
+    Shm.Schedule.symmetry_classes supplier ~n
+      ~calls_per_proc:(Array.make n 1)
+  in
+  Util.check_bool "constant bug keeps all processes interchangeable" true
+    (classes = [| 0; 0; 2 |]);
+  List.iter
+    (fun symmetry ->
+       match
+         run_engine ~dedup:true ~reduction:true ~symmetry ~domains:1 m ~n
+           ~calls:1
+       with
+       | Shm.Explore.Ok _ ->
+         Alcotest.failf "sym=%b: symmetric bug not caught" symmetry
+       | Shm.Explore.Counterexample { schedule; at_leaf; _ } ->
+         Util.check_bool (Printf.sprintf "sym=%b: caught at a leaf" symmetry)
+           true at_leaf;
+         let replayed = Shm.Schedule.apply supplier cfg0 schedule in
+         Util.check_bool
+           (Printf.sprintf "sym=%b: schedule replays to a rejected config"
+              symmetry)
+           false (checker_leaf m replayed))
+    [ false; true ]
+
+(* Invariant (non-leaf) counterexamples on a symmetric workload survive the
+   quotient and stay replayable. *)
+let invariant_cex_with_quotient () =
+  let n = 2 in
+  let module T = Timestamp.Simple_oneshot in
+  let supplier ~pid ~call = T.program ~n ~pid ~call in
+  let cfg0 =
+    Shm.Sim.create ~n ~num_regs:(T.num_registers ~n) ~init:(T.init_value ~n)
+  in
+  let invariant cfg = Shm.Sim.reg cfg 0 = 0 (* fails after the first write *) in
+  List.iter
+    (fun symmetry ->
+       match
+         Shm.Explore.explore ~dedup:true ~reduction:true ~symmetry ~domains:1
+           ~supplier ~calls_per_proc:[| 1; 1 |] ~invariant cfg0
+       with
+       | Shm.Explore.Ok _ -> Alcotest.fail "invariant cannot hold"
+       | Shm.Explore.Counterexample { schedule; at_leaf; _ } ->
+         Util.check_bool (Printf.sprintf "sym=%b: not at leaf" symmetry) false
+           at_leaf;
+         Util.check_bool (Printf.sprintf "sym=%b: replay violates" symmetry)
+           false
+           (invariant (Shm.Schedule.apply supplier cfg0 schedule)))
+    [ false; true ]
+
+(* Statistics contract: the quotient reports itself.  On a symmetric
+   workload [symmetric] is set, orbit merges are counted, and the quotient
+   never expands more than plain dedup; on an asymmetric workload (or with
+   the flag off) it is inert. *)
+let canon_stats () =
+  let sym =
+    run_engine ~dedup:true ~reduction:true ~symmetry:true ~domains:1
+      (module Timestamp.Simple_oneshot) ~n:3 ~calls:1
+  and nosym =
+    run_engine ~dedup:true ~reduction:true ~symmetry:false ~domains:1
+      (module Timestamp.Simple_oneshot) ~n:3 ~calls:1
+  in
+  (match sym, nosym with
+   | Shm.Explore.Ok s, Shm.Explore.Ok ns ->
+     Util.check_bool "quotient active on symmetric workload" true s.symmetric;
+     Util.check_bool "orbit merges counted" true (s.canon_hits > 0);
+     Util.check_bool "quotient expands no more than plain dedup" true
+       (s.expanded <= ns.expanded);
+     Util.check_bool "flag off: not symmetric" false ns.symmetric;
+     Util.check_int "flag off: no orbit merges" 0 ns.canon_hits
+   | _ -> Alcotest.fail "unexpected counterexample");
+  match
+    run_engine ~dedup:true ~reduction:true ~symmetry:true ~domains:1
+      (module Timestamp.Lamport) ~n:2 ~calls:1
+  with
+  | Shm.Explore.Ok s ->
+    Util.check_bool "lamport: detection finds no symmetry" false s.symmetric;
+    Util.check_int "lamport: no orbit merges" 0 s.canon_hits
+  | Shm.Explore.Counterexample _ -> Alcotest.fail "unexpected counterexample"
+
+(* E1 regression: the checkpointed adversary (prefix caches, memoized
+   side checks, O(1) signature maintenance) must reproduce the covered
+   counts and schedule lengths of the replay-from-scratch engine exactly —
+   checkpoints are reuse, never approximation.  Pins captured from the
+   pre-checkpointing engine at n <= 14. *)
+let e1_pins =
+  (* impl, n, k, covered, schedule_length *)
+  [ ("lamport", 6, 3, 3, 57); ("lamport", 8, 4, 4, 157);
+    ("lamport", 10, 5, 5, 393); ("lamport", 12, 6, 6, 933);
+    ("lamport", 14, 7, 7, 2145);
+    ("efr", 6, 3, 3, 50); ("efr", 8, 4, 4, 142); ("efr", 10, 5, 5, 362);
+    ("efr", 12, 6, 6, 870); ("efr", 14, 7, 7, 2018);
+    ("vector", 6, 3, 3, 46); ("vector", 8, 4, 4, 140);
+    ("vector", 10, 5, 5, 374); ("vector", 12, 6, 6, 924);
+    ("vector", 14, 7, 7, 2174);
+    ("snapshot", 6, 3, 3, 161); ("snapshot", 8, 4, 4, 483);
+    ("snapshot", 10, 5, 5, 1285); ("snapshot", 12, 6, 6, 3183);
+    ("snapshot", 14, 7, 7, 7537) ]
+
+let e1_regression () =
+  let run_one (type v r)
+      (module T : Timestamp.Intf.S with type value = v and type result = r)
+      ~n ~k =
+    let supplier ~pid ~call = T.program ~n ~pid ~call in
+    let cfg =
+      Shm.Sim.create ~n ~num_regs:(T.num_registers ~n) ~init:(T.init_value ~n)
+    in
+    match Covering.Longlived_adversary.run ~fuel:1_000_000 ~supplier ~cfg ~k () with
+    | Error e -> Alcotest.failf "%s n=%d: %s" T.name n e
+    | Ok o -> (o.covered, o.schedule_length)
+  in
+  List.iter
+    (fun (impl, n, k, covered, len) ->
+       let got =
+         match impl with
+         | "lamport" -> run_one (module Timestamp.Lamport) ~n ~k
+         | "efr" -> run_one (module Timestamp.Efr) ~n ~k
+         | "vector" -> run_one (module Timestamp.Vector_ts) ~n ~k
+         | "snapshot" -> run_one (module Timestamp.Snapshot_ts) ~n ~k
+         | _ -> assert false
+       in
+       Util.check_bool
+         (Printf.sprintf "E1 %s n=%d: covered=%d len=%d (got %d, %d)" impl n
+            covered len (fst got) (snd got))
+         true
+         (got = (covered, len)))
+    e1_pins
+
+let suite =
+  ( "explore-v3",
+    [ Util.case "symmetry detection partitions by structural key"
+        symmetry_detection;
+      Util.case "fingerprint allocates nothing" fingerprint_no_alloc;
+      Util.slow_case "verdicts invariant under the quotient (correct objects)"
+        verdicts_symmetry_invariant;
+      injected_symmetry_property;
+      Util.case "symmetric bug: counterexample replays verbatim"
+        symmetric_bug_cex_replays;
+      Util.case "invariant counterexamples survive the quotient"
+        invariant_cex_with_quotient;
+      Util.case "quotient statistics contract" canon_stats;
+      Util.slow_case "E1 checkpointed adversary reproduces exact pins"
+        e1_regression ] )

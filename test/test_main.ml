@@ -15,6 +15,7 @@ let () =
       Test_ablation.suite;
       Test_explore.suite;
       Test_explore_v2.suite;
+      Test_explore_v3.suite;
       Test_bounded.suite;
       Test_swap.suite;
       Test_k_exclusion.suite;
