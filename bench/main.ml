@@ -25,9 +25,45 @@
    the key operations involved in each).  Usage:
 
      dune exec bench/main.exe            -- all experiment tables + timings
-     dune exec bench/main.exe -- --fast  -- tables only, smaller sweeps *)
+     dune exec bench/main.exe -- --fast  -- tables only, smaller sweeps
+
+   Further flags (all optional):
+
+     --only EXP              run a single experiment (e.g. --only e15)
+     --requests N            E13 requests per client (default 400, fast 150)
+     --backend boxed|flat    E13 register backend (default boxed)
+     --max-shards D          E15 sweeps shard counts 1..D (default
+                             max 4 recommended_domain_count)
+     --scaling-requests N    E15 requests per client (default 600, fast 120) *)
 
 let fast = Array.exists (fun a -> a = "--fast") Sys.argv
+
+(* Crude argv scanning, same spirit as [fast]: [--flag value]. *)
+let arg_value name =
+  let rec scan i =
+    if i >= Array.length Sys.argv - 1 then None
+    else if Sys.argv.(i) = name then Some Sys.argv.(i + 1)
+    else scan (i + 1)
+  in
+  scan 1
+
+let arg_int name default =
+  match arg_value name with
+  | None -> default
+  | Some s -> (
+    match int_of_string_opt s with
+    | Some v -> v
+    | None -> failwith (Printf.sprintf "%s: expected an integer, got %S" name s))
+
+let arg_backend name default =
+  match arg_value name with
+  | None -> default
+  | Some s -> (
+    match Multicore.Backend.choice_of_string s with
+    | Ok c -> c
+    | Error e -> failwith (name ^ ": " ^ e))
+
+let only = arg_value "--only"
 
 let header title =
   Printf.printf "\n%s\n%s\n" title (String.make (String.length title) '=')
@@ -804,10 +840,11 @@ let e13_service () =
     \ 'direct' = clients execute getTS themselves with no service in \
      between;\n\
     \ machine-readable copy in BENCH_service.json)";
-  let requests = if fast then 150 else 400 in
+  let requests = arg_int "--requests" (if fast then 150 else 400) in
+  let backend = arg_backend "--backend" `Boxed in
   let base =
     { Svc.Loadgen.default with
-      clients = 2; requests_per_client = requests; n = 4; seed = 1 }
+      clients = 2; requests_per_client = requests; n = 4; seed = 1; backend }
   in
   let modes =
     [ ("direct", { base with mode = Svc.Loadgen.Direct });
@@ -889,12 +926,152 @@ let e13_service () =
         ("fast", Obs.Json.Bool fast);
         ("clients", Obs.Json.Int base.Svc.Loadgen.clients);
         ("requests_per_client", Obs.Json.Int requests);
+        ("backend", Obs.Json.String (Multicore.Backend.choice_tag backend));
+        ( "recommended_domains",
+          Obs.Json.Int (Domain.recommended_domain_count ()) );
         ("implementations", Obs.Json.List (List.map impl_json results)) ]
   in
   Out_channel.with_open_text "BENCH_service.json" (fun oc ->
       Out_channel.output_string oc (Obs.Json.pretty_to_string doc);
       Out_channel.output_char oc '\n');
   Printf.printf "\n(wrote BENCH_service.json)\n"
+
+(* ------------------------------------------------------------------ *)
+(* E15: cores-scaling sweep — boxed vs flat register backends,          *)
+(* emitted as BENCH_scaling.json                                        *)
+(* ------------------------------------------------------------------ *)
+
+let e15_scaling () =
+  header "E15: cores-scaling — register backends across shard counts";
+  let recommended = Domain.recommended_domain_count () in
+  let max_shards = arg_int "--max-shards" (max 4 recommended) in
+  let requests = arg_int "--scaling-requests" (if fast then 120 else 600) in
+  Printf.printf
+    "(direct = clients execute getTS themselves, client count = d;\n\
+    \ batched = service, d worker shards, pipeline 8, batch cap 64;\n\
+    \ recommended_domain_count here = %d, shard counts beyond it run\n\
+    \ oversubscribed; machine-readable copy in BENCH_scaling.json)\n"
+    recommended;
+  let impls =
+    [ Timestamp.Registry.lamport; Timestamp.Registry.efr;
+      Timestamp.Registry.vector; Timestamp.Registry.sqrt_oneshot ]
+  in
+  let shard_counts = List.init max_shards (fun i -> i + 1) in
+  Printf.printf "%-18s %-6s %-3s | %12s %9s | %12s %9s %9s\n" "implementation"
+    "bkend" "d" "direct rps" "p50 us" "batched rps" "p50 us" "p99 us";
+  Printf.printf "%s\n" (String.make 92 '-');
+  let run_one impl backend d =
+    let base =
+      { Svc.Loadgen.default with
+        clients = d; requests_per_client = requests; n = 8; seed = 1; backend }
+    in
+    let run label cfg =
+      let r = Svc.Loadgen.run impl cfg in
+      (match r.Svc.Loadgen.lg_violation with
+       | Some v ->
+         failwith
+           (Printf.sprintf "E15 %s/%s d=%d %s: VIOLATION %s"
+              (Timestamp.Registry.name impl)
+              (Multicore.Backend.choice_tag backend)
+              d label v)
+       | None -> ());
+      r
+    in
+    let direct = run "direct" { base with mode = Svc.Loadgen.Direct } in
+    let batched =
+      run "batched"
+        { base with
+          mode = Svc.Loadgen.Service { shards = d; batch_max = 64 };
+          pipeline = 8 }
+    in
+    Printf.printf "%-18s %-6s %-3d | %12.0f %9.1f | %12.0f %9.1f %9.1f\n"
+      (Timestamp.Registry.name impl)
+      (Multicore.Backend.choice_tag backend)
+      d direct.Svc.Loadgen.lg_throughput direct.Svc.Loadgen.lg_p50_us
+      batched.Svc.Loadgen.lg_throughput batched.Svc.Loadgen.lg_p50_us
+      batched.Svc.Loadgen.lg_p99_us;
+    (d, direct, batched)
+  in
+  let results =
+    List.map
+      (fun impl ->
+         let per_backend =
+           List.map
+             (fun backend ->
+                (backend, List.map (run_one impl backend) shard_counts))
+             Multicore.Backend.all_choices
+         in
+         let at_max backend =
+           let curve = List.assoc backend per_backend in
+           List.nth curve (List.length curve - 1)
+         in
+         let flat_speedup =
+           let _, direct_f, _ = at_max `Flat in
+           let _, direct_b, _ = at_max `Boxed in
+           direct_f.Svc.Loadgen.lg_throughput
+           /. Float.max 1e-9 direct_b.Svc.Loadgen.lg_throughput
+         in
+         let p50_gap backend =
+           let _, direct, batched = at_max backend in
+           batched.Svc.Loadgen.lg_p50_us -. direct.Svc.Loadgen.lg_p50_us
+         in
+         let gap_boxed = p50_gap `Boxed and gap_flat = p50_gap `Flat in
+         Printf.printf
+           "%-18s d=%d: flat/boxed direct throughput %.2fx; batched-direct \
+            p50 gap boxed %.1fus, flat %.1fus\n"
+           (Timestamp.Registry.name impl)
+           max_shards flat_speedup gap_boxed gap_flat;
+         (impl, per_backend, flat_speedup, gap_boxed, gap_flat))
+      impls
+  in
+  let report_json (r : Svc.Loadgen.report) =
+    Obs.Json.Obj
+      [ ("config", Obs.Json.String r.lg_mode);
+        ("requests", Obs.Json.Int r.lg_total);
+        ("seconds", Obs.Json.Float r.lg_elapsed_s);
+        ("throughput_rps", Obs.Json.Float r.lg_throughput);
+        ("p50_us", Obs.Json.Float r.lg_p50_us);
+        ("p99_us", Obs.Json.Float r.lg_p99_us);
+        ("hb_pairs", Obs.Json.Int r.lg_hb_pairs);
+        ("checker", Obs.Json.String "OK") ]
+  in
+  let impl_json (impl, per_backend, flat_speedup, gap_boxed, gap_flat) =
+    Obs.Json.Obj
+      [ ("name", Obs.Json.String (Timestamp.Registry.name impl));
+        ( "backends",
+          Obs.Json.Obj
+            (List.map
+               (fun (backend, curve) ->
+                  ( Multicore.Backend.choice_tag backend,
+                    Obs.Json.List
+                      (List.map
+                         (fun (d, direct, batched) ->
+                            Obs.Json.Obj
+                              [ ("shards", Obs.Json.Int d);
+                                ("direct", report_json direct);
+                                ("batched", report_json batched) ])
+                         curve) ))
+               per_backend) );
+        ("flat_vs_boxed_direct_at_max", Obs.Json.Float flat_speedup);
+        ( "p50_gap_at_max_us",
+          Obs.Json.Obj
+            [ ("boxed", Obs.Json.Float gap_boxed);
+              ("flat", Obs.Json.Float gap_flat) ] ) ]
+  in
+  let doc =
+    Obs.Json.Obj
+      [ ("schema_version", Obs.Json.Int Obs.Metric.schema_version);
+        ("experiment", Obs.Json.String "E15-scaling");
+        ("fast", Obs.Json.Bool fast);
+        ("recommended_domains", Obs.Json.Int recommended);
+        ("max_shards", Obs.Json.Int max_shards);
+        ("requests_per_client", Obs.Json.Int requests);
+        ("implementations", Obs.Json.List (List.map impl_json results)) ]
+  in
+  Out_channel.with_open_text "BENCH_scaling.json" (fun oc ->
+      Out_channel.output_string oc (Obs.Json.pretty_to_string doc);
+      Out_channel.output_char oc '\n');
+  Printf.printf "\n(wrote BENCH_scaling.json)\n"
 
 (* ------------------------------------------------------------------ *)
 (* EA: ablation of the Algorithm-4 repair rule (Section 6.1)            *)
@@ -1105,23 +1282,27 @@ let run_timings () =
          analyzed)
     (bechamel_tests ())
 
+let experiments =
+  [ ("e5", e5_bounds); ("e2", e2_oneshot_adversary); ("e2b", e2b_baseline);
+    ("e1", e1_longlived_adversary); ("e3", e3_e7_sqrt_space);
+    ("e4", e4_simple); ("e6", e6_lemma21); ("e8", e8_bounded_longlived);
+    ("e9", e9_distributed); ("e10", e10_explore_engine);
+    ("e14", e14_explore_v3); ("e12", e12_fuzz_sensitivity);
+    ("e13", e13_service); ("e15", e15_scaling); ("ea", ea_ablation) ]
+
 let () =
   Printf.printf
     "Timestamp space complexity: experiment harness%s\n"
     (if fast then " (fast mode)" else "");
-  e5_bounds ();
-  e2_oneshot_adversary ();
-  e2b_baseline ();
-  e1_longlived_adversary ();
-  e3_e7_sqrt_space ();
-  e4_simple ();
-  e6_lemma21 ();
-  e8_bounded_longlived ();
-  e9_distributed ();
-  e10_explore_engine ();
-  e14_explore_v3 ();
-  e12_fuzz_sensitivity ();
-  e13_service ();
-  ea_ablation ();
-  run_timings ();
+  (match only with
+   | Some id -> (
+     match List.assoc_opt (String.lowercase_ascii id) experiments with
+     | Some f -> f ()
+     | None ->
+       failwith
+         (Printf.sprintf "--only %s: unknown experiment (have: %s)" id
+            (String.concat ", " (List.map fst experiments))))
+   | None ->
+     List.iter (fun (_, f) -> f ()) experiments;
+     run_timings ());
   print_endline "\nAll experiments complete."

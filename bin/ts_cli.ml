@@ -322,13 +322,28 @@ let claims_cmd =
        ~doc:"Check the Section-6 claims on a random execution of Algorithm 4.")
     Term.(const run $ n_arg $ m_arg $ seed_arg)
 
+let backend_arg =
+  let backend_conv =
+    Arg.enum (List.map
+                (fun c -> (Multicore.Backend.choice_tag c, c))
+                Multicore.Backend.all_choices)
+  in
+  Arg.(
+    value
+    & opt backend_conv `Boxed
+    & info [ "backend" ] ~docv:"BACKEND"
+        ~doc:
+          "Register backend: $(b,boxed) (one atomic heap object per \
+           register, the reference layout) or $(b,flat) (cache-line-padded \
+           immediate slots with value interning).")
+
 let stress_cmd =
-  let run impl n calls out =
+  let run impl n calls backend out =
     let rc =
       with_obs out @@ fun _ ->
       let (Timestamp.Registry.Impl (module T)) = impl in
       let module S = Multicore.Stress.Make (T) in
-      match S.run_and_check ~n ~calls with
+      match S.run_and_check ~backend ~n ~calls () with
       | Ok pairs ->
         Printf.printf
           "%s: %d domains x %d calls OK (%d ordered pairs checked)\n" T.name n
@@ -344,7 +359,8 @@ let stress_cmd =
   Cmd.v
     (Cmd.info "stress"
        ~doc:"Run the implementation on real domains and check it.")
-    Term.(const run $ impl_arg $ n_arg $ calls_arg $ obs_out_term)
+    Term.(const run $ impl_arg $ n_arg $ calls_arg $ backend_arg
+          $ obs_out_term)
 
 let explore_cmd =
   let run impl n calls max_paths max_steps parallel no_dedup no_reduction
@@ -774,14 +790,14 @@ let clocks_cmd =
 (* Service layer: serve (deterministic, cram-pinned) and loadgen.       *)
 
 let serve_cmd =
-  let run impl n requests batch_max shards out =
+  let run impl n requests batch_max shards backend out =
     let rc =
       with_obs out @@ fun _ ->
       let (Timestamp.Registry.Impl (module T)) = impl in
       let module S = Svc.Service.Make (T) in
       (* a one-shot object consumes one process id per request *)
       let n = match T.kind with `One_shot -> max n requests | `Long_lived -> n in
-      let svc = S.start ~batch_max ~shards ~n () in
+      let svc = S.start ~batch_max ~shards ~backend ~n () in
       let session = S.open_session svc in
       Printf.printf "service: %s  n=%d shards=%d batch_max=%d\n" T.name n
         (S.num_shards svc) batch_max;
@@ -832,11 +848,11 @@ let serve_cmd =
          "Start the sharded timestamp service, serve a sequential session \
           and check the served timestamps.")
     Term.(const run $ impl_arg $ n_arg $ requests $ batch $ shards
-          $ obs_out_term)
+          $ backend_arg $ obs_out_term)
 
 let loadgen_cmd =
   let run impl n clients requests pipeline shards batch_max direct think_us
-      seed out =
+      seed backend out =
     let rc =
       with_obs out @@ fun _ ->
       let open Svc.Loadgen in
@@ -845,7 +861,7 @@ let loadgen_cmd =
       in
       let cfg =
         { default with mode; clients; requests_per_client = requests;
-          pipeline; n; seed; think_us }
+          pipeline; n; seed; think_us; backend }
       in
       let r = Svc.Loadgen.run impl cfg in
       Printf.printf "loadgen: %s  %s  seed=%d\n" r.lg_impl r.lg_mode seed;
@@ -918,7 +934,7 @@ let loadgen_cmd =
           verdict.")
     Term.(
       const run $ impl_arg $ n_arg $ clients $ requests $ pipeline $ shards
-      $ batch $ direct $ think $ seed_arg $ obs_out_term)
+      $ batch $ direct $ think $ seed_arg $ backend_arg $ obs_out_term)
 
 let () =
   let doc =

@@ -61,4 +61,23 @@ echo "$lg_out" | grep -q "served 120 requests" || {
 echo "$lg_out" | grep -q "checker: OK" || {
   echo "loadgen smoke: checker did not pass" >&2; exit 1; }
 
+echo "== backend smoke: boxed and flat verdicts must match =="
+boxed_out=$(dune exec bin/ts_cli.exe -- stress -i lamport-longlived \
+  -n 4 -c 50 --backend boxed)
+echo "$boxed_out"
+flat_out=$(dune exec bin/ts_cli.exe -- stress -i lamport-longlived \
+  -n 4 -c 50 --backend flat)
+echo "$flat_out"
+# Same verdict line (OK + identical pair count) on both backends.
+[ "$boxed_out" = "$flat_out" ] || {
+  echo "backend smoke: boxed/flat stress output diverged" >&2
+  exit 1; }
+echo "$boxed_out" | grep -q " OK " || {
+  echo "backend smoke: stress verdict not OK" >&2; exit 1; }
+
+echo "== scaling sanity: 2-shard sweep emits schema-valid JSON =="
+dune exec bench/main.exe -- --fast --only e15 --max-shards 2 \
+  --scaling-requests 60
+dune exec bin/ts_cli.exe -- obs --validate BENCH_scaling.json
+
 echo "== ci.sh: all green =="

@@ -11,7 +11,7 @@ let stress (type v r) (module T : Timestamp.Intf.S with type value = v and type 
   let total_pairs = ref 0 in
   let failures = ref 0 in
   for _ = 1 to rounds do
-    match S.run_and_check ~n ~calls with
+    match S.run_and_check ~n ~calls () with
     | Ok pairs -> total_pairs := !total_pairs + pairs
     | Error e ->
       incr failures;

@@ -1,0 +1,204 @@
+(* Pluggable register backends for the real-atomics interpreter.
+
+   The paper's model is a fixed set of sequentially consistent shared
+   registers; how those registers are laid out in memory is an
+   implementation detail the algorithms must not observe.  [Boxed] is the
+   original representation (one ['v Atomic.t] heap object per register);
+   [Flat] stores every register as an immediate [int] inside its own
+   cache-line-padded block, interning non-immediate payloads through a side
+   table.  Both expose the same three operations the interpreter needs. *)
+
+module type REGISTER_BACKEND = sig
+  type 'v t
+
+  val tag : string
+
+  val make : num:int -> init:'v -> 'v t
+
+  val length : 'v t -> int
+
+  val get : 'v t -> int -> 'v
+
+  val set : 'v t -> int -> 'v -> unit
+
+  val exchange : 'v t -> int -> 'v -> 'v
+end
+
+module type S = REGISTER_BACKEND
+
+(* ------------------------------------------------------------------ *)
+(* Boxed: the reference backend, kept exactly as the seed had it.       *)
+
+module Boxed = struct
+  type 'v t = 'v Atomic.t array
+
+  let tag = "boxed"
+
+  let make ~num ~init = Array.init num (fun _ -> Atomic.make init)
+
+  let length = Array.length
+
+  let[@inline] get (regs : 'v t) r = Atomic.get regs.(r)
+
+  let[@inline] set (regs : 'v t) r v = Atomic.set regs.(r) v
+
+  let[@inline] exchange (regs : 'v t) r v = Atomic.exchange regs.(r) v
+end
+
+(* ------------------------------------------------------------------ *)
+(* Flat: padded immediate slots + interning for boxed payloads.         *)
+
+module Flat = struct
+  (* One register = one 8-word block whose field 0 is the atomic slot.
+     OCaml's [Atomic.t] primitives operate on field 0 of whatever block
+     they are handed, so an 8-field all-immediate array block is a valid
+     [int Atomic.t] carrying 56 bytes of private padding: with the header
+     word each slot spans >= 72 bytes, so no two slots' atomic words ever
+     share a 64-byte cache line and a store to one register never
+     invalidates another register's line on a neighboring core.  (OCaml
+     5.1 has no [Atomic.make_contended]; this is the standard
+     multicore-magic construction.) *)
+  let slot_words = 8
+
+  let make_slot (v : int) : int Atomic.t = Obj.magic (Array.make slot_words v)
+
+  (* Interning table for payloads that are not immediates.  Encoding uses
+     the low bit as a tag: immediate [i] is stored as [i lsl 1], an
+     interned value as [(id lsl 1) lor 1].  (Immediates with magnitude >=
+     2^61 would lose their top bit; every registered implementation's
+     values are small counters, so this never binds.)
+
+     Encode (boxed values only) takes the mutex; decode is lock-free: the
+     id-indexed array is published through an [Atomic.t], and an id only
+     ever reaches a reader through a register write that happens *after*
+     the element write, so the SC register read the id came from
+     happens-before-orders the element write ahead of the lookup. *)
+  type 'v intern = {
+    lock : Mutex.t;
+    ids : ('v, int) Hashtbl.t;  (* structural value -> id; guarded by lock *)
+    values : 'v option array Atomic.t;  (* id -> value; grows, never shrinks *)
+    mutable count : int;  (* guarded by lock *)
+  }
+
+  type 'v t = { slots : int Atomic.t array; tbl : 'v intern }
+
+  let tag = "flat"
+
+  let intern tbl v =
+    Mutex.lock tbl.lock;
+    let id =
+      match Hashtbl.find_opt tbl.ids v with
+      | Some id -> id
+      | None ->
+        let id = tbl.count in
+        let arr = Atomic.get tbl.values in
+        let arr =
+          if id < Array.length arr then arr
+          else begin
+            let bigger = Array.make (2 * Array.length arr) None in
+            Array.blit arr 0 bigger 0 (Array.length arr);
+            (* Publish the grown array before any id beyond the old
+               capacity can reach a reader. *)
+            Atomic.set tbl.values bigger;
+            bigger
+          end
+        in
+        arr.(id) <- Some v;
+        tbl.count <- id + 1;
+        Hashtbl.add tbl.ids v id;
+        id
+    in
+    Mutex.unlock tbl.lock;
+    (id lsl 1) lor 1
+
+  let[@inline] encode tbl (v : 'v) : int =
+    let r = Obj.repr v in
+    if Obj.is_int r then (Obj.magic r : int) lsl 1 else intern tbl v
+
+  let[@inline] decode tbl (w : int) : 'v =
+    if w land 1 = 0 then (Obj.magic (w asr 1) : 'v)
+    else
+      match (Atomic.get tbl.values).(w asr 1) with
+      | Some v -> v
+      | None -> assert false (* ids are only ever minted by [intern] *)
+
+  let make ~num ~init =
+    let tbl =
+      { lock = Mutex.create ();
+        ids = Hashtbl.create 64;
+        values = Atomic.make (Array.make 64 None);
+        count = 0 }
+    in
+    let w = encode tbl init in
+    { slots = Array.init num (fun _ -> make_slot w); tbl }
+
+  let length t = Array.length t.slots
+
+  let[@inline] get t r = decode t.tbl (Atomic.get t.slots.(r))
+
+  let[@inline] set t r v = Atomic.set t.slots.(r) (encode t.tbl v)
+
+  let[@inline] exchange t r v =
+    decode t.tbl (Atomic.exchange t.slots.(r) (encode t.tbl v))
+
+  (* test/introspection aids *)
+  let interned t =
+    Mutex.lock t.tbl.lock;
+    let c = t.tbl.count in
+    Mutex.unlock t.tbl.lock;
+    c
+end
+
+(* ------------------------------------------------------------------ *)
+(* Runtime backend choice.                                              *)
+
+type choice = [ `Boxed | `Flat ]
+
+let all_choices : choice list = [ `Boxed; `Flat ]
+
+let choice_tag : choice -> string = function
+  | `Boxed -> Boxed.tag
+  | `Flat -> Flat.tag
+
+let choice_of_string = function
+  | "boxed" -> Ok `Boxed
+  | "flat" | "padded" -> Ok `Flat
+  | s -> Error (Printf.sprintf "unknown backend %S (expected boxed|flat)" s)
+
+(* A store is a backend chosen at runtime.  The interpreter dispatches on
+   the constructor once per program step but each arm is a direct
+   (monomorphic, inlinable) call into the backend module — no functor
+   closure on the hot path. *)
+type 'v store = Boxed_regs of 'v Boxed.t | Flat_regs of 'v Flat.t
+
+let make_store ~backend ~num ~init =
+  match (backend : choice) with
+  | `Boxed -> Boxed_regs (Boxed.make ~num ~init)
+  | `Flat -> Flat_regs (Flat.make ~num ~init)
+
+let store_backend : _ store -> choice = function
+  | Boxed_regs _ -> `Boxed
+  | Flat_regs _ -> `Flat
+
+let store_tag s = choice_tag (store_backend s)
+
+let store_length = function
+  | Boxed_regs a -> Boxed.length a
+  | Flat_regs f -> Flat.length f
+
+let store_get s r =
+  match s with Boxed_regs a -> Boxed.get a r | Flat_regs f -> Flat.get f r
+
+let store_set s r v =
+  match s with Boxed_regs a -> Boxed.set a r v | Flat_regs f -> Flat.set f r v
+
+let store_exchange s r v =
+  match s with
+  | Boxed_regs a -> Boxed.exchange a r v
+  | Flat_regs f -> Flat.exchange f r v
+
+(* Metric label so armed runs (heatmaps, JSONL) record which backend
+   produced them; a gauge named [backend.<tag>] set to 1. *)
+let emit_obs_tag (c : choice) =
+  if Obs.Hooks.armed () then
+    Obs.Hooks.counter ~name:("backend." ^ choice_tag c) 1.0

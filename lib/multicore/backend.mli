@@ -1,0 +1,90 @@
+(** Pluggable register backends for the real-atomics interpreter.
+
+    The paper's object is a fixed collection of sequentially consistent
+    shared registers; the algorithms only ever read, write and swap them,
+    so the memory layout is swappable.  Two backends are provided:
+
+    - {!Boxed} — the reference layout: one ['v Atomic.t] heap object per
+      register, exactly what the seed hard-coded.  Adjacent registers are
+      adjacent 2-word blocks, so under real parallelism two registers can
+      share a cache line (false sharing).
+    - {!Flat} — each register is an immediate [int] held in field 0 of a
+      private 8-word padded block (>= 72 bytes with the header), so no two
+      registers' atomic words share a 64-byte line.  Non-immediate payloads
+      are interned through a lock-on-encode / lock-free-decode side table
+      and the register holds the tagged id.
+
+    Both backends present the same sequentially consistent register
+    semantics (see DESIGN.md section "Register backends" for the soundness
+    argument), verified differentially by [test/test_backend.ml]. *)
+
+module type REGISTER_BACKEND = sig
+  type 'v t
+
+  val tag : string
+  (** Short stable label ("boxed", "flat") used in metrics and reports. *)
+
+  val make : num:int -> init:'v -> 'v t
+  (** [num] registers, every one initialized to [init]. *)
+
+  val length : 'v t -> int
+
+  val get : 'v t -> int -> 'v
+
+  val set : 'v t -> int -> 'v -> unit
+
+  val exchange : 'v t -> int -> 'v -> 'v
+  (** Atomic swap: writes the new value, returns the previous one. *)
+end
+
+module type S = REGISTER_BACKEND
+
+module Boxed : sig
+  type 'v t = 'v Atomic.t array
+
+  include REGISTER_BACKEND with type 'v t := 'v t
+end
+
+module Flat : sig
+  include REGISTER_BACKEND
+
+  val slot_words : int
+  (** Words per padded register slot (8 — i.e. 64 payload bytes). *)
+
+  val interned : _ t -> int
+  (** Number of distinct non-immediate values interned so far. *)
+end
+
+(** {2 Runtime choice} *)
+
+type choice = [ `Boxed | `Flat ]
+
+val all_choices : choice list
+
+val choice_tag : choice -> string
+
+val choice_of_string : string -> (choice, string) result
+(** Accepts ["boxed"], ["flat"] (and ["padded"] as an alias for flat). *)
+
+type 'v store = Boxed_regs of 'v Boxed.t | Flat_regs of 'v Flat.t
+(** A backend chosen at runtime.  {!Exec.run_store} dispatches on the
+    constructor and then runs a monomorphic loop per arm, so the choice
+    costs one branch per program step, not a functor indirection. *)
+
+val make_store : backend:choice -> num:int -> init:'v -> 'v store
+
+val store_backend : _ store -> choice
+
+val store_tag : _ store -> string
+
+val store_length : _ store -> int
+
+val store_get : 'v store -> int -> 'v
+
+val store_set : 'v store -> int -> 'v -> unit
+
+val store_exchange : 'v store -> int -> 'v -> 'v
+
+val emit_obs_tag : choice -> unit
+(** When {!Obs.Hooks.armed}, records gauge [backend.<tag>] = 1 so metric
+    dumps and heatmaps carry the backend label. *)

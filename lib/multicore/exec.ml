@@ -39,3 +39,107 @@ let run_counting ~regs p =
     | Shm.Prog.Swap (r, v, k) -> go (ops + 1) (k (Atomic.exchange regs.(r) v))
   in
   go 0 p
+
+(* ------------------------------------------------------------------ *)
+(* Generic interpreter over any register backend.  Functor-parameter
+   calls go through a closure, so this is the convenience/reference
+   path; the benchmarked runners below are hand-specialized. *)
+
+module Make (B : Backend.REGISTER_BACKEND) = struct
+  let make_regs ~num ~init = B.make ~num ~init
+
+  let rec run ~regs = function
+    | Shm.Prog.Done x -> x
+    | Shm.Prog.Read (r, k) -> run ~regs (k (B.get regs r))
+    | Shm.Prog.Write (r, v, k) ->
+      B.set regs r v;
+      run ~regs (k ())
+    | Shm.Prog.Swap (r, v, k) -> run ~regs (k (B.exchange regs r v))
+
+  let rec run_obs ~pid ~regs = function
+    | Shm.Prog.Done x ->
+      Obs.Hooks.sim Obs.Hooks.Respond ~pid ~reg:(-1);
+      x
+    | Shm.Prog.Read (r, k) ->
+      Obs.Hooks.sim Obs.Hooks.Read ~pid ~reg:r;
+      run_obs ~pid ~regs (k (B.get regs r))
+    | Shm.Prog.Write (r, v, k) ->
+      Obs.Hooks.sim Obs.Hooks.Write ~pid ~reg:r;
+      B.set regs r v;
+      run_obs ~pid ~regs (k ())
+    | Shm.Prog.Swap (r, v, k) ->
+      Obs.Hooks.sim Obs.Hooks.Swap ~pid ~reg:r;
+      run_obs ~pid ~regs (k (B.exchange regs r v))
+
+  let run_counting ~regs p =
+    let rec go ops = function
+      | Shm.Prog.Done x -> (x, ops)
+      | Shm.Prog.Read (r, k) -> go (ops + 1) (k (B.get regs r))
+      | Shm.Prog.Write (r, v, k) ->
+        B.set regs r v;
+        go (ops + 1) (k ())
+      | Shm.Prog.Swap (r, v, k) -> go (ops + 1) (k (B.exchange regs r v))
+    in
+    go 0 p
+end
+
+(* Hand-specialized flat runners: direct cross-module calls into
+   [Backend.Flat] (statically resolved, [@inline]-able) rather than
+   functor-parameter closures. *)
+
+let rec run_flat ~regs = function
+  | Shm.Prog.Done x -> x
+  | Shm.Prog.Read (r, k) -> run_flat ~regs (k (Backend.Flat.get regs r))
+  | Shm.Prog.Write (r, v, k) ->
+    Backend.Flat.set regs r v;
+    run_flat ~regs (k ())
+  | Shm.Prog.Swap (r, v, k) ->
+    run_flat ~regs (k (Backend.Flat.exchange regs r v))
+
+let rec run_flat_obs ~pid ~regs = function
+  | Shm.Prog.Done x ->
+    Obs.Hooks.sim Obs.Hooks.Respond ~pid ~reg:(-1);
+    x
+  | Shm.Prog.Read (r, k) ->
+    Obs.Hooks.sim Obs.Hooks.Read ~pid ~reg:r;
+    run_flat_obs ~pid ~regs (k (Backend.Flat.get regs r))
+  | Shm.Prog.Write (r, v, k) ->
+    Obs.Hooks.sim Obs.Hooks.Write ~pid ~reg:r;
+    Backend.Flat.set regs r v;
+    run_flat_obs ~pid ~regs (k ())
+  | Shm.Prog.Swap (r, v, k) ->
+    Obs.Hooks.sim Obs.Hooks.Swap ~pid ~reg:r;
+    run_flat_obs ~pid ~regs (k (Backend.Flat.exchange regs r v))
+
+let run_flat_counting ~regs p =
+  let rec go ops = function
+    | Shm.Prog.Done x -> (x, ops)
+    | Shm.Prog.Read (r, k) -> go (ops + 1) (k (Backend.Flat.get regs r))
+    | Shm.Prog.Write (r, v, k) ->
+      Backend.Flat.set regs r v;
+      go (ops + 1) (k ())
+    | Shm.Prog.Swap (r, v, k) ->
+      go (ops + 1) (k (Backend.Flat.exchange regs r v))
+  in
+  go 0 p
+
+(* ------------------------------------------------------------------ *)
+(* Runtime-chosen store: dispatch once per call, then run the
+   monomorphic loop for that backend. *)
+
+let make_store ~backend ~num ~init = Backend.make_store ~backend ~num ~init
+
+let run_store ~regs p =
+  match regs with
+  | Backend.Boxed_regs a -> run ~regs:a p
+  | Backend.Flat_regs f -> run_flat ~regs:f p
+
+let run_store_obs ~pid ~regs p =
+  match regs with
+  | Backend.Boxed_regs a -> run_obs ~pid ~regs:a p
+  | Backend.Flat_regs f -> run_flat_obs ~pid ~regs:f p
+
+let run_store_counting ~regs p =
+  match regs with
+  | Backend.Boxed_regs a -> run_counting ~regs:a p
+  | Backend.Flat_regs f -> run_flat_counting ~regs:f p

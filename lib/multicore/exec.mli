@@ -1,9 +1,14 @@
 (** Interpreter of shared-memory programs over real OCaml 5 atomics.
 
     The same [('v, 'a) Shm.Prog.t] values that run under the deterministic
-    simulator execute here against ['v Atomic.t] arrays, with true
+    simulator execute here against real atomic registers, with true
     parallelism across domains.  OCaml's [Atomic.t] provides sequentially
-    consistent atomic registers — exactly the paper's model. *)
+    consistent atomic registers — exactly the paper's model.
+
+    Registers come from a pluggable {!Backend}: the [make_regs]/[run]
+    family below is the original boxed representation (kept verbatim as
+    the reference hot path); the [run_store] family dispatches at runtime
+    between the boxed and padded-flat backends. *)
 
 val make_regs : num:int -> init:'v -> 'v Atomic.t array
 
@@ -24,3 +29,33 @@ val run_obs : pid:int -> regs:'v Atomic.t array -> ('v, 'a) Shm.Prog.t -> 'a
 
 val run_counting : regs:'v Atomic.t array -> ('v, 'a) Shm.Prog.t -> 'a * int
 (** Also returns the number of shared-memory operations performed. *)
+
+(** Generic interpreter over any register backend.  Calls into the functor
+    parameter are closure calls, so prefer {!run_store} (which dispatches
+    to hand-specialized loops) on benchmarked paths. *)
+module Make (B : Backend.REGISTER_BACKEND) : sig
+  val make_regs : num:int -> init:'v -> 'v B.t
+
+  val run : regs:'v B.t -> ('v, 'a) Shm.Prog.t -> 'a
+
+  val run_obs : pid:int -> regs:'v B.t -> ('v, 'a) Shm.Prog.t -> 'a
+
+  val run_counting : regs:'v B.t -> ('v, 'a) Shm.Prog.t -> 'a * int
+end
+
+(** {2 Runtime-chosen backend}
+
+    One constructor dispatch per [run_store*] call, then a monomorphic
+    interpreter loop whose register accesses are direct (inlinable) calls
+    into the chosen backend module. *)
+
+val make_store :
+  backend:Backend.choice -> num:int -> init:'v -> 'v Backend.store
+
+val run_store : regs:'v Backend.store -> ('v, 'a) Shm.Prog.t -> 'a
+
+val run_store_obs :
+  pid:int -> regs:'v Backend.store -> ('v, 'a) Shm.Prog.t -> 'a
+
+val run_store_counting :
+  regs:'v Backend.store -> ('v, 'a) Shm.Prog.t -> 'a * int

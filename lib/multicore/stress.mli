@@ -23,13 +23,16 @@ module Make (T : Timestamp.Intf.S) : sig
     ts : T.result;
   }
 
-  val run : n:int -> calls:int -> op_record list
+  val run : ?backend:Backend.choice -> n:int -> calls:int -> unit -> op_record list
   (** Spawns [n] domains; every domain performs [calls] getTS calls (only 1
-      is allowed for one-shot objects).  Blocks until all domains finish. *)
+      is allowed for one-shot objects).  Blocks until all domains finish.
+      [backend] (default [`Boxed]) selects the register layout; see
+      {!Backend}. *)
 
   val check : op_record list -> (int, string) result
   (** Verifies the timestamp specification over the derived happens-before
       relation; returns the number of ordered pairs checked. *)
 
-  val run_and_check : n:int -> calls:int -> (int, string) result
+  val run_and_check :
+    ?backend:Backend.choice -> n:int -> calls:int -> unit -> (int, string) result
 end

@@ -80,4 +80,12 @@ val run_pure : regs:'v array -> ('v, 'a) t -> 'a * int
 (** [run_pure ~regs p] executes [p] to completion, solo, against the given
     register array (mutating it in place) and returns the result together
     with the number of shared-memory operations performed.  This is the
-    sequential reference interpreter, useful for unit tests. *)
+    sequential reference interpreter, useful for unit tests.
+
+    This is also the storage seam: a program never touches registers except
+    through an interpreter, so the representation of a register is entirely
+    the interpreter's choice — a plain ['v array] here, immutable
+    configurations in {!Sim}, and real atomics in [Multicore.Exec], whose
+    [Multicore.Backend] selects between boxed ['v Atomic.t array] storage
+    and a cache-line-padded flat layout (DESIGN.md §10) without any change
+    to programs. *)

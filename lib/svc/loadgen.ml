@@ -15,6 +15,7 @@ type cfg = {
   seed : int;
   think_us : int;
   backoff_us : int;
+  backend : Multicore.Backend.choice;
 }
 
 let default =
@@ -25,7 +26,8 @@ let default =
     n = 8;
     seed = 1;
     think_us = 0;
-    backoff_us = 50 }
+    backoff_us = 50;
+    backend = `Boxed }
 
 type shard_report = {
   sr_shard : int;
@@ -39,6 +41,7 @@ type shard_report = {
 type report = {
   lg_impl : string;
   lg_mode : string;
+  lg_backend : string;
   lg_total : int;
   lg_elapsed_s : float;
   lg_throughput : float;
@@ -89,8 +92,8 @@ module Run (T : Timestamp.Intf.S) = struct
   let direct cfg =
     let n = effective_n cfg in
     let regs =
-      Multicore.Exec.make_regs ~num:(T.num_registers ~n)
-        ~init:(T.init_value ~n)
+      Multicore.Exec.make_store ~backend:cfg.backend
+        ~num:(T.num_registers ~n) ~init:(T.init_value ~n)
     in
     let tick = Atomic.make 0 in
     let next_pid = Atomic.make 0 in
@@ -106,7 +109,9 @@ module Run (T : Timestamp.Intf.S) = struct
           in
           let t0 = now_us () in
           let sm_start = Atomic.get tick in
-          let ts = Multicore.Exec.run ~regs (T.program ~n ~pid ~call:callno) in
+          let ts =
+            Multicore.Exec.run_store ~regs (T.program ~n ~pid ~call:callno)
+          in
           let sm_end = Atomic.fetch_and_add tick 1 in
           let lat = now_us () -. t0 in
           think rng cfg.think_us;
@@ -126,27 +131,46 @@ module Run (T : Timestamp.Intf.S) = struct
 
   let service cfg ~shards ~batch_max =
     let n = effective_n cfg in
-    let svc = S.start ~batch_max ~backoff_us:cfg.backoff_us ~shards ~n () in
+    let svc =
+      S.start ~batch_max ~backoff_us:cfg.backoff_us ~shards
+        ~backend:cfg.backend ~n ()
+    in
     (* open the sessions here, not in the client domains, so client [i]
        deterministically owns process id [i] *)
     let sessions = Array.init cfg.clients (fun _ -> S.open_session svc) in
     let client i () =
       let session = sessions.(i) in
       let rng = Random.State.make [| cfg.seed; i; 0x5eed |] in
+      (* Latency = client submit time to the worker's completion stamp
+         ([resp_us], written once per stamp chunk).  This measures
+         queueing + service time and deliberately excludes the client's
+         own post-completion wakeup (which on an oversubscribed box is
+         dominated by the scheduler, not the service). *)
+      let submit_t = Array.make cfg.pipeline 0.0 in
       let rec go remaining acc =
         if remaining = 0 then acc
         else begin
           let burst = min cfg.pipeline remaining in
-          let tickets = List.init burst (fun _ -> S.submit session) in
-          let resps = List.map S.await tickets in
-          let acc =
+          let rec submit_burst j acc =
+            if j = burst then List.rev acc
+            else begin
+              submit_t.(j) <- now_us ();
+              submit_burst (j + 1) (S.submit session :: acc)
+            end
+          in
+          let tickets = submit_burst 0 [] in
+          let _, acc =
             List.fold_left
-              (fun acc (r : S.resp) ->
-                 { sm_pid = r.pid; sm_call = r.call; sm_start = r.start_tick;
-                   sm_end = r.end_tick; sm_ts = r.ts;
-                   sm_lat_us = r.resp_us -. r.submit_us; sm_shard = r.shard }
-                 :: acc)
-              acc resps
+              (fun (j, acc) ticket ->
+                 let r = S.await ticket in
+                 let lat = r.S.resp_us -. submit_t.(j) in
+                 S.release session ticket;
+                 ( j + 1,
+                   { sm_pid = r.S.pid; sm_call = r.S.call;
+                     sm_start = r.S.start_tick; sm_end = r.S.end_tick;
+                     sm_ts = r.S.ts; sm_lat_us = lat; sm_shard = r.S.shard }
+                   :: acc ))
+              (0, acc) tickets
           in
           think rng cfg.think_us;
           go (remaining - burst) acc
@@ -162,11 +186,13 @@ module Run (T : Timestamp.Intf.S) = struct
     (samples, elapsed, Some (S.stats svc))
 
   let mode_string cfg =
+    let backend = Multicore.Backend.choice_tag cfg.backend in
     match cfg.mode with
-    | Direct -> Printf.sprintf "direct clients=%d" cfg.clients
+    | Direct -> Printf.sprintf "direct clients=%d backend=%s" cfg.clients backend
     | Service { shards; batch_max } ->
-      Printf.sprintf "service clients=%d shards=%d batch_max=%d pipeline=%d"
-        cfg.clients shards batch_max cfg.pipeline
+      Printf.sprintf
+        "service clients=%d shards=%d batch_max=%d pipeline=%d backend=%s"
+        cfg.clients shards batch_max cfg.pipeline backend
 
   let run cfg =
     if cfg.clients <= 0 then
@@ -219,6 +245,7 @@ module Run (T : Timestamp.Intf.S) = struct
     in
     { lg_impl = T.name;
       lg_mode = mode_string cfg;
+      lg_backend = Multicore.Backend.choice_tag cfg.backend;
       lg_total = total;
       lg_elapsed_s = elapsed;
       lg_throughput =

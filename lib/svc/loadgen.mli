@@ -31,11 +31,12 @@ type cfg = {
   seed : int;
   think_us : int;  (** max seeded random pause between bursts; 0 = none *)
   backoff_us : int;  (** worker idle backoff (service mode) *)
+  backend : Multicore.Backend.choice;  (** register layout (both modes) *)
 }
 
 val default : cfg
 (** [Direct], 4 clients, 100 requests each, pipeline 1, n = 8, seed 1, no
-    think time, 50us backoff. *)
+    think time, 50us backoff, boxed backend. *)
 
 type shard_report = {
   sr_shard : int;
@@ -49,6 +50,7 @@ type shard_report = {
 type report = {
   lg_impl : string;
   lg_mode : string;  (** human-readable mode summary *)
+  lg_backend : string;  (** register backend tag ("boxed"/"flat") *)
   lg_total : int;  (** requests completed (= clients * requests_per_client) *)
   lg_elapsed_s : float;  (** wall clock over all client domains *)
   lg_throughput : float;  (** requests per second *)

@@ -4,9 +4,10 @@ let now_us () = Obs.Trace.Clock.now_s () *. 1e6
    sleeping domain frees the core (and, unlike a spinning one, drops out of
    the runnable set the GC's stop-the-world barrier has to cycle through);
    50us is comfortably above the scheduler's wakeup granularity. *)
-let sleep_us us =
-  try Unix.sleepf (float_of_int us *. 1e-6)
-  with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+let sleep_s s =
+  try Unix.sleepf s with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+let await_sleep_s = 50e-6
 
 module Make (T : Timestamp.Intf.S) = struct
   type resp = {
@@ -16,21 +17,44 @@ module Make (T : Timestamp.Intf.S) = struct
     shard : int;
     start_tick : int;
     end_tick : int;
-    submit_us : float;
-    resp_us : float;
+    resp_us : float;  (** wall clock at completion, stamped once per chunk *)
   }
 
+  (* Pooled, intrusively linked request record.  A ticket is reused across
+     requests (sessions keep a free list), so every field except the done
+     flag is a plain mutable slot rewritten on submit; [r_next] threads the
+     record through its shard's inbox without a per-push cons cell.  The
+     completion protocol is: worker writes the result fields, then flips
+     [r_done] 0 -> 1 (SC release); the client spins on [r_done] (SC
+     acquire) and only then reads the plain fields. *)
   type request = {
-    r_pid : int;
-    r_call : int;
-    r_shard : int;
-    r_start_tick : int;
-    r_submit_us : float;
-    cell : resp option Atomic.t;
+    mutable r_pid : int;
+    mutable r_call : int;
+    mutable r_shard : int;
+    mutable r_start_tick : int;
+    mutable r_end_tick : int;
+    mutable r_ts : T.result;
+    mutable r_resp_us : float;
+    r_done : int Atomic.t;
+    mutable r_next : request;
   }
+
+  (* Sentinel terminating every intrusive chain (compared physically).
+     Its [r_ts] dummy is an immediate and is never read. *)
+  let rec nil =
+    { r_pid = -1;
+      r_call = -1;
+      r_shard = -1;
+      r_start_tick = 0;
+      r_end_tick = 0;
+      r_ts = (Obj.magic 0 : T.result);
+      r_resp_us = 0.0;
+      r_done = Atomic.make 1;
+      r_next = nil }
 
   type shard = {
-    inbox : request Mpsc.t;
+    inbox : request Atomic.t;  (* Treiber stack of requests; [nil] = empty *)
+    depth : int Atomic.t;  (* submitted-not-batched; maintained only armed *)
     (* worker-owned counters; published to other domains by Domain.join *)
     mutable served : int;
     mutable batches : int;
@@ -38,11 +62,15 @@ module Make (T : Timestamp.Intf.S) = struct
   }
 
   type t = {
-    regs : T.value Atomic.t array;
+    regs : T.value Multicore.Backend.store;
+    backend : Multicore.Backend.choice;
     n : int;
     shards : shard array;
     batch_max : int;
     backoff_us : int;
+    backoff_s : float;  (* = backoff_us, precomputed so the sleep path
+                           performs no float boxing *)
+    armed : bool;  (* Obs.Hooks.armed, sampled once at start *)
     tick : int Atomic.t;
     next_pid : int Atomic.t;  (* one-shot: fresh pid per request *)
     next_session : int Atomic.t;
@@ -52,11 +80,19 @@ module Make (T : Timestamp.Intf.S) = struct
     mutable workers : unit Domain.t list;
   }
 
+  (* Per-session free list of request records (array stack, fixed cap).
+     The session is single-owner, so pool access needs no synchronization;
+     a record returns to the pool via [release]/[await_ts] once its
+     response has been consumed. *)
+  let pool_cap = 256
+
   type session = {
     svc : t;
     s_pid : int;
     s_shard : int;
     mutable s_call : int;
+    pool : request array;
+    mutable pool_top : int;
   }
 
   type ticket = request
@@ -64,96 +100,156 @@ module Make (T : Timestamp.Intf.S) = struct
   exception Stopped
 
   (* ------------------------------------------------------------------ *)
-  (* Worker: drain the shard inbox in FIFO batches and execute.           *)
+  (* Intrusive MPSC inbox: lock-free LIFO push, worker drains with one
+     exchange and reverses in place to FIFO.                              *)
 
-  let execute t armed req =
-    let program = T.program ~n:t.n ~pid:req.r_pid ~call:req.r_call in
-    let ts =
-      if armed then Multicore.Exec.run_obs ~pid:req.r_pid ~regs:t.regs program
-      else Multicore.Exec.run ~regs:t.regs program
-    in
-    (* The tick bump must precede the cell write: a client that sees the
-       response (and only then submits its next request) must pick a larger
-       start tick, which is the happens-before witness the checker uses. *)
-    let end_tick = Atomic.fetch_and_add t.tick 1 in
-    Atomic.set req.cell
-      (Some
-         { ts;
-           pid = req.r_pid;
-           call = req.r_call;
-           shard = req.r_shard;
-           start_tick = req.r_start_tick;
-           end_tick;
-           submit_us = req.r_submit_us;
-           resp_us = now_us () });
-    ignore (Atomic.fetch_and_add t.inflight (-1))
+  let rec push shard req =
+    let cur = Atomic.get shard.inbox in
+    req.r_next <- cur;
+    if not (Atomic.compare_and_set shard.inbox cur req) then begin
+      Domain.cpu_relax ();
+      push shard req
+    end
+
+  (* ------------------------------------------------------------------ *)
+  (* Worker: drain the shard inbox in FIFO batches and execute.           *)
 
   let idle_spin_budget = 200
 
   let worker t i () =
     let shard = t.shards.(i) in
-    let armed = Obs.Hooks.armed () in
-    (* requests drained but not yet executed (batch cap smaller than a
-       drain), oldest first *)
-    let backlog = ref [] in
-    let idle = ref 0 in
-    let rec take k acc = function
-      | req :: rest when k < t.batch_max -> take (k + 1) (req :: acc) rest
-      | rest -> (List.rev acc, k, rest)
+    let armed = t.armed in
+    let rec reverse_onto acc node =
+      if node == nil then acc
+      else begin
+        let next = node.r_next in
+        node.r_next <- acc;
+        reverse_onto node next
+      end
     in
-    let rec loop () =
-      match !backlog with
-      | [] -> (
-          match Mpsc.drain shard.inbox with
-          | [] ->
-            (* [stop] only raises the flag once inflight = 0, so an empty
-               inbox here means there is nothing left to drain. *)
-            if not (Atomic.get t.stop_flag) then begin
-              incr idle;
-              if !idle > idle_spin_budget then sleep_us t.backoff_us
-              else Domain.cpu_relax ();
-              loop ()
-            end
-          | reqs ->
-            idle := 0;
-            backlog := reqs;
-            loop ())
-      | reqs ->
+    let execute_one req =
+      let program = T.program ~n:t.n ~pid:req.r_pid ~call:req.r_call in
+      let ts =
         if armed then
-          Obs.Hooks.counter ~name:"svc.queue_depth"
-            (float_of_int (List.length reqs + Mpsc.length shard.inbox));
-        let batch, size, rest = take 0 [] reqs in
-        Obs.Hooks.with_span "svc.batch" (fun () ->
-            List.iter (execute t armed) batch);
+          Multicore.Exec.run_store_obs ~pid:req.r_pid ~regs:t.regs program
+        else Multicore.Exec.run_store ~regs:t.regs program
+      in
+      req.r_ts <- ts
+    in
+    (* Stamps (end ticks) are allocated once per chunk of up to
+       [stamp_chunk] requests instead of once per request, but only
+       *after* the chunk's programs have all executed: a tick claimed
+       earlier could witness a happens-before edge from an operation that
+       was still running.  (Same-chunk requests become tick-unordered,
+       which only removes checker pairs — sound.)  The tick bump must
+       still precede each done flip: a client that sees a response (and
+       only then submits its next request) must pick a larger start tick,
+       the checker's happens-before witness.  The chunk is kept small so
+       a request early in a large drain is not held unpublished behind
+       the whole batch. *)
+    let stamp_chunk = 8 in
+    let run_batch first =
+      let rec chunks node total =
+        if total >= t.batch_max || node == nil then (node, total)
+        else begin
+          let budget = min stamp_chunk (t.batch_max - total) in
+          let rec exec node k =
+            if k >= budget || node == nil then (node, k)
+            else begin
+              execute_one node;
+              exec node.r_next (k + 1)
+            end
+          in
+          let rest, k = exec node 0 in
+          let base = Atomic.fetch_and_add t.tick k in
+          (* one wall-clock read per chunk; every record in the chunk
+             shares the same boxed float *)
+          let stamp = now_us () in
+          let rec publish node j =
+            if j < k then begin
+              (* Capture the link before flipping the flag: the instant
+                 [r_done] is 1 the client may release and resubmit this
+                 very record, rewriting [r_next]. *)
+              let next = node.r_next in
+              node.r_end_tick <- base + j;
+              node.r_resp_us <- stamp;
+              Atomic.set node.r_done 1;
+              publish next (j + 1)
+            end
+          in
+          publish node 0;
+          ignore (Atomic.fetch_and_add t.inflight (-k));
+          chunks rest (total + k)
+        end
+      in
+      chunks first 0
+    in
+    let backlog = ref nil in
+    let idle = ref 0 in
+    let rec loop () =
+      if !backlog == nil then begin
+        match Atomic.exchange shard.inbox nil with
+        | drained when drained == nil ->
+          (* [stop] only raises the flag once inflight = 0, so an empty
+             inbox here means there is nothing left to drain. *)
+          if not (Atomic.get t.stop_flag) then begin
+            incr idle;
+            if !idle > idle_spin_budget then sleep_s t.backoff_s
+            else Domain.cpu_relax ();
+            loop ()
+          end
+        | drained ->
+          idle := 0;
+          backlog := reverse_onto nil drained;
+          loop ()
+      end
+      else begin
+        let first = !backlog in
+        let rest, size =
+          if armed then Obs.Hooks.with_span "svc.batch" (fun () -> run_batch first)
+          else run_batch first
+        in
         shard.served <- shard.served + size;
         shard.batches <- shard.batches + 1;
         if size > shard.max_batch then shard.max_batch <- size;
         if armed then begin
+          ignore (Atomic.fetch_and_add shard.depth (-size));
+          Obs.Hooks.counter ~name:"svc.queue_depth"
+            (float_of_int (Atomic.get shard.depth));
           Obs.Hooks.observe ~name:"svc.batch_size" (float_of_int size);
           Obs.Hooks.counter ~name:"svc.served" (float_of_int shard.served)
         end;
         backlog := rest;
         loop ()
+      end
     in
     loop ()
 
   (* ------------------------------------------------------------------ *)
 
-  let start ?(batch_max = 64) ?(backoff_us = 50) ?(shards = 1) ~n () =
+  let start ?(batch_max = 64) ?(backoff_us = 50) ?(shards = 1)
+      ?(backend = `Boxed) ~n () =
     if n <= 0 then invalid_arg "Service.start: n must be positive";
     if shards <= 0 then invalid_arg "Service.start: shards must be positive";
     if batch_max <= 0 then
       invalid_arg "Service.start: batch_max must be positive";
     let t =
       { regs =
-          Multicore.Exec.make_regs ~num:(T.num_registers ~n)
+          Multicore.Exec.make_store ~backend ~num:(T.num_registers ~n)
             ~init:(T.init_value ~n);
+        backend;
         n;
         shards =
           Array.init shards (fun _ ->
-              { inbox = Mpsc.create (); served = 0; batches = 0; max_batch = 0 });
+              { inbox = Atomic.make nil;
+                depth = Atomic.make 0;
+                served = 0;
+                batches = 0;
+                max_batch = 0 });
         batch_max;
         backoff_us;
+        backoff_s = float_of_int backoff_us *. 1e-6;
+        armed = Obs.Hooks.armed ();
         tick = Atomic.make 0;
         next_pid = Atomic.make 0;
         next_session = Atomic.make 0;
@@ -162,8 +258,11 @@ module Make (T : Timestamp.Intf.S) = struct
         stop_flag = Atomic.make false;
         workers = [] }
     in
+    Multicore.Backend.emit_obs_tag backend;
     t.workers <- List.init shards (fun i -> Domain.spawn (worker t i));
     t
+
+  let backend t = t.backend
 
   let open_session t =
     let id = Atomic.fetch_and_add t.next_session 1 in
@@ -174,7 +273,23 @@ module Make (T : Timestamp.Intf.S) = struct
            (Printf.sprintf "Service.open_session: %s supports at most n=%d \
                             sessions" T.name t.n)
      | `One_shot -> ());
-    { svc = t; s_pid = id; s_shard = id mod Array.length t.shards; s_call = 0 }
+    { svc = t;
+      s_pid = id;
+      s_shard = id mod Array.length t.shards;
+      s_call = 0;
+      pool = Array.make pool_cap nil;
+      pool_top = 0 }
+
+  let fresh () =
+    { r_pid = -1;
+      r_call = -1;
+      r_shard = -1;
+      r_start_tick = 0;
+      r_end_tick = 0;
+      r_ts = (Obj.magic 0 : T.result);
+      r_resp_us = 0.0;
+      r_done = Atomic.make 0;
+      r_next = nil }
 
   let submit session =
     let t = session.svc in
@@ -187,58 +302,101 @@ module Make (T : Timestamp.Intf.S) = struct
       ignore (Atomic.fetch_and_add t.inflight (-1));
       raise Stopped
     end;
-    let pid, call =
-      match T.kind with
-      | `One_shot ->
-        let pid = Atomic.fetch_and_add t.next_pid 1 in
-        if pid >= t.n then begin
-          ignore (Atomic.fetch_and_add t.inflight (-1));
-          invalid_arg
-            (Printf.sprintf
-               "Service.submit: one-shot %s exhausted its n=%d process ids"
-               T.name t.n)
-        end;
-        (pid, 0)
-      | `Long_lived ->
-        let call = session.s_call in
-        session.s_call <- call + 1;
-        (session.s_pid, call)
-    in
     let req =
-      { r_pid = pid;
-        r_call = call;
-        r_shard = session.s_shard;
-        r_start_tick = Atomic.get t.tick;
-        r_submit_us = now_us ();
-        cell = Atomic.make None }
+      let top = session.pool_top in
+      if top > 0 then begin
+        let top = top - 1 in
+        session.pool_top <- top;
+        let r = session.pool.(top) in
+        session.pool.(top) <- nil;
+        r
+      end
+      else fresh ()
     in
-    Mpsc.push t.shards.(session.s_shard).inbox req;
+    (match T.kind with
+     | `One_shot ->
+       let pid = Atomic.fetch_and_add t.next_pid 1 in
+       if pid >= t.n then begin
+         ignore (Atomic.fetch_and_add t.inflight (-1));
+         invalid_arg
+           (Printf.sprintf
+              "Service.submit: one-shot %s exhausted its n=%d process ids"
+              T.name t.n)
+       end;
+       req.r_pid <- pid;
+       req.r_call <- 0
+     | `Long_lived ->
+       let call = session.s_call in
+       session.s_call <- call + 1;
+       req.r_pid <- session.s_pid;
+       req.r_call <- call);
+    req.r_shard <- session.s_shard;
+    req.r_end_tick <- 0;
+    (* Reset the flag before the record becomes reachable from the inbox:
+       a worker completing it must never race a stale done = 1. *)
+    Atomic.set req.r_done 0;
+    req.r_start_tick <- Atomic.get t.tick;
+    let shard = t.shards.(session.s_shard) in
+    push shard req;
+    if t.armed then Atomic.incr shard.depth;
     req
 
   let await_spin_budget = 500
 
-  let await (req : ticket) =
-    let rec wait spins =
-      match Atomic.get req.cell with
-      | Some r -> r
-      | None ->
-        if spins < await_spin_budget then begin
-          Domain.cpu_relax ();
-          wait (spins + 1)
-        end
-        else begin
-          sleep_us 50;
-          wait await_spin_budget
-        end
-    in
-    wait 0
+  let rec wait_done_from (req : ticket) spins =
+    if Atomic.get req.r_done = 0 then
+      if spins < await_spin_budget then begin
+        Domain.cpu_relax ();
+        wait_done_from req (spins + 1)
+      end
+      else begin
+        sleep_s await_sleep_s;
+        wait_done_from req await_spin_budget
+      end
 
-  let get_ts session = await (submit session)
+  let await (req : ticket) =
+    wait_done_from req 0;
+    { ts = req.r_ts;
+      pid = req.r_pid;
+      call = req.r_call;
+      shard = req.r_shard;
+      start_tick = req.r_start_tick;
+      end_tick = req.r_end_tick;
+      resp_us = req.r_resp_us }
+
+  let release session (req : ticket) =
+    let top = session.pool_top in
+    if top < pool_cap then begin
+      session.pool.(top) <- req;
+      session.pool_top <- top + 1
+    end
+
+  let await_ts session (req : ticket) =
+    wait_done_from req 0;
+    let ts = req.r_ts in
+    release session req;
+    ts
+
+  let get_ts session =
+    let ticket = submit session in
+    let r = await ticket in
+    release session ticket;
+    r
+
+  let stop_spin_budget = 200
 
   let stop t =
     if Atomic.compare_and_set t.accepting true false then begin
+      (* Drain politely: a brief cpu_relax spin for the common
+         almost-empty case, then the same idle-backoff quantum the
+         workers use, so a graceful stop never burns a core. *)
+      let spins = ref 0 in
       while Atomic.get t.inflight > 0 do
-        sleep_us t.backoff_us
+        if !spins < stop_spin_budget then begin
+          incr spins;
+          Domain.cpu_relax ()
+        end
+        else sleep_s t.backoff_s
       done;
       Atomic.set t.stop_flag true;
       List.iter Domain.join t.workers

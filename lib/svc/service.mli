@@ -2,15 +2,24 @@
 
     A fixed pool of worker domains each owns one shard.  Clients open
     sessions (a session is pinned to a shard), enqueue getTS requests into
-    the shard's lock-free MPSC inbox, and block on a completion cell; the
-    worker drains its inbox in FIFO batches and executes each request
-    against one shared register array via {!Multicore.Exec} — so requests
-    from different shards still contend on the same registers, exactly the
-    paper's model, but each request's program runs on a single domain and
-    the per-request queue synchronization is amortized over a batch.
+    the shard's lock-free intrusive MPSC inbox, and block on the request's
+    done flag; the worker drains its inbox in FIFO batches and executes
+    each request against one shared register store via {!Multicore.Exec} —
+    so requests from different shards still contend on the same registers,
+    exactly the paper's model, but each request's program runs on a single
+    domain and the per-request queue synchronization is amortized over a
+    batch.
+
+    The submit/complete path is allocation-free in steady state (pinned by
+    a [Gc.minor_words] test): request records are pooled per session and
+    relinked intrusively instead of consed, the completion signal is a
+    preallocated int flag rather than a fresh option cell, and end ticks
+    are reserved once per batch.  Register layout is pluggable — see
+    {!Multicore.Backend}.
 
     Happens-before accounting mirrors {!Multicore.Stress}: a global tick is
-    read at submit time and bumped once per response, so if a client
+    read at submit time, and a batch reserves its [end_tick] range with one
+    fetch-and-add after all of its programs have executed, so if a client
     receives request [r1]'s response before some client submits [r2] then
     [end_tick r1 < start_tick r2] — a sound witness for the checker
     ({!Timestamp.Checker.check_timed}).
@@ -32,24 +41,39 @@ module Make (T : Timestamp.Intf.S) : sig
     shard : int;
     start_tick : int;  (** global tick at submit *)
     end_tick : int;  (** global tick at response *)
-    submit_us : float;  (** wall clock at submit, microseconds *)
-    resp_us : float;  (** wall clock at response, microseconds *)
+    resp_us : float;
+        (** wall clock when the worker published the response, stamped
+            once per stamp chunk (so same-chunk responses share a stamp).
+            Service-side completion time: it excludes the client's own
+            wakeup latency after the done flag flips. *)
   }
 
   type ticket
-  (** An in-flight request; redeem with {!await}. *)
+  (** An in-flight request; redeem with {!await} (then optionally
+      {!release}) or {!await_ts}.  Tickets are pooled: after release the
+      record is reused by a later {!submit} on the same session, so a
+      released ticket must not be touched again. *)
 
   exception Stopped
   (** Raised by {!submit} once {!stop} has begun. *)
 
   val start :
-    ?batch_max:int -> ?backoff_us:int -> ?shards:int -> n:int -> unit -> t
+    ?batch_max:int ->
+    ?backoff_us:int ->
+    ?shards:int ->
+    ?backend:Multicore.Backend.choice ->
+    n:int ->
+    unit ->
+    t
   (** Provisions [T.num_registers ~n] shared registers and spawns [shards]
       worker domains (default 1).  [batch_max] (default 64) caps how many
       requests a worker executes per batch; [batch_max = 1] is the
       unbatched mode benchmarked by E13.  [backoff_us] (default 50) is the
       idle sleep once a worker's spin budget is exhausted — workers poll,
-      so no wakeup signal can be missed. *)
+      so no wakeup signal can be missed.  [backend] (default [`Boxed])
+      selects the register layout ({!Multicore.Backend}). *)
+
+  val backend : t -> Multicore.Backend.choice
 
   val open_session : t -> session
   (** For long-lived implementations the session owns process id
@@ -58,20 +82,33 @@ module Make (T : Timestamp.Intf.S) : sig
       [n] requests service-wide); the session only pins the shard. *)
 
   val submit : session -> ticket
-  (** Enqueues one getTS.  Not thread-safe per session (each session has
-      one owning client); different sessions submit concurrently freely.
+  (** Enqueues one getTS; allocation-free once the session's request pool
+      has warmed up.  Not thread-safe per session (each session has one
+      owning client); different sessions submit concurrently freely.
       Raises {!Stopped} after {!stop}, [Invalid_argument] when a one-shot
       service has exhausted its [n] process ids. *)
 
   val await : ticket -> resp
-  (** Blocks (brief spin, then sleep-backoff) until the response. *)
+  (** Blocks (brief spin, then sleep-backoff) until the response, which it
+      copies out into a fresh record.  Does not recycle the ticket — call
+      {!release} afterwards to return it to the session pool. *)
+
+  val release : session -> ticket -> unit
+  (** Returns an awaited ticket's record to the session's pool (drops it
+      when the pool is full).  Call at most once per ticket, only after
+      {!await} has returned, and only on the submitting session. *)
+
+  val await_ts : session -> ticket -> T.result
+  (** Waits like {!await} but returns only the timestamp and recycles the
+      ticket in one step — the allocation-free completion path. *)
 
   val get_ts : session -> resp
-  (** [await (submit session)]. *)
+  (** [await]+[release] of [submit session]. *)
 
   val stop : t -> unit
   (** Graceful shutdown: refuses new submissions, waits until every
-      in-flight request has been answered, then stops and joins the
+      in-flight request has been answered (brief spin, then idle-backoff
+      sleeps — stopping never burns a core), then stops and joins the
       workers.  Idempotent. *)
 
   type shard_stats = {

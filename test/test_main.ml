@@ -26,6 +26,7 @@ let () =
       Test_mp_clocks.suite;
       Test_apps.suite;
       Test_multicore.suite;
+      Test_backend.suite;
       Test_obs.suite;
       Test_svc.suite;
       Test_fuzz.suite ]

@@ -30,7 +30,7 @@ let exec_counts_ops () =
 
 let stress impl_name (module T : Timestamp.Intf.S) ~n ~calls () =
   let module S = Multicore.Stress.Make (T) in
-  match S.run_and_check ~n ~calls with
+  match S.run_and_check ~n ~calls () with
   | Ok _ -> ()
   | Error e -> Alcotest.fail (impl_name ^ ": " ^ e)
 
