@@ -43,7 +43,11 @@ let calls_arg =
    Obs sinks around a whole command; with neither flag (and no [~force])
    the hooks stay disarmed and the command runs uninstrumented. *)
 
-type obs_out = { metrics_out : string option; trace_out : string option }
+type obs_out = {
+  metrics_out : string option;
+  trace_out : string option;
+  append : bool;
+}
 
 let obs_out_term =
   let metrics =
@@ -62,9 +66,19 @@ let obs_out_term =
             "Write a Chrome trace-event file (load it in chrome://tracing \
              or Perfetto) to $(docv).")
   in
+  let append =
+    Arg.(
+      value & flag
+      & info [ "append" ]
+          ~doc:
+            "Append to the $(b,--metrics-out), $(b,--trace-out) and \
+             $(b,--telemetry-out) files instead of truncating them (the \
+             default is truncate).")
+  in
   Term.(
-    const (fun metrics_out trace_out -> { metrics_out; trace_out })
-    $ metrics $ trace)
+    const (fun metrics_out trace_out append ->
+        { metrics_out; trace_out; append })
+    $ metrics $ trace $ append)
 
 type obs_ctx = {
   registry : Obs.Metric.registry;
@@ -91,8 +105,10 @@ let with_obs ?(force = false) ?(after = fun _ -> ()) out f =
     in
     let result = Obs.Hooks.with_hooks hooks (fun () -> f (Some ctx)) in
     Obs.Collector.fill_registry collector registry;
-    Option.iter (Obs.Metric.write_jsonl_file registry) out.metrics_out;
-    Option.iter (Obs.Trace.write_file trace) out.trace_out;
+    Option.iter
+      (Obs.Metric.write_jsonl_file ~append:out.append registry)
+      out.metrics_out;
+    Option.iter (Obs.Trace.write_file ~append:out.append trace) out.trace_out;
     after ctx;
     result
 
@@ -110,6 +126,19 @@ let validate_json_file path =
   | contents ->
     if Filename.check_suffix path ".jsonl" then (
       match Obs.Json.of_lines contents with
+      | Ok docs when Obs.Timeseries.looks_like docs -> (
+          (* telemetry time series: check the schema, not just the JSON *)
+          match Obs.Timeseries.validate docs with
+          | Ok v ->
+            Printf.printf
+              "%s: OK (telemetry schema %d: %d series, %d samples, %d \
+               events, %d stalls)\n"
+              path Obs.Timeseries.schema_version v.v_series v.v_samples
+              v.v_events v.v_stalls;
+            true
+          | Error e ->
+            Printf.eprintf "%s: INVALID telemetry: %s\n" path e;
+            false)
       | Ok docs ->
         Printf.printf "%s: OK (%d JSONL documents)\n" path (List.length docs);
         true
@@ -789,20 +818,60 @@ let clocks_cmd =
 (* ------------------------------------------------------------------ *)
 (* Service layer: serve (deterministic, cram-pinned) and loadgen.       *)
 
+let telemetry_out_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "telemetry-out" ] ~docv:"FILE"
+        ~doc:
+          "Sample the live service gauges (per-shard queue depth, served \
+           counter, batch-size p50, free-list occupancy) from a dedicated \
+           sampler domain into a JSONL time series at $(docv) — watch it \
+           with $(b,ts_cli top --file) $(docv), validate it with \
+           $(b,ts_cli obs --validate) $(docv).  Truncates unless \
+           $(b,--append).")
+
+let telemetry_interval_arg =
+  Arg.(
+    value & opt int 10_000
+    & info [ "telemetry-interval-us" ] ~docv:"US"
+        ~doc:"Telemetry sampler period, microseconds.")
+
 let serve_cmd =
-  let run impl n requests batch_max shards backend out =
+  let run impl n requests batch_max shards backend telemetry_out
+      telemetry_interval out =
     let rc =
       with_obs out @@ fun _ ->
       let (Timestamp.Registry.Impl (module T)) = impl in
       let module S = Svc.Service.Make (T) in
       (* a one-shot object consumes one process id per request *)
       let n = match T.kind with `One_shot -> max n requests | `Long_lived -> n in
-      let svc = S.start ~batch_max ~shards ~backend ~n () in
+      let svc =
+        S.start ~batch_max ~shards ~backend
+          ~telemetry:(telemetry_out <> None) ~n ()
+      in
+      let ts =
+        match telemetry_out with
+        | None -> None
+        | Some file ->
+          let ts =
+            Obs.Timeseries.create ~interval_us:telemetry_interval ()
+          in
+          S.attach_telemetry svc ts;
+          Obs.Timeseries.start ~append:out.append ~out:file ts;
+          Some (ts, file)
+      in
       let session = S.open_session svc in
       Printf.printf "service: %s  n=%d shards=%d batch_max=%d\n" T.name n
         (S.num_shards svc) batch_max;
       let resps = List.init requests (fun _ -> S.get_ts session) in
       S.stop svc;
+      Option.iter
+        (fun (ts, file) ->
+           Obs.Timeseries.stop ts;
+           Printf.printf "telemetry: %d samples, %d stalls -> %s\n"
+             (Obs.Timeseries.samples ts) (Obs.Timeseries.stalls ts) file)
+        ts;
       List.iter
         (fun (r : S.resp) ->
            Printf.printf "  req p%d.%d (shard %d) -> %s\n" r.pid r.call r.shard
@@ -848,26 +917,44 @@ let serve_cmd =
          "Start the sharded timestamp service, serve a sequential session \
           and check the served timestamps.")
     Term.(const run $ impl_arg $ n_arg $ requests $ batch $ shards
-          $ backend_arg $ obs_out_term)
+          $ backend_arg $ telemetry_out_arg $ telemetry_interval_arg
+          $ obs_out_term)
 
 let loadgen_cmd =
   let run impl n clients requests pipeline shards batch_max direct think_us
-      seed backend out =
+      rate telemetry_out telemetry_interval seed backend out =
     let rc =
       with_obs out @@ fun _ ->
       let open Svc.Loadgen in
       let mode =
         if direct then Direct else Service { shards; batch_max }
       in
+      let arrival =
+        match rate with None -> Closed | Some rate -> Open { rate }
+      in
+      let telemetry =
+        Option.map
+          (fun tel_out ->
+             { tel_out; tel_append = out.append;
+               tel_interval_us = telemetry_interval })
+          telemetry_out
+      in
       let cfg =
-        { default with mode; clients; requests_per_client = requests;
-          pipeline; n; seed; think_us; backend }
+        { default with mode; arrival; clients; requests_per_client = requests;
+          pipeline; n; seed; think_us; backend; telemetry }
       in
       let r = Svc.Loadgen.run impl cfg in
       Printf.printf "loadgen: %s  %s  seed=%d\n" r.lg_impl r.lg_mode seed;
       Printf.printf "served %d requests in %.3fs (%.0f req/s)\n" r.lg_total
         r.lg_elapsed_s r.lg_throughput;
-      Printf.printf "latency: p50=%.1fus p99=%.1fus\n" r.lg_p50_us r.lg_p99_us;
+      Printf.printf
+        "latency: p50=%.1fus p90=%.1fus p99=%.1fus p99.9=%.1fus max=%.1fus\n"
+        r.lg_p50_us r.lg_p90_us r.lg_p99_us r.lg_p999_us r.lg_max_us;
+      Option.iter
+        (fun tel_out ->
+           Printf.printf "telemetry: %d samples, %d stalls -> %s\n"
+             r.lg_samples r.lg_stalls tel_out)
+        telemetry_out;
       List.iter
         (fun s ->
            Printf.printf
@@ -926,15 +1013,278 @@ let loadgen_cmd =
       & info [ "think-us" ] ~docv:"US"
           ~doc:"Max seeded random think time between bursts, microseconds.")
   in
+  let rate =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "rate" ] ~docv:"RPS"
+          ~doc:
+            "Open-loop mode: schedule request arrivals at $(docv) \
+             requests/second (aggregate across clients) and measure \
+             latency from each request's intended start, so backlog \
+             counts against the service (coordinated-omission-correct). \
+             Without $(docv) the generator runs the classic closed loop.")
+  in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:
-         "Closed-loop load generator over the timestamp service; reports \
-          throughput, latency percentiles and a happens-before checker \
-          verdict.")
+         "Closed- or open-loop load generator over the timestamp service; \
+          reports throughput, HDR latency percentiles \
+          (p50/p90/p99/p99.9/max) and a happens-before checker verdict.")
     Term.(
       const run $ impl_arg $ n_arg $ clients $ requests $ pipeline $ shards
-      $ batch $ direct $ think $ seed_arg $ backend_arg $ obs_out_term)
+      $ batch $ direct $ think $ rate $ telemetry_out_arg
+      $ telemetry_interval_arg $ seed_arg $ backend_arg $ obs_out_term)
+
+(* ------------------------------------------------------------------ *)
+(* top: per-shard table rendered from a telemetry time series.         *)
+
+type top_view = {
+  tv_meta : (string * Obs.Json.t) list;
+  tv_series : string array;
+  tv_samples : (float * float option array) array;  (* (t_us, values) *)
+  tv_events : int;
+  tv_stalls : int;
+  tv_ended : bool;
+}
+
+let top_load path : (top_view, string) result =
+  let ( let* ) = Result.bind in
+  let* contents =
+    try
+      let ic = open_in_bin path in
+      Fun.protect
+        ~finally:(fun () -> close_in_noerr ic)
+        (fun () -> Ok (really_input_string ic (in_channel_length ic)))
+    with Sys_error e -> Error e
+  in
+  let* docs = Obs.Json.of_lines contents in
+  let* v = Obs.Timeseries.validate docs in
+  ignore v;
+  match docs with
+  | header :: rest ->
+    let series =
+      match Obs.Json.member "series" header with
+      | Some (Obs.Json.List l) ->
+        Array.of_list
+          (List.map
+             (function Obs.Json.String s -> s | _ -> assert false)
+             l)
+      | _ -> [||]
+    in
+    let meta =
+      match Obs.Json.member "meta" header with
+      | Some (Obs.Json.Obj kvs) -> kvs
+      | _ -> []
+    in
+    let num = function
+      | Obs.Json.Int i -> Some (float_of_int i)
+      | Obs.Json.Float f -> Some f
+      | _ -> None
+    in
+    let samples = ref [] and events = ref 0 and stalls = ref 0 in
+    let ended = ref false in
+    List.iter
+      (fun doc ->
+         match Obs.Json.member "kind" doc with
+         | Some (Obs.Json.String "sample") ->
+           let t =
+             Option.value ~default:0.
+               (Option.bind (Obs.Json.member "t_us" doc) num)
+           in
+           let vs =
+             match Obs.Json.member "v" doc with
+             | Some (Obs.Json.List l) -> Array.of_list (List.map num l)
+             | _ -> [||]
+           in
+           samples := (t, vs) :: !samples
+         | Some (Obs.Json.String "event") ->
+           incr events;
+           if Obs.Json.member "event" doc = Some (Obs.Json.String "stall")
+           then incr stalls
+         | Some (Obs.Json.String "end") -> ended := true
+         | _ -> ())
+      rest;
+    Ok
+      { tv_meta = meta;
+        tv_series = series;
+        tv_samples = Array.of_list (List.rev !samples);
+        tv_events = !events;
+        tv_stalls = !stalls;
+        tv_ended = !ended }
+  | [] -> Error "empty file"
+
+let top_render path view =
+  let buf = Buffer.create 1024 in
+  let meta =
+    String.concat " "
+      (List.map
+         (fun (k, v) ->
+            Printf.sprintf "%s=%s" k
+              (match v with
+               | Obs.Json.String s -> s
+               | Obs.Json.Int i -> string_of_int i
+               | Obs.Json.Float f -> Printf.sprintf "%g" f
+               | _ -> "?"))
+         view.tv_meta)
+  in
+  let nsamp = Array.length view.tv_samples in
+  let last = if nsamp > 0 then Some view.tv_samples.(nsamp - 1) else None in
+  let prev = if nsamp > 1 then Some view.tv_samples.(nsamp - 2) else None in
+  Printf.bprintf buf "telemetry: %s%s\n" path
+    (if meta = "" then "" else Printf.sprintf "  (%s)" meta);
+  Printf.bprintf buf "t=%s  samples=%d  events=%d  stalls=%d  [%s]\n"
+    (match last with
+     | Some (t, _) -> Printf.sprintf "+%.1fms" (t /. 1e3)
+     | None -> "-")
+    nsamp view.tv_events view.tv_stalls
+    (if view.tv_ended then "ended" else "live");
+  let idx name = Array.find_index (String.equal name) view.tv_series in
+  let value_at sample name =
+    match sample with
+    | None -> None
+    | Some (_, vs) ->
+      Option.bind (idx name) (fun i ->
+          if i < Array.length vs then vs.(i) else None)
+  in
+  (* shards present = every s<i>. prefix in the series list *)
+  let shards =
+    Array.fold_left
+      (fun acc name ->
+         match String.index_opt name '.' with
+         | Some dot
+           when dot > 1 && name.[0] = 's'
+                && String.for_all
+                     (fun c -> c >= '0' && c <= '9')
+                     (String.sub name 1 (dot - 1)) ->
+           let i = int_of_string (String.sub name 1 (dot - 1)) in
+           if List.mem i acc then acc else i :: acc
+         | _ -> acc)
+      [] view.tv_series
+    |> List.sort Int.compare
+  in
+  let rate_of served_name =
+    match (value_at last served_name, last) with
+    | Some s1, Some (t1, _) -> (
+        match (value_at prev served_name, prev) with
+        | Some s0, Some (t0, _) when t1 > t0 ->
+          Some ((s1 -. s0) /. (t1 -. t0) *. 1e6)
+        | _ -> if t1 > 0. then Some (s1 /. t1 *. 1e6) else None)
+    | _ -> None
+  in
+  let cell w = function
+    | None -> Printf.sprintf "%*s" w "-"
+    | Some v -> Printf.sprintf "%*.1f" w v
+  in
+  let cell0 w = function
+    | None -> Printf.sprintf "%*s" w "-"
+    | Some v -> Printf.sprintf "%*.0f" w v
+  in
+  Printf.bprintf buf "%-7s %10s %7s %10s %11s %11s\n" "shard" "rps" "depth"
+    "batch_p50" "lat_p50_us" "lat_p99_us";
+  List.iter
+    (fun i ->
+       let s fmt = Printf.sprintf fmt i in
+       Printf.bprintf buf "%-7s %s %s %s %s %s\n"
+         (Printf.sprintf "s%d" i)
+         (cell0 10 (rate_of (s "s%d.served")))
+         (cell0 7 (value_at last (s "s%d.depth")))
+         (cell 10 (value_at last (s "s%d.batch_p50")))
+         (cell 11 (value_at last (s "s%d.lat_p50_us")))
+         (cell 11 (value_at last (s "s%d.lat_p99_us"))))
+    shards;
+  let sum_over fmt_name of_shard =
+    List.fold_left
+      (fun acc i ->
+         match (acc, of_shard (Printf.sprintf fmt_name i)) with
+         | Some a, Some v -> Some (a +. v)
+         | _ -> None)
+      (if shards = [] then None else Some 0.)
+      shards
+  in
+  if shards <> [] then
+    Printf.bprintf buf "%-7s %s %s %10s %s %s\n" "total"
+      (cell0 10 (sum_over "s%d.served" rate_of))
+      (cell0 7 (sum_over "s%d.depth" (value_at last)))
+      "-"
+      (cell 11 (value_at last "lat.p50_us"))
+      (cell 11 (value_at last "lat.p99_us"));
+  Buffer.contents buf
+
+let top_cmd =
+  let run file once refresh_ms frames =
+    let render_once ~clear =
+      match top_load file with
+      | Error e ->
+        Printf.eprintf "%s: %s\n" file e;
+        `Err
+      | Ok view ->
+        if clear then print_string "\027[H\027[2J";
+        print_string (top_render file view);
+        flush stdout;
+        if view.tv_ended then `Ended else `Live
+    in
+    if once then (match render_once ~clear:false with `Err -> exit 1 | _ -> ())
+    else begin
+      (* live mode is meant to race the writer from a second terminal:
+         give the file a moment to appear before giving up *)
+      let rec wait_for tries =
+        if tries > 0 && not (Sys.file_exists file) then begin
+          (try Unix.sleepf 0.1
+           with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          wait_for (tries - 1)
+        end
+      in
+      wait_for 50;
+      let rec loop frame =
+        match render_once ~clear:true with
+        | `Err -> exit 1
+        | `Ended -> ()
+        | `Live ->
+          if frames = 0 || frame < frames then begin
+            (try Unix.sleepf (float_of_int refresh_ms *. 1e-3)
+             with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+            loop (frame + 1)
+          end
+      in
+      loop 1
+    end
+  in
+  let file =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "file"; "f" ] ~docv:"FILE"
+          ~doc:
+            "Telemetry time series to watch (written by \
+             $(b,--telemetry-out) on serve/loadgen).")
+  in
+  let once =
+    Arg.(
+      value & flag
+      & info [ "once" ]
+          ~doc:"Render one frame from the current file contents and exit.")
+  in
+  let refresh =
+    Arg.(
+      value & opt int 500
+      & info [ "refresh-ms" ] ~docv:"MS" ~doc:"Refresh period, milliseconds.")
+  in
+  let frames =
+    Arg.(
+      value & opt int 0
+      & info [ "frames" ] ~docv:"N"
+          ~doc:
+            "Stop after $(docv) refreshes (0 = keep refreshing until the \
+             series ends).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live per-shard view (rps, queue depth, batch p50, latency \
+          p50/p99) of a telemetry time series; refreshes until the \
+          sampler writes its end marker.")
+    Term.(const run $ file $ once $ refresh $ frames)
 
 let () =
   let doc =
@@ -947,4 +1297,4 @@ let () =
           (Cmd.info "ts_cli" ~version:"1.0.0" ~doc)
           [ list_cmd; run_cmd; adversary_cmd; figure_cmd; claims_cmd;
             stress_cmd; clocks_cmd; explore_cmd; distributed_cmd; obs_cmd;
-            fuzz_cmd; serve_cmd; loadgen_cmd ]))
+            fuzz_cmd; serve_cmd; loadgen_cmd; top_cmd ]))

@@ -134,7 +134,12 @@ let run_store ~regs p =
   | Backend.Boxed_regs a -> run ~regs:a p
   | Backend.Flat_regs f -> run_flat ~regs:f p
 
+(* Each instrumented program execution is bracketed in an "exec" span,
+   so a trace sink shows per-request execution intervals alongside the
+   service's per-batch spans.  [with_span] is a plain tail call when the
+   hooks are disarmed, and callers only reach this function when armed. *)
 let run_store_obs ~pid ~regs p =
+  Obs.Hooks.with_span "exec" @@ fun () ->
   match regs with
   | Backend.Boxed_regs a -> run_obs ~pid ~regs:a p
   | Backend.Flat_regs f -> run_flat_obs ~pid ~regs:f p

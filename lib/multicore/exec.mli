@@ -56,6 +56,9 @@ val run_store : regs:'v Backend.store -> ('v, 'a) Shm.Prog.t -> 'a
 
 val run_store_obs :
   pid:int -> regs:'v Backend.store -> ('v, 'a) Shm.Prog.t -> 'a
+(** Instrumented twin of {!run_store}: emits one {!Obs.Hooks.sim} event
+    per operation and wraps the whole program in an ["exec"] span, so a
+    trace sink shows per-request execution intervals. *)
 
 val run_store_counting :
   regs:'v Backend.store -> ('v, 'a) Shm.Prog.t -> 'a * int

@@ -1,0 +1,77 @@
+(** Sharded log-linear (HDR-style) histograms for hot-path latency data.
+
+    {!record} is safe from any domain and allocation-free: the recorder
+    picks a shard by domain id, computes the log-linear bucket index with
+    integer arithmetic, and bumps one cache-line-padded [int Atomic.t]
+    with a single [fetch_and_add] (plus a read-mostly min/max refresh).
+    A [Gc.minor_words] test pins the record path to zero minor words.
+
+    Bucket boundaries are a pure function of the value — below 32 every
+    value has its own bucket, above that each power-of-two range splits
+    into 32 linear sub-buckets — so any bucket is at most ~3.1% wide
+    relative to its value, and two histograms merge losslessly by summing
+    bucket counts: {!merge} of per-domain shards reports exactly the
+    percentiles a single histogram fed the union would.
+
+    Queries go through an immutable {!snapshot}; taking one concurrently
+    with recorders is safe and sees some recent state of each shard. *)
+
+type t
+
+val create : ?shards:int -> unit -> t
+(** [shards] (default 8) is rounded up to a power of two.  Recording
+    domains map to shards by [domain id land (shards - 1)]; more shards
+    than concurrent recorders just wastes memory (each shard carries
+    ~1800 padded buckets, ~128 KiB). *)
+
+val num_shards : t -> int
+
+val record : t -> int -> unit
+(** Records one non-negative value (negatives clamp to 0, huge values to
+    [2^60 - 1]).  One atomic fetch-and-add; no allocation. *)
+
+(** {2 Snapshots} *)
+
+type snapshot
+
+val snapshot : t -> snapshot
+(** Sums all shards into an immutable snapshot (lossless: bucket counts
+    add exactly). *)
+
+val merge : snapshot -> snapshot -> snapshot
+
+val count : snapshot -> int
+
+val min_value : snapshot -> int
+(** Exact recorded minimum (0 when empty). *)
+
+val max_value : snapshot -> int
+(** Exact recorded maximum (0 when empty). *)
+
+val sum_approx : snapshot -> float
+(** Sum reconstructed from bucket midpoints — deterministic given the
+    bucket counts, within the ~3.1% bucket error of the true sum. *)
+
+val mean : snapshot -> float
+(** [nan] when empty. *)
+
+val percentile : snapshot -> float -> float
+(** [percentile s p] for [p] in [0..100]: walks the cumulative bucket
+    counts and returns the midpoint of the bucket holding rank
+    [p/100 * count], clamped into the recorded [min..max].  [p <= 0]
+    returns the exact recorded minimum, [p >= 100] the exact maximum;
+    [nan] when empty. *)
+
+(** {2 Bucket geometry} (exposed for tests and table renderers) *)
+
+val num_buckets : int
+
+val bucket_index : int -> int
+
+val bucket_low : int -> int
+
+val bucket_high : int -> int
+
+val bucket_mid : int -> int
+
+val bucket_count : snapshot -> int -> int

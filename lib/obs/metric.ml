@@ -115,8 +115,11 @@ let observe h v =
 
 let percentile h p =
   if h.h_count = 0 then nan
+    (* the distribution's edges are known exactly — don't interpolate a
+       bucket bound for them *)
+  else if p <= 0. then h.h_min
+  else if p >= 100. then h.h_max
   else begin
-    let p = if p < 0. then 0. else if p > 100. then 100. else p in
     let rank = p /. 100. *. float_of_int h.h_count in
     let nb = Array.length h.bounds in
     let rec go i cum =
@@ -199,9 +202,17 @@ let to_jsonl r =
     (in_order r);
   Buffer.contents buf
 
-let write_jsonl_file r path =
-  Out_channel.with_open_text path (fun oc ->
-      Out_channel.output_string oc (to_jsonl r))
+let open_out_mode ~append path =
+  Out_channel.open_gen
+    (if append then [ Open_wronly; Open_append; Open_creat; Open_text ]
+     else [ Open_wronly; Open_trunc; Open_creat; Open_text ])
+    0o644 path
+
+let write_jsonl_file ?(append = false) r path =
+  let oc = open_out_mode ~append path in
+  Fun.protect
+    ~finally:(fun () -> Out_channel.close_noerr oc)
+    (fun () -> Out_channel.output_string oc (to_jsonl r))
 
 let pp_table ppf r =
   let metrics = in_order r in

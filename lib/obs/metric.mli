@@ -55,11 +55,12 @@ val gauge_value : gauge -> float
 val observe : histogram -> float -> unit
 
 val percentile : histogram -> float -> float
-(** [percentile h p] estimates the [p]-th percentile ([p] clamped to
-    [0..100]) by walking the cumulative bucket counts and interpolating
-    linearly inside the bucket where the rank falls, Prometheus-style.
-    The estimate is clamped to the observed [min..max] range.  [nan] when
-    the histogram is empty. *)
+(** [percentile h p] estimates the [p]-th percentile by walking the
+    cumulative bucket counts and interpolating linearly inside the bucket
+    where the rank falls, Prometheus-style.  The estimate is clamped to
+    the observed [min..max] range, and the edges are exact: [p <= 0]
+    returns the recorded minimum and [p >= 100] the recorded maximum
+    rather than a bucket bound.  [nan] when the histogram is empty. *)
 
 val hist_count : histogram -> int
 
@@ -73,7 +74,8 @@ val to_jsonl : registry -> string
 (** One JSON object per metric per line:
     [{"schema_version":N,"registry":...,"kind":...,"name":...,...}]. *)
 
-val write_jsonl_file : registry -> string -> unit
+val write_jsonl_file : ?append:bool -> registry -> string -> unit
+(** Truncates the file unless [append] (default false). *)
 
 val pp_table : Format.formatter -> registry -> unit
 (** Metrics in registration order, one row each. *)

@@ -81,7 +81,15 @@ let to_json t =
       ("otherData",
        Json.Obj [ ("schema_version", Json.Int Metric.schema_version) ]) ]
 
-let write_file t path =
-  Out_channel.with_open_text path (fun oc ->
-      Out_channel.output_string oc (Json.pretty_to_string (to_json t));
-      Out_channel.output_char oc '\n')
+let write_file ?(append = false) t path =
+  let oc =
+    Out_channel.open_gen
+      (if append then [ Open_wronly; Open_append; Open_creat; Open_text ]
+       else [ Open_wronly; Open_trunc; Open_creat; Open_text ])
+      0o644 path
+  in
+  Fun.protect
+    ~finally:(fun () -> Out_channel.close_noerr oc)
+    (fun () ->
+       Out_channel.output_string oc (Json.pretty_to_string (to_json t));
+       Out_channel.output_char oc '\n')

@@ -39,7 +39,8 @@ val num_events : t -> int
 
 val to_json : t -> Json.t
 
-val write_file : t -> string -> unit
+val write_file : ?append:bool -> t -> string -> unit
+(** Truncates the file unless [append] (default false). *)
 
 (** Monotonic-ish wall clock shared by the instrumentation layer. *)
 module Clock : sig

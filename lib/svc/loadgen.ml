@@ -4,10 +4,28 @@ let sleep_us us =
   try Unix.sleepf (float_of_int us *. 1e-6)
   with Unix.Unix_error (Unix.EINTR, _, _) -> ()
 
+let sleep_us_f us = if us > 0.5 then sleep_us (int_of_float us)
+
 type mode = Direct | Service of { shards : int; batch_max : int }
+
+(* Closed loop: each client submits its next request as soon as the
+   previous burst completes — latency excludes any queueing the client
+   itself caused by backing off.  Open loop: requests have scheduled
+   arrival times at an aggregate [rate] (requests/second across all
+   clients) and latency is measured from the *intended* start, so time a
+   request spends waiting behind a backlog counts against the service —
+   the coordinated-omission-correct number. *)
+type arrival = Closed | Open of { rate : float }
+
+type telemetry = {
+  tel_out : string;
+  tel_append : bool;
+  tel_interval_us : int;
+}
 
 type cfg = {
   mode : mode;
+  arrival : arrival;
   clients : int;
   requests_per_client : int;
   pipeline : int;
@@ -16,10 +34,12 @@ type cfg = {
   think_us : int;
   backoff_us : int;
   backend : Multicore.Backend.choice;
+  telemetry : telemetry option;
 }
 
 let default =
   { mode = Direct;
+    arrival = Closed;
     clients = 4;
     requests_per_client = 100;
     pipeline = 1;
@@ -27,7 +47,8 @@ let default =
     seed = 1;
     think_us = 0;
     backoff_us = 50;
-    backend = `Boxed }
+    backend = `Boxed;
+    telemetry = None }
 
 type shard_report = {
   sr_shard : int;
@@ -48,18 +69,37 @@ type report = {
   lg_hb_pairs : int;
   lg_violation : string option;
   lg_p50_us : float;
+  lg_p90_us : float;
   lg_p99_us : float;
+  lg_p999_us : float;
+  lg_max_us : float;
   lg_shards : shard_report list;
   lg_timestamps : string list;
+  lg_samples : int;
+  lg_stalls : int;
 }
 
-(* p50/p99 over a fresh default-bucket histogram (powers of two up to
-   2^20 us — plenty for sub-second request latencies). *)
-let percentiles lats =
-  let reg = Obs.Metric.registry ~name:"loadgen" () in
-  let h = Obs.Metric.histogram reg "latency_us" in
-  List.iter (Obs.Metric.observe h) lats;
-  (Obs.Metric.percentile h 50., Obs.Metric.percentile h 99.)
+(* Latencies are recorded live into HDR histograms, in integer
+   nanoseconds: every client domain lands in its own histogram shard
+   (one padded fetch-and-add per record, no allocation) and the report
+   percentiles come from the lossless merge of those per-domain shards. *)
+let ns_of_us us = int_of_float (us *. 1e3)
+
+let us_of_ns ns = ns /. 1e3
+
+type recorder = {
+  g_hdr : Obs.Hdr.t;  (* all requests *)
+  shard_hdrs : Obs.Hdr.t array;  (* by service shard (index 0 in direct) *)
+}
+
+let make_recorder num_shards =
+  { g_hdr = Obs.Hdr.create ();
+    shard_hdrs = Array.init num_shards (fun _ -> Obs.Hdr.create ()) }
+
+let record_lat rc ~shard lat_us =
+  let ns = ns_of_us lat_us in
+  Obs.Hdr.record rc.g_hdr ns;
+  Obs.Hdr.record rc.shard_hdrs.(shard) ns
 
 module Run (T : Timestamp.Intf.S) = struct
   module S = Service.Make (T)
@@ -89,7 +129,17 @@ module Run (T : Timestamp.Intf.S) = struct
     | `One_shot -> max cfg.n (cfg.clients * cfg.requests_per_client)
     | `Long_lived -> max cfg.n cfg.clients
 
-  let direct cfg =
+  (* Open-loop schedule: client [i]'s [call]-th request is due at
+     [t0 + (call + i/clients) * clients/rate] — clients interleave evenly
+     on the aggregate arrival process. *)
+  let arrival_interval_us cfg rate =
+    1e6 *. float_of_int cfg.clients /. rate
+
+  let wait_until sched =
+    let now = now_us () in
+    if now < sched then sleep_us_f (sched -. now)
+
+  let direct cfg rc =
     let n = effective_n cfg in
     let regs =
       Multicore.Exec.make_store ~backend:cfg.backend
@@ -97,8 +147,17 @@ module Run (T : Timestamp.Intf.S) = struct
     in
     let tick = Atomic.make 0 in
     let next_pid = Atomic.make 0 in
+    let t0 = now_us () in
     let client i () =
       let rng = Random.State.make [| cfg.seed; i; 0x5eed |] in
+      let sched_of =
+        match cfg.arrival with
+        | Closed -> fun _ -> neg_infinity
+        | Open { rate } ->
+          let iv = arrival_interval_us cfg rate in
+          let phase = iv *. float_of_int i /. float_of_int cfg.clients in
+          fun call -> t0 +. phase +. (float_of_int call *. iv)
+      in
       let rec go call acc =
         if call >= cfg.requests_per_client then List.rev acc
         else begin
@@ -107,14 +166,22 @@ module Run (T : Timestamp.Intf.S) = struct
             | `One_shot -> (Atomic.fetch_and_add next_pid 1, 0)
             | `Long_lived -> (i, call)
           in
-          let t0 = now_us () in
+          let sched = sched_of call in
+          wait_until sched;
+          let start = now_us () in
+          (* open loop measures from the intended start: when the client
+             is running late, the overrun is backlog and counts *)
+          let t_from = if sched = neg_infinity then start else sched in
           let sm_start = Atomic.get tick in
           let ts =
             Multicore.Exec.run_store ~regs (T.program ~n ~pid ~call:callno)
           in
           let sm_end = Atomic.fetch_and_add tick 1 in
-          let lat = now_us () -. t0 in
-          think rng cfg.think_us;
+          let lat = now_us () -. t_from in
+          record_lat rc ~shard:0 lat;
+          (match cfg.arrival with
+           | Closed -> think rng cfg.think_us
+           | Open _ -> ());
           go (call + 1)
             ({ sm_pid = pid; sm_call = callno; sm_start; sm_end; sm_ts = ts;
                sm_lat_us = lat; sm_shard = 0 }
@@ -123,76 +190,159 @@ module Run (T : Timestamp.Intf.S) = struct
       in
       go 0 []
     in
-    let t0 = now_us () in
     let domains = List.init cfg.clients (fun i -> Domain.spawn (client i)) in
     let samples = List.concat_map Domain.join domains in
     let elapsed = (now_us () -. t0) *. 1e-6 in
     (samples, elapsed, None)
 
-  let service cfg ~shards ~batch_max =
+  let sample_of_resp (r : S.resp) lat =
+    { sm_pid = r.S.pid; sm_call = r.S.call; sm_start = r.S.start_tick;
+      sm_end = r.S.end_tick; sm_ts = r.S.ts; sm_lat_us = lat;
+      sm_shard = r.S.shard }
+
+  (* Closed-loop service client: submit a burst of [pipeline], await it,
+     think, repeat.  Latency = client submit time to the worker's
+     completion stamp ([resp_us], written once per stamp chunk) —
+     queueing + service time, excluding the client's own post-completion
+     wakeup (which on an oversubscribed box is dominated by the
+     scheduler, not the service). *)
+  let service_closed cfg rc sessions i () =
+    let session = sessions.(i) in
+    let rng = Random.State.make [| cfg.seed; i; 0x5eed |] in
+    let submit_t = Array.make cfg.pipeline 0.0 in
+    let rec go remaining acc =
+      if remaining = 0 then acc
+      else begin
+        let burst = min cfg.pipeline remaining in
+        let rec submit_burst j acc =
+          if j = burst then List.rev acc
+          else begin
+            submit_t.(j) <- now_us ();
+            submit_burst (j + 1) (S.submit session :: acc)
+          end
+        in
+        let tickets = submit_burst 0 [] in
+        let _, acc =
+          List.fold_left
+            (fun (j, acc) ticket ->
+               let r = S.await ticket in
+               let lat = r.S.resp_us -. submit_t.(j) in
+               S.release session ticket;
+               record_lat rc ~shard:r.S.shard lat;
+               (j + 1, sample_of_resp r lat :: acc))
+            (0, acc) tickets
+        in
+        think rng cfg.think_us;
+        go (remaining - burst) acc
+      end
+    in
+    go cfg.requests_per_client []
+
+  (* Open-loop service client: submit each request at its scheduled
+     arrival, keeping at most [pipeline] in flight (awaiting the oldest
+     when the window is full).  Latency runs from the scheduled arrival,
+     so a submission delayed behind a full window or a deep queue still
+     charges the service for the wait. *)
+  let service_open cfg rc sessions ~rate ~t0 i () =
+    let session = sessions.(i) in
+    let iv = arrival_interval_us cfg rate in
+    let phase = iv *. float_of_int i /. float_of_int cfg.clients in
+    let window = Queue.create () in
+    let complete_oldest acc =
+      let ticket, sched = Queue.pop window in
+      let r = S.await ticket in
+      let lat = r.S.resp_us -. sched in
+      S.release session ticket;
+      record_lat rc ~shard:r.S.shard lat;
+      sample_of_resp r lat :: acc
+    in
+    let rec go call acc =
+      if call >= cfg.requests_per_client then begin
+        let acc = ref acc in
+        while not (Queue.is_empty window) do
+          acc := complete_oldest !acc
+        done;
+        !acc
+      end
+      else begin
+        let sched = t0 +. phase +. (float_of_int call *. iv) in
+        wait_until sched;
+        let acc =
+          if Queue.length window >= cfg.pipeline then complete_oldest acc
+          else acc
+        in
+        Queue.push (S.submit session, sched) window;
+        go (call + 1) acc
+      end
+    in
+    go 0 []
+
+  let service cfg rc ~shards ~batch_max =
     let n = effective_n cfg in
     let svc =
       S.start ~batch_max ~backoff_us:cfg.backoff_us ~shards
-        ~backend:cfg.backend ~n ()
+        ~backend:cfg.backend
+        ~telemetry:(cfg.telemetry <> None)
+        ~n ()
+    in
+    let ts =
+      match cfg.telemetry with
+      | None -> None
+      | Some tel ->
+        let ts = Obs.Timeseries.create ~interval_us:tel.tel_interval_us () in
+        S.attach_telemetry svc ts;
+        (* the load generator's own live series, from the merged HDR *)
+        let pct h p () = us_of_ns (Obs.Hdr.percentile (Obs.Hdr.snapshot h) p) in
+        Array.iteri
+          (fun i h ->
+             let name = Printf.sprintf "s%d.lat_p%s_us" i in
+             Obs.Timeseries.add_source ts ~name:(name "50") (pct h 50.);
+             Obs.Timeseries.add_source ts ~name:(name "99") (pct h 99.))
+          rc.shard_hdrs;
+        Obs.Timeseries.add_source ts ~name:"lat.p50_us" (pct rc.g_hdr 50.);
+        Obs.Timeseries.add_source ts ~name:"lat.p99_us" (pct rc.g_hdr 99.);
+        Obs.Timeseries.add_source ts ~name:"lat.p999_us" (pct rc.g_hdr 99.9);
+        Obs.Timeseries.add_source ts ~name:"lg.completed" (fun () ->
+            float_of_int (Obs.Hdr.count (Obs.Hdr.snapshot rc.g_hdr)));
+        Obs.Timeseries.start ~append:tel.tel_append ~out:tel.tel_out ts;
+        Some ts
     in
     (* open the sessions here, not in the client domains, so client [i]
        deterministically owns process id [i] *)
     let sessions = Array.init cfg.clients (fun _ -> S.open_session svc) in
-    let client i () =
-      let session = sessions.(i) in
-      let rng = Random.State.make [| cfg.seed; i; 0x5eed |] in
-      (* Latency = client submit time to the worker's completion stamp
-         ([resp_us], written once per stamp chunk).  This measures
-         queueing + service time and deliberately excludes the client's
-         own post-completion wakeup (which on an oversubscribed box is
-         dominated by the scheduler, not the service). *)
-      let submit_t = Array.make cfg.pipeline 0.0 in
-      let rec go remaining acc =
-        if remaining = 0 then acc
-        else begin
-          let burst = min cfg.pipeline remaining in
-          let rec submit_burst j acc =
-            if j = burst then List.rev acc
-            else begin
-              submit_t.(j) <- now_us ();
-              submit_burst (j + 1) (S.submit session :: acc)
-            end
-          in
-          let tickets = submit_burst 0 [] in
-          let _, acc =
-            List.fold_left
-              (fun (j, acc) ticket ->
-                 let r = S.await ticket in
-                 let lat = r.S.resp_us -. submit_t.(j) in
-                 S.release session ticket;
-                 ( j + 1,
-                   { sm_pid = r.S.pid; sm_call = r.S.call;
-                     sm_start = r.S.start_tick; sm_end = r.S.end_tick;
-                     sm_ts = r.S.ts; sm_lat_us = lat; sm_shard = r.S.shard }
-                   :: acc ))
-              (0, acc) tickets
-          in
-          think rng cfg.think_us;
-          go (remaining - burst) acc
-        end
-      in
-      go cfg.requests_per_client []
-    in
     let t0 = now_us () in
+    let client i =
+      match cfg.arrival with
+      | Closed -> service_closed cfg rc sessions i
+      | Open { rate } -> service_open cfg rc sessions ~rate ~t0 i
+    in
     let domains = List.init cfg.clients (fun i -> Domain.spawn (client i)) in
     let samples = List.concat_map Domain.join domains in
     let elapsed = (now_us () -. t0) *. 1e-6 in
     S.stop svc;
-    (samples, elapsed, Some (S.stats svc))
+    let telemetry_counts =
+      match ts with
+      | None -> (0, 0)
+      | Some ts ->
+        Obs.Timeseries.stop ts;
+        (Obs.Timeseries.samples ts, Obs.Timeseries.stalls ts)
+    in
+    (samples, elapsed, Some (S.stats svc), telemetry_counts)
 
   let mode_string cfg =
     let backend = Multicore.Backend.choice_tag cfg.backend in
-    match cfg.mode with
-    | Direct -> Printf.sprintf "direct clients=%d backend=%s" cfg.clients backend
-    | Service { shards; batch_max } ->
-      Printf.sprintf
-        "service clients=%d shards=%d batch_max=%d pipeline=%d backend=%s"
-        cfg.clients shards batch_max cfg.pipeline backend
+    let base =
+      match cfg.mode with
+      | Direct ->
+        Printf.sprintf "direct clients=%d backend=%s" cfg.clients backend
+      | Service { shards; batch_max } ->
+        Printf.sprintf
+          "service clients=%d shards=%d batch_max=%d pipeline=%d backend=%s"
+          cfg.clients shards batch_max cfg.pipeline backend
+    in
+    match cfg.arrival with
+    | Closed -> base
+    | Open { rate } -> Printf.sprintf "%s open rate=%.0f/s" base rate
 
   let run cfg =
     if cfg.clients <= 0 then
@@ -201,10 +351,20 @@ module Run (T : Timestamp.Intf.S) = struct
       invalid_arg "Loadgen.run: requests_per_client must be positive";
     if cfg.pipeline <= 0 then
       invalid_arg "Loadgen.run: pipeline must be positive";
-    let samples, elapsed, stats =
+    (match cfg.arrival with
+     | Open { rate } when rate <= 0. ->
+       invalid_arg "Loadgen.run: open-loop rate must be positive"
+     | _ -> ());
+    let num_shards =
+      match cfg.mode with Direct -> 1 | Service { shards; _ } -> shards
+    in
+    let rc = make_recorder num_shards in
+    let samples, elapsed, stats, (tel_samples, tel_stalls) =
       match cfg.mode with
-      | Direct -> direct cfg
-      | Service { shards; batch_max } -> service cfg ~shards ~batch_max
+      | Direct ->
+        let samples, elapsed, stats = direct cfg rc in
+        (samples, elapsed, stats, (0, 0))
+      | Service { shards; batch_max } -> service cfg rc ~shards ~batch_max
     in
     let total = List.length samples in
     let timed =
@@ -223,22 +383,21 @@ module Run (T : Timestamp.Intf.S) = struct
       | Error v ->
         (0, Some (Format.asprintf "%a" Timestamp.Checker.pp_violation v))
     in
-    let p50, p99 = percentiles (List.map (fun s -> s.sm_lat_us) samples) in
-    let num_shards =
-      match cfg.mode with Direct -> 1 | Service { shards; _ } -> shards
-    in
+    let gsnap = Obs.Hdr.snapshot rc.g_hdr in
+    let gpct p = us_of_ns (Obs.Hdr.percentile gsnap p) in
     let shard_report i =
-      let here = List.filter (fun s -> s.sm_shard = i) samples in
-      let sp50, sp99 = percentiles (List.map (fun s -> s.sm_lat_us) here) in
+      let ssnap = Obs.Hdr.snapshot rc.shard_hdrs.(i) in
       let served, batches, max_batch =
         match stats with
-        | None -> (List.length here, 0, 0)
+        | None -> (Obs.Hdr.count ssnap, 0, 0)
         | Some st ->
           let (s : S.shard_stats) = st.(i) in
           (s.served, s.batches, s.max_batch)
       in
       { sr_shard = i; sr_served = served; sr_batches = batches;
-        sr_max_batch = max_batch; sr_p50_us = sp50; sr_p99_us = sp99 }
+        sr_max_batch = max_batch;
+        sr_p50_us = us_of_ns (Obs.Hdr.percentile ssnap 50.);
+        sr_p99_us = us_of_ns (Obs.Hdr.percentile ssnap 99.) }
     in
     let by_end =
       List.sort (fun a b -> Int.compare a.sm_end b.sm_end) samples
@@ -252,11 +411,16 @@ module Run (T : Timestamp.Intf.S) = struct
         (if elapsed > 0. then float_of_int total /. elapsed else 0.);
       lg_hb_pairs = hb_pairs;
       lg_violation = violation;
-      lg_p50_us = p50;
-      lg_p99_us = p99;
+      lg_p50_us = gpct 50.;
+      lg_p90_us = gpct 90.;
+      lg_p99_us = gpct 99.;
+      lg_p999_us = gpct 99.9;
+      lg_max_us = us_of_ns (float_of_int (Obs.Hdr.max_value gsnap));
       lg_shards = List.init num_shards shard_report;
       lg_timestamps =
-        List.map (fun s -> Format.asprintf "%a" T.pp_ts s.sm_ts) by_end }
+        List.map (fun s -> Format.asprintf "%a" T.pp_ts s.sm_ts) by_end;
+      lg_samples = tel_samples;
+      lg_stalls = tel_stalls }
 end
 
 let run (Timestamp.Registry.Impl (module T)) cfg =

@@ -1,42 +1,76 @@
-(** Seeded closed-loop load generator for the timestamp service.
+(** Seeded load generator for the timestamp service.
 
     Spawns [clients] domains; each performs [requests_per_client] getTS
     calls, either through a {!Service} (mode [Service]) or by executing the
     program itself on the shared registers (mode [Direct], the
-    {!Multicore.Stress} model — the unbatched baseline).  A client keeps at
-    most [pipeline] requests in flight: it submits a burst, awaits all of
-    its responses, optionally sleeps a seeded random think time, and
-    repeats.  [pipeline = 1] is the classic one-outstanding-call closed
-    loop; larger pipelines are client-side batching, the lever a timestamp
-    oracle uses to amortize the request round trip.
+    {!Multicore.Stress} model — the unbatched baseline).
+
+    Two arrival disciplines:
+    - [Closed] (the default): a client keeps at most [pipeline] requests
+      in flight — it submits a burst, awaits all of its responses,
+      optionally sleeps a seeded random think time, and repeats.
+      [pipeline = 1] is the classic one-outstanding-call closed loop.
+    - [Open { rate }]: requests have scheduled arrival times drawn from a
+      fixed aggregate [rate] (requests/second across all clients,
+      interleaved evenly), and latency is measured from the *intended*
+      start, not the actual submission — so when a backlog delays the
+      client, the wait counts against the service.  This is the
+      coordinated-omission-correct discipline (wrk2-style); the closed
+      loop's percentiles silently forgive any stall because the client
+      simply stops generating load while it waits.  The in-flight window
+      is still bounded by [pipeline].
+
+    Latencies are recorded live into a sharded {!Obs.Hdr} histogram in
+    integer nanoseconds — each client domain lands in its own
+    cache-padded shard, one atomic fetch-and-add per record — and the
+    report's p50/p90/p99/p99.9/max come from the lossless merge of those
+    per-domain shards.
 
     Every request's submit/response order is recorded against the global
     tick, so the report carries a {!Timestamp.Checker.check_timed} verdict
-    over the real happens-before order the clients observed, plus
-    throughput and per-shard latency percentiles (computed with
-    {!Obs.Metric.percentile} over microsecond histograms). *)
+    over the real happens-before order the clients observed.
+
+    With [telemetry = Some _] (service mode), the run starts an
+    {!Obs.Timeseries} sampler over the service's live gauges plus the
+    generator's own [lat.p50_us]/[lat.p99_us]/[lat.p999_us]/
+    [lg.completed] series, writes the JSONL time series to [tel_out],
+    and reports the sample/stall counts. *)
 
 type mode =
   | Direct  (** no service: each client runs its own getTS on the registers *)
   | Service of { shards : int; batch_max : int }
 
+type arrival =
+  | Closed
+  | Open of { rate : float }  (** aggregate arrival rate, requests/second *)
+
+type telemetry = {
+  tel_out : string;  (** JSONL time-series file *)
+  tel_append : bool;
+  tel_interval_us : int;  (** sampler period *)
+}
+
 type cfg = {
   mode : mode;
+  arrival : arrival;
   clients : int;
   requests_per_client : int;
-  pipeline : int;  (** in-flight requests per client; ignored by [Direct] *)
+  pipeline : int;  (** in-flight requests per client; [Direct]: ignored by
+                       the closed loop *)
   n : int;  (** processes to provision; raised automatically when the
                 implementation needs more (one-shot: total requests,
                 long-lived: [clients]) *)
   seed : int;
-  think_us : int;  (** max seeded random pause between bursts; 0 = none *)
+  think_us : int;  (** max seeded random pause between bursts; 0 = none;
+                       ignored by the open loop (the schedule paces) *)
   backoff_us : int;  (** worker idle backoff (service mode) *)
   backend : Multicore.Backend.choice;  (** register layout (both modes) *)
+  telemetry : telemetry option;  (** service mode only; [Direct] ignores *)
 }
 
 val default : cfg
-(** [Direct], 4 clients, 100 requests each, pipeline 1, n = 8, seed 1, no
-    think time, 50us backoff, boxed backend. *)
+(** [Direct], [Closed], 4 clients, 100 requests each, pipeline 1, n = 8,
+    seed 1, no think time, 50us backoff, boxed backend, no telemetry. *)
 
 type shard_report = {
   sr_shard : int;
@@ -57,12 +91,17 @@ type report = {
   lg_hb_pairs : int;  (** happens-before pairs the checker verified *)
   lg_violation : string option;  (** [None] = specification holds *)
   lg_p50_us : float;
+  lg_p90_us : float;
   lg_p99_us : float;
+  lg_p999_us : float;
+  lg_max_us : float;  (** exact recorded maximum (HDR tracks it exactly) *)
   lg_shards : shard_report list;  (** one entry ([Direct]: a single pseudo
                                       shard with no batch counters) *)
   lg_timestamps : string list;
       (** pretty-printed timestamps in response (tick) order — the served
           sequence, used by determinism tests *)
+  lg_samples : int;  (** telemetry samples written (0 when telemetry off) *)
+  lg_stalls : int;  (** stall-detector events (0 when telemetry off) *)
 }
 
 val run : Timestamp.Registry.impl -> cfg -> report

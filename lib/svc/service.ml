@@ -54,11 +54,16 @@ module Make (T : Timestamp.Intf.S) = struct
 
   type shard = {
     inbox : request Atomic.t;  (* Treiber stack of requests; [nil] = empty *)
-    depth : int Atomic.t;  (* submitted-not-batched; maintained only armed *)
-    (* worker-owned counters; published to other domains by Domain.join *)
+    depth : int Atomic.t;  (* submitted-not-batched; maintained only when
+                              instrumented ([t.instr]) *)
+    (* worker-owned counters; the sampler domain reads them live (plain
+       int reads cannot tear) and Domain.join publishes the final values *)
     mutable served : int;
     mutable batches : int;
     mutable max_batch : int;
+    mutable chunks : int;  (* end-tick reservation chunks *)
+    batch_hdr : Obs.Hdr.t;  (* batch-size distribution; single recorder
+                               (the shard's worker), so one shard *)
   }
 
   type t = {
@@ -71,6 +76,9 @@ module Make (T : Timestamp.Intf.S) = struct
     backoff_s : float;  (* = backoff_us, precomputed so the sleep path
                            performs no float boxing *)
     armed : bool;  (* Obs.Hooks.armed, sampled once at start *)
+    instr : bool;  (* armed || telemetry: maintain live gauges *)
+    pooled : int Atomic.t;  (* records parked in session free lists,
+                               service-wide; maintained only when instr *)
     tick : int Atomic.t;
     next_pid : int Atomic.t;  (* one-shot: fresh pid per request *)
     next_session : int Atomic.t;
@@ -162,6 +170,7 @@ module Make (T : Timestamp.Intf.S) = struct
           in
           let rest, k = exec node 0 in
           let base = Atomic.fetch_and_add t.tick k in
+          shard.chunks <- shard.chunks + 1;
           (* one wall-clock read per chunk; every record in the chunk
              shares the same boxed float *)
           let stamp = now_us () in
@@ -212,8 +221,11 @@ module Make (T : Timestamp.Intf.S) = struct
         shard.served <- shard.served + size;
         shard.batches <- shard.batches + 1;
         if size > shard.max_batch then shard.max_batch <- size;
-        if armed then begin
+        if t.instr then begin
           ignore (Atomic.fetch_and_add shard.depth (-size));
+          Obs.Hdr.record shard.batch_hdr size
+        end;
+        if armed then begin
           Obs.Hooks.counter ~name:"svc.queue_depth"
             (float_of_int (Atomic.get shard.depth));
           Obs.Hooks.observe ~name:"svc.batch_size" (float_of_int size);
@@ -228,11 +240,12 @@ module Make (T : Timestamp.Intf.S) = struct
   (* ------------------------------------------------------------------ *)
 
   let start ?(batch_max = 64) ?(backoff_us = 50) ?(shards = 1)
-      ?(backend = `Boxed) ~n () =
+      ?(backend = `Boxed) ?(telemetry = false) ~n () =
     if n <= 0 then invalid_arg "Service.start: n must be positive";
     if shards <= 0 then invalid_arg "Service.start: shards must be positive";
     if batch_max <= 0 then
       invalid_arg "Service.start: batch_max must be positive";
+    let armed = Obs.Hooks.armed () in
     let t =
       { regs =
           Multicore.Exec.make_store ~backend ~num:(T.num_registers ~n)
@@ -245,11 +258,15 @@ module Make (T : Timestamp.Intf.S) = struct
                 depth = Atomic.make 0;
                 served = 0;
                 batches = 0;
-                max_batch = 0 });
+                max_batch = 0;
+                chunks = 0;
+                batch_hdr = Obs.Hdr.create ~shards:1 () });
         batch_max;
         backoff_us;
         backoff_s = float_of_int backoff_us *. 1e-6;
-        armed = Obs.Hooks.armed ();
+        armed;
+        instr = armed || telemetry;
+        pooled = Atomic.make 0;
         tick = Atomic.make 0;
         next_pid = Atomic.make 0;
         next_session = Atomic.make 0;
@@ -309,6 +326,7 @@ module Make (T : Timestamp.Intf.S) = struct
         session.pool_top <- top;
         let r = session.pool.(top) in
         session.pool.(top) <- nil;
+        if t.instr then Atomic.decr t.pooled;
         r
       end
       else fresh ()
@@ -338,7 +356,7 @@ module Make (T : Timestamp.Intf.S) = struct
     req.r_start_tick <- Atomic.get t.tick;
     let shard = t.shards.(session.s_shard) in
     push shard req;
-    if t.armed then Atomic.incr shard.depth;
+    if t.instr then Atomic.incr shard.depth;
     req
 
   let await_spin_budget = 500
@@ -368,7 +386,8 @@ module Make (T : Timestamp.Intf.S) = struct
     let top = session.pool_top in
     if top < pool_cap then begin
       session.pool.(top) <- req;
-      session.pool_top <- top + 1
+      session.pool_top <- top + 1;
+      if session.svc.instr then Atomic.incr session.svc.pooled
     end
 
   let await_ts session (req : ticket) =
@@ -413,4 +432,45 @@ module Make (T : Timestamp.Intf.S) = struct
   let num_shards t = Array.length t.shards
 
   let shard_of_session session = session.s_shard
+
+  (* ------------------------------------------------------------------ *)
+  (* Live gauges for the telemetry sampler.  Every closure is safe on a
+     foreign domain: it reads atomics or plain int fields (which cannot
+     tear), and staleness is expected of a sampled series. *)
+
+  let telemetry_sources t =
+    let shard_sources i =
+      let sh = t.shards.(i) in
+      let p = Printf.sprintf "s%d.%s" i in
+      [ (p "depth", fun () -> float_of_int (Atomic.get sh.depth));
+        (p "served", fun () -> float_of_int sh.served);
+        (p "batches", fun () -> float_of_int sh.batches);
+        (p "chunks", fun () -> float_of_int sh.chunks);
+        ( p "batch_p50",
+          fun () -> Obs.Hdr.percentile (Obs.Hdr.snapshot sh.batch_hdr) 50. ) ]
+    in
+    List.concat_map shard_sources
+      (List.init (Array.length t.shards) Fun.id)
+    @ [ ("svc.pool", fun () -> float_of_int (Atomic.get t.pooled)) ]
+
+  let attach_telemetry t ts =
+    if not t.instr then
+      invalid_arg
+        "Service.attach_telemetry: start the service with ~telemetry:true \
+         (or with Obs hooks armed) so the gauges are maintained";
+    Obs.Timeseries.add_meta ts "backend"
+      (Obs.Json.String (Multicore.Backend.choice_tag t.backend));
+    Obs.Timeseries.add_meta ts "shards"
+      (Obs.Json.Int (Array.length t.shards));
+    Obs.Timeseries.add_meta ts "batch_max" (Obs.Json.Int t.batch_max);
+    List.iter
+      (fun (name, sample) -> Obs.Timeseries.add_source ts ~name sample)
+      (telemetry_sources t);
+    Array.iteri
+      (fun i sh ->
+         Obs.Timeseries.add_stall_rule ts
+           ~name:(Printf.sprintf "s%d" i)
+           ~depth:(fun () -> float_of_int (Atomic.get sh.depth))
+           ~progress:(fun () -> float_of_int sh.served))
+      t.shards
 end

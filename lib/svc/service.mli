@@ -62,6 +62,7 @@ module Make (T : Timestamp.Intf.S) : sig
     ?backoff_us:int ->
     ?shards:int ->
     ?backend:Multicore.Backend.choice ->
+    ?telemetry:bool ->
     n:int ->
     unit ->
     t
@@ -71,7 +72,14 @@ module Make (T : Timestamp.Intf.S) : sig
       unbatched mode benchmarked by E13.  [backoff_us] (default 50) is the
       idle sleep once a worker's spin budget is exhausted — workers poll,
       so no wakeup signal can be missed.  [backend] (default [`Boxed])
-      selects the register layout ({!Multicore.Backend}). *)
+      selects the register layout ({!Multicore.Backend}).
+
+      [telemetry] (default false) maintains the live gauges behind
+      {!telemetry_sources} — per-shard queue depth, batch-size HDR
+      histogram, free-list occupancy — even when the {!Obs.Hooks} sinks
+      are disarmed.  The extra hot-path cost is a handful of atomic
+      increments and one HDR record per batch, still allocation-free
+      (pinned by test; budgeted <5% by E16). *)
 
   val backend : t -> Multicore.Backend.choice
 
@@ -123,4 +131,20 @@ module Make (T : Timestamp.Intf.S) : sig
   val num_shards : t -> int
 
   val shard_of_session : session -> int
+
+  val telemetry_sources : t -> (string * (unit -> float)) list
+  (** Named live gauges, safe to sample from any domain: per shard [i],
+      [si.depth] (submitted-not-yet-batched), [si.served], [si.batches],
+      [si.chunks] (end-tick reservation chunks) and [si.batch_p50]
+      (median batch size from the shard's HDR histogram), plus the
+      service-wide [svc.pool] (records parked in session free lists).
+      Depth and pool read 0 unless the service was started with
+      [~telemetry:true] or armed hooks. *)
+
+  val attach_telemetry : t -> Obs.Timeseries.t -> unit
+  (** Registers every {!telemetry_sources} gauge plus one stall rule per
+      shard (queue depth vs. served counter) and the backend/shards/batch
+      header metadata on a not-yet-started time series.  Raises
+      [Invalid_argument] when the service isn't maintaining gauges (see
+      {!start}'s [telemetry]). *)
 end

@@ -117,3 +117,48 @@ Every subcommand shares one uniform unknown-implementation error.
   Usage: ts_cli run [OPTION]…
   Try 'ts_cli run --help' or 'ts_cli --help' for more information.
   [124]
+
+--append accumulates JSONL sidecars across runs instead of truncating;
+the validator sees both batches.
+
+  $ ts_cli explore -i simple-oneshot -n 2 --metrics-out m.jsonl > /dev/null
+  $ ts_cli obs --validate m.jsonl
+  m.jsonl: OK (20 JSONL documents)
+  $ ts_cli explore -i simple-oneshot -n 2 --metrics-out m.jsonl --append > /dev/null
+  $ ts_cli obs --validate m.jsonl
+  m.jsonl: OK (40 JSONL documents)
+
+The obs validator recognises the telemetry time-series schema, and
+ts_cli top renders a finished stream as a per-shard table (rps from the
+served deltas, global latency on the total row, "-" where a gauge is
+absent).
+
+  $ cat > tel.jsonl <<'EOF'
+  > {"schema_version": 1,"kind": "header","interval_us": 10000,"series": ["s0.depth","s0.served","s0.batches","s0.chunks","s0.batch_p50","s0.lat_p50_us","s0.lat_p99_us","s1.depth","s1.served","s1.batches","s1.chunks","s1.batch_p50","s1.lat_p50_us","s1.lat_p99_us","svc.pool","lat.p50_us","lat.p99_us"],"meta": {"backend": "boxed","shards": 2,"batch_max": 16}}
+  > {"kind": "sample","t_us": 10000.0,"v": [3.0,40.0,10.0,10.0,4.0,119.0,300.0,1.0,38.0,10.0,10.0,4.0,125.0,410.0,8.0,120.5,340.0]}
+  > {"kind": "event","event": "stall","rule": "s1","t_us": 15000.0,"depth": 2.0}
+  > {"kind": "sample","t_us": 20000.0,"v": [0.0,90.0,22.0,22.0,4.0,117.0,298.0,0.0,86.0,21.0,21.0,4.0,124.0,402.0,8.0,118.0,355.0]}
+  > {"kind": "end","samples": 2,"stalls": 1}
+  > EOF
+  $ ts_cli obs --validate tel.jsonl
+  tel.jsonl: OK (telemetry schema 1: 17 series, 2 samples, 1 events, 1 stalls)
+  $ ts_cli top --file tel.jsonl --once
+  telemetry: tel.jsonl  (backend=boxed shards=2 batch_max=16)
+  t=+20.0ms  samples=2  events=1  stalls=1  [ended]
+  shard          rps   depth  batch_p50  lat_p50_us  lat_p99_us
+  s0            5000       0        4.0       117.0       298.0
+  s1            4800       0        4.0       124.0       402.0
+  total         9800       0          -       118.0       355.0
+
+A truncated stream (no end marker) still validates and renders live.
+
+  $ head -2 tel.jsonl > live.jsonl
+  $ ts_cli obs --validate live.jsonl
+  live.jsonl: OK (telemetry schema 1: 17 series, 1 samples, 0 events, 0 stalls)
+  $ ts_cli top --file live.jsonl --once
+  telemetry: live.jsonl  (backend=boxed shards=2 batch_max=16)
+  t=+10.0ms  samples=1  events=0  stalls=0  [live]
+  shard          rps   depth  batch_p50  lat_p50_us  lat_p99_us
+  s0            4000       3        4.0       119.0       300.0
+  s1            3800       1        4.0       125.0       410.0
+  total         7800       4          -       120.5       340.0

@@ -28,5 +28,7 @@ let () =
       Test_multicore.suite;
       Test_backend.suite;
       Test_obs.suite;
+      Test_hdr.suite;
+      Test_telemetry.suite;
       Test_svc.suite;
       Test_fuzz.suite ]

@@ -285,6 +285,41 @@ let percentile_monotone () =
        prev := v)
     [ 0; 10; 25; 50; 75; 90; 99; 100 ]
 
+(* Against the exact sorted-sample oracle: p0/p100 must equal the exact
+   min/max, and every interior estimate must land inside the same
+   power-of-two bucket as the exact order statistic (the interpolation
+   can't do better than the bucket resolution, but must never leave it). *)
+let percentile_oracle =
+  Util.qtest ~count:60 "percentile vs sorted oracle"
+    QCheck2.Gen.(list_size (int_range 1 150) (int_range 1 100_000))
+    (fun ints ->
+       let vals = List.map float_of_int ints in
+       let reg = Obs.Metric.registry ~name:"pct-oracle" () in
+       let h = Obs.Metric.histogram reg "h" in
+       List.iter (Obs.Metric.observe h) vals;
+       let sorted = Array.of_list (List.sort compare vals) in
+       let n = Array.length sorted in
+       let exact p =
+         let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+         sorted.(max 0 (min (n - 1) (rank - 1)))
+       in
+       let bucket_bounds ex =
+         (* default buckets are powers of two: [2^i] *)
+         let rec go lo i =
+           let hi = float_of_int (1 lsl i) in
+           if ex <= hi || i >= 20 then (lo, Float.max hi ex) else go hi (i + 1)
+         in
+         go 0. 0
+       in
+       Obs.Metric.percentile h 0. = sorted.(0)
+       && Obs.Metric.percentile h 100. = sorted.(n - 1)
+       && List.for_all
+            (fun p ->
+               let est = Obs.Metric.percentile h p in
+               let lo, hi = bucket_bounds (exact p) in
+               est >= lo && est <= hi)
+            [ 10.; 25.; 50.; 75.; 90.; 99.; 99.9 ])
+
 (* Depth observations reach an armed metrics registry from the explore
    DFS (the frontier-depth histogram of the trace/metrics sinks). *)
 let explore_depth_histogram () =
@@ -317,5 +352,6 @@ let suite =
       Util.case "disarmed hooks allocate nothing" disarmed_no_alloc;
       Util.case "percentile estimates" percentile_estimates;
       Util.case "percentile is monotone" percentile_monotone;
+      percentile_oracle;
       Util.case "explore per-domain stats" explore_per_domain;
       Util.case "explore depth histogram" explore_depth_histogram ] )

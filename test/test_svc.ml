@@ -134,6 +134,109 @@ let single_domain_deterministic () =
   Util.check_bool "deterministic run passes the checker" true
     (a.lg_violation = None)
 
+let open_loop_service_checks () =
+  let open Svc.Loadgen in
+  let r =
+    run Timestamp.Registry.efr
+      { default with
+        mode = Service { shards = 2; batch_max = 16 };
+        arrival = Open { rate = 5000. };
+        clients = 2; requests_per_client = 40; pipeline = 4; n = 2 }
+  in
+  Util.check_int "open loop serves every request" 80 r.lg_total;
+  Util.check_bool "open loop passes the checker" true (r.lg_violation = None);
+  Util.check_bool "mode string names the rate" true
+    (String.length r.lg_mode > 0
+     &&
+     match String.index_opt r.lg_mode '=' with
+     | Some _ -> true
+     | None -> false);
+  Util.check_bool "open-loop percentiles are ordered" true
+    (r.lg_p50_us <= r.lg_p90_us
+     && r.lg_p90_us <= r.lg_p99_us
+     && r.lg_p99_us <= r.lg_p999_us
+     && r.lg_p999_us <= r.lg_max_us);
+  Util.check_bool "latencies were recorded" true (r.lg_max_us > 0.)
+
+let open_loop_direct_checks () =
+  let open Svc.Loadgen in
+  let r =
+    run Timestamp.Registry.vector
+      { default with
+        mode = Direct;
+        arrival = Open { rate = 8000. };
+        clients = 2; requests_per_client = 30; n = 2 }
+  in
+  Util.check_int "direct open loop serves every request" 60 r.lg_total;
+  Util.check_bool "direct open loop passes the checker" true
+    (r.lg_violation = None);
+  Util.check_bool "direct open-loop percentiles ordered" true
+    (r.lg_p50_us <= r.lg_p99_us && r.lg_p999_us <= r.lg_max_us)
+
+(* The live gauges must not reintroduce per-request allocation: the
+   telemetry-armed submit/await_ts path stays pooled on both register
+   backends (the E16 overhead budget assumes this). *)
+let telemetry_zero_alloc () =
+  List.iter
+    (fun backend ->
+       let module S = Svc.Service.Make (Timestamp.Lamport) in
+       let svc = S.start ~shards:1 ~backend ~telemetry:true ~n:2 () in
+       let session = S.open_session svc in
+       for _ = 1 to 200 do
+         ignore (S.await_ts session (S.submit session))
+       done;
+       let w0 = Gc.minor_words () in
+       for _ = 1 to 200 do
+         ignore (S.await_ts session (S.submit session))
+       done;
+       let w1 = Gc.minor_words () in
+       (* gauges answer while the service is live *)
+       let served =
+         match List.assoc_opt "s0.served" (S.telemetry_sources svc) with
+         | Some f -> f ()
+         | None -> Alcotest.fail "s0.served source missing"
+       in
+       S.stop svc;
+       Util.check_bool
+         (Printf.sprintf "%s: served gauge counts"
+            (Multicore.Backend.choice_tag backend))
+         true (served > 0.);
+       let delta = w1 -. w0 in
+       Util.check_bool
+         (Printf.sprintf
+            "%s: telemetry-armed submit/await_ts allocated %.0f minor words"
+            (Multicore.Backend.choice_tag backend) delta)
+         true (delta < 64.))
+    Multicore.Backend.all_choices
+
+let telemetry_sources_totals () =
+  let module S = Svc.Service.Make (Timestamp.Efr) in
+  let svc = S.start ~shards:2 ~batch_max:4 ~telemetry:true ~n:4 () in
+  let sessions = List.init 4 (fun _ -> S.open_session svc) in
+  List.iter (fun s -> for _ = 1 to 25 do ignore (S.get_ts s) done) sessions;
+  S.stop svc;
+  let sources = S.telemetry_sources svc in
+  let v name =
+    match List.assoc_opt name sources with
+    | Some f -> f ()
+    | None -> Alcotest.failf "source %s missing" name
+  in
+  Alcotest.(check (float 1e-9)) "served gauges sum to the total" 100.
+    (v "s0.served" +. v "s1.served");
+  Alcotest.(check (float 1e-9)) "depth drains to zero after stop" 0.
+    (v "s0.depth" +. v "s1.depth");
+  Util.check_bool "chunks counted" true (v "s0.chunks" +. v "s1.chunks" > 0.);
+  Util.check_bool "batch p50 within batch_max" true
+    (let p = v "s0.batch_p50" in p >= 1. && p <= 4.);
+  (* attaching telemetry to a disarmed service is a misuse *)
+  let disarmed = S.start ~shards:1 ~n:2 () in
+  let ts = Obs.Timeseries.create () in
+  Util.check_bool "attach_telemetry requires gauges" true
+    (match S.attach_telemetry disarmed ts with
+     | () -> false
+     | exception Invalid_argument _ -> true);
+  S.stop disarmed
+
 let suite =
   ( "svc",
     [ Util.case "mpsc drain is FIFO" mpsc_fifo;
@@ -144,4 +247,11 @@ let suite =
       Util.case "one-shot service passes the checker" oneshot_service_checks;
       Util.case "direct mode passes the checker" direct_mode_checks;
       Util.case "single-domain service is deterministic"
-        single_domain_deterministic ] )
+        single_domain_deterministic;
+      Util.case "open-loop service passes the checker" open_loop_service_checks;
+      Util.case "open-loop direct mode passes the checker"
+        open_loop_direct_checks;
+      Util.case "telemetry-armed hot path allocates nothing"
+        telemetry_zero_alloc;
+      Util.case "telemetry sources report exact totals"
+        telemetry_sources_totals ] )
