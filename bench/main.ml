@@ -1426,6 +1426,253 @@ let e16_telemetry () =
     rows;
   Printf.printf "\n(wrote BENCH_telemetry.json)\n"
 
+(* ------------------------------------------------------------------ *)
+(* E17: model-checking the serving layer (Svc.Model under Shm.Explore) *)
+(* and the steal-frontier explorer vs the PR-5 root split; emitted as  *)
+(* BENCH_model.json                                                    *)
+(* ------------------------------------------------------------------ *)
+
+let e17_model () =
+  header
+    "E17: serving-layer models — exhaustive verdicts, mutant kills, \
+     steal-frontier vs root-split";
+  (* Part 1: exhaustive verdicts for every model at n = 2..4 (n = 2 only
+     under --fast; the full matrix takes ~15 minutes single-core). *)
+  Printf.printf "%-6s %2s %6s | %-12s %9s %10s %10s %9s %6s %8s\n" "model" "n"
+    "procs" "verdict" "paths" "expanded" "canon" "dedup" "trunc" "seconds";
+  Printf.printf "%s\n" (String.make 92 '-');
+  let ns = if fast then [ 2 ] else [ 2; 3; 4 ] in
+  let model_rows =
+    List.concat_map
+      (fun model ->
+         List.map
+           (fun n ->
+              let t0 = Unix.gettimeofday () in
+              let outcome =
+                match
+                  Svc.Model.verify ~max_steps:400 ~max_paths:1_000_000_000
+                    model ~n
+                with
+                | Stdlib.Ok o -> o
+                | Stdlib.Error e -> failwith ("E17: " ^ e)
+              in
+              let secs = Unix.gettimeofday () -. t0 in
+              let procs =
+                (Stdlib.Result.get_ok (Svc.Model.sys model ~n)).Svc.Model.procs
+              in
+              match outcome with
+              | Shm.Explore.Counterexample { schedule; _ } ->
+                Printf.printf "%-6s %2d %6d | %-12s (schedule of %d actions)\n"
+                  (Svc.Model.name model) n procs "COUNTEREXAMPLE"
+                  (List.length schedule);
+                (model, n, procs, "counterexample", None, secs)
+              | Shm.Explore.Ok s ->
+                let verdict =
+                  if s.exhaustive && s.truncated_paths = 0 then
+                    "exhaustive"
+                  else "partial"
+                in
+                Printf.printf
+                  "%-6s %2d %6d | %-12s %9d %10d %10d %9d %6d %8.2f\n"
+                  (Svc.Model.name model) n procs verdict s.paths s.expanded
+                  s.canon_hits s.dedup_hits s.truncated_paths secs;
+                (model, n, procs, verdict, Some s, secs))
+           ns)
+      Svc.Model.all
+  in
+  (* Part 2: the three planted mutants must each die with a short shrunk
+     schedule (the shipped corpus pins the same kills as regressions). *)
+  sub "mutant kills (n = 2, shrunk schedules)";
+  Printf.printf "%-20s %-6s | %-8s %8s %8s %8s\n" "mutant" "model" "killed"
+    "actions" "shrunk" "seconds";
+  Printf.printf "%s\n" (String.make 66 '-');
+  let mutant_rows =
+    List.map
+      (fun (m : Svc.Model.mutant) ->
+         let t0 = Unix.gettimeofday () in
+         let outcome =
+           match
+             Svc.Model.verify ~max_steps:400 ~mutant:m.m_name m.m_model ~n:2
+           with
+           | Stdlib.Ok o -> o
+           | Stdlib.Error e -> failwith ("E17: " ^ e)
+         in
+         let secs = Unix.gettimeofday () -. t0 in
+         match outcome with
+         | Shm.Explore.Ok _ ->
+           Printf.printf "%-20s %-6s | %-8s (MUTANT SURVIVED)\n" m.m_name
+             (Svc.Model.name m.m_model) "NO";
+           (m, false, 0, 0, secs)
+         | Shm.Explore.Counterexample { schedule; _ } ->
+           let shrunk =
+             match Svc.Model.shrink ~mutant:m.m_name m.m_model ~n:2 schedule with
+             | Some (s, _) -> List.length s
+             | None -> List.length schedule
+           in
+           Printf.printf "%-20s %-6s | %-8s %8d %8d %8.2f\n" m.m_name
+             (Svc.Model.name m.m_model) "yes" (List.length schedule) shrunk
+             secs;
+           (m, true, List.length schedule, shrunk, secs))
+      Svc.Model.mutants
+  in
+  (* Part 3: steal-frontier vs the PR-5 root split on simple-oneshot.
+     This host may have a single core, in which case two domains timeshare
+     it and wall time cannot show a parallel speedup; the
+     hardware-independent measure is the work balance — the busiest
+     domain's share of expanded configurations bounds the parallel wall
+     time from below on real multi-core hardware, so the projected speedup
+     is rootsplit-max-work / steal-max-work. *)
+  sub "steal-frontier vs root-split (simple-oneshot, 2 domains)";
+  Printf.printf "%-12s %2s | %10s %9s %8s | %-24s %9s\n" "engine" "n"
+    "expanded" "paths" "seconds" "per-domain expanded" "max-share";
+  Printf.printf "%s\n" (String.make 88 '-');
+  let explore_so ~n ~domains ~steal =
+    let module T = Timestamp.Simple_oneshot in
+    let supplier ~pid ~call = T.program ~n ~pid ~call in
+    let cfg =
+      Shm.Sim.create ~n ~num_regs:(T.num_registers ~n) ~init:(T.init_value ~n)
+    in
+    let t0 = Unix.gettimeofday () in
+    match
+      Shm.Explore.explore ~max_steps:400 ~max_paths:100_000_000 ~domains ~steal
+        ~supplier
+        ~calls_per_proc:(Array.make n 1)
+        ~leaf_check:(fun cfg ->
+            Result.is_ok (Timestamp.Checker.check_sim (module T) cfg))
+        cfg
+    with
+    | Shm.Explore.Counterexample _ ->
+      failwith "E17: unexpected simple-oneshot counterexample"
+    | Shm.Explore.Ok s -> (s, Unix.gettimeofday () -. t0)
+  in
+  let steal_ns = if fast then [ 4 ] else [ 4; 5 ] in
+  let steal_rows =
+    List.concat_map
+      (fun n ->
+         List.map
+           (fun (engine, domains, steal) ->
+              let s, secs = explore_so ~n ~domains ~steal in
+              let per_domain =
+                Array.to_list
+                  (Array.map
+                     (fun (d : Shm.Explore.domain_stats) -> d.d_expanded)
+                     s.per_domain)
+              in
+              let max_work =
+                List.fold_left max 1
+                  (if domains > 1 then per_domain else [ s.expanded ])
+              in
+              let share =
+                float_of_int max_work
+                /. float_of_int
+                  (max 1 (List.fold_left ( + ) 0 per_domain))
+              in
+              Printf.printf "%-12s %2d | %10d %9d %8.2f | %-24s %8.1f%%\n"
+                engine n s.expanded s.paths secs
+                (String.concat ", " (List.map string_of_int per_domain))
+                (100. *. share);
+              (engine, n, domains, s, secs, per_domain, max_work))
+           [ ("sequential", 1, true);
+             ("steal", 2, true);
+             ("root-split", 2, false) ])
+      steal_ns
+  in
+  let projected =
+    List.filter_map
+      (fun n ->
+         let find engine =
+           List.find_opt (fun (e, n', _, _, _, _, _) -> e = engine && n' = n)
+             steal_rows
+         in
+         match (find "steal", find "root-split") with
+         | Some (_, _, _, _, _, _, sw), Some (_, _, _, _, _, _, rw) ->
+           let ratio = float_of_int rw /. float_of_int (max 1 sw) in
+           Printf.printf
+             "n=%d: projected steal speedup vs root-split (critical-path \
+              work ratio): %.2fx\n"
+             n ratio;
+           Some (n, ratio)
+         | _ -> None)
+      steal_ns
+  in
+  (* Machine-readable copy. *)
+  let stats_json (s : Shm.Explore.stats) : Obs.Json.t =
+    Obs.Json.Obj
+      [ ("paths", Obs.Json.Int s.paths);
+        ("expanded", Obs.Json.Int s.expanded);
+        ("dedup_hits", Obs.Json.Int s.dedup_hits);
+        ("sleep_skips", Obs.Json.Int s.sleep_skips);
+        ("canon_hits", Obs.Json.Int s.canon_hits);
+        ("evictions", Obs.Json.Int s.evictions);
+        ("truncated_paths", Obs.Json.Int s.truncated_paths);
+        ("symmetric", Obs.Json.Bool s.symmetric);
+        ("exhaustive", Obs.Json.Bool s.exhaustive) ]
+  in
+  let model_json (model, n, procs, verdict, stats, secs) : Obs.Json.t =
+    Obs.Json.Obj
+      ([ ("model", Obs.Json.String (Svc.Model.name model));
+         ("n", Obs.Json.Int n);
+         ("procs", Obs.Json.Int procs);
+         ("verdict", Obs.Json.String verdict);
+         ("seconds", Obs.Json.Float secs) ]
+       @
+       match stats with
+       | Some s -> [ ("stats", stats_json s) ]
+       | None -> [])
+  in
+  let mutant_json ((m : Svc.Model.mutant), killed, actions, shrunk, secs) :
+    Obs.Json.t =
+    Obs.Json.Obj
+      [ ("mutant", Obs.Json.String m.m_name);
+        ("model", Obs.Json.String (Svc.Model.name m.m_model));
+        ("killed", Obs.Json.Bool killed);
+        ("schedule_actions", Obs.Json.Int actions);
+        ("shrunk_actions", Obs.Json.Int shrunk);
+        ("seconds", Obs.Json.Float secs) ]
+  in
+  let steal_json (engine, n, domains, s, secs, per_domain, max_work) :
+    Obs.Json.t =
+    Obs.Json.Obj
+      [ ("engine", Obs.Json.String engine);
+        ("n", Obs.Json.Int n);
+        ("domains", Obs.Json.Int domains);
+        ("seconds", Obs.Json.Float secs);
+        ("max_domain_expanded", Obs.Json.Int max_work);
+        ( "per_domain_expanded",
+          Obs.Json.List (List.map (fun e -> Obs.Json.Int e) per_domain) );
+        ("stats", stats_json s) ]
+  in
+  let doc =
+    Obs.Json.Obj
+      [ ("schema_version", Obs.Json.Int Obs.Metric.schema_version);
+        ("experiment", Obs.Json.String "E17-model");
+        ("fast", Obs.Json.Bool fast);
+        ( "recommended_domains",
+          Obs.Json.Int (Domain.recommended_domain_count ()) );
+        ("models", Obs.Json.List (List.map model_json model_rows));
+        ("mutants", Obs.Json.List (List.map mutant_json mutant_rows));
+        ( "steal_frontier",
+          Obs.Json.Obj
+            [ ("workload", Obs.Json.String "simple-oneshot");
+              ("rows", Obs.Json.List (List.map steal_json steal_rows));
+              ( "projected_speedup_vs_rootsplit",
+                Obs.Json.Obj
+                  (List.map
+                     (fun (n, r) ->
+                        (Printf.sprintf "n%d" n, Obs.Json.Float r))
+                     projected) );
+              ( "note",
+                Obs.Json.String
+                  "speedup projected from critical-path work (busiest \
+                   domain's expanded count): on a single-core host two \
+                   domains timeshare and wall time cannot separate the \
+                   engines" ) ] ) ]
+  in
+  Out_channel.with_open_text "BENCH_model.json" (fun oc ->
+      Out_channel.output_string oc (Obs.Json.pretty_to_string doc);
+      Out_channel.output_char oc '\n');
+  Printf.printf "\n(wrote BENCH_model.json)\n"
+
 let run_timings () =
   header "Timings (Bechamel, monotonic clock; ns per run)";
   let open Bechamel in
@@ -1457,7 +1704,7 @@ let experiments =
     ("e9", e9_distributed); ("e10", e10_explore_engine);
     ("e14", e14_explore_v3); ("e12", e12_fuzz_sensitivity);
     ("e13", e13_service); ("e15", e15_scaling); ("e16", e16_telemetry);
-    ("ea", ea_ablation) ]
+    ("e17", e17_model); ("ea", ea_ablation) ]
 
 let () =
   Printf.printf

@@ -391,9 +391,81 @@ let stress_cmd =
     Term.(const run $ impl_arg $ n_arg $ calls_arg $ backend_arg
           $ obs_out_term)
 
+(* Shared between [explore] and [verify-svc]: the stats summary clause and
+   the per-domain breakdown.  The sequential stats line is pinned
+   byte-for-byte by test/cli.t, so the evictions clause only appears when a
+   cap was actually given. *)
+let stats_clause ~(stats : Shm.Explore.stats) ~domains ~dedup_cap =
+  Printf.sprintf
+    "%d configurations expanded, %d dedup hits, %d sleep-set skips, %d \
+     truncated paths%s%s%s"
+    stats.expanded stats.dedup_hits stats.sleep_skips stats.truncated_paths
+    (if stats.symmetric then
+       Printf.sprintf ", %d symmetry merges" stats.canon_hits
+     else "")
+    (match dedup_cap with
+     | Some cap -> Printf.sprintf ", %d evictions (cap %d)" stats.evictions cap
+     | None -> "")
+    (if domains > 1 then Printf.sprintf ", %d domains" domains else "")
+
+let print_per_domain ~(stats : Shm.Explore.stats) =
+  Printf.printf "  %.3fs wall, %.0f configurations expanded/s\n" stats.seconds
+    (float_of_int stats.expanded /. Float.max stats.seconds 1e-9);
+  Array.iteri
+    (fun i (d : Shm.Explore.domain_stats) ->
+       Printf.printf
+         "  domain %d: %d branches, %d expanded, %d dedup hits, %d \
+          sleep-set skips%s%s%s, %.3fs busy\n"
+         i d.d_branches d.d_expanded d.d_dedup_hits d.d_sleep_skips
+         (if stats.symmetric then
+            Printf.sprintf ", %d symmetry merges" d.d_canon_hits
+          else "")
+         (if d.d_steals > 0 then Printf.sprintf ", %d steals" d.d_steals
+          else "")
+         (if d.d_evictions > 0 then
+            Printf.sprintf ", %d evictions" d.d_evictions
+          else "")
+         d.d_seconds)
+    stats.per_domain
+
+(* Resolve the --parallel / --domains pair: an explicit --domains wins,
+   --parallel alone asks the runtime, neither means sequential. *)
+let resolve_domains ~parallel ~domains_opt =
+  match domains_opt with
+  | Some d -> max 1 d
+  | None -> if parallel then Domain.recommended_domain_count () else 1
+
+let domains_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "domains" ] ~docv:"D"
+        ~doc:
+          "Exact number of worker domains (implies parallel exploration; \
+           overrides $(b,--parallel)'s automatic count).")
+
+let no_steal_arg =
+  Arg.(
+    value & flag
+    & info [ "no-steal" ]
+        ~doc:
+          "Use the older root-split parallel engine (one branch per root \
+           action, no work stealing) instead of the work-stealing frontier. \
+           Kept for comparison; no effect when sequential.")
+
+let dedup_cap_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "dedup-cap" ] ~docv:"K"
+        ~doc:
+          "Bound each visited set to $(docv) entries, evicting the oldest \
+           (FIFO).  Sound: eviction can only re-explore covered subtrees, \
+           never skip one.  Default: unbounded.")
+
 let explore_cmd =
-  let run impl n calls max_paths max_steps parallel no_dedup no_reduction
-      no_symmetry out =
+  let run impl n calls max_paths max_steps parallel domains_opt no_steal
+      dedup_cap no_dedup no_reduction no_symmetry out =
     let rc =
       with_obs out @@ fun ctx ->
       let (Timestamp.Registry.Impl (module T)) = impl in
@@ -403,49 +475,23 @@ let explore_cmd =
           ~init:(T.init_value ~n)
       in
       let calls = match T.kind with `One_shot -> 1 | `Long_lived -> calls in
-      let domains =
-        if parallel then Domain.recommended_domain_count () else 1
-      in
+      let domains = resolve_domains ~parallel ~domains_opt in
       match
         Shm.Explore.explore ~max_steps ~max_paths ~dedup:(not no_dedup)
           ~reduction:(not no_reduction) ~symmetry:(not no_symmetry) ~domains
-          ~supplier
+          ~steal:(not no_steal) ?dedup_cap ~supplier
           ~calls_per_proc:(Array.make n calls)
           ~leaf_check:(fun cfg ->
               Result.is_ok (Timestamp.Checker.check_sim (module T) cfg))
           cfg
       with
       | Shm.Explore.Ok stats ->
-        Printf.printf
-          "%s n=%d calls=%d: %s over %d complete schedules (%d configurations \
-           expanded, %d dedup hits, %d sleep-set skips, %d truncated paths%s)\n"
+        Printf.printf "%s n=%d calls=%d: %s over %d complete schedules (%s)\n"
           T.name n calls
           (if stats.exhaustive then "EXHAUSTIVELY VERIFIED" else "verified")
-          stats.paths stats.expanded stats.dedup_hits stats.sleep_skips
-          stats.truncated_paths
-          ((if stats.symmetric then
-              Printf.sprintf ", %d symmetry merges" stats.canon_hits
-            else "")
-           ^ if domains > 1 then Printf.sprintf ", %d domains" domains else "");
-        (* Per-worker-domain breakdown: work stolen, dedup and sleep-set
-           pruning, busy time.  Only under --parallel; the single-domain
-           line above is pinned byte-for-byte by test/cli.t. *)
-        if domains > 1 then begin
-          Printf.printf "  %.3fs wall, %.0f configurations expanded/s\n"
-            stats.seconds
-            (float_of_int stats.expanded /. Float.max stats.seconds 1e-9);
-          Array.iteri
-            (fun i (d : Shm.Explore.domain_stats) ->
-               Printf.printf
-                 "  domain %d: %d branches, %d expanded, %d dedup hits, %d \
-                  sleep-set skips%s, %.3fs busy\n"
-                 i d.d_branches d.d_expanded d.d_dedup_hits d.d_sleep_skips
-                 (if stats.symmetric then
-                    Printf.sprintf ", %d symmetry merges" d.d_canon_hits
-                  else "")
-                 d.d_seconds)
-            stats.per_domain
-        end;
+          stats.paths
+          (stats_clause ~stats ~domains ~dedup_cap);
+        if domains > 1 then print_per_domain ~stats;
         Option.iter
           (fun ctx ->
              let g name v = Obs.Metric.set (Obs.Metric.gauge ctx.registry name) v in
@@ -484,8 +530,9 @@ let explore_cmd =
       value & flag
       & info [ "parallel"; "P" ]
           ~doc:
-            "Split root-level branches across \
-             $(b,Domain.recommended_domain_count) worker domains.")
+            "Spread the exploration across \
+             $(b,Domain.recommended_domain_count) worker domains \
+             (work-stealing frontier unless $(b,--no-steal)).")
   in
   let no_dedup =
     Arg.(
@@ -516,7 +563,214 @@ let explore_cmd =
           check the specification on each.")
     Term.(
       const run $ impl_arg $ n_arg $ calls_arg $ max_paths $ max_steps
-      $ parallel $ no_dedup $ no_reduction $ no_symmetry $ obs_out_term)
+      $ parallel $ domains_arg $ no_steal_arg $ dedup_cap_arg $ no_dedup
+      $ no_reduction $ no_symmetry $ obs_out_term)
+
+let verify_svc_cmd =
+  let run models n max_paths max_steps parallel domains_opt no_steal dedup_cap
+      no_dedup no_reduction no_symmetry mutant replay repro_out =
+    let rc =
+      match replay with
+      | Some path -> (
+          match Fuzz.Repro.load path with
+          | Error e ->
+            Printf.eprintf "%s: %s\n" path e;
+            2
+          | Ok repro -> (
+              match Svc.Model.replay_repro repro with
+              | Error e ->
+                Printf.eprintf "%s: %s\n" path e;
+                2
+              | Ok (Some violation) ->
+                Printf.printf "repro %s: VIOLATION reproduced (%s, %d actions)\n"
+                  path repro.impl
+                  (List.length repro.schedule);
+                Printf.printf "  %s\n" violation;
+                0
+              | Ok None ->
+                Printf.printf "repro %s: no violation (stale repro?)\n" path;
+                3))
+      | None ->
+        let models =
+          match models with [] -> Svc.Model.all | ms -> ms
+        in
+        let domains = resolve_domains ~parallel ~domains_opt in
+        let verify_one model =
+          let mname = Svc.Model.name model in
+          let tag =
+            match mutant with
+            | Some m -> Printf.sprintf "%s mutant %s" mname m
+            | None -> mname
+          in
+          match
+            Svc.Model.verify ~max_steps ~max_paths ~dedup:(not no_dedup)
+              ~reduction:(not no_reduction) ~symmetry:(not no_symmetry)
+              ~domains ~steal:(not no_steal) ?dedup_cap ?mutant model ~n
+          with
+          | Error e ->
+            Printf.eprintf "model %s: %s\n" tag e;
+            2
+          | Ok (Shm.Explore.Ok stats) ->
+            let sys =
+              (* verify succeeded, so sys is well-formed *)
+              Result.get_ok (Svc.Model.sys ?mutant model ~n)
+            in
+            Printf.printf "model %s n=%d (%d procs): %s over %d complete \
+                           schedules (%s)\n"
+              tag n sys.Svc.Model.procs
+              (if stats.exhaustive then "EXHAUSTIVELY VERIFIED"
+               else "verified")
+              stats.paths
+              (stats_clause ~stats ~domains ~dedup_cap);
+            if domains > 1 then print_per_domain ~stats;
+            0
+          | Ok (Shm.Explore.Counterexample { schedule; at_leaf; _ }) ->
+            Printf.printf
+              "model %s n=%d: COUNTEREXAMPLE (%s), schedule of %d actions\n"
+              tag n
+              (if at_leaf then "leaf check" else "invariant")
+              (List.length schedule);
+            let schedule, why =
+              match Svc.Model.shrink ?mutant model ~n schedule with
+              | Some (shrunk, why) ->
+                Printf.printf "  shrunk: %d -> %d actions\n"
+                  (List.length schedule) (List.length shrunk);
+                (shrunk, why)
+              | None -> (schedule, "violation did not replay (model bug?)")
+            in
+            Printf.printf "  %s\n" why;
+            List.iter
+              (fun (a : Shm.Schedule.action) ->
+                 match a with
+                 | Shm.Schedule.Invoke p ->
+                   Printf.printf "    invoke %d\n" p
+                 | Shm.Schedule.Step p -> Printf.printf "    step %d\n" p
+                 | Shm.Schedule.Crash p -> Printf.printf "    crash %d\n" p)
+              schedule;
+            Option.iter
+              (fun path ->
+                 Fuzz.Repro.save (Svc.Model.to_repro ?mutant model ~n schedule)
+                   path;
+                 Printf.printf "  repro written to %s\n" path)
+              repro_out;
+            1
+        in
+        List.fold_left (fun acc m -> max acc (verify_one m)) 0 models
+    in
+    if rc <> 0 then exit rc
+  in
+  let model_conv =
+    let parse s =
+      match Svc.Model.of_name s with
+      | Ok m -> Ok m
+      | Error e -> Error (`Msg e)
+    in
+    let print ppf m = Format.pp_print_string ppf (Svc.Model.name m) in
+    Arg.conv (parse, print)
+  in
+  let models =
+    Arg.(
+      value
+      & opt_all model_conv []
+      & info [ "model"; "m" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf
+               "Model to verify (one of %s); repeatable.  Default: all of \
+                them."
+               (String.concat ", "
+                  (List.map Svc.Model.name Svc.Model.all))))
+  in
+  let n_arg =
+    Arg.(
+      value & opt int 2
+      & info [ "n" ] ~docv:"N"
+          ~doc:
+            "Clients/producers in the model instance (fixed roles — \
+             consumer, workers, stopper — are added on top).")
+  in
+  let max_paths =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "max-paths" ] ~docv:"N" ~doc:"Schedule budget.")
+  in
+  let max_steps =
+    Arg.(
+      value & opt int 400
+      & info [ "max-steps" ] ~docv:"N" ~doc:"Per-schedule depth bound.")
+  in
+  let parallel =
+    Arg.(
+      value & flag
+      & info [ "parallel"; "P" ]
+          ~doc:
+            "Spread the exploration across \
+             $(b,Domain.recommended_domain_count) worker domains \
+             (work-stealing frontier unless $(b,--no-steal)).")
+  in
+  let no_dedup =
+    Arg.(
+      value & flag
+      & info [ "no-dedup" ]
+          ~doc:"Disable state deduplication (re-expand revisited states).")
+  in
+  let no_reduction =
+    Arg.(
+      value & flag
+      & info [ "no-reduction" ]
+          ~doc:
+            "Disable the independence (sleep-set) reduction; explore every \
+             interleaving of independent actions.")
+  in
+  let no_symmetry =
+    Arg.(
+      value & flag
+      & info [ "no-symmetry" ]
+          ~doc:
+            "Disable the process-symmetry quotient (the stop model's \
+             anonymous clients form a nontrivial symmetry class).")
+  in
+  let mutant =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "mutant" ] ~docv:"NAME"
+          ~doc:
+            (Printf.sprintf
+               "Plant a deliberately broken model variant (one of %s); used \
+                to calibrate the invariants — the explorer must kill it."
+               (String.concat ", "
+                  (List.map
+                     (fun (m : Svc.Model.mutant) -> m.m_name)
+                     Svc.Model.mutants))))
+  in
+  let replay =
+    Arg.(
+      value
+      & opt (some file) None
+      & info [ "replay" ] ~docv:"FILE"
+          ~doc:
+            "Replay a model repro document (test/repro_corpus/model-*.json) \
+             instead of exploring; exit 0 iff the violation still \
+             reproduces.")
+  in
+  let repro_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "repro-out" ] ~docv:"FILE"
+          ~doc:"Write the (shrunk) counterexample schedule as a repro JSON.")
+  in
+  Cmd.v
+    (Cmd.info "verify-svc"
+       ~doc:
+         "Model-check the serving layer: exhaustively explore Shm models of \
+          the service's MPSC push/drain, request-record pool, chunked tick \
+          reservation and graceful-stop handshake, checking the protocol \
+          invariants on every reachable configuration.")
+    Term.(
+      const run $ models $ n_arg $ max_paths $ max_steps $ parallel
+      $ domains_arg $ no_steal_arg $ dedup_cap_arg $ no_dedup $ no_reduction
+      $ no_symmetry $ mutant $ replay $ repro_out)
 
 let obs_cmd =
   let run impl n seed calls validate out =
@@ -1296,5 +1550,6 @@ let () =
        (Cmd.group
           (Cmd.info "ts_cli" ~version:"1.0.0" ~doc)
           [ list_cmd; run_cmd; adversary_cmd; figure_cmd; claims_cmd;
-            stress_cmd; clocks_cmd; explore_cmd; distributed_cmd; obs_cmd;
-            fuzz_cmd; serve_cmd; loadgen_cmd; top_cmd ]))
+            stress_cmd; clocks_cmd; explore_cmd; verify_svc_cmd;
+            distributed_cmd; obs_cmd; fuzz_cmd; serve_cmd; loadgen_cmd;
+            top_cmd ]))

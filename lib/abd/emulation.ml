@@ -126,6 +126,20 @@ struct
                   "swap is historyless but not register-emulatable: ABD \
                    supports read/write only" },
             [] )
+        | Shm.Prog.Rmw _ ->
+          ( { c with
+              phase =
+                Failed
+                  "rmw is not register-emulatable without consensus: ABD \
+                   supports read/write only" },
+            [] )
+        | Shm.Prog.Await _ ->
+          ( { c with
+              phase =
+                Failed
+                  "await is a blocking guard, not a register operation: ABD \
+                   supports read/write only" },
+            [] )
 
       let client_receive ~me ~entry_seq c msg =
         match c.phase, msg with

@@ -22,6 +22,11 @@ module type REGISTER_BACKEND = sig
   val set : 'v t -> int -> 'v -> unit
 
   val exchange : 'v t -> int -> 'v -> 'v
+
+  val update : 'v t -> int -> ('v -> 'v) -> 'v
+  (* [update t r u] atomically replaces the contents [v] with [u v] and
+     returns the old [v] (a CAS loop; [u] may run several times and must be
+     pure).  This is the real-atomics realization of [Shm.Prog.Rmw]. *)
 end
 
 module type S = REGISTER_BACKEND
@@ -43,6 +48,20 @@ module Boxed = struct
   let[@inline] set (regs : 'v t) r v = Atomic.set regs.(r) v
 
   let[@inline] exchange (regs : 'v t) r v = Atomic.exchange regs.(r) v
+
+  (* CAS against the exact value we read: physical equality is sufficient
+     (and is what [Atomic.compare_and_set] uses). *)
+  let update (regs : 'v t) r u =
+    let a = regs.(r) in
+    let rec loop () =
+      let old = Atomic.get a in
+      if Atomic.compare_and_set a old (u old) then old
+      else begin
+        Domain.cpu_relax ();
+        loop ()
+      end
+    in
+    loop ()
 end
 
 (* ------------------------------------------------------------------ *)
@@ -141,6 +160,23 @@ module Flat = struct
   let[@inline] exchange t r v =
     decode t.tbl (Atomic.exchange t.slots.(r) (encode t.tbl v))
 
+  (* The CAS runs on the encoded word.  Interning is canonical (one id per
+     structural value, immediates encode to themselves), so word equality
+     coincides with structural value equality: the CAS succeeds exactly
+     when the register still holds the value [u] was applied to. *)
+  let update t r u =
+    let a = t.slots.(r) in
+    let rec loop () =
+      let w = Atomic.get a in
+      let old = decode t.tbl w in
+      if Atomic.compare_and_set a w (encode t.tbl (u old)) then old
+      else begin
+        Domain.cpu_relax ();
+        loop ()
+      end
+    in
+    loop ()
+
   (* test/introspection aids *)
   let interned t =
     Mutex.lock t.tbl.lock;
@@ -196,6 +232,11 @@ let store_exchange s r v =
   match s with
   | Boxed_regs a -> Boxed.exchange a r v
   | Flat_regs f -> Flat.exchange f r v
+
+let store_update s r u =
+  match s with
+  | Boxed_regs a -> Boxed.update a r u
+  | Flat_regs f -> Flat.update f r u
 
 (* Metric label so armed runs (heatmaps, JSONL) record which backend
    produced them; a gauge named [backend.<tag>] set to 1. *)

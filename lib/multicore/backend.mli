@@ -35,6 +35,15 @@ module type REGISTER_BACKEND = sig
 
   val exchange : 'v t -> int -> 'v -> 'v
   (** Atomic swap: writes the new value, returns the previous one. *)
+
+  val update : 'v t -> int -> ('v -> 'v) -> 'v
+  (** [update t r u] atomically replaces the contents [v] with [u v] and
+      returns the old [v] — the real-atomics realization of
+      {!Shm.Prog.Rmw} (compare-and-set, fetch-and-add).  Implemented as a
+      CAS loop: [u] may run several times, so it must be pure.  On {!Flat}
+      the CAS runs on the encoded word; interning is canonical (one id per
+      structural value), so word equality coincides with structural value
+      equality. *)
 end
 
 module type S = REGISTER_BACKEND
@@ -84,6 +93,8 @@ val store_get : 'v store -> int -> 'v
 val store_set : 'v store -> int -> 'v -> unit
 
 val store_exchange : 'v store -> int -> 'v -> 'v
+
+val store_update : 'v store -> int -> ('v -> 'v) -> 'v
 
 val emit_obs_tag : choice -> unit
 (** When {!Obs.Hooks.armed}, records gauge [backend.<tag>] = 1 so metric

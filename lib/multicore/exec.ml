@@ -2,6 +2,27 @@ let make_regs ~num ~init = Array.init num (fun _ -> Atomic.make init)
 
 let make_regs_of values = Array.map Atomic.make values
 
+(* Real-atomics realizations of the two non-basic [Shm.Prog] operations:
+   an Rmw is a CAS loop (retried against the exact value read, so physical
+   equality suffices), an Await is a spin with [cpu_relax].  Both match the
+   model's semantics: the rmw is one atomic step, and the await consumes no
+   shared-memory transition until the guard holds. *)
+let rec atomic_update a u =
+  let old = Atomic.get a in
+  if Atomic.compare_and_set a old (u old) then old
+  else begin
+    Domain.cpu_relax ();
+    atomic_update a u
+  end
+
+let rec atomic_wait a g =
+  let v = Atomic.get a in
+  if g v then v
+  else begin
+    Domain.cpu_relax ();
+    atomic_wait a g
+  end
+
 let rec run ~regs = function
   | Shm.Prog.Done x -> x
   | Shm.Prog.Read (r, k) -> run ~regs (k (Atomic.get regs.(r)))
@@ -9,6 +30,8 @@ let rec run ~regs = function
     Atomic.set regs.(r) v;
     run ~regs (k ())
   | Shm.Prog.Swap (r, v, k) -> run ~regs (k (Atomic.exchange regs.(r) v))
+  | Shm.Prog.Rmw (r, u, k) -> run ~regs (k (atomic_update regs.(r) u))
+  | Shm.Prog.Await (r, g, k) -> run ~regs (k (atomic_wait regs.(r) g))
 
 (* Instrumented twin of [run], kept separate so the uninstrumented
    interpreter (a benchmarked hot path) pays nothing.  Emits the same
@@ -28,6 +51,12 @@ let rec run_obs ~pid ~regs = function
   | Shm.Prog.Swap (r, v, k) ->
     Obs.Hooks.sim Obs.Hooks.Swap ~pid ~reg:r;
     run_obs ~pid ~regs (k (Atomic.exchange regs.(r) v))
+  | Shm.Prog.Rmw (r, u, k) ->
+    Obs.Hooks.sim Obs.Hooks.Swap ~pid ~reg:r;
+    run_obs ~pid ~regs (k (atomic_update regs.(r) u))
+  | Shm.Prog.Await (r, g, k) ->
+    Obs.Hooks.sim Obs.Hooks.Read ~pid ~reg:r;
+    run_obs ~pid ~regs (k (atomic_wait regs.(r) g))
 
 let run_counting ~regs p =
   let rec go ops = function
@@ -37,6 +66,8 @@ let run_counting ~regs p =
       Atomic.set regs.(r) v;
       go (ops + 1) (k ())
     | Shm.Prog.Swap (r, v, k) -> go (ops + 1) (k (Atomic.exchange regs.(r) v))
+    | Shm.Prog.Rmw (r, u, k) -> go (ops + 1) (k (atomic_update regs.(r) u))
+    | Shm.Prog.Await (r, g, k) -> go (ops + 1) (k (atomic_wait regs.(r) g))
   in
   go 0 p
 
@@ -48,6 +79,14 @@ let run_counting ~regs p =
 module Make (B : Backend.REGISTER_BACKEND) = struct
   let make_regs ~num ~init = B.make ~num ~init
 
+  let rec wait regs r g =
+    let v = B.get regs r in
+    if g v then v
+    else begin
+      Domain.cpu_relax ();
+      wait regs r g
+    end
+
   let rec run ~regs = function
     | Shm.Prog.Done x -> x
     | Shm.Prog.Read (r, k) -> run ~regs (k (B.get regs r))
@@ -55,6 +94,8 @@ module Make (B : Backend.REGISTER_BACKEND) = struct
       B.set regs r v;
       run ~regs (k ())
     | Shm.Prog.Swap (r, v, k) -> run ~regs (k (B.exchange regs r v))
+    | Shm.Prog.Rmw (r, u, k) -> run ~regs (k (B.update regs r u))
+    | Shm.Prog.Await (r, g, k) -> run ~regs (k (wait regs r g))
 
   let rec run_obs ~pid ~regs = function
     | Shm.Prog.Done x ->
@@ -70,6 +111,12 @@ module Make (B : Backend.REGISTER_BACKEND) = struct
     | Shm.Prog.Swap (r, v, k) ->
       Obs.Hooks.sim Obs.Hooks.Swap ~pid ~reg:r;
       run_obs ~pid ~regs (k (B.exchange regs r v))
+    | Shm.Prog.Rmw (r, u, k) ->
+      Obs.Hooks.sim Obs.Hooks.Swap ~pid ~reg:r;
+      run_obs ~pid ~regs (k (B.update regs r u))
+    | Shm.Prog.Await (r, g, k) ->
+      Obs.Hooks.sim Obs.Hooks.Read ~pid ~reg:r;
+      run_obs ~pid ~regs (k (wait regs r g))
 
   let run_counting ~regs p =
     let rec go ops = function
@@ -79,6 +126,8 @@ module Make (B : Backend.REGISTER_BACKEND) = struct
         B.set regs r v;
         go (ops + 1) (k ())
       | Shm.Prog.Swap (r, v, k) -> go (ops + 1) (k (B.exchange regs r v))
+      | Shm.Prog.Rmw (r, u, k) -> go (ops + 1) (k (B.update regs r u))
+      | Shm.Prog.Await (r, g, k) -> go (ops + 1) (k (wait regs r g))
     in
     go 0 p
 end
@@ -86,6 +135,14 @@ end
 (* Hand-specialized flat runners: direct cross-module calls into
    [Backend.Flat] (statically resolved, [@inline]-able) rather than
    functor-parameter closures. *)
+
+let rec flat_wait regs r g =
+  let v = Backend.Flat.get regs r in
+  if g v then v
+  else begin
+    Domain.cpu_relax ();
+    flat_wait regs r g
+  end
 
 let rec run_flat ~regs = function
   | Shm.Prog.Done x -> x
@@ -95,6 +152,9 @@ let rec run_flat ~regs = function
     run_flat ~regs (k ())
   | Shm.Prog.Swap (r, v, k) ->
     run_flat ~regs (k (Backend.Flat.exchange regs r v))
+  | Shm.Prog.Rmw (r, u, k) ->
+    run_flat ~regs (k (Backend.Flat.update regs r u))
+  | Shm.Prog.Await (r, g, k) -> run_flat ~regs (k (flat_wait regs r g))
 
 let rec run_flat_obs ~pid ~regs = function
   | Shm.Prog.Done x ->
@@ -110,6 +170,12 @@ let rec run_flat_obs ~pid ~regs = function
   | Shm.Prog.Swap (r, v, k) ->
     Obs.Hooks.sim Obs.Hooks.Swap ~pid ~reg:r;
     run_flat_obs ~pid ~regs (k (Backend.Flat.exchange regs r v))
+  | Shm.Prog.Rmw (r, u, k) ->
+    Obs.Hooks.sim Obs.Hooks.Swap ~pid ~reg:r;
+    run_flat_obs ~pid ~regs (k (Backend.Flat.update regs r u))
+  | Shm.Prog.Await (r, g, k) ->
+    Obs.Hooks.sim Obs.Hooks.Read ~pid ~reg:r;
+    run_flat_obs ~pid ~regs (k (flat_wait regs r g))
 
 let run_flat_counting ~regs p =
   let rec go ops = function
@@ -120,6 +186,9 @@ let run_flat_counting ~regs p =
       go (ops + 1) (k ())
     | Shm.Prog.Swap (r, v, k) ->
       go (ops + 1) (k (Backend.Flat.exchange regs r v))
+    | Shm.Prog.Rmw (r, u, k) ->
+      go (ops + 1) (k (Backend.Flat.update regs r u))
+    | Shm.Prog.Await (r, g, k) -> go (ops + 1) (k (flat_wait regs r g))
   in
   go 0 p
 

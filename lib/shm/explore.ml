@@ -5,6 +5,8 @@ type domain_stats = {
   d_dedup_hits : int;
   d_sleep_skips : int;
   d_canon_hits : int;
+  d_evictions : int;
+  d_steals : int;
   d_seconds : float;
 }
 
@@ -16,6 +18,7 @@ type stats = {
   dedup_hits : int;
   sleep_skips : int;
   canon_hits : int;
+  evictions : int;
   symmetric : bool;
   exhaustive : bool;
   seconds : float;
@@ -61,9 +64,16 @@ type wstate = {
   mutable w_dedup : int;
   mutable w_sleep : int;
   mutable w_canon : int;  (* visits keyed to an orbit-mate's entry *)
+  mutable w_evict : int;  (* entries evicted by the dedup-table cap *)
+  mutable w_steals : int;  (* frontier nodes taken from another deque *)
   mutable w_seconds : float;  (* wall time spent inside branches *)
   mutable w_budget_hit : bool;
   visited : (int, entry) Hashtbl.t;
+  (* insertion-ordered keys of [visited], used only when a dedup cap is
+     set: the oldest live key is evicted first (FIFO).  A key evicted and
+     later re-added gets a fresh queue entry; stale entries whose key was
+     already evicted are skipped at pop time. *)
+  w_age : int Queue.t;
   (* per-domain canonicalizer (mutable scratch, not shared across domains);
      None when the symmetry quotient is off or trivial *)
   canon : Sim.canonicalizer option;
@@ -78,9 +88,12 @@ let new_wstate ~classes () =
     w_dedup = 0;
     w_sleep = 0;
     w_canon = 0;
+    w_evict = 0;
+    w_steals = 0;
     w_seconds = 0.;
     w_budget_hit = false;
     visited = Hashtbl.create 4096;
+    w_age = Queue.create ();
     canon = Option.map (fun classes -> Sim.canonicalizer ~classes) classes }
 
 let domain_stats_of st =
@@ -90,6 +103,8 @@ let domain_stats_of st =
     d_dedup_hits = st.w_dedup;
     d_sleep_skips = st.w_sleep;
     d_canon_hits = st.w_canon;
+    d_evictions = st.w_evict;
+    d_steals = st.w_steals;
     d_seconds = st.w_seconds }
 
 (* Branch verdicts in parallel mode. *)
@@ -100,11 +115,15 @@ type ('v, 'r) branch_result =
 
 let explore (type v r) ?(max_steps = 200) ?(max_paths = 1_000_000)
     ?(dedup = true) ?(reduction = true) ?(symmetry = true) ?(domains = 1)
+    ?(steal = true) ?dedup_cap
     ~(supplier : (v, r) Schedule.supplier) ~calls_per_proc ?invariant
     ?leaf_check (cfg0 : (v, r) Sim.t) : (v, r) outcome =
   let n = Sim.n cfg0 in
   if Array.length calls_per_proc <> n then
     invalid_arg "Explore.explore: calls_per_proc size mismatch";
+  (match dedup_cap with
+   | Some c when c < 1 -> invalid_arg "Explore.explore: dedup_cap must be >= 1"
+   | _ -> ());
   let invariant = Option.value invariant ~default:(fun _ -> true) in
   let leaf_check = Option.value leaf_check ~default:(fun _ -> true) in
   let t_start = Obs.Trace.Clock.now_s () in
@@ -136,7 +155,11 @@ let explore (type v r) ?(max_steps = 200) ?(max_paths = 1_000_000)
     | Schedule.Crash pid -> Sim.crash cfg pid
   in
   let enabled_of cfg =
-    List.map (fun pid -> Schedule.Step pid) (Sim.running cfg)
+    (* [runnable], not [running]: a process blocked on an await guard has no
+       enabled transition.  A leaf with a blocked process is a deadlock; it
+       reaches the leaf check (which typically requires quiescence) rather
+       than hanging the enumeration. *)
+    List.map (fun pid -> Schedule.Step pid) (Sim.runnable cfg)
     @ List.filter_map
       (fun pid ->
          if Sim.calls cfg pid < calls_per_proc.(pid) then
@@ -176,6 +199,84 @@ let explore (type v r) ?(max_steps = 200) ?(max_paths = 1_000_000)
       !r
     end
   in
+  (* Count a configuration visit (plus armed-only telemetry).  Shared by
+     the DFS and the breadth-first frontier expansion of the steal mode. *)
+  let count_visit st depth =
+    st.w_configs <- st.w_configs + 1;
+    if Obs.Hooks.armed () then begin
+      Obs.Hooks.observe ~name:"explore.depth" (float_of_int depth);
+      if st.w_configs land 8191 = 0 then begin
+        let d = string_of_int (Domain.self () :> int) in
+        Obs.Hooks.counter
+          ~name:("explore.configurations.d" ^ d)
+          (float_of_int st.w_configs);
+        if st.canon <> None then
+          Obs.Hooks.counter
+            ~name:("explore.canon_hits.d" ^ d)
+            (float_of_int st.w_canon)
+      end
+    end
+  in
+  (* The dedup decision: [true] means the configuration must be expanded.
+     When a [dedup_cap] is set, the visited table is bounded: after every
+     insertion the oldest keys are evicted until the table fits.  Eviction
+     is sound — losing an entry can only make a future revisit re-explore a
+     subtree that was already covered, never skip one — so verdicts and
+     exhaustiveness are unaffected; only the work saved by deduplication
+     shrinks. *)
+  let dedup_check st cfg ~remaining sleep =
+    if not dedup then true
+    else begin
+      let raw = Sim.fingerprint cfg in
+      (* Under the quotient the visited set is keyed by the orbit's
+         canonical fingerprint and masks live in canonical coordinates;
+         the search itself always continues from the concrete [cfg] with
+         the concrete [sleep], so counterexamples replay verbatim. *)
+      let key, cmask =
+        match st.canon with
+        | Some c ->
+          let key = Sim.canonical_fingerprint c cfg in
+          (key, map_mask (Sim.canonical_perm c) sleep)
+        | None -> (raw, sleep)
+      in
+      match Hashtbl.find_opt st.visited key with
+      | None ->
+        Hashtbl.add st.visited key
+          { e_raw = raw; e_frontier = [ (remaining, cmask) ] };
+        (match dedup_cap with
+         | None -> ()
+         | Some cap ->
+           Queue.add key st.w_age;
+           (* Every live key has at least one queue entry, so the pops
+              cannot exhaust the queue before the table fits. *)
+           while Hashtbl.length st.visited > cap do
+             let k = Queue.pop st.w_age in
+             if Hashtbl.mem st.visited k then begin
+               Hashtbl.remove st.visited k;
+               st.w_evict <- st.w_evict + 1
+             end
+           done);
+        true
+      | Some entry ->
+        if entry.e_raw <> raw then st.w_canon <- st.w_canon + 1;
+        if
+          List.exists
+            (fun (b, sl) -> b >= remaining && sl land lnot cmask = 0)
+            entry.e_frontier
+        then begin
+          st.w_dedup <- st.w_dedup + 1;
+          false
+        end
+        else begin
+          entry.e_frontier <-
+            (remaining, cmask)
+            :: List.filter
+              (fun (b, sl) -> not (b <= remaining && cmask land lnot sl = 0))
+              entry.e_frontier;
+          true
+        end
+    end
+  in
   (* Cooperative cancellation for parallel branches: the lowest branch index
      whose subtree contains a counterexample so far. *)
   let best_cex = Atomic.make max_int in
@@ -193,66 +294,9 @@ let explore (type v r) ?(max_steps = 200) ?(max_paths = 1_000_000)
     in
     let rec go cfg depth sleep rev_sched =
       if Atomic.get best_cex < branch_index then raise Aborted;
-      st.w_configs <- st.w_configs + 1;
-      (* Telemetry (armed-only, so the guards keep the disarmed DFS
-         allocation-free): frontier depth distribution and a periodic
-         sample of the per-domain expansion counter. *)
-      if Obs.Hooks.armed () then begin
-        Obs.Hooks.observe ~name:"explore.depth" (float_of_int depth);
-        if st.w_configs land 8191 = 0 then begin
-          let d = string_of_int (Domain.self () :> int) in
-          Obs.Hooks.counter
-            ~name:("explore.configurations.d" ^ d)
-            (float_of_int st.w_configs);
-          if st.canon <> None then
-            Obs.Hooks.counter
-              ~name:("explore.canon_hits.d" ^ d)
-              (float_of_int st.w_canon)
-        end
-      end;
+      count_visit st depth;
       if not (invariant cfg) then fail cfg rev_sched false;
-      let proceed =
-        if not dedup then true
-        else begin
-          let raw = Sim.fingerprint cfg in
-          (* Under the quotient the visited set is keyed by the orbit's
-             canonical fingerprint and masks live in canonical coordinates;
-             the DFS itself always continues from the concrete [cfg] with
-             the concrete [sleep], so counterexamples replay verbatim. *)
-          let key, cmask =
-            match st.canon with
-            | Some c ->
-              let key = Sim.canonical_fingerprint c cfg in
-              (key, map_mask (Sim.canonical_perm c) sleep)
-            | None -> (raw, sleep)
-          in
-          let remaining = max_steps - depth in
-          match Hashtbl.find_opt st.visited key with
-          | None ->
-            Hashtbl.add st.visited key
-              { e_raw = raw; e_frontier = [ (remaining, cmask) ] };
-            true
-          | Some entry ->
-            if entry.e_raw <> raw then st.w_canon <- st.w_canon + 1;
-            if
-              List.exists
-                (fun (b, sl) -> b >= remaining && sl land lnot cmask = 0)
-                entry.e_frontier
-            then begin
-              st.w_dedup <- st.w_dedup + 1;
-              false
-            end
-            else begin
-              entry.e_frontier <-
-                (remaining, cmask)
-                :: List.filter
-                  (fun (b, sl) ->
-                     not (b <= remaining && cmask land lnot sl = 0))
-                  entry.e_frontier;
-              true
-            end
-        end
-      in
+      let proceed = dedup_check st cfg ~remaining:(max_steps - depth) sleep in
       if proceed then begin
         st.w_expanded <- st.w_expanded + 1;
         match enabled_of cfg with
@@ -320,6 +364,7 @@ let explore (type v r) ?(max_steps = 200) ?(max_paths = 1_000_000)
         dedup_hits = List.fold_left (fun a st -> a + st.w_dedup) 0 sts;
         sleep_skips = List.fold_left (fun a st -> a + st.w_sleep) 0 sts;
         canon_hits = List.fold_left (fun a st -> a + st.w_canon) 0 sts;
+        evictions = List.fold_left (fun a st -> a + st.w_evict) 0 sts;
         symmetric = classes <> None;
         exhaustive =
           exhaustive_extra && truncated = 0
@@ -347,8 +392,193 @@ let explore (type v r) ?(max_steps = 200) ?(max_paths = 1_000_000)
     | B_cex (cfg, schedule, at_leaf) -> Counterexample { cfg; schedule; at_leaf }
     | B_aborted -> assert false
   end
+  else if steal then begin
+    (* Work-stealing frontier (the default parallel mode): the root region
+       is expanded breadth-first — with the same invariant, dedup and
+       sleep-set treatment as the sequential DFS — until the queue holds
+       about 32 nodes per domain; those frontier nodes are then dealt
+       round-robin into per-worker deques.  A worker drains its own deque
+       front to back (ascending node index) and steals from the BACK of a
+       victim's deque when it runs dry, so load balances at node
+       granularity instead of the root's arity.  This matters for
+       symmetric workloads: at the root only invokes are enabled and they
+       are mutually independent, so root-level sleep sets prune all but
+       the first root branch and a root-split frontier degenerates to one
+       busy domain; a deeper frontier has no such skew.  Each node carries
+       exactly the sleep mask sequential DFS would pass it, so the
+       reduction is unchanged; counterexample reporting stays
+       deterministic — expansion failures are found in (deterministic)
+       breadth-first order before any worker starts, and among worker
+       branches the lowest frontier index wins, with a node skipped only
+       when a lower-indexed node already failed. *)
+    let root_st = new_wstate () in
+    let pending : ((v, r) Sim.t * int * int * Schedule.action list) Queue.t =
+      Queue.create ()
+    in
+    Queue.add (cfg0, 0, 0, []) pending;
+    let target = 32 * domains in
+    let cex = ref None in
+    let budget_stop = ref false in
+    while
+      !cex = None && not !budget_stop
+      && Queue.length pending > 0
+      && Queue.length pending < target
+    do
+      let cfg, depth, sleep, rev_sched = Queue.pop pending in
+      count_visit root_st depth;
+      if not (invariant cfg) then cex := Some (cfg, List.rev rev_sched, false)
+      else if dedup_check root_st cfg ~remaining:(max_steps - depth) sleep
+      then begin
+        root_st.w_expanded <- root_st.w_expanded + 1;
+        match enabled_of cfg with
+        | [] ->
+          if not (leaf_check cfg) then
+            cex := Some (cfg, List.rev rev_sched, true)
+          else root_st.w_paths <- root_st.w_paths + 1
+        | enabled ->
+          if depth >= max_steps then
+            root_st.w_truncated <- root_st.w_truncated + 1
+          else begin
+            let rec iter sleep = function
+              | [] -> ()
+              | action :: rest ->
+                let abit = action_bit action in
+                if reduction && sleep land abit <> 0 then begin
+                  root_st.w_sleep <- root_st.w_sleep + 1;
+                  iter sleep rest
+                end
+                else if root_st.w_paths + root_st.w_truncated >= max_paths
+                then begin
+                  root_st.w_budget_hit <- true;
+                  budget_stop := true
+                end
+                else begin
+                  let child_sleep =
+                    if reduction then
+                      filter_sleep cfg sleep (Schedule.footprint cfg action)
+                    else 0
+                  in
+                  Queue.add
+                    ( apply_action cfg action,
+                      depth + 1,
+                      child_sleep,
+                      action :: rev_sched )
+                    pending;
+                  iter (sleep lor abit) rest
+                end
+            in
+            iter sleep enabled
+          end
+      end
+    done;
+    match !cex with
+    | Some (cfg, schedule, at_leaf) -> Counterexample { cfg; schedule; at_leaf }
+    | None ->
+      let nodes = Array.init (Queue.length pending) (fun _ -> Queue.pop pending) in
+      let nb = Array.length nodes in
+      if nb = 0 then
+        finish ~exhaustive_extra:(not !budget_stop) ~workers:[||]
+          ~extra:[ root_st ]
+      else begin
+        let nd = max 1 (min domains nb) in
+        let results = Array.make nb B_ok in
+        let skipped = Array.make nb false in
+        let states = Array.init nd (fun _ -> new_wstate ()) in
+        (* Per-worker deques of node indices, dealt round-robin.  A
+           mutex-guarded list per deque is plenty here: one lock per node
+           taken, and the node count is small (~32 per domain). *)
+        let deque_lock = Array.init nd (fun _ -> Mutex.create ()) in
+        let deques = Array.make nd [] in
+        for i = nb - 1 downto 0 do
+          let w = i mod nd in
+          deques.(w) <- i :: deques.(w)
+        done;
+        let pop_own w =
+          Mutex.lock deque_lock.(w);
+          let r =
+            match deques.(w) with
+            | [] -> None
+            | i :: tl ->
+              deques.(w) <- tl;
+              Some i
+          in
+          Mutex.unlock deque_lock.(w);
+          r
+        in
+        let steal_from w =
+          Mutex.lock deque_lock.(w);
+          let r =
+            let rec split acc = function
+              | [] -> None
+              | [ last ] ->
+                deques.(w) <- List.rev acc;
+                Some last
+              | x :: tl -> split (x :: acc) tl
+            in
+            split [] deques.(w)
+          in
+          Mutex.unlock deque_lock.(w);
+          r
+        in
+        let worker wid () =
+          let st = states.(wid) in
+          let take () =
+            match pop_own wid with
+            | Some i -> Some i
+            | None ->
+              let rec scan k =
+                if k >= nd then None
+                else
+                  match steal_from ((wid + k) mod nd) with
+                  | Some i ->
+                    st.w_steals <- st.w_steals + 1;
+                    Some i
+                  | None -> scan (k + 1)
+              in
+              scan 1
+          in
+          let rec loop () =
+            match take () with
+            | None -> ()
+            | Some i ->
+              (if Atomic.get best_cex < i then skipped.(i) <- true
+               else begin
+                 let cfg, depth, sleep, rev_sched = nodes.(i) in
+                 results.(i) <-
+                   run_timed_branch st ~branch_index:i cfg depth sleep
+                     rev_sched
+               end);
+              loop ()
+          in
+          loop ()
+        in
+        let doms =
+          List.init (nd - 1) (fun wid -> Domain.spawn (worker (wid + 1)))
+        in
+        worker 0 ();
+        List.iter Domain.join doms;
+        let rec first_cex k =
+          if k >= nb then None
+          else
+            match results.(k) with
+            | B_cex (cfg, schedule, at_leaf) -> Some (cfg, schedule, at_leaf)
+            | B_ok | B_aborted -> first_cex (k + 1)
+        in
+        match first_cex 0 with
+        | Some (cfg, schedule, at_leaf) ->
+          Counterexample { cfg; schedule; at_leaf }
+        | None ->
+          let all_ran =
+            (not !budget_stop)
+            && Array.for_all (fun s -> not s) skipped
+            && Array.for_all (function B_ok -> true | _ -> false) results
+          in
+          finish ~exhaustive_extra:all_ran ~workers:states ~extra:[ root_st ]
+      end
+  end
   else begin
-    (* Domain-parallel frontier: the root is expanded here, its branches are
+    (* Root-split frontier (the PR-5 engine, kept selectable for
+       comparison): the root is expanded here, its branches are
        distributed over worker domains, each with its own visited set (kept
        across the branches it steals).  The root-level sleep sets are
        replayed deterministically per branch, so the reduction is identical

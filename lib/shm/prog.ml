@@ -3,6 +3,8 @@ type ('v, 'a) t =
   | Read of int * ('v -> ('v, 'a) t)
   | Write of int * 'v * (unit -> ('v, 'a) t)
   | Swap of int * 'v * ('v -> ('v, 'a) t)
+  | Rmw of int * ('v -> 'v) * ('v -> ('v, 'a) t)
+  | Await of int * ('v -> bool) * ('v -> ('v, 'a) t)
 
 let return x = Done x
 
@@ -12,6 +14,8 @@ let rec bind p f =
   | Read (r, k) -> Read (r, fun v -> bind (k v) f)
   | Write (r, v, k) -> Write (r, v, fun () -> bind (k ()) f)
   | Swap (r, v, k) -> Swap (r, v, fun old -> bind (k old) f)
+  | Rmw (r, u, k) -> Rmw (r, u, fun old -> bind (k old) f)
+  | Await (r, g, k) -> Await (r, g, fun v -> bind (k v) f)
 
 let map f p = bind p (fun x -> Done (f x))
 
@@ -20,6 +24,16 @@ let read r = Read (r, fun v -> Done v)
 let write r v = Write (r, v, fun () -> Done ())
 
 let swap r v = Swap (r, v, fun old -> Done old)
+
+let rmw r u = Rmw (r, u, fun old -> Done old)
+
+let cas ?(eq = ( = )) r ~expect ~desired =
+  Rmw
+    ( r,
+      (fun cur -> if eq cur expect then desired else cur),
+      fun old -> Done (eq old expect) )
+
+let await r g = Await (r, g, fun v -> Done v)
 
 module Syntax = struct
   let ( let* ) = bind
@@ -38,12 +52,21 @@ let rec map_reg f = function
   | Read (r, k) -> Read (f r, fun v -> map_reg f (k v))
   | Write (r, v, k) -> Write (f r, v, fun () -> map_reg f (k ()))
   | Swap (r, v, k) -> Swap (f r, v, fun old -> map_reg f (k old))
+  | Rmw (r, u, k) -> Rmw (f r, u, fun old -> map_reg f (k old))
+  | Await (r, g, k) -> Await (f r, g, fun v -> map_reg f (k v))
 
 let rec embed ~inj ~prj = function
   | Done x -> Done x
   | Read (r, k) -> Read (r, fun w -> embed ~inj ~prj (k (prj w)))
   | Write (r, v, k) -> Write (r, inj v, fun () -> embed ~inj ~prj (k ()))
   | Swap (r, v, k) -> Swap (r, inj v, fun old -> embed ~inj ~prj (k (prj old)))
+  | Rmw (r, u, k) ->
+    Rmw
+      ( r,
+        (fun w -> inj (u (prj w))),
+        fun old -> embed ~inj ~prj (k (prj old)) )
+  | Await (r, g, k) ->
+    Await (r, (fun w -> g (prj w)), fun v -> embed ~inj ~prj (k (prj v)))
 
 (* Two independently seeded polymorphic hashes of the whole program tree.
    The traversal descends into closure environments, so programs built from
@@ -69,5 +92,15 @@ let run_pure ~regs p =
       let old = regs.(r) in
       regs.(r) <- v;
       go (ops + 1) (k old)
+    | Rmw (r, u, k) ->
+      let old = regs.(r) in
+      regs.(r) <- u old;
+      go (ops + 1) (k old)
+    | Await (r, g, k) ->
+      (* Solo execution: nobody else can make the guard true, so a false
+         guard is a deadlock, not a wait. *)
+      let v = regs.(r) in
+      if not (g v) then invalid_arg "Prog.run_pure: await guard false (solo)";
+      go (ops + 1) (k v)
   in
   go 0 p

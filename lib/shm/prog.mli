@@ -25,6 +25,26 @@ type ('v, 'a) t =
           old contents), so the paper's one-shot lower bound still applies
           (Section 7); a poised swap covers its register just like a poised
           write. *)
+  | Rmw of int * ('v -> 'v) * ('v -> ('v, 'a) t)
+      (** poised to atomically read-modify-write: replace the contents [v]
+          with [u v] and continue with the old [v].  This models the
+          compare-and-set and fetch-and-add primitives of the serving layer
+          (DESIGN.md §13); unlike {!Swap} it is {e not} historyless — the
+          stored value depends on the old contents — so the paper's covering
+          machinery never treats it as covering ({!Sim.covers} is [None]).
+          The update function must be pure: it may run several times during
+          speculative exploration. *)
+  | Await of int * ('v -> bool) * ('v -> ('v, 'a) t)
+      (** poised on a {e guarded read}: the process is blocked — not
+          enabled — until the guard holds of the register's contents, at
+          which point one step reads the value (guard re-checked atomically
+          with the read).  This is the model-level rendering of a real
+          spin/futex wait: modelling the spin as repeated reads would give
+          every poll a distinct continuation signature and blow up the
+          explored state space, whereas a blocked process contributes no
+          transitions and a leaf with a blocked process fails quiescence —
+          turning lost-wakeup bugs into leaf-check counterexamples.  The
+          guard must be pure. *)
 
 val return : 'a -> ('v, 'a) t
 
@@ -42,6 +62,22 @@ val swap : int -> 'v -> ('v, 'v) t
 (** [swap r v] atomically stores [v] in register [r] and returns the
     previous contents (a historyless primitive; see Section 7 of the
     paper). *)
+
+val rmw : int -> ('v -> 'v) -> ('v, 'v) t
+(** [rmw r u] atomically replaces the contents [v] of register [r] with
+    [u v] and returns the old [v].  [u] must be pure. *)
+
+val cas : ?eq:('v -> 'v -> bool) -> int -> expect:'v -> desired:'v
+  -> ('v, bool) t
+(** [cas r ~expect ~desired] is the compare-and-set derived from {!rmw}:
+    atomically, if the contents equal [expect] (per [eq], default [(=)]),
+    store [desired] and return [true]; otherwise leave the register
+    unchanged and return [false]. *)
+
+val await : int -> ('v -> bool) -> ('v, 'v) t
+(** [await r g] blocks until register [r] satisfies [g], then returns its
+    contents.  The guard re-check and the read are one atomic step; while
+    the guard is false the process is not enabled (see {!type:t}). *)
 
 module Syntax : sig
   val ( let* ) : ('v, 'a) t -> ('a -> ('v, 'b) t) -> ('v, 'b) t
@@ -80,7 +116,9 @@ val run_pure : regs:'v array -> ('v, 'a) t -> 'a * int
 (** [run_pure ~regs p] executes [p] to completion, solo, against the given
     register array (mutating it in place) and returns the result together
     with the number of shared-memory operations performed.  This is the
-    sequential reference interpreter, useful for unit tests.
+    sequential reference interpreter, useful for unit tests.  An {!Await}
+    whose guard is false raises [Invalid_argument]: solo, nobody can ever
+    satisfy it.
 
     This is also the storage seam: a program never touches registers except
     through an interpreter, so the representation of a register is entirely

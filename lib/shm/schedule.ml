@@ -58,7 +58,14 @@ let footprint cfg action =
   | Step pid -> (
       match Sim.poised cfg pid with
       | Sim.P_read r -> F_read r
-      | Sim.P_write (r, _) | Sim.P_swap (r, _) -> F_write r
+      (* An rmw both reads and writes its register; F_write is the
+         conservative footprint (dependent on every same-register access).
+         An await step is a guarded read — F_read keeps it dependent on
+         same-register writes, which is exactly what can enable/disable the
+         guard, so the sleep-set reduction never commutes an await past the
+         write that wakes it. *)
+      | Sim.P_write (r, _) | Sim.P_swap (r, _) | Sim.P_rmw r -> F_write r
+      | Sim.P_await (r, _) -> F_read r
       | Sim.P_respond -> F_hist
       | Sim.P_idle | Sim.P_crashed -> F_none)
 
@@ -127,20 +134,25 @@ let run_round_robin ~fuel cfg =
   let rec go fuel cfg =
     match Sim.running cfg with
     | [] -> Some cfg
-    | pids ->
-      if fuel <= 0 then None
-      else
-        let fuel, cfg =
-          List.fold_left
-            (fun (fuel, cfg) pid ->
-               (* A process may respond and go idle while earlier pids in the
-                  same round are stepped, so re-check. *)
-               match Sim.poised cfg pid with
-               | Sim.P_idle | Sim.P_crashed -> (fuel, cfg)
-               | _ -> (fuel - 1, Sim.step cfg pid))
-            (fuel, cfg) pids
-        in
-        go fuel cfg
+    | _ -> (
+        match Sim.runnable cfg with
+        | [] -> None  (* every call in progress is blocked on a guard *)
+        | pids ->
+          if fuel <= 0 then None
+          else
+            let fuel, cfg =
+              List.fold_left
+                (fun (fuel, cfg) pid ->
+                   (* A process may respond and go idle — or block on a
+                      guard — while earlier pids in the same round are
+                      stepped, so re-check. *)
+                   match Sim.poised cfg pid with
+                   | Sim.P_idle | Sim.P_crashed | Sim.P_await (_, false) ->
+                     (fuel, cfg)
+                   | _ -> (fuel - 1, Sim.step cfg pid))
+                (fuel, cfg) pids
+            in
+            go fuel cfg)
   in
   go fuel cfg
 
@@ -148,11 +160,16 @@ let run_random ~fuel ~rand cfg =
   let rec go fuel cfg =
     match Sim.running cfg with
     | [] -> Some cfg
-    | pids ->
-      if fuel <= 0 then None
-      else
-        let pid = List.nth pids (Random.State.int rand (List.length pids)) in
-        go (fuel - 1) (Sim.step cfg pid)
+    | _ -> (
+        match Sim.runnable cfg with
+        | [] -> None  (* deadlock: blocked guards only *)
+        | pids ->
+          if fuel <= 0 then None
+          else
+            let pid =
+              List.nth pids (Random.State.int rand (List.length pids))
+            in
+            go (fuel - 1) (Sim.step cfg pid))
   in
   go fuel cfg
 
@@ -163,14 +180,16 @@ let run_workload ?invoke_prob ?(crash_prob = 0.) ?(max_crashes = 0) ~fuel
     invalid_arg "Schedule.run_workload: calls_per_proc size mismatch";
   let crashes = ref 0 in
   let rec go fuel cfg =
-    let runnable = Sim.running cfg in
+    let runnable = Sim.runnable cfg in
     let startable =
       List.filter
         (fun pid -> Sim.calls cfg pid < calls_per_proc.(pid))
         (Sim.idle cfg)
     in
     match runnable, startable with
-    | [], [] -> Some cfg
+    | [], [] ->
+      (* Quiescent, or a deadlock of blocked await guards. *)
+      if Sim.running cfg = [] then Some cfg else None
     | _ ->
       if fuel <= 0 then None
       else if
@@ -214,6 +233,7 @@ let run_solo_trace ~fuel cfg pid =
     match Sim.poised cfg pid with
     | Sim.P_idle -> Some (cfg, List.rev rev_trace)
     | Sim.P_crashed -> invalid_arg "Schedule.run_solo_trace: crashed process"
+    | Sim.P_await (_, false) -> None  (* solo: the guard can never turn true *)
     | _ ->
       if fuel = 0 then None
       else go (fuel - 1) (Sim.step cfg pid) (cfg :: rev_trace)
@@ -244,13 +264,13 @@ let run_pct ?(length_hint = 500) ~fuel ~rand ~depth ~calls_per_proc supplier
     priority.(pid) <- !min_priority
   in
   let rec go fuel steps cfg =
-    let runnable = Sim.running cfg in
+    let runnable = Sim.runnable cfg in
     let startable =
       List.filter (fun pid -> Sim.calls cfg pid < calls_per_proc.(pid))
         (Sim.idle cfg)
     in
     match runnable @ startable with
-    | [] -> Some cfg
+    | [] -> if Sim.running cfg = [] then Some cfg else None
     | enabled ->
       if fuel <= 0 then None
       else begin

@@ -36,8 +36,15 @@ val programs :
     driver's inner loop: [(programs s ~n).(pid) ~call = s ~pid ~call]. *)
 
 type footprint =
-  | F_read of int  (** next step reads that register *)
-  | F_write of int  (** next step writes (or swaps) that register *)
+  | F_read of int
+      (** next step reads that register (plain read, or an enabled
+          {!Prog.Await} guard-read: keeping an await dependent on
+          same-register writes is what makes the reduction sound for
+          guarded waits — the write that enables or disables a guard never
+          commutes past it) *)
+  | F_write of int
+      (** next step writes (or swaps, or atomically read-modify-writes)
+          that register *)
   | F_invoke
       (** an invocation: commutes with other invocations (two concurrent
           invocations have the same invocation epoch, so their relative
@@ -90,11 +97,14 @@ val invoke_all :
 val run_round_robin :
   fuel:int -> ('v, 'r) Sim.t -> ('v, 'r) Sim.t option
 (** Steps all in-progress calls in round-robin order until quiescence.
-    [None] when the fuel runs out first. *)
+    [None] when the fuel runs out first, or when every in-progress call is
+    blocked on an await guard (deadlock).  Processes blocked on a guard are
+    skipped until a peer's write enables them. *)
 
 val run_random :
   fuel:int -> rand:Random.State.t -> ('v, 'r) Sim.t -> ('v, 'r) Sim.t option
-(** Steps a uniformly random in-progress process until quiescence. *)
+(** Steps a uniformly random runnable process until quiescence; [None] on
+    fuel exhaustion or a deadlock of blocked guards. *)
 
 val run_workload :
   ?invoke_prob:float ->

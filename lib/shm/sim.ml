@@ -67,6 +67,8 @@ type 'v poised =
   | P_read of int
   | P_write of int * 'v
   | P_swap of int * 'v
+  | P_rmw of int
+  | P_await of int * bool
   | P_respond
 
 let of_regs ~n ~regs =
@@ -111,14 +113,19 @@ let poised cfg pid =
   | Running (Prog.Read (r, _)) -> P_read r
   | Running (Prog.Write (r, v, _)) -> P_write (r, v)
   | Running (Prog.Swap (r, v, _)) -> P_swap (r, v)
+  | Running (Prog.Rmw (r, _, _)) -> P_rmw r
+  | Running (Prog.Await (r, g, _)) -> P_await (r, g cfg.regs.(r))
 
 (* A poised swap covers its register exactly like a poised write: both are
    historyless overwrites, and the covering arguments of the paper apply to
-   either (Section 7). *)
+   either (Section 7).  A poised rmw does NOT cover: the stored value
+   depends on the old contents, so it is not historyless and the paper's
+   covering machinery does not apply to it (neither does an await, which
+   writes nothing). *)
 let covers cfg pid =
   match poised cfg pid with
   | P_write (r, _) | P_swap (r, _) -> Some r
-  | P_idle | P_crashed | P_read _ | P_respond -> None
+  | P_idle | P_crashed | P_read _ | P_rmw _ | P_await _ | P_respond -> None
 
 let invoke cfg ~pid ~program =
   check_pid cfg pid;
@@ -202,7 +209,34 @@ let step cfg pid =
        { cfg with
          procs; proc_sig; regs; reg_written;
          steps = cfg.steps + 1;
-         writes = cfg.writes + 1 })
+         writes = cfg.writes + 1 }
+     | Prog.Rmw (r, u, k) ->
+       (* Reported to telemetry as a swap: one atomic op that overwrites its
+          register.  Reads and writes the register in the same step. *)
+       Obs.Hooks.sim Obs.Hooks.Swap ~pid ~reg:r;
+       let old = cfg.regs.(r) in
+       let regs = Array.copy cfg.regs in
+       regs.(r) <- u old;
+       procs.(pid) <- Running (k old);
+       proc_sig.(pid) <- mix (mix proc_sig.(pid) 4) (vhash old);
+       let reg_written = Array.copy cfg.reg_written in
+       reg_written.(r) <- true;
+       let reg_read = Array.copy cfg.reg_read in
+       reg_read.(r) <- true;
+       { cfg with
+         procs; proc_sig; regs; reg_written; reg_read;
+         steps = cfg.steps + 1;
+         writes = cfg.writes + 1 }
+     | Prog.Await (r, g, k) ->
+       let v = cfg.regs.(r) in
+       if not (g v) then
+         invalid_arg "Sim.step: process is blocked on await";
+       Obs.Hooks.sim Obs.Hooks.Read ~pid ~reg:r;
+       procs.(pid) <- Running (k v);
+       proc_sig.(pid) <- mix (mix proc_sig.(pid) 5) (vhash v);
+       let reg_read = Array.copy cfg.reg_read in
+       reg_read.(r) <- true;
+       { cfg with procs; proc_sig; reg_read; steps = cfg.steps + 1 })
 
 let crash cfg pid =
   check_pid cfg pid;
@@ -231,6 +265,18 @@ let filter_pids cfg f =
 let running cfg =
   filter_pids cfg (fun _ st -> match st with Running _ -> true | _ -> false)
 
+let is_blocked cfg pid =
+  match cfg.procs.(pid) with
+  | Running (Prog.Await (r, g, _)) -> not (g cfg.regs.(r))
+  | Running _ | Idle | Crashed _ -> false
+
+let blocked cfg = filter_pids cfg (fun pid _ -> is_blocked cfg pid)
+
+let runnable cfg =
+  filter_pids cfg (fun pid st ->
+      (match st with Running _ -> true | _ -> false)
+      && not (is_blocked cfg pid))
+
 let idle cfg =
   filter_pids cfg (fun _ st -> match st with Idle -> true | _ -> false)
 
@@ -248,7 +294,10 @@ let run_solo ~fuel cfg pid =
     match cfg.procs.(pid) with
     | Idle -> Some cfg
     | Crashed _ -> invalid_arg "Sim.run_solo: process has crashed"
-    | Running _ -> if fuel = 0 then None else go (fuel - 1) (step cfg pid)
+    | Running _ ->
+      if is_blocked cfg pid then None  (* solo: the guard can never turn true *)
+      else if fuel = 0 then None
+      else go (fuel - 1) (step cfg pid)
   in
   go fuel cfg
 
@@ -257,7 +306,7 @@ let block_write cfg pids =
     (fun cfg pid ->
        match poised cfg pid with
        | P_write _ | P_swap _ -> step cfg pid
-       | P_idle | P_crashed | P_read _ | P_respond ->
+       | P_idle | P_crashed | P_read _ | P_rmw _ | P_await _ | P_respond ->
          invalid_arg "Sim.block_write: process is not poised to write")
     cfg pids
 

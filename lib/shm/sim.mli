@@ -29,6 +29,15 @@ type 'v poised =
   | P_write of int * 'v  (** poised to write: {e covers} that register *)
   | P_swap of int * 'v
       (** poised to swap (a historyless overwrite): also covers *)
+  | P_rmw of int
+      (** poised on an atomic read-modify-write of the given register
+          ({!Prog.Rmw}: compare-and-set, fetch-and-add).  Not historyless,
+          so it never covers. *)
+  | P_await of int * bool
+      (** poised on a guarded read of the given register ({!Prog.Await});
+          the flag is whether the guard currently holds.  When it is
+          [false] the process is {e blocked}: it is not enabled, {!step}
+          raises, and {!runnable} omits it. *)
   | P_respond  (** computation finished; next step delivers the response *)
 
 val create : n:int -> num_regs:int -> init:'v -> ('v, 'r) t
@@ -66,7 +75,7 @@ val invoke :
 val step : ('v, 'r) t -> int -> ('v, 'r) t
 (** [step cfg p] lets process [p] take one step: execute its poised read or
     write, or deliver its pending response.  Raises [Invalid_argument] if
-    [p] is idle or crashed. *)
+    [p] is idle, crashed, or blocked on an await guard. *)
 
 val crash : ('v, 'r) t -> int -> ('v, 'r) t
 (** Crash-stop: the process takes no further steps.  Allowed in any state. *)
@@ -77,7 +86,18 @@ val is_quiescent : ('v, 'r) t -> bool
     in-progress here and [is_quiescent] is false if any exist). *)
 
 val running : ('v, 'r) t -> int list
-(** Processes with a method call in progress, in pid order. *)
+(** Processes with a method call in progress, in pid order (including
+    processes blocked on an {!Prog.Await} guard; see {!runnable}). *)
+
+val blocked : ('v, 'r) t -> int list
+(** Processes blocked on an {!Prog.Await} whose guard is currently false,
+    in pid order.  Stepping them raises; they become runnable again the
+    moment another process makes the guard true. *)
+
+val runnable : ('v, 'r) t -> int list
+(** {!running} minus {!blocked}: the processes that can take a step now.
+    Schedulers and the exploration engine must draw enabled steps from
+    this list, not from {!running}. *)
 
 val idle : ('v, 'r) t -> int list
 (** Processes with no call in progress and not crashed, in pid order. *)
@@ -90,8 +110,9 @@ val calls : ('v, 'r) t -> int -> int
 
 val run_solo : fuel:int -> ('v, 'r) t -> int -> ('v, 'r) t option
 (** [run_solo ~fuel cfg p] steps [p] alone until its current call responds.
-    [None] if the fuel is exhausted first (non-termination witness).  If [p]
-    is idle, returns the configuration unchanged. *)
+    [None] if the fuel is exhausted first (non-termination witness) or if
+    [p] blocks on an await guard (solo, nobody can satisfy it).  If [p] is
+    idle, returns the configuration unchanged. *)
 
 val block_write : ('v, 'r) t -> int list -> ('v, 'r) t
 (** [block_write cfg ps] performs the paper's block-write [pi_P]: each

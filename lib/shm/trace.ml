@@ -13,6 +13,9 @@ let describe ?pp_value cfg pid =
   | Sim.P_read r -> Printf.sprintf "read R[%d]" (r + 1)
   | Sim.P_write (r, v) -> Printf.sprintf "write R[%d]%s" (r + 1) (value v)
   | Sim.P_swap (r, v) -> Printf.sprintf "swap R[%d]%s" (r + 1) (value v)
+  | Sim.P_rmw r -> Printf.sprintf "rmw R[%d]" (r + 1)
+  | Sim.P_await (r, true) -> Printf.sprintf "await R[%d] (ready)" (r + 1)
+  | Sim.P_await (r, false) -> Printf.sprintf "await R[%d] (blocked)" (r + 1)
   | Sim.P_respond -> "respond"
   | Sim.P_idle -> "idle"
   | Sim.P_crashed -> "crashed"

@@ -47,6 +47,19 @@ line omits the merges clause.
   $ ts_cli explore -i efr-longlived -n 2 -c 1
   efr-longlived n=2 calls=1: EXHAUSTIVELY VERIFIED over 6 complete schedules (33 configurations expanded, 0 dedup hits, 8 sleep-set skips, 0 truncated paths)
 
+--dedup-cap bounds the dedup table; the stats line then reports evictions.
+--domains picks the parallel engine (steal-frontier by default, --no-steal
+for static root splitting); the merged verdict is engine-independent.
+
+  $ ts_cli explore -i simple-oneshot -n 2 --dedup-cap 3
+  simple-oneshot n=2 calls=1: EXHAUSTIVELY VERIFIED over 8 complete schedules (49 configurations expanded, 2 dedup hits, 12 sleep-set skips, 0 truncated paths, 2 symmetry merges, 45 evictions (cap 3))
+
+  $ ts_cli explore -i simple-oneshot -n 2 --domains 2 | head -1
+  simple-oneshot n=2 calls=1: EXHAUSTIVELY VERIFIED over 4 complete schedules (27 configurations expanded, 4 dedup hits, 6 sleep-set skips, 0 truncated paths, 5 symmetry merges, 2 domains)
+
+  $ ts_cli explore -i simple-oneshot -n 2 --domains 2 --no-steal | head -1
+  simple-oneshot n=2 calls=1: EXHAUSTIVELY VERIFIED over 4 complete schedules (27 configurations expanded, 4 dedup hits, 6 sleep-set skips, 0 truncated paths, 5 symmetry merges, 2 domains)
+
 The canonicalization counters flow through the metrics sidecar and pass
 the obs validator.
 
@@ -85,6 +98,40 @@ Tiny instances fall back to exhaustive exploration automatically.
   $ ts_cli fuzz --seed 1 -n 2 -c 1
   fuzz seed=1 n=2 calls=1 iters=1000: differential over 7 implementations
   fuzz: OK — state space small, exhaustively explored instead (every schedule checked)
+
+verify-svc model-checks the serving layer's concurrency patterns as Shm
+programs; the quotient kicks in on the symmetric stop handshake.
+
+  $ ts_cli verify-svc -m tick -m stop -n 2
+  model tick n=2 (4 procs): EXHAUSTIVELY VERIFIED over 288 complete schedules (4138 configurations expanded, 0 dedup hits, 3413 sleep-set skips, 0 truncated paths)
+  model stop n=2 (4 procs): EXHAUSTIVELY VERIFIED over 576 complete schedules (9251 configurations expanded, 1170 dedup hits, 7415 sleep-set skips, 0 truncated paths, 752 symmetry merges)
+
+  $ ts_cli verify-svc -m stop -n 2 --no-symmetry
+  model stop n=2 (4 procs): EXHAUSTIVELY VERIFIED over 1152 complete schedules (18335 configurations expanded, 2164 dedup hits, 14650 sleep-set skips, 0 truncated paths)
+
+  $ ts_cli verify-svc -m tick -n 2 --dedup-cap 64
+  model tick n=2 (4 procs): EXHAUSTIVELY VERIFIED over 288 complete schedules (4138 configurations expanded, 0 dedup hits, 3413 sleep-set skips, 0 truncated paths, 4074 evictions (cap 64))
+
+A planted model mutant is caught, shrunk, and the repro round-trips
+through a file and --replay.
+
+  $ ts_cli verify-svc -m tick --mutant tick-early-reserve -n 2 --repro-out m.json
+  model tick mutant tick-early-reserve n=2: COUNTEREXAMPLE (invariant), schedule of 10 actions
+    shrunk: 10 -> 7 actions
+    invariant violation
+      invoke 0
+      step 0
+      step 0
+      invoke 2
+      step 2
+      step 2
+      step 2
+    repro written to m.json
+  [1]
+
+  $ ts_cli verify-svc --replay m.json
+  repro m.json: VIOLATION reproduced (model/tick/tick-early-reserve, 7 actions)
+    invariant violation
 
 The timestamp service serves a sequential session deterministically and
 checks the served timestamps.

@@ -204,7 +204,11 @@ let corpus_dir =
 let corpus_replays () =
   let files =
     Sys.readdir corpus_dir |> Array.to_list
-    |> List.filter (fun f -> Filename.check_suffix f ".json")
+    (* mutant-*.json are fuzz repros; model-*.json belong to Svc.Model and
+       are replayed by Test_model *)
+    |> List.filter (fun f ->
+        String.starts_with ~prefix:"mutant-" f
+        && Filename.check_suffix f ".json")
     |> List.sort String.compare
   in
   Util.check_bool "corpus has at least 3 repros" true (List.length files >= 3);

@@ -31,4 +31,5 @@ let () =
       Test_hdr.suite;
       Test_telemetry.suite;
       Test_svc.suite;
-      Test_fuzz.suite ]
+      Test_fuzz.suite;
+      Test_model.suite ]

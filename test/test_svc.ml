@@ -209,6 +209,46 @@ let telemetry_zero_alloc () =
          true (delta < 64.))
     Multicore.Backend.all_choices
 
+(* Free-list exhaustion: the per-session record pool holds at most 256
+   records, and the pinned behavior past that point is EXTEND — [submit]
+   falls back to a fresh allocation when the pool is empty and never
+   blocks or rejects; [release] beyond the cap drops the surplus record
+   instead of growing the pool.  300 pipelined in-flight requests on one
+   session must therefore all be served, in session FIFO order, with
+   distinct call numbers (no record handed out twice while in flight),
+   and the pool gauge must sit at the cap afterwards, not at 300. *)
+let freelist_exhaustion_extends () =
+  let inflight = 300 in
+  let module S = Svc.Service.Make (Timestamp.Lamport) in
+  let svc = S.start ~shards:1 ~telemetry:true ~n:2 () in
+  let session = S.open_session svc in
+  let tickets = List.init inflight (fun _ -> S.submit session) in
+  let resps = List.map S.await tickets in
+  Util.check_int "every pipelined request served" inflight
+    (List.length resps);
+  List.iteri
+    (fun i (r : S.resp) ->
+       Util.check_int (Printf.sprintf "request %d keeps session order" i) i
+         r.call)
+    resps;
+  List.iter (fun t -> S.release session t) tickets;
+  let pool_after =
+    match List.assoc_opt "svc.pool" (S.telemetry_sources svc) with
+    | Some f -> int_of_float (f ())
+    | None -> Alcotest.fail "svc.pool source missing"
+  in
+  S.stop svc;
+  Util.check_bool
+    (Printf.sprintf "release drops past the 256-record cap (pool = %d)"
+       pool_after)
+    true
+    (pool_after > 0 && pool_after <= 256);
+  let served =
+    Array.fold_left (fun a (st : S.shard_stats) -> a + st.served) 0
+      (S.stats svc)
+  in
+  Util.check_int "shard stats saw all of them" inflight served
+
 let telemetry_sources_totals () =
   let module S = Svc.Service.Make (Timestamp.Efr) in
   let svc = S.start ~shards:2 ~batch_max:4 ~telemetry:true ~n:4 () in
@@ -253,5 +293,7 @@ let suite =
         open_loop_direct_checks;
       Util.case "telemetry-armed hot path allocates nothing"
         telemetry_zero_alloc;
+      Util.case "free-list exhaustion extends, never blocks"
+        freelist_exhaustion_extends;
       Util.case "telemetry sources report exact totals"
         telemetry_sources_totals ] )
