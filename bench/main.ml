@@ -34,7 +34,8 @@
      --backend boxed|flat    E13 register backend (default boxed)
      --max-shards D          E15 sweeps shard counts 1..D (default
                              max 4 recommended_domain_count)
-     --scaling-requests N    E15 requests per client (default 600, fast 120) *)
+     --scaling-requests N    E15 requests per client (default 600, fast 120)
+     --net-requests N        E18 requests per client (default 2000, fast 300) *)
 
 let fast = Array.exists (fun a -> a = "--fast") Sys.argv
 
@@ -1673,6 +1674,165 @@ let e17_model () =
       Out_channel.output_char oc '\n');
   Printf.printf "\n(wrote BENCH_model.json)\n"
 
+(* ------------------------------------------------------------------ *)
+(* E18: network transport — per-stamp round trips vs epoch-range        *)
+(* leases over a Unix socket; emitted as BENCH_net.json                 *)
+(* ------------------------------------------------------------------ *)
+
+(* One benchmark point: a fresh wire server on a fresh socket, [clients]
+   Net.Client handles with lease size [lease], one loadgen run. *)
+let e18_point (type r) (module T : Timestamp.Intf.S with type result = r)
+    ~lease ~label (cfg : Svc.Loadgen.cfg) =
+  let module Srv = Net.Server.Make (T) in
+  let module C = Net.Client.Make (T) in
+  let module D = Svc.Loadgen.Drive (C) in
+  let sock =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "ts_e18_%d.sock" (Unix.getpid ()))
+  in
+  let addr = Net.Conn.Unix_path sock in
+  let srv =
+    Srv.start ~shards:1 ~backend:cfg.Svc.Loadgen.backend ~addr
+      ~n:(max cfg.clients 2) ()
+  in
+  let handles = Array.init cfg.clients (fun _ -> C.connect ~lease addr) in
+  let setup =
+    { D.connect = (fun i -> handles.(i));
+      num_shards = 1;
+      impl = T.name;
+      mode_label = Printf.sprintf "net unix lease=%d %s" lease label;
+      backend_label = Multicore.Backend.choice_tag cfg.backend;
+      compare_ts = T.compare_ts;
+      pp_ts = T.pp_ts;
+      attach = None;
+      teardown = (fun () -> Array.iter C.close handles);
+      service_stats = None }
+  in
+  let r = D.run setup cfg in
+  Srv.stop srv;
+  (match r.Svc.Loadgen.lg_violation with
+   | Some v ->
+     failwith (Printf.sprintf "E18 %s lease=%d: VIOLATION %s" T.name lease v)
+   | None -> ());
+  r
+
+let e18_net () =
+  header "E18: network transport — per-stamp RTTs vs epoch-range leases";
+  print_endline
+    "(Unix-socket wire server, 2 clients; lease=1 pays one round trip per \
+     stamp,\n\
+    \ lease=1024 fetches one anchor + 1024 pre-reserved end ticks per miss \
+     and\n\
+    \ mints locally; every run passes the timed happens-before checker;\n\
+    \ machine-readable copy in BENCH_net.json)";
+  let requests = arg_int "--net-requests" (if fast then 300 else 2000) in
+  let leases = [ 1; 1024 ] in
+  let rates = if fast then [ 5_000. ] else [ 2_000.; 10_000.; 50_000. ] in
+  let base =
+    { Svc.Loadgen.default with
+      clients = 2; requests_per_client = requests; n = 4; seed = 1 }
+  in
+  Printf.printf "%-18s %5s  %-14s | %10s %9s %9s %9s\n" "implementation"
+    "lease" "mode" "req/s" "p50 us" "p99 us" "p99.9 us";
+  Printf.printf "%s\n" (String.make 82 '-');
+  let point_json (r : Svc.Loadgen.report) extra : Obs.Json.t =
+    Obs.Json.Obj
+      (extra
+       @ [ ("requests", Obs.Json.Int r.lg_total);
+           ("seconds", Obs.Json.Float r.lg_elapsed_s);
+           ("throughput_rps", Obs.Json.Float r.lg_throughput);
+           ("p50_us", Obs.Json.Float r.lg_p50_us);
+           ("p99_us", Obs.Json.Float r.lg_p99_us);
+           ("p999_us", Obs.Json.Float r.lg_p999_us);
+           ("max_us", Obs.Json.Float r.lg_max_us);
+           ("hb_pairs", Obs.Json.Int r.lg_hb_pairs);
+           ("checker", Obs.Json.String "OK") ])
+  in
+  let results =
+    List.map
+      (fun impl ->
+         let (Timestamp.Registry.Impl (module T)) = impl in
+         let row label (r : Svc.Loadgen.report) lease =
+           Printf.printf "%-18s %5d  %-14s | %10.0f %9.1f %9.1f %9.1f\n"
+             T.name lease label r.lg_throughput r.lg_p50_us r.lg_p99_us
+             r.lg_p999_us
+         in
+         let leases_json =
+           List.map
+             (fun lease ->
+                (* closed loop, one outstanding call: the per-stamp cost *)
+                let closed =
+                  e18_point (module T) ~lease ~label:"closed"
+                    { base with arrival = Svc.Loadgen.Closed; pipeline = 1 }
+                in
+                row "closed p=1" closed lease;
+                (* open loop: latency under a paced arrival schedule *)
+                let opens =
+                  List.map
+                    (fun rate ->
+                       let r =
+                         e18_point (module T) ~lease
+                           ~label:(Printf.sprintf "open %.0f/s" rate)
+                           { base with
+                             arrival = Svc.Loadgen.Open { rate };
+                             pipeline = 4 }
+                       in
+                       row (Printf.sprintf "open %.0f/s" rate) r lease;
+                       (rate, r))
+                    rates
+                in
+                ( lease,
+                  closed,
+                  Obs.Json.Obj
+                    [ ("lease", Obs.Json.Int lease);
+                      ("closed", point_json closed []);
+                      ( "open",
+                        Obs.Json.List
+                          (List.map
+                             (fun (rate, r) ->
+                                point_json r
+                                  [ ("rate_rps", Obs.Json.Float rate) ])
+                             opens) ) ] ))
+             leases
+         in
+         let tput lease =
+           match List.find_opt (fun (l, _, _) -> l = lease) leases_json with
+           | Some (_, r, _) -> r.Svc.Loadgen.lg_throughput
+           | None -> nan
+         in
+         let speedup = tput 1024 /. Float.max 1e-9 (tput 1) in
+         Printf.printf "%-18s lease-1024/lease-1 closed speedup: %.1fx\n"
+           T.name speedup;
+         ( T.name,
+           Obs.Json.Obj
+             [ ("name", Obs.Json.String T.name);
+               ( "leases",
+                 Obs.Json.List (List.map (fun (_, _, j) -> j) leases_json) );
+               ("lease_speedup", Obs.Json.Float speedup) ],
+           speedup ))
+      [ Timestamp.Registry.lamport; Timestamp.Registry.efr ]
+  in
+  let doc =
+    Obs.Json.Obj
+      [ ("schema_version", Obs.Json.Int Obs.Metric.schema_version);
+        ("experiment", Obs.Json.String "E18-net");
+        ("fast", Obs.Json.Bool fast);
+        ("transport", Obs.Json.String "unix-socket");
+        ("clients", Obs.Json.Int base.Svc.Loadgen.clients);
+        ("requests_per_client", Obs.Json.Int requests);
+        ( "open_rates_rps",
+          Obs.Json.List (List.map (fun r -> Obs.Json.Float r) rates) );
+        ( "recommended_domains",
+          Obs.Json.Int (Domain.recommended_domain_count ()) );
+        ( "implementations",
+          Obs.Json.List (List.map (fun (_, j, _) -> j) results) ) ]
+  in
+  Out_channel.with_open_text "BENCH_net.json" (fun oc ->
+      Out_channel.output_string oc (Obs.Json.pretty_to_string doc);
+      Out_channel.output_char oc '\n');
+  Printf.printf "\n(wrote BENCH_net.json)\n"
+
 let run_timings () =
   header "Timings (Bechamel, monotonic clock; ns per run)";
   let open Bechamel in
@@ -1704,7 +1864,7 @@ let experiments =
     ("e9", e9_distributed); ("e10", e10_explore_engine);
     ("e14", e14_explore_v3); ("e12", e12_fuzz_sensitivity);
     ("e13", e13_service); ("e15", e15_scaling); ("e16", e16_telemetry);
-    ("e17", e17_model); ("ea", ea_ablation) ]
+    ("e17", e17_model); ("e18", e18_net); ("ea", ea_ablation) ]
 
 let () =
   Printf.printf

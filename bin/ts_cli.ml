@@ -1092,61 +1092,143 @@ let telemetry_interval_arg =
         ~doc:"Telemetry sampler period, microseconds.")
 
 let serve_cmd =
+  (* the sequential demo session: serve [requests] getTS calls through
+     the Svc.Client.Inproc transport and check the compare chain *)
+  let serve_demo (type r) (module T : Timestamp.Intf.S with type result = r)
+      ~n ~requests ~batch_max ~shards ~backend ~telemetry_out
+      ~telemetry_interval ~append =
+    let module C = Svc.Client.Inproc (T) in
+    let module S = Svc.Service.Make (T) in
+    (* a one-shot object consumes one process id per request *)
+    let n = match T.kind with `One_shot -> max n requests | `Long_lived -> n in
+    let svc =
+      S.start ~batch_max ~shards ~backend ~telemetry:(telemetry_out <> None)
+        ~n ()
+    in
+    let ts =
+      match telemetry_out with
+      | None -> None
+      | Some file ->
+        let ts = Obs.Timeseries.create ~interval_us:telemetry_interval () in
+        S.attach_telemetry svc ts;
+        Obs.Timeseries.start ~append ~out:file ts;
+        Some (ts, file)
+    in
+    let client = C.connect svc in
+    Printf.printf "service: %s  n=%d shards=%d batch_max=%d\n" T.name n
+      (S.num_shards svc) batch_max;
+    let resps = List.init requests (fun _ -> C.stamp client) in
+    C.close client;
+    S.stop svc;
+    Option.iter
+      (fun (ts, file) ->
+         Obs.Timeseries.stop ts;
+         Printf.printf "telemetry: %d samples, %d stalls -> %s\n"
+           (Obs.Timeseries.samples ts) (Obs.Timeseries.stalls ts) file)
+      ts;
+    List.iter
+      (fun (r : T.result Svc.Client.stamp) ->
+         Printf.printf "  req p%d.%d (shard %d) -> %s\n" r.st_pid r.st_call
+           r.st_shard
+           (Format.asprintf "%a" T.pp_ts r.st_ts))
+      resps;
+    (* the requests were issued sequentially, so every adjacent pair is
+       happens-before ordered and compare must agree *)
+    let rec chain = function
+      | (a : T.result Svc.Client.stamp) :: (b :: _ as rest) ->
+        T.compare_ts a.st_ts b.st_ts
+        && not (T.compare_ts b.st_ts a.st_ts)
+        && chain rest
+      | _ -> true
+    in
+    if chain resps then begin
+      Printf.printf "serve: OK (%d requests, compare chain holds)\n"
+        (List.length resps);
+      0
+    end
+    else begin
+      Printf.printf "serve: VIOLATION (compare chain broken)\n";
+      1
+    end
+  in
+  (* the wire mode: listen on [addr], serve connections until a client
+     sends a Stop frame (ts_cli loadgen --stop-server, or Ctrl-C) *)
+  let serve_wire (type r) (module T : Timestamp.Intf.S with type result = r)
+      ~n ~batch_max ~shards ~backend ~telemetry_out ~telemetry_interval
+      ~append addr_str =
+    match Net.Conn.parse_addr addr_str with
+    | None ->
+      Printf.eprintf "ts_cli: serve: cannot parse --listen address %S\n"
+        addr_str;
+      1
+    | Some addr ->
+      let module Srv = Net.Server.Make (T) in
+      (match
+         Srv.start ~batch_max ~shards ~backend
+           ~telemetry:(telemetry_out <> None) ~addr ~n ()
+       with
+       | exception Unix.Unix_error (e, _, _) ->
+         Printf.eprintf "ts_cli: serve: cannot listen on %s: %s\n"
+           (Net.Conn.addr_to_string addr) (Unix.error_message e);
+         1
+       | exception Failure msg ->
+         Printf.eprintf "ts_cli: serve: %s\n" msg;
+         1
+       | srv ->
+         let ts =
+           match telemetry_out with
+           | None -> None
+           | Some file ->
+             let ts =
+               Obs.Timeseries.create ~interval_us:telemetry_interval ()
+             in
+             Srv.attach_telemetry srv ts;
+             Obs.Timeseries.start ~append ~out:file ts;
+             Some (ts, file)
+         in
+         Printf.printf "serving %s at %s  n=%d shards=%d batch_max=%d\n"
+           T.name
+           (Net.Conn.addr_to_string (Srv.bound_addr srv))
+           n shards batch_max;
+         flush stdout;
+         Srv.wait srv;
+         Srv.stop srv;
+         Option.iter
+           (fun (ts, file) ->
+              Obs.Timeseries.stop ts;
+              Printf.printf "telemetry: %d samples, %d stalls -> %s\n"
+                (Obs.Timeseries.samples ts) (Obs.Timeseries.stalls ts) file)
+           ts;
+         Printf.printf "serve: stopped after %d requests over %d connections\n"
+           (Srv.requests_total srv) (Srv.conns_total srv);
+         0)
+  in
   let run impl n requests batch_max shards backend telemetry_out
-      telemetry_interval out =
+      telemetry_interval listen out =
     let rc =
       with_obs out @@ fun _ ->
       let (Timestamp.Registry.Impl (module T)) = impl in
-      let module S = Svc.Service.Make (T) in
-      (* a one-shot object consumes one process id per request *)
-      let n = match T.kind with `One_shot -> max n requests | `Long_lived -> n in
-      let svc =
-        S.start ~batch_max ~shards ~backend
-          ~telemetry:(telemetry_out <> None) ~n ()
-      in
-      let ts =
-        match telemetry_out with
-        | None -> None
-        | Some file ->
-          let ts =
-            Obs.Timeseries.create ~interval_us:telemetry_interval ()
-          in
-          S.attach_telemetry svc ts;
-          Obs.Timeseries.start ~append:out.append ~out:file ts;
-          Some (ts, file)
-      in
-      let session = S.open_session svc in
-      Printf.printf "service: %s  n=%d shards=%d batch_max=%d\n" T.name n
-        (S.num_shards svc) batch_max;
-      let resps = List.init requests (fun _ -> S.get_ts session) in
-      S.stop svc;
-      Option.iter
-        (fun (ts, file) ->
-           Obs.Timeseries.stop ts;
-           Printf.printf "telemetry: %d samples, %d stalls -> %s\n"
-             (Obs.Timeseries.samples ts) (Obs.Timeseries.stalls ts) file)
-        ts;
-      List.iter
-        (fun (r : S.resp) ->
-           Printf.printf "  req p%d.%d (shard %d) -> %s\n" r.pid r.call r.shard
-             (Format.asprintf "%a" T.pp_ts r.ts))
-        resps;
-      (* the requests were issued sequentially, so every adjacent pair is
-         happens-before ordered and compare must agree *)
-      let rec chain = function
-        | (a : S.resp) :: (b :: _ as rest) ->
-          T.compare_ts a.ts b.ts && not (T.compare_ts b.ts a.ts) && chain rest
-        | _ -> true
-      in
-      if chain resps then begin
-        Printf.printf "serve: OK (%d requests, compare chain holds)\n"
-          (List.length resps);
-        0
-      end
-      else begin
-        Printf.printf "serve: VIOLATION (compare chain broken)\n";
+      (* Domain.spawn past the runtime's domain limit aborts the whole
+         process, so refuse oversized shard counts up front *)
+      if shards < 1 then begin
+        Printf.eprintf "ts_cli: serve: --shards must be at least 1\n";
         1
       end
+      else if shards > Domain.recommended_domain_count () then begin
+        Printf.eprintf
+          "ts_cli: serve: --shards %d exceeds this host's recommended \
+           domain count; reduce --shards\n"
+          shards;
+        1
+      end
+      else
+        match listen with
+        | Some addr_str ->
+          serve_wire (module T) ~n ~batch_max ~shards ~backend ~telemetry_out
+            ~telemetry_interval ~append:out.append addr_str
+        | None ->
+          serve_demo (module T) ~n ~requests ~batch_max ~shards ~backend
+            ~telemetry_out ~telemetry_interval ~append:out.append
     in
     if rc <> 0 then exit rc
   in
@@ -1165,18 +1247,84 @@ let serve_cmd =
       value & opt int 1
       & info [ "shards" ] ~docv:"S" ~doc:"Worker domains / shards.")
   in
+  let listen =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Serve the wire protocol at $(docv) (\"unix:PATH\", \
+             \"tcp:HOST:PORT\", or bare \"HOST:PORT\"; TCP port 0 picks a \
+             free port) instead of the sequential demo session.  Runs \
+             until a client sends a stop frame ($(b,ts_cli loadgen \
+             --stop-server)) or the process is interrupted.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Start the sharded timestamp service, serve a sequential session \
-          and check the served timestamps.")
+         "Start the sharded timestamp service; serve a sequential demo \
+          session and check the served timestamps, or with $(b,--listen) \
+          serve the binary wire protocol to remote clients.")
     Term.(const run $ impl_arg $ n_arg $ requests $ batch $ shards
           $ backend_arg $ telemetry_out_arg $ telemetry_interval_arg
-          $ obs_out_term)
+          $ listen $ obs_out_term)
 
 let loadgen_cmd =
+  (* drive a live wire server: probe it for its implementation/shape,
+     then run the generic engine over Net.Client handles *)
+  let loadgen_tcp (type r) (module T : Timestamp.Intf.S with type result = r)
+      ~(cfg : Svc.Loadgen.cfg) ~lease ~stop_server ~print_report addr_str =
+    match Net.Conn.parse_addr addr_str with
+    | None ->
+      Printf.eprintf "ts_cli: loadgen: cannot parse --addr %S\n" addr_str;
+      1
+    | Some addr -> (
+        let module C = Net.Client.Make (T) in
+        let module D = Svc.Loadgen.Drive (C) in
+        try
+          let probe = C.connect addr in
+          let info = C.server_info probe in
+          (* pre-connect in the main domain, in client order: connection
+             errors surface here, and session/pid placement is stable *)
+          let handles =
+            Array.init cfg.clients (fun _ -> C.connect ~lease addr)
+          in
+          let setup =
+            { D.connect = (fun i -> handles.(i));
+              num_shards = max 1 info.Net.Frame.si_shards;
+              impl = T.name;
+              mode_label =
+                Printf.sprintf "net %s lease=%d clients=%d pipeline=%d%s"
+                  (Net.Conn.addr_to_string addr)
+                  lease cfg.clients cfg.pipeline
+                  (Svc.Loadgen.arrival_string cfg);
+              backend_label = info.Net.Frame.si_backend;
+              compare_ts = T.compare_ts;
+              pp_ts = T.pp_ts;
+              attach = None;
+              teardown = (fun () -> Array.iter C.close handles);
+              service_stats =
+                Some
+                  (fun () ->
+                     let sh, _ = C.stats probe in
+                     Array.of_list
+                       (List.map
+                          (fun (s : Net.Frame.shard_stat) ->
+                             (s.ss_served, s.ss_batches, s.ss_max_batch))
+                          sh)) }
+          in
+          let r = D.run setup cfg in
+          let rc = print_report r in
+          if stop_server then C.stop_server probe;
+          C.close probe;
+          rc
+        with Svc.Client.Error msg ->
+          Printf.eprintf "ts_cli: loadgen: %s\n" msg;
+          1)
+  in
   let run impl n clients requests pipeline shards batch_max direct think_us
-      rate telemetry_out telemetry_interval seed backend out =
+      rate transport addr lease stop_server telemetry_out telemetry_interval
+      seed backend out =
     let rc =
       with_obs out @@ fun _ ->
       let open Svc.Loadgen in
@@ -1197,33 +1345,45 @@ let loadgen_cmd =
         { default with mode; arrival; clients; requests_per_client = requests;
           pipeline; n; seed; think_us; backend; telemetry }
       in
-      let r = Svc.Loadgen.run impl cfg in
-      Printf.printf "loadgen: %s  %s  seed=%d\n" r.lg_impl r.lg_mode seed;
-      Printf.printf "served %d requests in %.3fs (%.0f req/s)\n" r.lg_total
-        r.lg_elapsed_s r.lg_throughput;
-      Printf.printf
-        "latency: p50=%.1fus p90=%.1fus p99=%.1fus p99.9=%.1fus max=%.1fus\n"
-        r.lg_p50_us r.lg_p90_us r.lg_p99_us r.lg_p999_us r.lg_max_us;
-      Option.iter
-        (fun tel_out ->
-           Printf.printf "telemetry: %d samples, %d stalls -> %s\n"
-             r.lg_samples r.lg_stalls tel_out)
-        telemetry_out;
-      List.iter
-        (fun s ->
-           Printf.printf
-             "  shard %d: served=%d batches=%d max_batch=%d p50=%.1fus \
-              p99=%.1fus\n"
-             s.sr_shard s.sr_served s.sr_batches s.sr_max_batch s.sr_p50_us
-             s.sr_p99_us)
-        r.lg_shards;
-      match r.lg_violation with
-      | None ->
-        Printf.printf "checker: OK (%d hb pairs)\n" r.lg_hb_pairs;
-        0
-      | Some v ->
-        Printf.printf "checker: VIOLATION: %s\n" v;
-        1
+      let print_report (r : report) =
+        Printf.printf "loadgen: %s  %s  seed=%d\n" r.lg_impl r.lg_mode seed;
+        Printf.printf "served %d requests in %.3fs (%.0f req/s)\n" r.lg_total
+          r.lg_elapsed_s r.lg_throughput;
+        Printf.printf
+          "latency: p50=%.1fus p90=%.1fus p99=%.1fus p99.9=%.1fus max=%.1fus\n"
+          r.lg_p50_us r.lg_p90_us r.lg_p99_us r.lg_p999_us r.lg_max_us;
+        Option.iter
+          (fun tel_out ->
+             Printf.printf "telemetry: %d samples, %d stalls -> %s\n"
+               r.lg_samples r.lg_stalls tel_out)
+          telemetry_out;
+        List.iter
+          (fun s ->
+             Printf.printf
+               "  shard %d: served=%d batches=%d max_batch=%d p50=%.1fus \
+                p99=%.1fus\n"
+               s.sr_shard s.sr_served s.sr_batches s.sr_max_batch s.sr_p50_us
+               s.sr_p99_us)
+          r.lg_shards;
+        match r.lg_violation with
+        | None ->
+          Printf.printf "checker: OK (%d hb pairs)\n" r.lg_hb_pairs;
+          0
+        | Some v ->
+          Printf.printf "checker: VIOLATION: %s\n" v;
+          1
+      in
+      match transport with
+      | `Inproc -> print_report (Svc.Loadgen.run impl cfg)
+      | `Tcp -> (
+          match addr with
+          | None ->
+            Printf.eprintf "ts_cli: loadgen: --transport tcp requires --addr\n";
+            1
+          | Some addr_str ->
+            let (Timestamp.Registry.Impl (module T)) = impl in
+            loadgen_tcp (module T) ~cfg ~lease ~stop_server ~print_report
+              addr_str)
     in
     if rc <> 0 then exit rc
   in
@@ -1279,16 +1439,58 @@ let loadgen_cmd =
              counts against the service (coordinated-omission-correct). \
              Without $(docv) the generator runs the classic closed loop.")
   in
+  let transport =
+    Arg.(
+      value
+      & opt (enum [ ("inproc", `Inproc); ("tcp", `Tcp) ]) `Inproc
+      & info [ "transport" ] ~docv:"T"
+          ~doc:
+            "Client transport: $(b,inproc) (default) starts a fresh \
+             in-process service; $(b,tcp) drives a live wire server \
+             ($(b,ts_cli serve --listen)) at $(b,--addr) through \
+             Net.Client — $(b,--shards)/$(b,--batch)/$(b,--direct) are \
+             then the server's business and ignored here.")
+  in
+  let addr =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "addr" ] ~docv:"ADDR"
+          ~doc:
+            "Server address for $(b,--transport tcp): \"unix:PATH\", \
+             \"tcp:HOST:PORT\", or bare \"HOST:PORT\".")
+  in
+  let lease =
+    Arg.(
+      value & opt int 1
+      & info [ "lease" ] ~docv:"K"
+          ~doc:
+            "Epoch-range lease size ($(b,--transport tcp)): each cache \
+             miss fetches one anchor getTS plus $(docv) pre-reserved end \
+             ticks, and the client mints the next $(docv) stamps locally \
+             — one round trip amortized over $(docv) stamps.  1 (default) \
+             = a round trip per stamp.")
+  in
+  let stop_server =
+    Arg.(
+      value & flag
+      & info [ "stop-server" ]
+          ~doc:
+            "After the run, send the server a stop frame so $(b,ts_cli \
+             serve --listen) shuts down gracefully and exits 0.")
+  in
   Cmd.v
     (Cmd.info "loadgen"
        ~doc:
-         "Closed- or open-loop load generator over the timestamp service; \
+         "Closed- or open-loop load generator over the timestamp service \
+          (in-process, or a live wire server via $(b,--transport tcp)); \
           reports throughput, HDR latency percentiles \
           (p50/p90/p99/p99.9/max) and a happens-before checker verdict.")
     Term.(
       const run $ impl_arg $ n_arg $ clients $ requests $ pipeline $ shards
-      $ batch $ direct $ think $ rate $ telemetry_out_arg
-      $ telemetry_interval_arg $ seed_arg $ backend_arg $ obs_out_term)
+      $ batch $ direct $ think $ rate $ transport $ addr $ lease
+      $ stop_server $ telemetry_out_arg $ telemetry_interval_arg $ seed_arg
+      $ backend_arg $ obs_out_term)
 
 (* ------------------------------------------------------------------ *)
 (* top: per-shard table rendered from a telemetry time series.         *)
@@ -1401,13 +1603,14 @@ let top_render path view =
       Option.bind (idx name) (fun i ->
           if i < Array.length vs then vs.(i) else None)
   in
-  (* shards present = every s<i>. prefix in the series list *)
-  let shards =
+  (* slots present under a one-letter prefix: every <p><i>. in the
+     series list — 's' = service shards, 'c' = connection groups *)
+  let slots_with p =
     Array.fold_left
       (fun acc name ->
          match String.index_opt name '.' with
          | Some dot
-           when dot > 1 && name.[0] = 's'
+           when dot > 1 && name.[0] = p
                 && String.for_all
                      (fun c -> c >= '0' && c <= '9')
                      (String.sub name 1 (dot - 1)) ->
@@ -1417,6 +1620,7 @@ let top_render path view =
       [] view.tv_series
     |> List.sort Int.compare
   in
+  let shards = slots_with 's' in
   let rate_of served_name =
     match (value_at last served_name, last) with
     | Some s1, Some (t1, _) -> (
@@ -1463,6 +1667,25 @@ let top_render path view =
       "-"
       (cell 11 (value_at last "lat.p50_us"))
       (cell 11 (value_at last "lat.p99_us"));
+  (* a network serve exports c<slot>.* counter groups — show the wire
+     next to the shards *)
+  let conns = slots_with 'c' in
+  if conns <> [] then begin
+    Printf.bprintf buf "%-7s %10s %7s %10s %8s %11s %11s\n" "conn" "req_rps"
+      "conns" "stamps" "leases" "bytes_in" "bytes_out";
+    List.iter
+      (fun i ->
+         let s fmt = Printf.sprintf fmt i in
+         Printf.bprintf buf "%-7s %s %s %s %s %s %s\n"
+           (Printf.sprintf "c%d" i)
+           (cell0 10 (rate_of (s "c%d.requests")))
+           (cell0 7 (value_at last (s "c%d.conns")))
+           (cell0 10 (value_at last (s "c%d.stamps")))
+           (cell0 8 (value_at last (s "c%d.leases")))
+           (cell0 11 (value_at last (s "c%d.bytes_in")))
+           (cell0 11 (value_at last (s "c%d.bytes_out"))))
+      conns
+  end;
   Buffer.contents buf
 
 let top_cmd =

@@ -114,4 +114,37 @@ echo "== model bench sanity: fast E17 emits schema-valid JSON =="
 dune exec bench/main.exe -- --fast --only e17
 dune exec bin/ts_cli.exe -- obs --validate BENCH_model.json
 
+echo "== net smoke: wire server + TCP loadgen + graceful stop =="
+# The server runs in the background, so drive the already-built binary
+# directly: a concurrent 'dune exec' would contend for the build lock.
+ts_bin=./_build/default/bin/ts_cli.exe
+net_sock=/tmp/ts_ci_net.sock
+rm -f "$net_sock" /tmp/net_tel.jsonl /tmp/net_serve.log
+"$ts_bin" serve -i efr-longlived -n 8 --listen "unix:$net_sock" \
+  --telemetry-out /tmp/net_tel.jsonl > /tmp/net_serve.log 2>&1 &
+serve_pid=$!
+i=0
+while [ ! -S "$net_sock" ] && [ "$i" -lt 100 ]; do
+  sleep 0.1; i=$((i + 1))
+done
+[ -S "$net_sock" ] || {
+  echo "net smoke: server socket never appeared" >&2
+  cat /tmp/net_serve.log >&2; exit 1; }
+net_out=$("$ts_bin" loadgen -i efr-longlived --transport tcp \
+  --addr "unix:$net_sock" --clients 2 -r 100 --lease 16 --seed 7 \
+  --stop-server)
+echo "$net_out"
+echo "$net_out" | grep -q "served 200 requests" || {
+  echo "net smoke: wrong request count" >&2; exit 1; }
+echo "$net_out" | grep -q "checker: OK" || {
+  echo "net smoke: checker did not pass over TCP" >&2; exit 1; }
+wait "$serve_pid" || {
+  echo "net smoke: server did not stop cleanly" >&2
+  cat /tmp/net_serve.log >&2; exit 1; }
+cat /tmp/net_serve.log
+grep -q "serve: stopped after" /tmp/net_serve.log || {
+  echo "net smoke: server summary missing" >&2; exit 1; }
+dune exec bin/ts_cli.exe -- obs --validate /tmp/net_tel.jsonl
+dune exec bin/ts_cli.exe -- top --file /tmp/net_tel.jsonl --once
+
 echo "== ci.sh: all green =="

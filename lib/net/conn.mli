@@ -1,0 +1,57 @@
+(** Buffered, byte-counting socket connections and address parsing.
+
+    Reads are blocking and frame-at-a-time on top of a growable receive
+    buffer: one [read(2)] often delivers several pipelined frames, and
+    the parser drains them all before touching the socket again.  Writes
+    accumulate in a send buffer until {!flush} — a pipelining sender
+    frames a whole burst and pays one [write(2)]. *)
+
+type addr = Unix_path of string | Tcp of { host : string; port : int }
+
+val addr_to_string : addr -> string
+(** ["unix:PATH"] / ["tcp:HOST:PORT"] — the forms {!parse_addr}
+    accepts. *)
+
+val parse_addr : string -> addr option
+(** Accepts ["unix:PATH"], ["tcp:HOST:PORT"], bare ["HOST:PORT"], and
+    bare filesystem paths. *)
+
+val sockaddr_of : addr -> Unix.sockaddr
+(** Resolves [Tcp] hosts (dotted quad or name); raises [Failure] when
+    resolution fails. *)
+
+val domain_of : addr -> Unix.socket_domain
+
+type t
+
+val create : Unix.file_descr -> t
+(** The first [create] in a process sets [SIGPIPE] to ignore, so writes
+    to a dead peer surface as [Unix.EPIPE] instead of killing the
+    process. *)
+
+val fd : t -> Unix.file_descr
+
+val bytes_in : t -> int
+
+val bytes_out : t -> int
+
+val send_buffer : t -> Buffer.t
+(** Frame outgoing messages into this with {!Frame.write_req} /
+    {!Frame.write_resp}, then {!flush}. *)
+
+val flush : t -> unit
+(** Writes the whole send buffer out (blocking) and clears it.  Raises
+    [Unix.Unix_error] if the peer is gone. *)
+
+val recv : t -> (string, [ `Eof | `Frame of Frame.error ]) result
+(** Next frame's payload, blocking until one is complete.  [`Eof] on a
+    clean close at a frame boundary; [`Frame Truncated] when the peer
+    dies mid-frame; [`Frame] errors for bad length prefixes. *)
+
+val recv_batch : t -> (string list, [ `Eof | `Frame of Frame.error ]) result
+(** At least one frame (blocking), plus every further complete frame
+    already buffered — the batch a pipelining peer flushed at once.
+    Never empty on [Ok]. *)
+
+val close : t -> unit
+(** Idempotent. *)

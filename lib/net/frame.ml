@@ -1,0 +1,352 @@
+(* Binary wire format for the timestamp service.
+
+   Every frame is [u32 length][payload] with the length big-endian and
+   counting the payload only.  A payload is [u8 version][u8 opcode][body];
+   body integers are 8-byte big-endian, strings are length-prefixed with
+   an 8-byte integer.  Timestamp values cross the wire as [Marshal]ed
+   bytes of the implementation's [result] type — both ends run the same
+   binary, and [compare_ts] is pure, so the client can order stamps
+   locally without a parser per implementation. *)
+
+let version = 1
+
+let max_payload = 1 lsl 24  (* 16 MiB: largest payload we will frame *)
+
+let max_lease = 1 lsl 20  (* largest Get_range a server will grant *)
+
+type kind = [ `One_shot | `Long_lived ]
+
+type req =
+  | Ping
+  | Get_stamp
+  | Get_range of int
+  | Compare of { a : string; b : string }  (* marshaled timestamps *)
+  | Stats
+  | Stop
+
+type wire_stamp = {
+  w_pid : int;
+  w_call : int;
+  w_shard : int;
+  w_start_tick : int;
+  w_end_tick : int;
+  w_ts : string;  (* marshaled T.result *)
+}
+
+type wire_range = {
+  g_pid : int;  (* the anchor operation's identity... *)
+  g_call : int;
+  g_shard : int;
+  g_start_tick : int;  (* ...and its start tick, shared by every mint *)
+  g_base : int;  (* first leased end tick *)
+  g_count : int;
+  g_ts : string;  (* the anchor's marshaled timestamp *)
+}
+
+type server_info = {
+  si_impl : string;
+  si_kind : kind;
+  si_n : int;
+  si_shards : int;
+  si_backend : string;
+}
+
+type shard_stat = { ss_served : int; ss_batches : int; ss_max_batch : int }
+
+type conn_stat = {
+  cn_slot : int;
+  cn_conns : int;  (* connections mapped to this slot so far *)
+  cn_requests : int;  (* frames handled *)
+  cn_stamps : int;  (* stamps issued, leased ticks included *)
+  cn_leases : int;
+  cn_bytes_in : int;
+  cn_bytes_out : int;
+}
+
+type resp =
+  | Pong of server_info
+  | Stamp of wire_stamp
+  | Range of wire_range
+  | Cmp of bool
+  | Stats_reply of { sr_shards : shard_stat list; sr_conns : conn_stat list }
+  | Stopping
+  | Err of string
+
+type error =
+  | Bad_version of int
+  | Bad_opcode of int
+  | Truncated
+  | Oversized of int
+  | Malformed of string
+
+let error_to_string = function
+  | Bad_version v -> Printf.sprintf "bad frame version %d (want %d)" v version
+  | Bad_opcode op -> Printf.sprintf "bad opcode %d" op
+  | Truncated -> "truncated frame"
+  | Oversized len -> Printf.sprintf "oversized frame (%d > %d)" len max_payload
+  | Malformed msg -> Printf.sprintf "malformed frame: %s" msg
+
+let pp_error fmt e = Format.pp_print_string fmt (error_to_string e)
+
+(* -------------------------------- encoding ------------------------- *)
+
+let add_int b i = Buffer.add_int64_be b (Int64.of_int i)
+
+let add_str b s =
+  add_int b (String.length s);
+  Buffer.add_string b s
+
+let add_bool b v = Buffer.add_uint8 b (if v then 1 else 0)
+
+let add_kind b = function
+  | `One_shot -> Buffer.add_uint8 b 0
+  | `Long_lived -> Buffer.add_uint8 b 1
+
+let op_ping = 1
+let op_get_stamp = 2
+let op_get_range = 3
+let op_compare = 4
+let op_stats = 5
+let op_stop = 6
+
+let op_pong = 65
+let op_stamp = 66
+let op_range = 67
+let op_cmp = 68
+let op_stats_reply = 69
+let op_stopping = 70
+let op_err = 71
+
+let start b opcode =
+  Buffer.add_uint8 b version;
+  Buffer.add_uint8 b opcode
+
+let encode_req_into b = function
+  | Ping -> start b op_ping
+  | Get_stamp -> start b op_get_stamp
+  | Get_range k ->
+    start b op_get_range;
+    add_int b k
+  | Compare { a; b = b' } ->
+    start b op_compare;
+    add_str b a;
+    add_str b b'
+  | Stats -> start b op_stats
+  | Stop -> start b op_stop
+
+let encode_resp_into b = function
+  | Pong i ->
+    start b op_pong;
+    add_str b i.si_impl;
+    add_kind b i.si_kind;
+    add_int b i.si_n;
+    add_int b i.si_shards;
+    add_str b i.si_backend
+  | Stamp w ->
+    start b op_stamp;
+    add_int b w.w_pid;
+    add_int b w.w_call;
+    add_int b w.w_shard;
+    add_int b w.w_start_tick;
+    add_int b w.w_end_tick;
+    add_str b w.w_ts
+  | Range g ->
+    start b op_range;
+    add_int b g.g_pid;
+    add_int b g.g_call;
+    add_int b g.g_shard;
+    add_int b g.g_start_tick;
+    add_int b g.g_base;
+    add_int b g.g_count;
+    add_str b g.g_ts
+  | Cmp v ->
+    start b op_cmp;
+    add_bool b v
+  | Stats_reply { sr_shards; sr_conns } ->
+    start b op_stats_reply;
+    add_int b (List.length sr_shards);
+    List.iter
+      (fun s ->
+         add_int b s.ss_served;
+         add_int b s.ss_batches;
+         add_int b s.ss_max_batch)
+      sr_shards;
+    add_int b (List.length sr_conns);
+    List.iter
+      (fun c ->
+         add_int b c.cn_slot;
+         add_int b c.cn_conns;
+         add_int b c.cn_requests;
+         add_int b c.cn_stamps;
+         add_int b c.cn_leases;
+         add_int b c.cn_bytes_in;
+         add_int b c.cn_bytes_out)
+      sr_conns
+  | Stopping -> start b op_stopping
+  | Err msg ->
+    start b op_err;
+    add_str b msg
+
+let with_buf f =
+  let b = Buffer.create 64 in
+  f b;
+  Buffer.contents b
+
+let encode_req r = with_buf (fun b -> encode_req_into b r)
+
+let encode_resp r = with_buf (fun b -> encode_resp_into b r)
+
+(* Frame = length prefix + payload, appended to a send buffer. *)
+let frame_into b encode v =
+  let payload = with_buf (fun pb -> encode pb v) in
+  let len = String.length payload in
+  if len > max_payload then
+    invalid_arg (Printf.sprintf "Frame: payload %d exceeds max %d" len
+                   max_payload);
+  Buffer.add_int32_be b (Int32.of_int len);
+  Buffer.add_string b payload
+
+let write_req b r = frame_into b encode_req_into r
+
+let write_resp b r = frame_into b encode_resp_into r
+
+(* -------------------------------- decoding ------------------------- *)
+
+exception Bad of error
+
+let fail e = raise (Bad e)
+
+type cursor = { s : string; mutable pos : int }
+
+let take_byte c =
+  if c.pos >= String.length c.s then fail Truncated;
+  let v = Char.code c.s.[c.pos] in
+  c.pos <- c.pos + 1;
+  v
+
+let take_int c =
+  if c.pos + 8 > String.length c.s then fail Truncated;
+  let v = String.get_int64_be c.s c.pos in
+  c.pos <- c.pos + 8;
+  let v' = Int64.to_int v in
+  if Int64.of_int v' <> v then fail (Malformed "integer out of range");
+  v'
+
+let take_str c =
+  let len = take_int c in
+  if len < 0 then fail (Malformed "negative string length");
+  if c.pos + len > String.length c.s then fail Truncated;
+  let s = String.sub c.s c.pos len in
+  c.pos <- c.pos + len;
+  s
+
+let take_bool c =
+  match take_byte c with
+  | 0 -> false
+  | 1 -> true
+  | v -> fail (Malformed (Printf.sprintf "bad bool byte %d" v))
+
+let take_kind c =
+  match take_byte c with
+  | 0 -> `One_shot
+  | 1 -> `Long_lived
+  | v -> fail (Malformed (Printf.sprintf "bad kind byte %d" v))
+
+let finish c v =
+  if c.pos <> String.length c.s then
+    fail (Malformed "trailing bytes after payload");
+  v
+
+let header c =
+  let v = take_byte c in
+  if v <> version then fail (Bad_version v);
+  take_byte c
+
+let decode decode_body payload =
+  let c = { s = payload; pos = 0 } in
+  match
+    let op = header c in
+    finish c (decode_body c op)
+  with
+  | v -> Ok v
+  | exception Bad e -> Error e
+
+let decode_req =
+  decode (fun c op ->
+      if op = op_ping then Ping
+      else if op = op_get_stamp then Get_stamp
+      else if op = op_get_range then Get_range (take_int c)
+      else if op = op_compare then
+        let a = take_str c in
+        let b = take_str c in
+        Compare { a; b }
+      else if op = op_stats then Stats
+      else if op = op_stop then Stop
+      else fail (Bad_opcode op))
+
+let decode_resp =
+  decode (fun c op ->
+      if op = op_pong then
+        let si_impl = take_str c in
+        let si_kind = take_kind c in
+        let si_n = take_int c in
+        let si_shards = take_int c in
+        let si_backend = take_str c in
+        Pong { si_impl; si_kind; si_n; si_shards; si_backend }
+      else if op = op_stamp then
+        let w_pid = take_int c in
+        let w_call = take_int c in
+        let w_shard = take_int c in
+        let w_start_tick = take_int c in
+        let w_end_tick = take_int c in
+        let w_ts = take_str c in
+        Stamp { w_pid; w_call; w_shard; w_start_tick; w_end_tick; w_ts }
+      else if op = op_range then
+        let g_pid = take_int c in
+        let g_call = take_int c in
+        let g_shard = take_int c in
+        let g_start_tick = take_int c in
+        let g_base = take_int c in
+        let g_count = take_int c in
+        let g_ts = take_str c in
+        Range { g_pid; g_call; g_shard; g_start_tick; g_base; g_count; g_ts }
+      else if op = op_cmp then Cmp (take_bool c)
+      else if op = op_stats_reply then begin
+        let ns = take_int c in
+        if ns < 0 || ns > 1 lsl 16 then fail (Malformed "bad shard count");
+        let sr_shards =
+          List.init ns (fun _ ->
+              let ss_served = take_int c in
+              let ss_batches = take_int c in
+              let ss_max_batch = take_int c in
+              { ss_served; ss_batches; ss_max_batch })
+        in
+        let nc = take_int c in
+        if nc < 0 || nc > 1 lsl 16 then fail (Malformed "bad conn count");
+        let sr_conns =
+          List.init nc (fun _ ->
+              let cn_slot = take_int c in
+              let cn_conns = take_int c in
+              let cn_requests = take_int c in
+              let cn_stamps = take_int c in
+              let cn_leases = take_int c in
+              let cn_bytes_in = take_int c in
+              let cn_bytes_out = take_int c in
+              { cn_slot; cn_conns; cn_requests; cn_stamps; cn_leases;
+                cn_bytes_in; cn_bytes_out })
+        in
+        Stats_reply { sr_shards; sr_conns }
+      end
+      else if op = op_stopping then Stopping
+      else if op = op_err then Err (take_str c)
+      else fail (Bad_opcode op))
+
+(* Dechunking helper: inspect the 4-byte length prefix of the next frame
+   in [buf.[off .. off+avail)].  Pure, shared by {!Conn} and the tests. *)
+let frame_length buf ~off ~avail =
+  if avail < 4 then `Need_more
+  else
+    let len = Int32.to_int (Bytes.get_int32_be buf off) in
+    if len < 2 then `Error (Malformed (Printf.sprintf "frame length %d" len))
+    else if len > max_payload then `Error (Oversized len)
+    else `Length len

@@ -1,0 +1,115 @@
+(** Binary wire format for the timestamp service.
+
+    Every frame is [u32 length ++ payload] (length big-endian, payload
+    bytes only); a payload is [u8 version ++ u8 opcode ++ body].  Body
+    integers are 8-byte big-endian; strings are 8-byte-length-prefixed.
+    Timestamp values travel as [Marshal]ed bytes of the implementation's
+    [result] type — both endpoints run the same binary and [compare_ts]
+    is pure, so clients order stamps locally, no per-implementation
+    parser needed.  See DESIGN.md §14 for the full frame table. *)
+
+val version : int
+
+val max_payload : int
+(** Hard cap on payload size (16 MiB); longer frames are rejected as
+    {!Oversized} without buffering. *)
+
+val max_lease : int
+(** Largest [Get_range] a server will grant. *)
+
+type kind = [ `One_shot | `Long_lived ]
+
+type req =
+  | Ping  (** handshake; answered with {!Pong} *)
+  | Get_stamp  (** one getTS through the service shards *)
+  | Get_range of int  (** epoch-range lease: anchor getTS + [n] ticks *)
+  | Compare of { a : string; b : string }
+      (** order two marshaled timestamps server-side (for cross-checking
+          the client's local [compare_ts]) *)
+  | Stats
+  | Stop  (** ask the server to begin a graceful shutdown *)
+
+type wire_stamp = {
+  w_pid : int;
+  w_call : int;
+  w_shard : int;
+  w_start_tick : int;
+  w_end_tick : int;
+  w_ts : string;  (** marshaled [T.result] *)
+}
+
+(** A granted lease: the anchor operation's identity/start/timestamp,
+    shared by every stamp minted from the lease, plus [g_count] reserved
+    end ticks starting at [g_base]. *)
+type wire_range = {
+  g_pid : int;
+  g_call : int;
+  g_shard : int;
+  g_start_tick : int;
+  g_base : int;
+  g_count : int;
+  g_ts : string;
+}
+
+type server_info = {
+  si_impl : string;
+  si_kind : kind;
+  si_n : int;
+  si_shards : int;
+  si_backend : string;
+}
+
+type shard_stat = { ss_served : int; ss_batches : int; ss_max_batch : int }
+
+type conn_stat = {
+  cn_slot : int;
+  cn_conns : int;
+  cn_requests : int;
+  cn_stamps : int;
+  cn_leases : int;
+  cn_bytes_in : int;
+  cn_bytes_out : int;
+}
+
+type resp =
+  | Pong of server_info
+  | Stamp of wire_stamp
+  | Range of wire_range
+  | Cmp of bool
+  | Stats_reply of { sr_shards : shard_stat list; sr_conns : conn_stat list }
+  | Stopping
+  | Err of string
+
+type error =
+  | Bad_version of int
+  | Bad_opcode of int
+  | Truncated
+  | Oversized of int
+  | Malformed of string
+
+val error_to_string : error -> string
+
+val pp_error : Format.formatter -> error -> unit
+
+val encode_req : req -> string
+(** Payload bytes (no length prefix) — the exact bytes {!decode_req}
+    accepts.  Mainly for tests; senders use {!write_req}. *)
+
+val encode_resp : resp -> string
+
+val decode_req : string -> (req, error) result
+
+val decode_resp : string -> (resp, error) result
+
+val write_req : Buffer.t -> req -> unit
+(** Appends the complete frame (length prefix + payload). *)
+
+val write_resp : Buffer.t -> resp -> unit
+
+val frame_length :
+  Bytes.t -> off:int -> avail:int ->
+  [ `Need_more | `Length of int | `Error of error ]
+(** Inspects the next frame's 4-byte length prefix in
+    [buf.[off .. off+avail)]: [`Need_more] below 4 available bytes,
+    [`Error] for nonsense (< 2, i.e. too short for version+opcode) or
+    oversized lengths, else the payload length. *)

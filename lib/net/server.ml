@@ -1,0 +1,366 @@
+(* Wire-facing timestamp server: an accept loop on its own domain hands
+   each connection to a dedicated handler domain, which decodes frames
+   and feeds the in-process Svc.Service shards.  Pipelined Get_stamp
+   requests within one read batch are submitted as a burst and awaited
+   in order — the server-side mirror of the client's request coalescing.
+
+   Epoch-range leases (Get_range k) follow the batch pipeline's
+   reservation discipline: execute one anchor getTS through the service,
+   *then* reserve k fresh end ticks with one fetch-and-add
+   (Service.reserve_ticks).  Every stamp the client mints from the lease
+   shares the anchor's timestamp and start tick and takes one reserved
+   end tick, so a leased stamp never predates an operation that had
+   already completed when the lease was granted — see DESIGN.md §14 for
+   the soundness argument. *)
+
+let sleep_us us =
+  try Unix.sleepf (float_of_int us *. 1e-6)
+  with Unix.Unix_error (Unix.EINTR, _, _) -> ()
+
+module Make (T : Timestamp.Intf.S) = struct
+  module S = Svc.Service.Make (T)
+
+  (* Per-slot counter group; connections hash onto slots (conn id mod
+     #slots) so the group count stays fixed for telemetry while serving
+     any number of connections. *)
+  type slot = {
+    k_conns : int Atomic.t;
+    k_requests : int Atomic.t;
+    k_stamps : int Atomic.t;
+    k_leases : int Atomic.t;
+    k_bytes_in : int Atomic.t;
+    k_bytes_out : int Atomic.t;
+  }
+
+  let make_slot () =
+    { k_conns = Atomic.make 0;
+      k_requests = Atomic.make 0;
+      k_stamps = Atomic.make 0;
+      k_leases = Atomic.make 0;
+      k_bytes_in = Atomic.make 0;
+      k_bytes_out = Atomic.make 0 }
+
+  let bump a n = ignore (Atomic.fetch_and_add a n)
+
+  type t = {
+    svc : S.t;
+    info : Frame.server_info;
+    listen_fd : Unix.file_descr;
+    addr : Conn.addr;
+    slots : slot array;
+    mu : Mutex.t;
+    live : (int, Unix.file_descr) Hashtbl.t;  (* open connections, by id *)
+    mutable handlers : unit Domain.t list;
+    mutable accept_dom : unit Domain.t option;
+    next_conn : int Atomic.t;
+    stop_requested : bool Atomic.t;  (* a client sent Stop *)
+    stopping : bool Atomic.t;  (* shutdown underway *)
+    stopped : bool Atomic.t;
+  }
+
+  let with_lock mu f = Mutex.protect mu f
+
+  let marshal_ts (ts : T.result) = Marshal.to_string ts []
+
+  let unmarshal_ts s : T.result = Marshal.from_string s 0
+
+  let stats_reply t =
+    let sr_shards =
+      S.stats t.svc |> Array.to_list
+      |> List.map (fun (s : S.shard_stats) ->
+          { Frame.ss_served = s.served; ss_batches = s.batches;
+            ss_max_batch = s.max_batch })
+    in
+    let sr_conns =
+      Array.to_list
+        (Array.mapi
+           (fun i sl ->
+              { Frame.cn_slot = i;
+                cn_conns = Atomic.get sl.k_conns;
+                cn_requests = Atomic.get sl.k_requests;
+                cn_stamps = Atomic.get sl.k_stamps;
+                cn_leases = Atomic.get sl.k_leases;
+                cn_bytes_in = Atomic.get sl.k_bytes_in;
+                cn_bytes_out = Atomic.get sl.k_bytes_out })
+           t.slots)
+    in
+    Frame.Stats_reply { sr_shards; sr_conns }
+
+  (* ---------------------------- handler ---------------------------- *)
+
+  let process t slot conn session payloads =
+    let sbuf = Conn.send_buffer conn in
+    let get_session () =
+      match !session with
+      | Some s -> s
+      | None ->
+        (* lazily: control connections (ping/stats/stop/compare) must not
+           consume one of a long-lived object's n sessions *)
+        let s = S.open_session t.svc in
+        session := Some s;
+        s
+    in
+    (* Get_stamp tickets in flight, answered FIFO: consecutive stamps in
+       one batch become one submit burst, and any other request first
+       drains them so replies stay in request order. *)
+    let pending = Queue.create () in
+    let flush_pending () =
+      while not (Queue.is_empty pending) do
+        let sess, ticket = Queue.pop pending in
+        let r = S.await ticket in
+        S.release sess ticket;
+        Frame.write_resp sbuf
+          (Frame.Stamp
+             { w_pid = r.S.pid; w_call = r.S.call; w_shard = r.S.shard;
+               w_start_tick = r.S.start_tick; w_end_tick = r.S.end_tick;
+               w_ts = marshal_ts r.S.ts });
+        bump slot.k_stamps 1
+      done
+    in
+    let err msg =
+      flush_pending ();
+      Frame.write_resp sbuf (Frame.Err msg)
+    in
+    let serve_error = function
+      | S.Stopped -> err "service is stopping"
+      | Invalid_argument msg | Failure msg -> err msg
+      | e -> raise e
+    in
+    List.iter
+      (fun payload ->
+         bump slot.k_requests 1;
+         match Frame.decode_req payload with
+         | Error e -> err (Frame.error_to_string e)
+         | Ok Frame.Ping ->
+           flush_pending ();
+           Frame.write_resp sbuf (Frame.Pong t.info)
+         | Ok Frame.Get_stamp -> (
+             match
+               let sess = get_session () in
+               (sess, S.submit sess)
+             with
+             | entry -> Queue.add entry pending
+             | exception e -> serve_error e)
+         | Ok (Frame.Get_range k) ->
+           flush_pending ();
+           if k < 1 || k > Frame.max_lease then
+             err (Printf.sprintf "lease size %d out of range [1, %d]" k
+                    Frame.max_lease)
+           else (
+             match
+               let sess = get_session () in
+               let r = S.get_ts sess in
+               (* reservation strictly after the anchor executed *)
+               let base = S.reserve_ticks t.svc k in
+               (r, base)
+             with
+             | r, base ->
+               Frame.write_resp sbuf
+                 (Frame.Range
+                    { g_pid = r.S.pid; g_call = r.S.call; g_shard = r.S.shard;
+                      g_start_tick = r.S.start_tick; g_base = base;
+                      g_count = k; g_ts = marshal_ts r.S.ts });
+               bump slot.k_leases 1;
+               bump slot.k_stamps k
+             | exception e -> serve_error e)
+         | Ok (Frame.Compare { a; b }) ->
+           flush_pending ();
+           (match (unmarshal_ts a, unmarshal_ts b) with
+            | ta, tb -> Frame.write_resp sbuf (Frame.Cmp (T.compare_ts ta tb))
+            | exception _ -> err "undecodable timestamp payload")
+         | Ok Frame.Stats ->
+           flush_pending ();
+           Frame.write_resp sbuf (stats_reply t)
+         | Ok Frame.Stop ->
+           flush_pending ();
+           Frame.write_resp sbuf Frame.Stopping;
+           Atomic.set t.stop_requested true)
+      payloads;
+    flush_pending ();
+    Conn.flush conn
+
+  let handle t cid fd () =
+    let conn = Conn.create fd in
+    let slot = t.slots.(cid mod Array.length t.slots) in
+    bump slot.k_conns 1;
+    let session = ref None in
+    let last_in = ref 0 in
+    let last_out = ref 0 in
+    let sync_bytes () =
+      bump slot.k_bytes_in (Conn.bytes_in conn - !last_in);
+      last_in := Conn.bytes_in conn;
+      bump slot.k_bytes_out (Conn.bytes_out conn - !last_out);
+      last_out := Conn.bytes_out conn
+    in
+    (try
+       let rec loop () =
+         match Conn.recv_batch conn with
+         | Error `Eof -> ()
+         | Error (`Frame e) ->
+           (* framing is broken: best-effort error reply, then drop *)
+           (try
+              Frame.write_resp (Conn.send_buffer conn)
+                (Frame.Err (Frame.error_to_string e));
+              Conn.flush conn
+            with _ -> ())
+         | Ok payloads ->
+           process t slot conn session payloads;
+           sync_bytes ();
+           loop ()
+       in
+       loop ()
+     with Unix.Unix_error _ | Sys_error _ -> ());
+    sync_bytes ();
+    Conn.close conn;
+    with_lock t.mu (fun () -> Hashtbl.remove t.live cid)
+
+  (* -------------------------- accept loop -------------------------- *)
+
+  (* select-with-timeout rather than a blocking accept: the loop polls
+     the stopping flag, so shutdown never races a close() against a
+     domain blocked in accept(2). *)
+  let accept_loop t () =
+    let rec loop () =
+      if Atomic.get t.stopping then ()
+      else
+        match Unix.select [ t.listen_fd ] [] [] 0.05 with
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> loop ()
+        | exception Unix.Unix_error _ -> ()
+        | [], _, _ -> loop ()
+        | _ -> (
+            match Unix.accept ~cloexec:true t.listen_fd with
+            | exception Unix.Unix_error ((Unix.EBADF | Unix.EINVAL), _, _) ->
+              ()
+            | exception Unix.Unix_error _ -> loop ()
+            | fd, _ ->
+              if Atomic.get t.stopping then (
+                (try Unix.close fd with Unix.Unix_error _ -> ()))
+              else begin
+                let cid = Atomic.fetch_and_add t.next_conn 1 in
+                with_lock t.mu (fun () ->
+                    Hashtbl.replace t.live cid fd;
+                    t.handlers <- Domain.spawn (handle t cid fd) :: t.handlers);
+                loop ()
+              end)
+    in
+    loop ()
+
+  (* ---------------------------- lifecycle -------------------------- *)
+
+  let start ?(batch_max = 64) ?(backoff_us = 50) ?(shards = 1)
+      ?(backend = `Boxed) ?(telemetry = false) ?(conn_slots = 4) ~addr ~n () =
+    if conn_slots <= 0 then
+      invalid_arg "Server.start: conn_slots must be positive";
+    let svc = S.start ~batch_max ~backoff_us ~shards ~backend ~telemetry ~n () in
+    (match addr with
+     | Conn.Unix_path p -> (try Unix.unlink p with Unix.Unix_error _ -> ())
+     | Conn.Tcp _ -> ());
+    let listen_fd =
+      Unix.socket ~cloexec:true (Conn.domain_of addr) Unix.SOCK_STREAM 0
+    in
+    (match addr with
+     | Conn.Tcp _ -> Unix.setsockopt listen_fd Unix.SO_REUSEADDR true
+     | Conn.Unix_path _ -> ());
+    (try
+       Unix.bind listen_fd (Conn.sockaddr_of addr);
+       Unix.listen listen_fd 64
+     with e ->
+       (try Unix.close listen_fd with Unix.Unix_error _ -> ());
+       S.stop svc;
+       raise e);
+    let t =
+      { svc;
+        info =
+          { Frame.si_impl = T.name;
+            si_kind = T.kind;
+            si_n = n;
+            si_shards = shards;
+            si_backend = Multicore.Backend.choice_tag backend };
+        listen_fd;
+        addr;
+        slots = Array.init conn_slots (fun _ -> make_slot ());
+        mu = Mutex.create ();
+        live = Hashtbl.create 16;
+        handlers = [];
+        accept_dom = None;
+        next_conn = Atomic.make 0;
+        stop_requested = Atomic.make false;
+        stopping = Atomic.make false;
+        stopped = Atomic.make false }
+    in
+    t.accept_dom <- Some (Domain.spawn (accept_loop t));
+    t
+
+  let bound_addr t =
+    match Unix.getsockname t.listen_fd with
+    | Unix.ADDR_UNIX p -> Conn.Unix_path p
+    | Unix.ADDR_INET (a, p) ->
+      Conn.Tcp { host = Unix.string_of_inet_addr a; port = p }
+
+  let info t = t.info
+
+  let stop_requested t = Atomic.get t.stop_requested
+
+  let wait ?(poll_us = 10_000) t =
+    while not (Atomic.get t.stop_requested || Atomic.get t.stopping) do
+      sleep_us poll_us
+    done
+
+  let stop t =
+    if Atomic.compare_and_set t.stopped false true then begin
+      Atomic.set t.stopping true;
+      (match t.accept_dom with Some d -> Domain.join d | None -> ());
+      (try Unix.close t.listen_fd with Unix.Unix_error _ -> ());
+      (match t.addr with
+       | Conn.Unix_path p -> (try Unix.unlink p with Unix.Unix_error _ -> ())
+       | Conn.Tcp _ -> ());
+      (* wake handlers blocked in read(2): SHUT_RD delivers EOF without
+         yanking the fd out from under them *)
+      with_lock t.mu (fun () ->
+          Hashtbl.iter
+            (fun _ fd ->
+               try Unix.shutdown fd Unix.SHUTDOWN_RECEIVE
+               with Unix.Unix_error _ -> ())
+            t.live);
+      let handlers = with_lock t.mu (fun () -> t.handlers) in
+      List.iter Domain.join handlers;
+      S.stop t.svc
+    end
+
+  (* --------------------------- telemetry --------------------------- *)
+
+  let requests_total t =
+    Array.fold_left (fun acc sl -> acc + Atomic.get sl.k_requests) 0 t.slots
+
+  let conns_total t =
+    Array.fold_left (fun acc sl -> acc + Atomic.get sl.k_conns) 0 t.slots
+
+  let net_sources t =
+    List.concat
+      (Array.to_list
+         (Array.mapi
+            (fun i sl ->
+               let g name a =
+                 (Printf.sprintf "c%d.%s" i name,
+                  fun () -> float_of_int (Atomic.get a))
+               in
+               [ g "conns" sl.k_conns;
+                 g "requests" sl.k_requests;
+                 g "stamps" sl.k_stamps;
+                 g "leases" sl.k_leases;
+                 g "bytes_in" sl.k_bytes_in;
+                 g "bytes_out" sl.k_bytes_out ])
+            t.slots))
+
+  let attach_telemetry t ts =
+    S.attach_telemetry t.svc ts;
+    Obs.Timeseries.add_meta ts "addr"
+      (Obs.Json.String (Conn.addr_to_string t.addr));
+    Obs.Timeseries.add_meta ts "conn_slots"
+      (Obs.Json.Int (Array.length t.slots));
+    List.iter
+      (fun (name, f) -> Obs.Timeseries.add_source ts ~name f)
+      (net_sources t)
+
+  let service_stats t = S.stats t.svc
+end

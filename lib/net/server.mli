@@ -1,0 +1,84 @@
+(** Wire-facing timestamp server.
+
+    An accept loop on its own domain hands each connection to a dedicated
+    handler domain; handlers decode {!Frame} requests and feed the
+    in-process {!Svc.Service} shards.  Consecutive pipelined [Get_stamp]
+    frames in one read batch become one submit burst, awaited in order.
+
+    Epoch-range leases ([Get_range k]) execute one anchor getTS through
+    the service and only {e then} reserve [k] fresh end ticks
+    ({!Svc.Service.Make.reserve_ticks}) — the same
+    reserve-after-execution discipline as the batch pipeline, which is
+    what keeps client-minted stamps sound for the happens-before checker
+    (DESIGN.md §14).
+
+    Sessions are opened lazily, on a connection's first [Get_stamp] or
+    [Get_range]: control connections (ping/stats/stop/compare) never
+    consume one of a long-lived object's [n] process ids.
+
+    Per-connection counters ([requests]/[stamps]/[leases]/[bytes_in]/
+    [bytes_out]) aggregate into a fixed number of slots (connection id mod
+    [conn_slots]) exported as [c<slot>.*] telemetry gauges, so [ts_cli
+    top] shows network activity next to the service shards. *)
+
+module Make (T : Timestamp.Intf.S) : sig
+  type t
+
+  val start :
+    ?batch_max:int ->
+    ?backoff_us:int ->
+    ?shards:int ->
+    ?backend:Multicore.Backend.choice ->
+    ?telemetry:bool ->
+    ?conn_slots:int ->
+    addr:Conn.addr ->
+    n:int ->
+    unit ->
+    t
+  (** Starts the service ({!Svc.Service.Make.start} semantics for the
+      shared parameters), binds and listens on [addr] (an existing Unix
+      socket path is unlinked first; TCP sets [SO_REUSEADDR]), and spawns
+      the accept domain.  [conn_slots] (default 4) sizes the telemetry
+      counter groups.  On bind/listen failure the service is stopped and
+      the exception re-raised. *)
+
+  val bound_addr : t -> Conn.addr
+  (** The actual listening address — resolves a requested TCP port 0 to
+      the kernel-assigned port. *)
+
+  val info : t -> Frame.server_info
+  (** What {!Frame.Ping} answers: implementation name, kind, [n],
+      shards, backend tag. *)
+
+  val stop_requested : t -> bool
+  (** A client sent {!Frame.Stop}.  The server keeps serving until the
+      owner calls {!stop} — a handler cannot join itself. *)
+
+  val wait : ?poll_us:int -> t -> unit
+  (** Blocks until {!stop_requested} (or {!stop} from another domain). *)
+
+  val stop : t -> unit
+  (** Graceful shutdown: joins the accept loop (it polls the stop flag,
+      so this never races a close against a blocked [accept]), closes
+      the listen socket (unlinking a Unix path), wakes every live
+      connection with [shutdown(SHUT_RD)] — in-flight requests are still
+      answered, then the handler sees EOF and exits — joins all
+      handlers, and stops the service.  Idempotent; concurrent callers
+      lose the race and return immediately. *)
+
+  val requests_total : t -> int
+
+  val conns_total : t -> int
+
+  val net_sources : t -> (string * (unit -> float)) list
+  (** The [c<slot>.{conns,requests,stamps,leases,bytes_in,bytes_out}]
+      gauges, safe to sample from any domain. *)
+
+  val attach_telemetry : t -> Obs.Timeseries.t -> unit
+  (** The service's gauges and stall rules
+      ({!Svc.Service.Make.attach_telemetry} — requires
+      [~telemetry:true]) plus {!net_sources} and the listen address
+      metadata. *)
+
+  val service_stats : t -> Svc.Service.Make(T).shard_stats array
+end

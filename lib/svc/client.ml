@@ -1,0 +1,146 @@
+let now_us () = Obs.Trace.Clock.now_s () *. 1e6
+
+exception Error of string
+
+type 'r stamp = {
+  st_pid : int;
+  st_call : int;
+  st_start_tick : int;
+  st_end_tick : int;
+  st_ts : 'r;
+  st_resp_us : float;
+  st_shard : int;
+}
+
+module type S = sig
+  type result
+
+  type t
+
+  val stamp : t -> result stamp
+
+  val stamp_async : t -> unit -> result stamp
+
+  val stamp_batch : t -> int -> result stamp list
+
+  val compare : t -> result stamp -> result stamp -> bool
+
+  val close : t -> unit
+end
+
+(* ------------------------------------------------------------------ *)
+(* Direct: no service at all — the client executes getTS itself on a
+   shared register store (the unbatched baseline of E13/E15).           *)
+
+module Direct (T : Timestamp.Intf.S) = struct
+  type result = T.result
+
+  type ctx = {
+    regs : T.value Multicore.Backend.store;
+    tick : int Atomic.t;
+    next_pid : int Atomic.t;
+    n : int;
+  }
+
+  let create_ctx ?(backend = `Boxed) ~n () =
+    if n <= 0 then invalid_arg "Client.Direct.create_ctx: n must be positive";
+    { regs =
+        Multicore.Exec.make_store ~backend ~num:(T.num_registers ~n)
+          ~init:(T.init_value ~n);
+      tick = Atomic.make 0;
+      next_pid = Atomic.make 0;
+      n }
+
+  type t = { ctx : ctx; pid : int; mutable call : int }
+
+  let connect ctx =
+    match T.kind with
+    | `Long_lived ->
+      let pid = Atomic.fetch_and_add ctx.next_pid 1 in
+      if pid >= ctx.n then
+        invalid_arg
+          (Printf.sprintf
+             "Client.Direct.connect: %s supports at most n=%d clients" T.name
+             ctx.n);
+      { ctx; pid; call = 0 }
+    | `One_shot -> { ctx; pid = -1; call = 0 }
+
+  let stamp c =
+    let ctx = c.ctx in
+    let pid, call =
+      match T.kind with
+      | `One_shot ->
+        let pid = Atomic.fetch_and_add ctx.next_pid 1 in
+        if pid >= ctx.n then
+          invalid_arg
+            (Printf.sprintf
+               "Client.Direct.stamp: one-shot %s exhausted its n=%d process \
+                ids"
+               T.name ctx.n);
+        (pid, 0)
+      | `Long_lived ->
+        let call = c.call in
+        c.call <- call + 1;
+        (c.pid, call)
+    in
+    let start_tick = Atomic.get ctx.tick in
+    let ts =
+      Multicore.Exec.run_store ~regs:ctx.regs (T.program ~n:ctx.n ~pid ~call)
+    in
+    let end_tick = Atomic.fetch_and_add ctx.tick 1 in
+    { st_pid = pid; st_call = call; st_start_tick = start_tick;
+      st_end_tick = end_tick; st_ts = ts; st_resp_us = now_us ();
+      st_shard = 0 }
+
+  (* execution is the request: nothing to overlap, so "async" is eager *)
+  let stamp_async c =
+    let s = stamp c in
+    fun () -> s
+
+  let stamp_batch c k = List.init k (fun _ -> stamp c)
+
+  let compare _ a b = T.compare_ts a.st_ts b.st_ts
+
+  let close _ = ()
+end
+
+(* ------------------------------------------------------------------ *)
+(* Inproc: the in-process service transport, wrapping one session's
+   pooled submit/await path.                                            *)
+
+module Inproc (T : Timestamp.Intf.S) = struct
+  module Service_ = Service.Make (T)
+
+  type result = T.result
+
+  type t = { session : Service_.session }
+
+  let connect svc = { session = Service_.open_session svc }
+
+  let of_resp (r : Service_.resp) =
+    { st_pid = r.pid; st_call = r.call; st_start_tick = r.start_tick;
+      st_end_tick = r.end_tick; st_ts = r.ts; st_resp_us = r.resp_us;
+      st_shard = r.shard }
+
+  let stamp c = of_resp (Service_.get_ts c.session)
+
+  let stamp_async c =
+    let ticket = Service_.submit c.session in
+    fun () ->
+      let r = Service_.await ticket in
+      Service_.release c.session ticket;
+      of_resp r
+
+  let stamp_batch c k =
+    let tickets = List.init k (fun _ -> Service_.submit c.session) in
+    List.map
+      (fun ticket ->
+         let r = Service_.await ticket in
+         Service_.release c.session ticket;
+         of_resp r)
+      tickets
+
+  let compare _ a b = T.compare_ts a.st_ts b.st_ts
+
+  let close _ = ()
+end

@@ -89,7 +89,7 @@ let us_of_ns ns = ns /. 1e3
 
 type recorder = {
   g_hdr : Obs.Hdr.t;  (* all requests *)
-  shard_hdrs : Obs.Hdr.t array;  (* by service shard (index 0 in direct) *)
+  shard_hdrs : Obs.Hdr.t array;  (* by serving shard (index 0 unsharded) *)
 }
 
 let make_recorder num_shards =
@@ -97,140 +97,101 @@ let make_recorder num_shards =
     shard_hdrs = Array.init num_shards (fun _ -> Obs.Hdr.create ()) }
 
 let record_lat rc ~shard lat_us =
+  let shard = if shard < 0 || shard >= Array.length rc.shard_hdrs then 0 else shard in
   let ns = ns_of_us lat_us in
   Obs.Hdr.record rc.g_hdr ns;
   Obs.Hdr.record rc.shard_hdrs.(shard) ns
 
-module Run (T : Timestamp.Intf.S) = struct
-  module S = Service.Make (T)
+let think rng think_us =
+  if think_us > 0 then begin
+    let us = Random.State.int rng (think_us + 1) in
+    if us > 0 then sleep_us us
+  end
 
-  (* one completed request, mode-agnostic *)
-  type sample = {
-    sm_pid : int;
-    sm_call : int;
-    sm_start : int;
-    sm_end : int;
-    sm_ts : T.result;
-    sm_lat_us : float;
-    sm_shard : int;
+(* Open-loop schedule: client [i]'s [call]-th request is due at
+   [t0 + (call + i/clients) * clients/rate] — clients interleave evenly
+   on the aggregate arrival process. *)
+let arrival_interval_us cfg rate =
+  1e6 *. float_of_int cfg.clients /. rate
+
+let wait_until sched =
+  let now = now_us () in
+  if now < sched then sleep_us_f (sched -. now)
+
+let mode_string cfg =
+  let backend = Multicore.Backend.choice_tag cfg.backend in
+  let base =
+    match cfg.mode with
+    | Direct ->
+      Printf.sprintf "direct clients=%d backend=%s" cfg.clients backend
+    | Service { shards; batch_max } ->
+      Printf.sprintf
+        "service clients=%d shards=%d batch_max=%d pipeline=%d backend=%s"
+        cfg.clients shards batch_max cfg.pipeline backend
+  in
+  match cfg.arrival with
+  | Closed -> base
+  | Open { rate } -> Printf.sprintf "%s open rate=%.0f/s" base rate
+
+let arrival_string cfg =
+  match cfg.arrival with
+  | Closed -> ""
+  | Open { rate } -> Printf.sprintf " open rate=%.0f/s" rate
+
+let validate cfg =
+  if cfg.clients <= 0 then invalid_arg "Loadgen.run: clients must be positive";
+  if cfg.requests_per_client <= 0 then
+    invalid_arg "Loadgen.run: requests_per_client must be positive";
+  if cfg.pipeline <= 0 then invalid_arg "Loadgen.run: pipeline must be positive";
+  match cfg.arrival with
+  | Open { rate } when rate <= 0. ->
+    invalid_arg "Loadgen.run: open-loop rate must be positive"
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* The generic engine: drive any Client.S transport with the closed- or
+   open-loop workload and produce the standard report.  The transports
+   differ only in how a client handle is made and torn down, which the
+   caller packs into a [setup].                                         *)
+
+module Drive (C : Client.S) = struct
+  type sample = { sm_stamp : C.result Client.stamp; sm_lat_us : float }
+
+  type setup = {
+    connect : int -> C.t;
+        (* client [i]'s handle; called inside the client's domain *)
+    num_shards : int;  (* serving shards (for per-shard histograms) *)
+    impl : string;
+    mode_label : string;
+    backend_label : string;
+    compare_ts : C.result -> C.result -> bool;
+    pp_ts : Format.formatter -> C.result -> unit;
+    attach : (Obs.Timeseries.t -> unit) option;
+        (* extra telemetry sources (e.g. the service's own) *)
+    teardown : unit -> unit;  (* after clients join, before stats *)
+    service_stats : (unit -> (int * int * int) array) option;
+        (* per-shard (served, batches, max_batch), read after teardown *)
   }
 
-  let think rng think_us =
-    if think_us > 0 then begin
-      let us = Random.State.int rng (think_us + 1) in
-      if us > 0 then sleep_us us
-    end
-
-  (* Raise [n] when the workload needs more process ids than configured:
-     every client of a long-lived object is one process, every request to a
-     one-shot object is one. *)
-  let effective_n cfg =
-    match T.kind with
-    | `One_shot -> max cfg.n (cfg.clients * cfg.requests_per_client)
-    | `Long_lived -> max cfg.n cfg.clients
-
-  (* Open-loop schedule: client [i]'s [call]-th request is due at
-     [t0 + (call + i/clients) * clients/rate] — clients interleave evenly
-     on the aggregate arrival process. *)
-  let arrival_interval_us cfg rate =
-    1e6 *. float_of_int cfg.clients /. rate
-
-  let wait_until sched =
-    let now = now_us () in
-    if now < sched then sleep_us_f (sched -. now)
-
-  let direct cfg rc =
-    let n = effective_n cfg in
-    let regs =
-      Multicore.Exec.make_store ~backend:cfg.backend
-        ~num:(T.num_registers ~n) ~init:(T.init_value ~n)
-    in
-    let tick = Atomic.make 0 in
-    let next_pid = Atomic.make 0 in
-    let t0 = now_us () in
-    let client i () =
-      let rng = Random.State.make [| cfg.seed; i; 0x5eed |] in
-      let sched_of =
-        match cfg.arrival with
-        | Closed -> fun _ -> neg_infinity
-        | Open { rate } ->
-          let iv = arrival_interval_us cfg rate in
-          let phase = iv *. float_of_int i /. float_of_int cfg.clients in
-          fun call -> t0 +. phase +. (float_of_int call *. iv)
-      in
-      let rec go call acc =
-        if call >= cfg.requests_per_client then List.rev acc
-        else begin
-          let pid, callno =
-            match T.kind with
-            | `One_shot -> (Atomic.fetch_and_add next_pid 1, 0)
-            | `Long_lived -> (i, call)
-          in
-          let sched = sched_of call in
-          wait_until sched;
-          let start = now_us () in
-          (* open loop measures from the intended start: when the client
-             is running late, the overrun is backlog and counts *)
-          let t_from = if sched = neg_infinity then start else sched in
-          let sm_start = Atomic.get tick in
-          let ts =
-            Multicore.Exec.run_store ~regs (T.program ~n ~pid ~call:callno)
-          in
-          let sm_end = Atomic.fetch_and_add tick 1 in
-          let lat = now_us () -. t_from in
-          record_lat rc ~shard:0 lat;
-          (match cfg.arrival with
-           | Closed -> think rng cfg.think_us
-           | Open _ -> ());
-          go (call + 1)
-            ({ sm_pid = pid; sm_call = callno; sm_start; sm_end; sm_ts = ts;
-               sm_lat_us = lat; sm_shard = 0 }
-             :: acc)
-        end
-      in
-      go 0 []
-    in
-    let domains = List.init cfg.clients (fun i -> Domain.spawn (client i)) in
-    let samples = List.concat_map Domain.join domains in
-    let elapsed = (now_us () -. t0) *. 1e-6 in
-    (samples, elapsed, None)
-
-  let sample_of_resp (r : S.resp) lat =
-    { sm_pid = r.S.pid; sm_call = r.S.call; sm_start = r.S.start_tick;
-      sm_end = r.S.end_tick; sm_ts = r.S.ts; sm_lat_us = lat;
-      sm_shard = r.S.shard }
-
-  (* Closed-loop service client: submit a burst of [pipeline], await it,
-     think, repeat.  Latency = client submit time to the worker's
-     completion stamp ([resp_us], written once per stamp chunk) —
-     queueing + service time, excluding the client's own post-completion
-     wakeup (which on an oversubscribed box is dominated by the
-     scheduler, not the service). *)
-  let service_closed cfg rc sessions i () =
-    let session = sessions.(i) in
+  (* Closed-loop client: issue a burst of [pipeline], await it, think,
+     repeat.  Latency = burst issue time to the transport's completion
+     stamp — queueing + service time, excluding the client's own
+     post-completion wakeup. *)
+  let closed_loop cfg rc client i =
     let rng = Random.State.make [| cfg.seed; i; 0x5eed |] in
-    let submit_t = Array.make cfg.pipeline 0.0 in
     let rec go remaining acc =
       if remaining = 0 then acc
       else begin
         let burst = min cfg.pipeline remaining in
-        let rec submit_burst j acc =
-          if j = burst then List.rev acc
-          else begin
-            submit_t.(j) <- now_us ();
-            submit_burst (j + 1) (S.submit session :: acc)
-          end
-        in
-        let tickets = submit_burst 0 [] in
-        let _, acc =
+        let t_sub = now_us () in
+        let stamps = C.stamp_batch client burst in
+        let acc =
           List.fold_left
-            (fun (j, acc) ticket ->
-               let r = S.await ticket in
-               let lat = r.S.resp_us -. submit_t.(j) in
-               S.release session ticket;
-               record_lat rc ~shard:r.S.shard lat;
-               (j + 1, sample_of_resp r lat :: acc))
-            (0, acc) tickets
+            (fun acc (s : C.result Client.stamp) ->
+               let lat = s.Client.st_resp_us -. t_sub in
+               record_lat rc ~shard:s.Client.st_shard lat;
+               { sm_stamp = s; sm_lat_us = lat } :: acc)
+            acc stamps
         in
         think rng cfg.think_us;
         go (remaining - burst) acc
@@ -238,23 +199,21 @@ module Run (T : Timestamp.Intf.S) = struct
     in
     go cfg.requests_per_client []
 
-  (* Open-loop service client: submit each request at its scheduled
-     arrival, keeping at most [pipeline] in flight (awaiting the oldest
-     when the window is full).  Latency runs from the scheduled arrival,
-     so a submission delayed behind a full window or a deep queue still
-     charges the service for the wait. *)
-  let service_open cfg rc sessions ~rate ~t0 i () =
-    let session = sessions.(i) in
+  (* Open-loop client: begin each request at its scheduled arrival,
+     keeping at most [pipeline] in flight (completing the oldest when
+     the window is full).  Latency runs from the scheduled arrival, so a
+     request delayed behind a full window or a deep queue still charges
+     the service for the wait. *)
+  let open_loop cfg rc ~rate ~t0 client i =
     let iv = arrival_interval_us cfg rate in
     let phase = iv *. float_of_int i /. float_of_int cfg.clients in
     let window = Queue.create () in
     let complete_oldest acc =
-      let ticket, sched = Queue.pop window in
-      let r = S.await ticket in
-      let lat = r.S.resp_us -. sched in
-      S.release session ticket;
-      record_lat rc ~shard:r.S.shard lat;
-      sample_of_resp r lat :: acc
+      let thunk, sched = Queue.pop window in
+      let (s : C.result Client.stamp) = thunk () in
+      let lat = s.Client.st_resp_us -. sched in
+      record_lat rc ~shard:s.Client.st_shard lat;
+      { sm_stamp = s; sm_lat_us = lat } :: acc
     in
     let rec go call acc =
       if call >= cfg.requests_per_client then begin
@@ -271,113 +230,76 @@ module Run (T : Timestamp.Intf.S) = struct
           if Queue.length window >= cfg.pipeline then complete_oldest acc
           else acc
         in
-        Queue.push (S.submit session, sched) window;
+        Queue.push (C.stamp_async client, sched) window;
         go (call + 1) acc
       end
     in
     go 0 []
 
-  let service cfg rc ~shards ~batch_max =
-    let n = effective_n cfg in
-    let svc =
-      S.start ~batch_max ~backoff_us:cfg.backoff_us ~shards
-        ~backend:cfg.backend
-        ~telemetry:(cfg.telemetry <> None)
-        ~n ()
-    in
-    let ts =
-      match cfg.telemetry with
-      | None -> None
-      | Some tel ->
-        let ts = Obs.Timeseries.create ~interval_us:tel.tel_interval_us () in
-        S.attach_telemetry svc ts;
-        (* the load generator's own live series, from the merged HDR *)
-        let pct h p () = us_of_ns (Obs.Hdr.percentile (Obs.Hdr.snapshot h) p) in
-        Array.iteri
-          (fun i h ->
-             let name = Printf.sprintf "s%d.lat_p%s_us" i in
-             Obs.Timeseries.add_source ts ~name:(name "50") (pct h 50.);
-             Obs.Timeseries.add_source ts ~name:(name "99") (pct h 99.))
-          rc.shard_hdrs;
-        Obs.Timeseries.add_source ts ~name:"lat.p50_us" (pct rc.g_hdr 50.);
-        Obs.Timeseries.add_source ts ~name:"lat.p99_us" (pct rc.g_hdr 99.);
-        Obs.Timeseries.add_source ts ~name:"lat.p999_us" (pct rc.g_hdr 99.9);
-        Obs.Timeseries.add_source ts ~name:"lg.completed" (fun () ->
-            float_of_int (Obs.Hdr.count (Obs.Hdr.snapshot rc.g_hdr)));
-        Obs.Timeseries.start ~append:tel.tel_append ~out:tel.tel_out ts;
-        Some ts
-    in
-    (* open the sessions here, not in the client domains, so client [i]
-       deterministically owns process id [i] *)
-    let sessions = Array.init cfg.clients (fun _ -> S.open_session svc) in
+  let start_telemetry setup cfg rc =
+    match cfg.telemetry with
+    | None -> None
+    | Some tel ->
+      let ts = Obs.Timeseries.create ~interval_us:tel.tel_interval_us () in
+      (match setup.attach with Some f -> f ts | None -> ());
+      (* the load generator's own live series, from the merged HDR *)
+      let pct h p () = us_of_ns (Obs.Hdr.percentile (Obs.Hdr.snapshot h) p) in
+      Array.iteri
+        (fun i h ->
+           let name = Printf.sprintf "s%d.lat_p%s_us" i in
+           Obs.Timeseries.add_source ts ~name:(name "50") (pct h 50.);
+           Obs.Timeseries.add_source ts ~name:(name "99") (pct h 99.))
+        rc.shard_hdrs;
+      Obs.Timeseries.add_source ts ~name:"lat.p50_us" (pct rc.g_hdr 50.);
+      Obs.Timeseries.add_source ts ~name:"lat.p99_us" (pct rc.g_hdr 99.);
+      Obs.Timeseries.add_source ts ~name:"lat.p999_us" (pct rc.g_hdr 99.9);
+      Obs.Timeseries.add_source ts ~name:"lg.completed" (fun () ->
+          float_of_int (Obs.Hdr.count (Obs.Hdr.snapshot rc.g_hdr)));
+      Obs.Timeseries.start ~append:tel.tel_append ~out:tel.tel_out ts;
+      Some ts
+
+  let run setup cfg =
+    validate cfg;
+    let rc = make_recorder (max 1 setup.num_shards) in
+    let ts = start_telemetry setup cfg rc in
     let t0 = now_us () in
-    let client i =
-      match cfg.arrival with
-      | Closed -> service_closed cfg rc sessions i
-      | Open { rate } -> service_open cfg rc sessions ~rate ~t0 i
+    let body i () =
+      let client = setup.connect i in
+      let samples =
+        match cfg.arrival with
+        | Closed -> closed_loop cfg rc client i
+        | Open { rate } -> open_loop cfg rc ~rate ~t0 client i
+      in
+      C.close client;
+      samples
     in
-    let domains = List.init cfg.clients (fun i -> Domain.spawn (client i)) in
+    let domains = List.init cfg.clients (fun i -> Domain.spawn (body i)) in
     let samples = List.concat_map Domain.join domains in
     let elapsed = (now_us () -. t0) *. 1e-6 in
-    S.stop svc;
-    let telemetry_counts =
+    setup.teardown ();
+    let stats = Option.map (fun f -> f ()) setup.service_stats in
+    let tel_samples, tel_stalls =
       match ts with
       | None -> (0, 0)
       | Some ts ->
         Obs.Timeseries.stop ts;
         (Obs.Timeseries.samples ts, Obs.Timeseries.stalls ts)
     in
-    (samples, elapsed, Some (S.stats svc), telemetry_counts)
-
-  let mode_string cfg =
-    let backend = Multicore.Backend.choice_tag cfg.backend in
-    let base =
-      match cfg.mode with
-      | Direct ->
-        Printf.sprintf "direct clients=%d backend=%s" cfg.clients backend
-      | Service { shards; batch_max } ->
-        Printf.sprintf
-          "service clients=%d shards=%d batch_max=%d pipeline=%d backend=%s"
-          cfg.clients shards batch_max cfg.pipeline backend
-    in
-    match cfg.arrival with
-    | Closed -> base
-    | Open { rate } -> Printf.sprintf "%s open rate=%.0f/s" base rate
-
-  let run cfg =
-    if cfg.clients <= 0 then
-      invalid_arg "Loadgen.run: clients must be positive";
-    if cfg.requests_per_client <= 0 then
-      invalid_arg "Loadgen.run: requests_per_client must be positive";
-    if cfg.pipeline <= 0 then
-      invalid_arg "Loadgen.run: pipeline must be positive";
-    (match cfg.arrival with
-     | Open { rate } when rate <= 0. ->
-       invalid_arg "Loadgen.run: open-loop rate must be positive"
-     | _ -> ());
-    let num_shards =
-      match cfg.mode with Direct -> 1 | Service { shards; _ } -> shards
-    in
-    let rc = make_recorder num_shards in
-    let samples, elapsed, stats, (tel_samples, tel_stalls) =
-      match cfg.mode with
-      | Direct ->
-        let samples, elapsed, stats = direct cfg rc in
-        (samples, elapsed, stats, (0, 0))
-      | Service { shards; batch_max } -> service cfg rc ~shards ~batch_max
-    in
     let total = List.length samples in
     let timed =
       List.map
-        (fun s ->
-           { Timestamp.Checker.td_pid = s.sm_pid; td_call = s.sm_call;
-             td_start = s.sm_start; td_end = s.sm_end; td_ts = s.sm_ts })
+        (fun { sm_stamp = s; _ } ->
+           { Timestamp.Checker.td_pid = s.Client.st_pid;
+             td_call = s.Client.st_call;
+             td_start = s.Client.st_start_tick;
+             td_end = s.Client.st_end_tick;
+             td_ts = s.Client.st_ts })
         samples
     in
     let hb_pairs, violation =
       match
-        Timestamp.Checker.check_timed ~compare_ts:T.compare_ts ~pp:T.pp_ts
-          timed
+        Timestamp.Checker.check_timed ~compare_ts:setup.compare_ts
+          ~pp:setup.pp_ts timed
       with
       | Ok pairs -> (pairs, None)
       | Error v ->
@@ -385,14 +307,15 @@ module Run (T : Timestamp.Intf.S) = struct
     in
     let gsnap = Obs.Hdr.snapshot rc.g_hdr in
     let gpct p = us_of_ns (Obs.Hdr.percentile gsnap p) in
+    let num_shards = Array.length rc.shard_hdrs in
     let shard_report i =
       let ssnap = Obs.Hdr.snapshot rc.shard_hdrs.(i) in
       let served, batches, max_batch =
         match stats with
         | None -> (Obs.Hdr.count ssnap, 0, 0)
         | Some st ->
-          let (s : S.shard_stats) = st.(i) in
-          (s.served, s.batches, s.max_batch)
+          let s, b, m = st.(i) in
+          (s, b, m)
       in
       { sr_shard = i; sr_served = served; sr_batches = batches;
         sr_max_batch = max_batch;
@@ -400,11 +323,14 @@ module Run (T : Timestamp.Intf.S) = struct
         sr_p99_us = us_of_ns (Obs.Hdr.percentile ssnap 99.) }
     in
     let by_end =
-      List.sort (fun a b -> Int.compare a.sm_end b.sm_end) samples
+      List.sort
+        (fun a b -> Int.compare a.sm_stamp.Client.st_end_tick
+            b.sm_stamp.Client.st_end_tick)
+        samples
     in
-    { lg_impl = T.name;
-      lg_mode = mode_string cfg;
-      lg_backend = Multicore.Backend.choice_tag cfg.backend;
+    { lg_impl = setup.impl;
+      lg_mode = setup.mode_label;
+      lg_backend = setup.backend_label;
       lg_total = total;
       lg_elapsed_s = elapsed;
       lg_throughput =
@@ -418,9 +344,79 @@ module Run (T : Timestamp.Intf.S) = struct
       lg_max_us = us_of_ns (float_of_int (Obs.Hdr.max_value gsnap));
       lg_shards = List.init num_shards shard_report;
       lg_timestamps =
-        List.map (fun s -> Format.asprintf "%a" T.pp_ts s.sm_ts) by_end;
+        List.map
+          (fun s -> Format.asprintf "%a" setup.pp_ts s.sm_stamp.Client.st_ts)
+          by_end;
       lg_samples = tel_samples;
       lg_stalls = tel_stalls }
+end
+
+(* ------------------------------------------------------------------ *)
+(* Built-in transports: Direct and Service, dispatched from [cfg.mode]. *)
+
+module Run (T : Timestamp.Intf.S) = struct
+  module S = Service.Make (T)
+  module Cd = Client.Direct (T)
+  module Ci = Client.Inproc (T)
+  module Dd = Drive (Cd)
+  module Di = Drive (Ci)
+
+  (* Raise [n] when the workload needs more process ids than configured:
+     every client of a long-lived object is one process, every request to a
+     one-shot object is one. *)
+  let effective_n cfg =
+    match T.kind with
+    | `One_shot -> max cfg.n (cfg.clients * cfg.requests_per_client)
+    | `Long_lived -> max cfg.n cfg.clients
+
+  let run cfg =
+    validate cfg;
+    let backend_label = Multicore.Backend.choice_tag cfg.backend in
+    match cfg.mode with
+    | Direct ->
+      let ctx = Cd.create_ctx ~backend:cfg.backend ~n:(effective_n cfg) () in
+      (* connect here, in order, so a long-lived client [i]
+         deterministically owns process id [i] *)
+      let clients = Array.init cfg.clients (fun _ -> Cd.connect ctx) in
+      Dd.run
+        { Dd.connect = (fun i -> clients.(i));
+          num_shards = 1;
+          impl = T.name;
+          mode_label = mode_string cfg;
+          backend_label;
+          compare_ts = T.compare_ts;
+          pp_ts = T.pp_ts;
+          attach = None;
+          teardown = (fun () -> ());
+          service_stats = None }
+        cfg
+    | Service { shards; batch_max } ->
+      let svc =
+        S.start ~batch_max ~backoff_us:cfg.backoff_us ~shards
+          ~backend:cfg.backend
+          ~telemetry:(cfg.telemetry <> None)
+          ~n:(effective_n cfg) ()
+      in
+      (* open the sessions here, not in the client domains, so client [i]
+         deterministically owns process id [i] *)
+      let clients = Array.init cfg.clients (fun _ -> Ci.connect svc) in
+      Di.run
+        { Di.connect = (fun i -> clients.(i));
+          num_shards = shards;
+          impl = T.name;
+          mode_label = mode_string cfg;
+          backend_label;
+          compare_ts = T.compare_ts;
+          pp_ts = T.pp_ts;
+          attach = Some (fun ts -> S.attach_telemetry svc ts);
+          teardown = (fun () -> S.stop svc);
+          service_stats =
+            Some
+              (fun () ->
+                 Array.map
+                   (fun (s : S.shard_stats) -> (s.served, s.batches, s.max_batch))
+                   (S.stats svc)) }
+        cfg
 end
 
 let run (Timestamp.Registry.Impl (module T)) cfg =

@@ -1,9 +1,12 @@
 (** Seeded load generator for the timestamp service.
 
     Spawns [clients] domains; each performs [requests_per_client] getTS
-    calls, either through a {!Service} (mode [Service]) or by executing the
-    program itself on the shared registers (mode [Direct], the
-    {!Multicore.Stress} model — the unbatched baseline).
+    calls through a {!Client.S} transport.  The built-in dispatch ({!run})
+    covers mode [Service] ({!Client.Inproc} over a fresh service) and mode
+    [Direct] ({!Client.Direct}, the {!Multicore.Stress}-style unbatched
+    baseline); the generic engine ({!Drive}) additionally drives any other
+    transport — notably [Net.Client] over TCP/Unix sockets — through the
+    same workloads and reporting.
 
     Two arrival disciplines:
     - [Closed] (the default): a client keeps at most [pipeline] requests
@@ -30,11 +33,12 @@
     tick, so the report carries a {!Timestamp.Checker.check_timed} verdict
     over the real happens-before order the clients observed.
 
-    With [telemetry = Some _] (service mode), the run starts an
-    {!Obs.Timeseries} sampler over the service's live gauges plus the
-    generator's own [lat.p50_us]/[lat.p99_us]/[lat.p999_us]/
-    [lg.completed] series, writes the JSONL time series to [tel_out],
-    and reports the sample/stall counts. *)
+    With [telemetry = Some _], the run starts an {!Obs.Timeseries}
+    sampler over the generator's own [lat.p50_us]/[lat.p99_us]/
+    [lat.p999_us]/[lg.completed] series plus any transport-provided
+    sources (service mode attaches the service's live gauges), writes the
+    JSONL time series to [tel_out], and reports the sample/stall
+    counts. *)
 
 type mode =
   | Direct  (** no service: each client runs its own getTS on the registers *)
@@ -65,7 +69,7 @@ type cfg = {
                        ignored by the open loop (the schedule paces) *)
   backoff_us : int;  (** worker idle backoff (service mode) *)
   backend : Multicore.Backend.choice;  (** register layout (both modes) *)
-  telemetry : telemetry option;  (** service mode only; [Direct] ignores *)
+  telemetry : telemetry option;  (** live sampler; any transport *)
 }
 
 val default : cfg
@@ -103,6 +107,43 @@ type report = {
   lg_samples : int;  (** telemetry samples written (0 when telemetry off) *)
   lg_stalls : int;  (** stall-detector events (0 when telemetry off) *)
 }
+
+val mode_string : cfg -> string
+(** Human-readable summary of the built-in modes (used for [lg_mode]). *)
+
+val arrival_string : cfg -> string
+(** [""] for the closed loop, [" open rate=R/s"] for the open loop —
+    suffix for custom transports' mode labels. *)
+
+(** The generic engine: drive any {!Client.S} transport with the
+    closed-/open-loop workloads and produce the standard {!report}.
+    {!run} is a thin dispatcher over this functor; external transports
+    (e.g. [Net.Client]) instantiate it directly. *)
+module Drive (C : Client.S) : sig
+  type setup = {
+    connect : int -> C.t;
+        (** client [i]'s handle; called inside the client's own domain
+            (pre-connect and return an array slot for deterministic
+            placement) *)
+    num_shards : int;  (** serving shards, for the per-shard histograms;
+                           out-of-range [st_shard] values land in shard 0 *)
+    impl : string;  (** implementation name, for [lg_impl] *)
+    mode_label : string;  (** for [lg_mode] *)
+    backend_label : string;  (** for [lg_backend] *)
+    compare_ts : C.result -> C.result -> bool;
+    pp_ts : Format.formatter -> C.result -> unit;
+    attach : (Obs.Timeseries.t -> unit) option;
+        (** add transport telemetry sources before the sampler starts *)
+    teardown : unit -> unit;
+        (** runs after all clients joined, before [service_stats] *)
+    service_stats : (unit -> (int * int * int) array) option;
+        (** per-shard [(served, batches, max_batch)] for the report *)
+  }
+
+  val run : setup -> cfg -> report
+  (** Ignores [cfg.mode] (the transport is [setup]'s business); honours
+      everything else. *)
+end
 
 val run : Timestamp.Registry.impl -> cfg -> report
 (** Runs the workload to completion (service mode shuts the service down

@@ -402,6 +402,16 @@ module Make (T : Timestamp.Intf.S) = struct
     release session ticket;
     r
 
+  (* Reserve [k] consecutive end ticks for stamps minted outside the
+     batch pipeline (epoch-range leases).  Same soundness discipline as
+     the per-chunk reservation in [run_batch]: the caller must reserve
+     only *after* the operation anchoring the leased stamps has
+     executed, so a tick claimed here is never older than a concurrent
+     operation that already completed. *)
+  let reserve_ticks t k =
+    if k <= 0 then invalid_arg "Service.reserve_ticks: k must be positive";
+    Atomic.fetch_and_add t.tick k
+
   let stop_spin_budget = 200
 
   let stop t =

@@ -27,7 +27,14 @@
     Per-session request order is preserved: a session's requests land in
     one FIFO inbox and one worker serves them in order, so a long-lived
     process's calls stay sequential even when a client pipelines several
-    submissions. *)
+    submissions.
+
+    {b Client code should not call this module directly.}  The
+    transport-agnostic {!Client} API ({!Client.Inproc} wraps the
+    session/submit/await path below) is the supported surface for
+    everything outside [lib/svc] — the raw session calls remain exported
+    as thin shims for one release (mirroring the PR 4→5 [Registry] probe
+    shims) and will become internal afterwards. *)
 
 module Make (T : Timestamp.Intf.S) : sig
   type t
@@ -94,7 +101,10 @@ module Make (T : Timestamp.Intf.S) : sig
       has warmed up.  Not thread-safe per session (each session has one
       owning client); different sessions submit concurrently freely.
       Raises {!Stopped} after {!stop}, [Invalid_argument] when a one-shot
-      service has exhausted its [n] process ids. *)
+      service has exhausted its [n] process ids.
+
+      Deprecated outside [lib/svc]: use {!Client.Inproc.stamp_async} /
+      {!Client.Inproc.stamp_batch}. *)
 
   val await : ticket -> resp
   (** Blocks (brief spin, then sleep-backoff) until the response, which it
@@ -112,6 +122,15 @@ module Make (T : Timestamp.Intf.S) : sig
 
   val get_ts : session -> resp
   (** [await]+[release] of [submit session]. *)
+
+  val reserve_ticks : t -> int -> int
+  (** [reserve_ticks t k] claims [k] consecutive global end ticks with one
+      fetch-and-add and returns the first — the epoch-range lease
+      primitive used by the network server ([Net.Server]).  Soundness
+      contract, same as the batch pipeline's per-chunk reservation: call
+      only {e after} the operation anchoring the leased stamps has
+      executed, so no leased tick predates an operation that had already
+      completed.  Raises [Invalid_argument] when [k <= 0]. *)
 
   val stop : t -> unit
   (** Graceful shutdown: refuses new submissions, waits until every

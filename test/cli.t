@@ -209,3 +209,44 @@ A truncated stream (no end marker) still validates and renders live.
   s0            4000       3        4.0       119.0       300.0
   s1            3800       1        4.0       125.0       410.0
   total         7800       4          -       120.5       340.0
+
+Oversized shard counts are refused up front with a clean error instead
+of aborting inside Domain.spawn.
+
+  $ ts_cli serve -i lamport-longlived -n 4 --shards 100000
+  ts_cli: serve: --shards 100000 exceeds this host's recommended domain count; reduce --shards
+  [1]
+  $ ts_cli serve -i lamport-longlived -n 4 --shards 0
+  ts_cli: serve: --shards must be at least 1
+  [1]
+
+The TCP transport needs an address, and reports an unreachable server
+cleanly.
+
+  $ ts_cli loadgen -i lamport-longlived --transport tcp
+  ts_cli: loadgen: --transport tcp requires --addr
+  [1]
+  $ ts_cli loadgen -i lamport-longlived --transport tcp --addr unix:./nosock.sock
+  ts_cli: loadgen: cannot connect to unix:./nosock.sock: No such file or directory
+  [1]
+
+A network serve exports per-connection counter groups (c<slot>.*) next
+to the service shards; top renders them as a second table.
+
+  $ cat > net.jsonl <<'JSONL'
+  > {"schema_version": 1,"kind": "header","interval_us": 10000,"series": ["s0.depth","s0.served","c0.conns","c0.requests","c0.stamps","c0.leases","c0.bytes_in","c0.bytes_out","c1.conns","c1.requests","c1.stamps","c1.leases","c1.bytes_in","c1.bytes_out"],"meta": {"backend": "boxed","shards": 1,"addr": "unix:/tmp/ts.sock"}}
+  > {"kind": "sample","t_us": 10000.0,"v": [0.0,100.0,1.0,50.0,100.0,3.0,800.0,4000.0,1.0,40.0,40.0,0.0,640.0,2400.0]}
+  > {"kind": "sample","t_us": 20000.0,"v": [0.0,240.0,1.0,120.0,240.0,7.0,1920.0,9600.0,1.0,90.0,90.0,0.0,1440.0,5400.0]}
+  > {"kind": "end","samples": 2,"stalls": 0}
+  > JSONL
+  $ ts_cli obs --validate net.jsonl
+  net.jsonl: OK (telemetry schema 1: 14 series, 2 samples, 0 events, 0 stalls)
+  $ ts_cli top --file net.jsonl --once
+  telemetry: net.jsonl  (backend=boxed shards=1 addr=unix:/tmp/ts.sock)
+  t=+20.0ms  samples=2  events=0  stalls=0  [ended]
+  shard          rps   depth  batch_p50  lat_p50_us  lat_p99_us
+  s0           14000       0          -           -           -
+  total        14000       0          -           -           -
+  conn       req_rps   conns     stamps   leases    bytes_in   bytes_out
+  c0            7000       1        240        7        1920        9600
+  c1            5000       1         90        0        1440        5400

@@ -31,5 +31,6 @@ let () =
       Test_hdr.suite;
       Test_telemetry.suite;
       Test_svc.suite;
+      Test_net.suite;
       Test_fuzz.suite;
       Test_model.suite ]

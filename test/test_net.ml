@@ -1,0 +1,377 @@
+(* Network layer: frame codec round-trips and rejection, the TCP/Unix
+   transport end to end against a live server, epoch-range lease
+   soundness under concurrent clients, and graceful shutdown with
+   connections still open. *)
+
+open Svc.Client
+
+let sock_path () =
+  let p = Filename.temp_file "tsnet" ".sock" in
+  (* Server.start unlinks an existing path before bind *)
+  p
+
+(* ------------------------- frame codec ---------------------------- *)
+
+let gen_blob = QCheck2.Gen.(string_size (int_range 0 64))
+
+let gen_req =
+  QCheck2.Gen.(
+    oneof
+      [ return Net.Frame.Ping;
+        return Net.Frame.Get_stamp;
+        map (fun k -> Net.Frame.Get_range k) (int_range 1 Net.Frame.max_lease);
+        map2 (fun a b -> Net.Frame.Compare { a; b }) gen_blob gen_blob;
+        return Net.Frame.Stats;
+        return Net.Frame.Stop ])
+
+let gen_resp =
+  let open QCheck2.Gen in
+  let nat = int_range 0 1_000_000 in
+  let gen_info =
+    map2
+      (fun (impl, backend) (n, shards) ->
+         Net.Frame.Pong
+           { si_impl = impl;
+             si_kind = (if n land 1 = 0 then `One_shot else `Long_lived);
+             si_n = n; si_shards = shards; si_backend = backend })
+      (pair gen_blob gen_blob) (pair nat nat)
+  in
+  let gen_stamp =
+    map2
+      (fun (pid, call) ((shard, (s, e)), ts) ->
+         Net.Frame.Stamp
+           { w_pid = pid; w_call = call; w_shard = shard; w_start_tick = s;
+             w_end_tick = e; w_ts = ts })
+      (pair nat nat)
+      (pair (pair nat (pair nat nat)) gen_blob)
+  in
+  let gen_range =
+    map2
+      (fun ((pid, call), (shard, start)) ((base, count), ts) ->
+         Net.Frame.Range
+           { g_pid = pid; g_call = call; g_shard = shard;
+             g_start_tick = start; g_base = base; g_count = count; g_ts = ts })
+      (pair (pair nat nat) (pair nat nat))
+      (pair (pair nat nat) gen_blob)
+  in
+  let gen_stats =
+    map2
+      (fun served reqs ->
+         Net.Frame.Stats_reply
+           { sr_shards =
+               [ { Net.Frame.ss_served = served; ss_batches = served / 2;
+                   ss_max_batch = 7 } ];
+             sr_conns =
+               [ { Net.Frame.cn_slot = 0; cn_conns = 2; cn_requests = reqs;
+                   cn_stamps = reqs; cn_leases = 1; cn_bytes_in = 10 * reqs;
+                   cn_bytes_out = 30 * reqs } ] })
+      nat nat
+  in
+  oneof
+    [ gen_info; gen_stamp; gen_range;
+      map (fun v -> Net.Frame.Cmp v) bool;
+      gen_stats;
+      return Net.Frame.Stopping;
+      map (fun m -> Net.Frame.Err m) gen_blob ]
+
+let req_roundtrip =
+  Util.qtest ~count:200 "frame: req round-trip" gen_req (fun r ->
+      Net.Frame.decode_req (Net.Frame.encode_req r) = Ok r)
+
+let resp_roundtrip =
+  Util.qtest ~count:200 "frame: resp round-trip" gen_resp (fun r ->
+      Net.Frame.decode_resp (Net.Frame.encode_resp r) = Ok r)
+
+let frame_rejects () =
+  let is_err = function Result.Error _ -> true | Result.Ok _ -> false in
+  (* every strict prefix of a valid payload is rejected *)
+  let payload = Net.Frame.encode_req (Net.Frame.Get_range 1024) in
+  for len = 0 to String.length payload - 1 do
+    Util.check_bool
+      (Printf.sprintf "truncated at %d rejected" len)
+      true
+      (is_err (Net.Frame.decode_req (String.sub payload 0 len)))
+  done;
+  (* wrong version byte *)
+  let bad_version = "\007" ^ String.sub payload 1 (String.length payload - 1) in
+  Util.check_bool "bad version rejected" true
+    (Net.Frame.decode_req bad_version = Result.Error (Net.Frame.Bad_version 7));
+  (* unknown opcode — on both decoders *)
+  let bad_op = "\001\099" in
+  Util.check_bool "bad opcode rejected (req)" true
+    (Net.Frame.decode_req bad_op = Result.Error (Net.Frame.Bad_opcode 99));
+  Util.check_bool "bad opcode rejected (resp)" true
+    (Net.Frame.decode_resp bad_op = Result.Error (Net.Frame.Bad_opcode 99));
+  (* a response opcode is not a request *)
+  Util.check_bool "resp opcode rejected by req decoder" true
+    (is_err (Net.Frame.decode_req (Net.Frame.encode_resp Net.Frame.Stopping)));
+  (* trailing garbage after a well-formed body *)
+  Util.check_bool "trailing bytes rejected" true
+    (is_err (Net.Frame.decode_req (payload ^ "x")));
+  (* length-prefix screening: oversized and nonsense lengths *)
+  let prefix n =
+    let b = Bytes.create 4 in
+    Bytes.set_int32_be b 0 (Int32.of_int n);
+    b
+  in
+  (match
+     Net.Frame.frame_length (prefix (Net.Frame.max_payload + 1)) ~off:0
+       ~avail:4
+   with
+   | `Error (Net.Frame.Oversized _) -> ()
+   | _ -> Alcotest.fail "oversized length accepted");
+  (match Net.Frame.frame_length (prefix 1) ~off:0 ~avail:4 with
+   | `Error (Net.Frame.Malformed _) -> ()
+   | _ -> Alcotest.fail "absurd length accepted");
+  (match Net.Frame.frame_length (prefix 100) ~off:0 ~avail:3 with
+   | `Need_more -> ()
+   | _ -> Alcotest.fail "short prefix not Need_more")
+
+let addr_parsing () =
+  let check s expect =
+    Util.check_bool
+      (Printf.sprintf "parse %S" s)
+      true
+      (Net.Conn.parse_addr s = expect)
+  in
+  check "unix:/tmp/x.sock" (Some (Net.Conn.Unix_path "/tmp/x.sock"));
+  check "/tmp/x.sock" (Some (Net.Conn.Unix_path "/tmp/x.sock"));
+  check "tcp:127.0.0.1:9090"
+    (Some (Net.Conn.Tcp { host = "127.0.0.1"; port = 9090 }));
+  check "localhost:80" (Some (Net.Conn.Tcp { host = "localhost"; port = 80 }));
+  check "tcp:nohost" None;
+  check "host:99999" None;
+  check "" None
+
+(* ---------------------- live server round trips -------------------- *)
+
+let wire_end_to_end () =
+  let module Srv = Net.Server.Make (Timestamp.Lamport) in
+  let module C = Net.Client.Make (Timestamp.Lamport) in
+  let path = sock_path () in
+  let addr = Net.Conn.Unix_path path in
+  let srv = Srv.start ~addr ~n:4 () in
+  let c = C.connect addr in
+  let info = C.server_info c in
+  Util.check_bool "handshake impl" true
+    (info.Net.Frame.si_impl = "lamport-longlived");
+  Util.check_int "handshake n" 4 info.Net.Frame.si_n;
+  Util.check_int "handshake shards" 1 info.Net.Frame.si_shards;
+  let s1 = C.stamp c in
+  let s2 = C.stamp c in
+  Util.check_bool "per-session calls sequence" true (s1.st_call < s2.st_call);
+  Util.check_bool "end ticks advance" true (s1.st_end_tick < s2.st_end_tick);
+  Util.check_bool "timestamp order holds" true (C.compare c s1 s2);
+  Util.check_bool "server-side compare agrees" (C.compare c s1 s2)
+    (C.compare_remote c s1 s2);
+  Util.check_bool "server-side compare agrees (reversed)" (C.compare c s2 s1)
+    (C.compare_remote c s2 s1);
+  let batch = C.stamp_batch c 5 in
+  Util.check_int "batch completes" 5 (List.length batch);
+  let calls = List.map (fun s -> s.st_call) batch in
+  Util.check_bool "batch in issue order" true
+    (calls = List.sort Int.compare calls);
+  let shard_stats, conn_stats = C.stats c in
+  Util.check_int "one shard reported" 1 (List.length shard_stats);
+  let reqs =
+    List.fold_left (fun a (k : Net.Frame.conn_stat) -> a + k.cn_requests) 0
+      conn_stats
+  in
+  Util.check_bool "connection counters counted us" true (reqs >= 8);
+  let stamps =
+    List.fold_left (fun a (k : Net.Frame.conn_stat) -> a + k.cn_stamps) 0
+      conn_stats
+  in
+  Util.check_int "stamps counted" 7 stamps;
+  C.close c;
+  Srv.stop srv;
+  Util.check_bool "socket path unlinked" false (Sys.file_exists path)
+
+let session_exhaustion_is_clean () =
+  let module Srv = Net.Server.Make (Timestamp.Lamport) in
+  let module C = Net.Client.Make (Timestamp.Lamport) in
+  let path = sock_path () in
+  let addr = Net.Conn.Unix_path path in
+  let srv = Srv.start ~addr ~n:1 () in
+  let c1 = C.connect addr in
+  let _ = C.stamp c1 in
+  (* second stamping connection exceeds the long-lived object's n=1 *)
+  let c2 = C.connect addr in
+  (match C.stamp c2 with
+   | _ -> Alcotest.fail "over-n session unexpectedly served"
+   | exception Error msg ->
+     let contains hay needle =
+       let nh = String.length hay and nn = String.length needle in
+       let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+       at 0
+     in
+     Util.check_bool "clean server-side error" true (contains msg "at most"));
+  (* the refused connection can still use sessionless requests *)
+  let _ = C.server_info c2 in
+  Util.check_bool "refused conn still compares" true
+    (let s = C.stamp c1 and s' = C.stamp c1 in
+     C.compare_remote c2 s s');
+  C.close c1;
+  C.close c2;
+  Srv.stop srv
+
+(* --------------------- leases under concurrency -------------------- *)
+
+let lease_concurrent_clients () =
+  let module Srv = Net.Server.Make (Timestamp.Efr) in
+  let module C = Net.Client.Make (Timestamp.Efr) in
+  let path = sock_path () in
+  let addr = Net.Conn.Unix_path path in
+  let srv = Srv.start ~addr ~n:4 () in
+  let clients = 3 in
+  let rounds = 10 in
+  let doms =
+    List.init clients (fun _ ->
+        Domain.spawn (fun () ->
+            let c = C.connect ~lease:8 addr in
+            let acc = ref [] in
+            for _ = 1 to rounds do
+              acc := C.stamp c :: !acc;
+              acc := List.rev_append (C.stamp_batch c 3) !acc
+            done;
+            C.close c;
+            (* issue order = reverse of accumulation *)
+            List.rev !acc))
+  in
+  let per_client = List.map Domain.join doms in
+  (* each client's stamps mint strictly increasing end ticks *)
+  let rec strictly_increasing = function
+    | a :: (b :: _ as rest) -> a < b && strictly_increasing rest
+    | _ -> true
+  in
+  List.iteri
+    (fun i stamps ->
+       Util.check_bool
+         (Printf.sprintf "client %d end ticks strictly increase" i)
+         true
+         (strictly_increasing (List.map (fun s -> s.st_end_tick) stamps)))
+    per_client;
+  let stamps = List.concat per_client in
+  Util.check_int "all stamps arrived" (clients * rounds * 4)
+    (List.length stamps);
+  (* leases are disjoint: no end tick is ever handed out twice *)
+  let ends =
+    List.sort Int.compare (List.map (fun s -> s.st_end_tick) stamps)
+  in
+  let rec no_dup = function
+    | a :: (b :: _ as rest) -> a <> b && no_dup rest
+    | _ -> true
+  in
+  Util.check_bool "lease tick ranges disjoint across clients" true
+    (no_dup ends);
+  (* and the real-time checker accepts the whole run *)
+  let timed =
+    List.map
+      (fun s ->
+         { Timestamp.Checker.td_pid = s.st_pid; td_call = s.st_call;
+           td_start = s.st_start_tick; td_end = s.st_end_tick;
+           td_ts = s.st_ts })
+      stamps
+  in
+  (match
+     Timestamp.Checker.check_timed ~compare_ts:Timestamp.Efr.compare_ts
+       ~pp:Timestamp.Efr.pp_ts timed
+   with
+   | Result.Ok pairs -> Util.check_bool "checker verified pairs" true (pairs > 0)
+   | Result.Error v ->
+     Alcotest.failf "leased stamps violate happens-before: %a"
+       Timestamp.Checker.pp_violation v);
+  Srv.stop srv
+
+(* ------------------------- shutdown paths -------------------------- *)
+
+let shutdown_with_inflight_connections () =
+  let module Srv = Net.Server.Make (Timestamp.Lamport) in
+  let module C = Net.Client.Make (Timestamp.Lamport) in
+  let path = sock_path () in
+  let addr = Net.Conn.Unix_path path in
+  let srv = Srv.start ~addr ~n:4 () in
+  let c1 = C.connect addr in
+  let _ = C.stamp c1 in
+  let c2 = C.connect addr in  (* idle: its handler is blocked in read *)
+  Srv.stop srv;  (* must return with both connections still open *)
+  (match C.stamp c1 with
+   | _ -> Alcotest.fail "stamp served after shutdown"
+   | exception Error _ -> ());
+  (match C.connect addr with
+   | c -> C.close c; Alcotest.fail "connect accepted after shutdown"
+   | exception Error _ -> ());
+  C.close c1;
+  C.close c2;
+  (* stop is idempotent *)
+  Srv.stop srv
+
+let stop_frame_flow () =
+  let module Srv = Net.Server.Make (Timestamp.Efr) in
+  let module C = Net.Client.Make (Timestamp.Efr) in
+  let path = sock_path () in
+  let addr = Net.Conn.Unix_path path in
+  let srv = Srv.start ~addr ~n:2 () in
+  let c = C.connect addr in
+  Util.check_bool "no stop requested yet" false (Srv.stop_requested srv);
+  C.stop_server c;  (* returns once the server acked Stopping *)
+  Util.check_bool "stop flag raised" true (Srv.stop_requested srv);
+  Srv.wait srv;  (* returns immediately now *)
+  C.close c;
+  Srv.stop srv
+
+(* --------------------- the in-process transports -------------------- *)
+
+let inproc_client_api () =
+  let module S = Svc.Service.Make (Timestamp.Efr) in
+  let module C = Svc.Client.Inproc (Timestamp.Efr) in
+  let svc = S.start ~n:2 () in
+  let c = C.connect svc in
+  let s1 = C.stamp c in
+  let batch = C.stamp_batch c 4 in
+  let s2 = C.stamp c in
+  Util.check_int "batch size" 4 (List.length batch);
+  let all = (s1 :: batch) @ [ s2 ] in
+  let calls = List.map (fun s -> s.st_call) all in
+  Util.check_bool "calls sequential per session" true
+    (calls = List.init (List.length all) (fun i -> i));
+  Util.check_bool "order holds" true (C.compare c s1 s2);
+  let d = C.stamp_async c in
+  let s3 = d () in
+  Util.check_bool "async completes after s2" true
+    (s2.st_end_tick < s3.st_end_tick);
+  C.close c;
+  S.stop svc
+
+let direct_client_api () =
+  let module C = Svc.Client.Direct (Timestamp.Lamport) in
+  let ctx = C.create_ctx ~n:2 () in
+  let c0 = C.connect ctx in
+  let c1 = C.connect ctx in
+  let a = C.stamp c0 in
+  let b = C.stamp c1 in
+  Util.check_int "first client owns pid 0" 0 a.st_pid;
+  Util.check_int "second client owns pid 1" 1 b.st_pid;
+  Util.check_bool "order holds" true (C.compare c0 a b);
+  (match C.connect ctx with
+   | _ -> Alcotest.fail "third long-lived client admitted at n=2"
+   | exception Invalid_argument _ -> ());
+  C.close c0;
+  C.close c1
+
+let suite =
+  ( "net",
+    [ req_roundtrip;
+      resp_roundtrip;
+      Util.case "frame: truncated/oversized/bad-version rejected" frame_rejects;
+      Util.case "conn: address parsing" addr_parsing;
+      Util.case "wire: end-to-end over a unix socket" wire_end_to_end;
+      Util.case "wire: session exhaustion is a clean error"
+        session_exhaustion_is_clean;
+      Util.case "lease: concurrent clients stay hb-sound"
+        lease_concurrent_clients;
+      Util.case "shutdown: graceful with in-flight connections"
+        shutdown_with_inflight_connections;
+      Util.case "shutdown: Stop frame reaches the owner" stop_frame_flow;
+      Util.case "client: Inproc transport semantics" inproc_client_api;
+      Util.case "client: Direct transport semantics" direct_client_api ] )
