@@ -20,6 +20,9 @@
                        (machine-readable copy in BENCH_explore.json)
      E12 (ours)        fuzzer sensitivity: iterations-to-kill and shrink
                        quality for each planted mutant across seeds
+     E19 (ours)        wire tier at scale: reactor connection-scaling
+                       curve, Marshal-vs-codec microbench, inline read
+                       path (machine-readable copy in BENCH_net2.json)
 
    One Bechamel Test.make per experiment follows at the end (timings of
    the key operations involved in each).  Usage:
@@ -1833,6 +1836,354 @@ let e18_net () =
       Out_channel.output_char oc '\n');
   Printf.printf "\n(wrote BENCH_net.json)\n"
 
+(* ------------------------------------------------------------------ *)
+(* E19: the reactor wire tier — connection-scaling curve, zero-copy    *)
+(* codec microbench, inline read path; emitted as BENCH_net2.json      *)
+(* ------------------------------------------------------------------ *)
+
+(* Raw-socket pipelined driver: ONE domain multiplexes every connection
+   (write a fixed-depth burst to each, then collect each one's replies),
+   so the client side needs no domain per connection either and the
+   server's domain count is the lone variable under test. *)
+let e19_write_all fd (s : string) =
+  let b = Bytes.unsafe_of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let e19_read_exact fd n =
+  let b = Bytes.create n in
+  let off = ref 0 in
+  while !off < n do
+    let k = Unix.read fd b !off (n - !off) in
+    if k = 0 then failwith "E19: server closed the connection";
+    off := !off + k
+  done;
+  Bytes.unsafe_to_string b
+
+let e19_read_frame fd =
+  let hdr = e19_read_exact fd 4 in
+  e19_read_exact fd (Int32.to_int (String.get_int32_be hdr 0))
+
+let e19_sock () =
+  Filename.concat
+    (Filename.get_temp_dir_name ())
+    (Printf.sprintf "ts_e19_%d.sock" (Unix.getpid ()))
+
+let e19_raw_connect addr =
+  let fd =
+    Unix.socket ~cloexec:true (Net.Conn.domain_of addr) Unix.SOCK_STREAM 0
+  in
+  Unix.connect fd (Net.Conn.sockaddr_of addr);
+  fd
+
+let e19_percentile sorted p =
+  let n = Array.length sorted in
+  if n = 0 then nan
+  else sorted.(min (n - 1) (int_of_float (p /. 100. *. float_of_int n)))
+
+(* One scaling point: [conns] pipelined connections against a reactor
+   with [io_threads] loops; returns throughput plus the domain count the
+   server actually used, and runs the timed happens-before checker over
+   every stamp the point produced. *)
+let e19_scaling_point (type r)
+    (module T : Timestamp.Intf.S with type result = r) ~io_threads ~n ~conns
+    ~per_conn ~depth =
+  let module Srv = Net.Server.Make (T) in
+  let codec = Net.Codec.for_impl (module T) in
+  let addr = Net.Conn.Unix_path (e19_sock ()) in
+  let srv = Srv.start ~io_threads ~addr ~n () in
+  let fds = Array.init conns (fun _ -> e19_raw_connect addr) in
+  let burst =
+    let b = Net.Buf.create () in
+    for _ = 1 to depth do
+      Net.Frame.write_req b Net.Frame.Get_stamp
+    done;
+    Net.Buf.contents b
+  in
+  let timed = ref [] in
+  let rounds = per_conn / depth in
+  let t0 = Unix.gettimeofday () in
+  for _ = 1 to rounds do
+    Array.iter (fun fd -> e19_write_all fd burst) fds;
+    Array.iter
+      (fun fd ->
+         for _ = 1 to depth do
+           match Net.Frame.decode_resp (e19_read_frame fd) with
+           | Ok (_, Net.Frame.Stamp w) ->
+             timed :=
+               { Timestamp.Checker.td_pid = w.Net.Frame.w_pid;
+                 td_call = w.Net.Frame.w_call;
+                 td_start = w.Net.Frame.w_start_tick;
+                 td_end = w.Net.Frame.w_end_tick;
+                 td_ts = Net.Codec.decode_exn codec w.Net.Frame.w_ts }
+               :: !timed
+           | Ok (_, Net.Frame.Err m) -> failwith ("E19: server error: " ^ m)
+           | Ok _ -> failwith "E19: unexpected response"
+           | Error e -> failwith ("E19: " ^ Net.Frame.error_to_string e)
+         done)
+      fds
+  done;
+  let elapsed = Unix.gettimeofday () -. t0 in
+  let server_domains = Srv.domains srv in
+  let live = Srv.live_conns srv in
+  Array.iter Unix.close fds;
+  Srv.stop srv;
+  let hb_pairs =
+    match
+      Timestamp.Checker.check_timed ~compare_ts:T.compare_ts ~pp:T.pp_ts
+        !timed
+    with
+    | Ok pairs -> pairs
+    | Error v ->
+      failwith
+        (Format.asprintf "E19 conns=%d: VIOLATION %a" conns
+           Timestamp.Checker.pp_violation v)
+  in
+  (rounds * depth * conns, elapsed, server_domains, live, hb_pairs)
+
+let e19_net2 () =
+  header "E19: reactor wire tier — connection scaling, codec, read path";
+  print_endline
+    "(one client domain drives every connection with depth-8 pipelining;\n\
+    \ the PR-9 design spawned a handler domain per connection and hits \
+     the\n\
+    \ OCaml runtime's ~128-domain ceiling, the reactor keeps a fixed \
+     pool;\n\
+    \ every point passes the timed happens-before checker;\n\
+    \ machine-readable copy in BENCH_net2.json)";
+  let io_threads = 2 in
+  let depth = 8 in
+  let conn_counts = if fast then [ 1; 8; 32; 128 ] else [ 1; 4; 16; 64; 128; 256 ] in
+  let total_target = if fast then 2_000 else 6_000 in
+  let max_conns = List.fold_left max 1 conn_counts in
+  let n = max_conns + 16 in  (* same register count at every point *)
+  let module T = Timestamp.Lamport in
+  sub "connection scaling (lamport-longlived, Get_stamp, unix socket)";
+  Printf.printf "%7s | %10s %9s %13s %14s %s\n" "conns" "req/s" "reqs"
+    "srv domains" "dom-per-conn" "feasible@128";
+  Printf.printf "%s\n" (String.make 78 '-');
+  let scaling_json =
+    List.map
+      (fun conns ->
+         let per_conn =
+           max depth (total_target / conns / depth * depth)
+         in
+         let total, elapsed, server_domains, live, hb_pairs =
+           e19_scaling_point (module T) ~io_threads ~n ~conns ~per_conn
+             ~depth
+         in
+         (* the acceptance bound: io loops + accept + refresher, never a
+            domain per connection *)
+         if server_domains > io_threads + 2 then
+           failwith
+             (Printf.sprintf "E19: %d server domains for %d conns"
+                server_domains conns);
+         if live <> conns then
+           failwith
+             (Printf.sprintf "E19: %d live conns tracked, expected %d" live
+                conns);
+         (* what the per-connection-domain design would have needed:
+            one handler per connection + accept, on top of the service
+            worker — past ~128 the runtime refuses to spawn *)
+         let old_domains = conns + 2 in
+         let feasible = old_domains <= 128 in
+         let rps = float_of_int total /. Float.max 1e-9 elapsed in
+         Printf.printf "%7d | %10.0f %9d %13d %14d %s\n" conns rps total
+           server_domains old_domains
+           (if feasible then "yes" else "NO (reactor only)");
+         Obs.Json.Obj
+           [ ("conns", Obs.Json.Int conns);
+             ("requests", Obs.Json.Int total);
+             ("seconds", Obs.Json.Float elapsed);
+             ("throughput_rps", Obs.Json.Float rps);
+             ("server_domains", Obs.Json.Int server_domains);
+             ("domain_budget", Obs.Json.Int (io_threads + 2));
+             ("domain_per_conn_domains", Obs.Json.Int old_domains);
+             ("domain_per_conn_feasible", Obs.Json.Bool feasible);
+             ("hb_pairs", Obs.Json.Int hb_pairs);
+             ("checker", Obs.Json.String "OK") ])
+      conn_counts
+  in
+  (* ---- codec microbench: Marshal (v1) vs flat codec (v2) ---- *)
+  sub "codec microbench: whole stamp frame, Marshal (v1) vs codec (v2)";
+  Printf.printf "%-18s %-8s | %8s %8s | %12s %12s %10s\n" "implementation"
+    "codec" "v2 B" "v1 B" "v2 enc ns" "v1 enc ns" "alloc/op";
+  Printf.printf "%s\n" (String.make 86 '-');
+  let iters = if fast then 50_000 else 200_000 in
+  let time f k =
+    let t0 = Unix.gettimeofday () in
+    for _ = 1 to k do
+      f ()
+    done;
+    (Unix.gettimeofday () -. t0) *. 1e9 /. float_of_int k
+  in
+  let bench_codec (type r)
+      (module T : Timestamp.Intf.S with type result = r) (ts : r) =
+    let codec = Net.Codec.for_impl (module T) in
+    let b = Net.Buf.create ~cap:65536 () in
+    let encode_v2 () =
+      Net.Buf.clear b;
+      Net.Frame.write_stamp_v2 b codec ~pid:5 ~call:987_654 ~shard:3
+        ~start_tick:123_456_789 ~end_tick:123_456_790 ts
+    in
+    let encode_v1 () =
+      Net.Buf.clear b;
+      Net.Frame.write_resp ~version:1 b
+        (Net.Frame.Stamp
+           { w_pid = 5; w_call = 987_654; w_shard = 3;
+             w_start_tick = 123_456_789; w_end_tick = 123_456_790;
+             w_ts = Marshal.to_string ts [] })
+    in
+    encode_v2 ();
+    let v2_bytes = Net.Buf.length b in
+    encode_v1 ();
+    let v1_bytes = Net.Buf.length b in
+    for _ = 1 to 1_000 do encode_v2 () done;  (* warm *)
+    let w0 = Gc.minor_words () in
+    let v2_ns = time encode_v2 iters in
+    let alloc_per_op = (Gc.minor_words () -. w0) /. float_of_int iters in
+    (* the zero-allocation pin from the issue: byte stores and int
+       arithmetic only on the v2 encode path *)
+    if alloc_per_op > 0.01 then
+      failwith
+        (Printf.sprintf "E19: %s v2 encode allocates %.3f words/op" T.name
+           alloc_per_op);
+    let v1_ns = time encode_v1 (iters / 4) in
+    let payload =
+      let k = codec.Net.Codec.c_size ts in
+      let buf = Bytes.create k in
+      ignore (codec.Net.Codec.c_put buf 0 ts);
+      Bytes.unsafe_to_string buf
+    in
+    let dec_ns =
+      time (fun () -> ignore (Net.Codec.decode_exn codec payload)) iters
+    in
+    Printf.printf "%-18s %-8s | %8d %8d | %12.1f %12.1f %10.3f\n" T.name
+      (Net.Codec.name codec) v2_bytes v1_bytes v2_ns v1_ns alloc_per_op;
+    Obs.Json.Obj
+      [ ("impl", Obs.Json.String T.name);
+        ("codec", Obs.Json.String (Net.Codec.name codec));
+        ("frame_bytes_v2", Obs.Json.Int v2_bytes);
+        ("frame_bytes_v1", Obs.Json.Int v1_bytes);
+        ("encode_ns_v2", Obs.Json.Float v2_ns);
+        ("encode_ns_v1", Obs.Json.Float v1_ns);
+        ("decode_ns_v2", Obs.Json.Float dec_ns);
+        ("minor_words_per_op", Obs.Json.Float alloc_per_op) ]
+  in
+  let codec_json =
+    (* sequence the rows: list literals evaluate right-to-left *)
+    let r1 = bench_codec (module Timestamp.Lamport) 123_456 in
+    let r2 =
+      bench_codec (module Timestamp.Efr) (Timestamp.Efr.Odd (9, 54_321))
+    in
+    let r3 =
+      bench_codec (module Timestamp.Vector_ts)
+        (Array.init 8 (fun i -> i * 1_000))
+    in
+    let r4 = bench_codec (module Timestamp.Sqrt.One_shot) (7, 199) in
+    [ r1; r2; r3; r4 ]
+  in
+  (* ---- read fast path: inline Compare / cached lease anchors ---- *)
+  sub "read path: inline Compare vs queued Get_stamp; cached vs queued \
+       lease anchor";
+  let rtt_iters = if fast then 500 else 2_000 in
+  let rtts f =
+    let a =
+      Array.init rtt_iters (fun _ ->
+          let t0 = Unix.gettimeofday () in
+          f ();
+          (Unix.gettimeofday () -. t0) *. 1e6)
+    in
+    Array.sort compare a;
+    a
+  in
+  let module Srv = Net.Server.Make (T) in
+  let module C = Net.Client.Make (T) in
+  let read_path_json =
+    let addr = Net.Conn.Unix_path (e19_sock ()) in
+    let srv = Srv.start ~addr ~n:8 () in
+    let c = C.connect addr in
+    let s1 = C.stamp c in
+    let s2 = C.stamp c in
+    if not (C.compare_remote c s1 s2) then
+      failwith "E19: remote compare disagrees with happens-before";
+    let cmp = rtts (fun () -> ignore (C.compare_remote c s1 s2)) in
+    let stamp = rtts (fun () -> ignore (C.stamp c)) in
+    C.close c;
+    (* lease anchors, raw: Get_range RTT with the cached-anchor fast
+       path (default) vs the queued path (read_fast_path:false) *)
+    let range_rtts srv_addr =
+      let fd = e19_raw_connect srv_addr in
+      let req =
+        let b = Net.Buf.create () in
+        Net.Frame.write_req b (Net.Frame.Get_range 16);
+        Net.Buf.contents b
+      in
+      let a =
+        rtts (fun () ->
+            e19_write_all fd req;
+            match Net.Frame.decode_resp (e19_read_frame fd) with
+            | Ok (_, Net.Frame.Range _) -> ()
+            | Ok (_, Net.Frame.Err m) -> failwith ("E19 range: " ^ m)
+            | _ -> failwith "E19: expected Range")
+      in
+      Unix.close fd;
+      a
+    in
+    let fast_range = range_rtts addr in
+    Srv.stop srv;
+    let addr2 = Net.Conn.Unix_path (e19_sock ()) in
+    let srv2 = Srv.start ~read_fast_path:false ~addr:addr2 ~n:8 () in
+    let queued_range = range_rtts addr2 in
+    Srv.stop srv2;
+    let p50 a = e19_percentile a 50. and p99 a = e19_percentile a 99. in
+    Printf.printf
+      "inline Compare   p50 %7.1f us   p99 %7.1f us\n\
+       queued Get_stamp p50 %7.1f us   p99 %7.1f us\n\
+       cached Get_range p50 %7.1f us   p99 %7.1f us\n\
+       queued Get_range p50 %7.1f us   p99 %7.1f us\n"
+      (p50 cmp) (p99 cmp) (p50 stamp) (p99 stamp) (p50 fast_range)
+      (p99 fast_range) (p50 queued_range) (p99 queued_range);
+    (* the issue's acceptance point: the inline read path answers below
+       the queued service path *)
+    if p50 cmp >= p50 stamp then
+      failwith
+        (Printf.sprintf
+           "E19: inline Compare p50 %.1fus not below queued Get_stamp \
+            p50 %.1fus"
+           (p50 cmp) (p50 stamp));
+    Obs.Json.Obj
+      [ ("compare_p50_us", Obs.Json.Float (p50 cmp));
+        ("compare_p99_us", Obs.Json.Float (p99 cmp));
+        ("queued_stamp_p50_us", Obs.Json.Float (p50 stamp));
+        ("queued_stamp_p99_us", Obs.Json.Float (p99 stamp));
+        ("cached_range_p50_us", Obs.Json.Float (p50 fast_range));
+        ("queued_range_p50_us", Obs.Json.Float (p50 queued_range));
+        ( "compare_vs_stamp_speedup",
+          Obs.Json.Float (p50 stamp /. Float.max 1e-9 (p50 cmp)) ) ]
+  in
+  let doc =
+    Obs.Json.Obj
+      [ ("schema_version", Obs.Json.Int Obs.Metric.schema_version);
+        ("experiment", Obs.Json.String "E19-net2");
+        ("fast", Obs.Json.Bool fast);
+        ("transport", Obs.Json.String "unix-socket");
+        ("io_threads", Obs.Json.Int io_threads);
+        ("pipeline_depth", Obs.Json.Int depth);
+        ( "recommended_domains",
+          Obs.Json.Int (Domain.recommended_domain_count ()) );
+        ("conn_scaling", Obs.Json.List scaling_json);
+        ("codec", Obs.Json.List codec_json);
+        ("read_path", read_path_json) ]
+  in
+  Out_channel.with_open_text "BENCH_net2.json" (fun oc ->
+      Out_channel.output_string oc (Obs.Json.pretty_to_string doc);
+      Out_channel.output_char oc '\n');
+  Printf.printf "\n(wrote BENCH_net2.json)\n"
+
 let run_timings () =
   header "Timings (Bechamel, monotonic clock; ns per run)";
   let open Bechamel in
@@ -1864,7 +2215,8 @@ let experiments =
     ("e9", e9_distributed); ("e10", e10_explore_engine);
     ("e14", e14_explore_v3); ("e12", e12_fuzz_sensitivity);
     ("e13", e13_service); ("e15", e15_scaling); ("e16", e16_telemetry);
-    ("e17", e17_model); ("e18", e18_net); ("ea", ea_ablation) ]
+    ("e17", e17_model); ("e18", e18_net); ("e19", e19_net2);
+    ("ea", ea_ablation) ]
 
 let () =
   Printf.printf

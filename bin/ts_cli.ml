@@ -1154,8 +1154,8 @@ let serve_cmd =
   (* the wire mode: listen on [addr], serve connections until a client
      sends a Stop frame (ts_cli loadgen --stop-server, or Ctrl-C) *)
   let serve_wire (type r) (module T : Timestamp.Intf.S with type result = r)
-      ~n ~batch_max ~shards ~backend ~telemetry_out ~telemetry_interval
-      ~append addr_str =
+      ~n ~batch_max ~shards ~backend ~io_threads ~telemetry_out
+      ~telemetry_interval ~append addr_str =
     match Net.Conn.parse_addr addr_str with
     | None ->
       Printf.eprintf "ts_cli: serve: cannot parse --listen address %S\n"
@@ -1164,7 +1164,7 @@ let serve_cmd =
     | Some addr ->
       let module Srv = Net.Server.Make (T) in
       (match
-         Srv.start ~batch_max ~shards ~backend
+         Srv.start ~batch_max ~shards ~backend ?io_threads
            ~telemetry:(telemetry_out <> None) ~addr ~n ()
        with
        | exception Unix.Unix_error (e, _, _) ->
@@ -1186,10 +1186,11 @@ let serve_cmd =
              Obs.Timeseries.start ~append ~out:file ts;
              Some (ts, file)
          in
-         Printf.printf "serving %s at %s  n=%d shards=%d batch_max=%d\n"
+         Printf.printf
+           "serving %s at %s  n=%d shards=%d batch_max=%d io_threads=%d\n"
            T.name
            (Net.Conn.addr_to_string (Srv.bound_addr srv))
-           n shards batch_max;
+           n shards batch_max (Srv.io_threads srv);
          flush stdout;
          Srv.wait srv;
          Srv.stop srv;
@@ -1203,7 +1204,7 @@ let serve_cmd =
            (Srv.requests_total srv) (Srv.conns_total srv);
          0)
   in
-  let run impl n requests batch_max shards backend telemetry_out
+  let run impl n requests batch_max shards backend io_threads telemetry_out
       telemetry_interval listen out =
     let rc =
       with_obs out @@ fun _ ->
@@ -1221,11 +1222,15 @@ let serve_cmd =
           shards;
         1
       end
+      else if (match io_threads with Some k -> k < 1 | None -> false) then begin
+        Printf.eprintf "ts_cli: serve: --io-threads must be at least 1\n";
+        1
+      end
       else
         match listen with
         | Some addr_str ->
-          serve_wire (module T) ~n ~batch_max ~shards ~backend ~telemetry_out
-            ~telemetry_interval ~append:out.append addr_str
+          serve_wire (module T) ~n ~batch_max ~shards ~backend ~io_threads
+            ~telemetry_out ~telemetry_interval ~append:out.append addr_str
         | None ->
           serve_demo (module T) ~n ~requests ~batch_max ~shards ~backend
             ~telemetry_out ~telemetry_interval ~append:out.append
@@ -1247,6 +1252,17 @@ let serve_cmd =
       value & opt int 1
       & info [ "shards" ] ~docv:"S" ~doc:"Worker domains / shards.")
   in
+  let io_threads =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "io-threads" ] ~docv:"N"
+          ~doc:
+            "I/O event-loop domains for $(b,--listen) (default: one per \
+             shard).  Each loop multiplexes many connections, so the \
+             domain count stays fixed no matter how many clients \
+             connect.")
+  in
   let listen =
     Arg.(
       value
@@ -1266,14 +1282,15 @@ let serve_cmd =
           session and check the served timestamps, or with $(b,--listen) \
           serve the binary wire protocol to remote clients.")
     Term.(const run $ impl_arg $ n_arg $ requests $ batch $ shards
-          $ backend_arg $ telemetry_out_arg $ telemetry_interval_arg
-          $ listen $ obs_out_term)
+          $ backend_arg $ io_threads $ telemetry_out_arg
+          $ telemetry_interval_arg $ listen $ obs_out_term)
 
 let loadgen_cmd =
   (* drive a live wire server: probe it for its implementation/shape,
      then run the generic engine over Net.Client handles *)
   let loadgen_tcp (type r) (module T : Timestamp.Intf.S with type result = r)
-      ~(cfg : Svc.Loadgen.cfg) ~lease ~stop_server ~print_report addr_str =
+      ~(cfg : Svc.Loadgen.cfg) ~lease ~procs ~stop_server ~print_report
+      addr_str =
     match Net.Conn.parse_addr addr_str with
     | None ->
       Printf.eprintf "ts_cli: loadgen: cannot parse --addr %S\n" addr_str;
@@ -1284,25 +1301,21 @@ let loadgen_cmd =
         try
           let probe = C.connect addr in
           let info = C.server_info probe in
-          (* pre-connect in the main domain, in client order: connection
-             errors surface here, and session/pid placement is stable *)
-          let handles =
-            Array.init cfg.clients (fun _ -> C.connect ~lease addr)
-          in
-          let setup =
-            { D.connect = (fun i -> handles.(i));
+          let mk_setup ~connect ~teardown =
+            { D.connect;
               num_shards = max 1 info.Net.Frame.si_shards;
               impl = T.name;
               mode_label =
-                Printf.sprintf "net %s lease=%d clients=%d pipeline=%d%s"
+                Printf.sprintf "net %s lease=%d clients=%d pipeline=%d%s%s"
                   (Net.Conn.addr_to_string addr)
                   lease cfg.clients cfg.pipeline
+                  (if procs > 1 then Printf.sprintf " procs=%d" procs else "")
                   (Svc.Loadgen.arrival_string cfg);
               backend_label = info.Net.Frame.si_backend;
               compare_ts = T.compare_ts;
               pp_ts = T.pp_ts;
               attach = None;
-              teardown = (fun () -> Array.iter C.close handles);
+              teardown;
               service_stats =
                 Some
                   (fun () ->
@@ -1313,7 +1326,30 @@ let loadgen_cmd =
                              (s.ss_served, s.ss_batches, s.ss_max_batch))
                           sh)) }
           in
-          let r = D.run setup cfg in
+          let r =
+            if procs > 1 then
+              (* forked workers connect for themselves, post-fork; sockets
+                 must never be created in the parent and inherited *)
+              let worker _p =
+                mk_setup
+                  ~connect:(fun _ -> C.connect ~lease addr)
+                  ~teardown:(fun () -> ())
+              in
+              D.run_procs ~procs ~child:worker (worker (-1)) cfg
+            else begin
+              (* pre-connect in the main domain, in client order:
+                 connection errors surface here, and session/pid
+                 placement is stable *)
+              let handles =
+                Array.init cfg.clients (fun _ -> C.connect ~lease addr)
+              in
+              D.run
+                (mk_setup
+                   ~connect:(fun i -> handles.(i))
+                   ~teardown:(fun () -> Array.iter C.close handles))
+                cfg
+            end
+          in
           let rc = print_report r in
           if stop_server then C.stop_server probe;
           C.close probe;
@@ -1323,8 +1359,8 @@ let loadgen_cmd =
           1)
   in
   let run impl n clients requests pipeline shards batch_max direct think_us
-      rate transport addr lease stop_server telemetry_out telemetry_interval
-      seed backend out =
+      rate transport addr lease procs stop_server telemetry_out
+      telemetry_interval seed backend out =
     let rc =
       with_obs out @@ fun _ ->
       let open Svc.Loadgen in
@@ -1373,17 +1409,33 @@ let loadgen_cmd =
           Printf.printf "checker: VIOLATION: %s\n" v;
           1
       in
-      match transport with
-      | `Inproc -> print_report (Svc.Loadgen.run impl cfg)
-      | `Tcp -> (
-          match addr with
-          | None ->
-            Printf.eprintf "ts_cli: loadgen: --transport tcp requires --addr\n";
-            1
-          | Some addr_str ->
-            let (Timestamp.Registry.Impl (module T)) = impl in
-            loadgen_tcp (module T) ~cfg ~lease ~stop_server ~print_report
-              addr_str)
+      if procs < 1 then begin
+        Printf.eprintf "ts_cli: loadgen: --procs must be at least 1\n";
+        1
+      end
+      else if procs > 1 && transport <> `Tcp then begin
+        Printf.eprintf "ts_cli: loadgen: --procs requires --transport tcp\n";
+        1
+      end
+      else if procs > 1 && telemetry_out <> None then begin
+        Printf.eprintf
+          "ts_cli: loadgen: --telemetry-out requires --procs 1 (the \
+           sampler cannot span processes)\n";
+        1
+      end
+      else
+        match transport with
+        | `Inproc -> print_report (Svc.Loadgen.run impl cfg)
+        | `Tcp -> (
+            match addr with
+            | None ->
+              Printf.eprintf
+                "ts_cli: loadgen: --transport tcp requires --addr\n";
+              1
+            | Some addr_str ->
+              let (Timestamp.Registry.Impl (module T)) = impl in
+              loadgen_tcp (module T) ~cfg ~lease ~procs ~stop_server
+                ~print_report addr_str)
     in
     if rc <> 0 then exit rc
   in
@@ -1471,6 +1523,18 @@ let loadgen_cmd =
              — one round trip amortized over $(docv) stamps.  1 (default) \
              = a round trip per stamp.")
   in
+  let procs =
+    Arg.(
+      value & opt int 1
+      & info [ "procs" ] ~docv:"K"
+          ~doc:
+            "Worker processes ($(b,--transport tcp)): fork $(docv) \
+             processes, each driving its own $(b,--clients) connections \
+             (so the aggregate is $(docv) * $(b,--clients) clients and \
+             an open-loop $(b,--rate) is split evenly).  Histograms are \
+             merged losslessly in the parent and the happens-before \
+             check runs globally over every process's stamps.")
+  in
   let stop_server =
     Arg.(
       value & flag
@@ -1488,7 +1552,7 @@ let loadgen_cmd =
           (p50/p90/p99/p99.9/max) and a happens-before checker verdict.")
     Term.(
       const run $ impl_arg $ n_arg $ clients $ requests $ pipeline $ shards
-      $ batch $ direct $ think $ rate $ transport $ addr $ lease
+      $ batch $ direct $ think $ rate $ transport $ addr $ lease $ procs
       $ stop_server $ telemetry_out_arg $ telemetry_interval_arg $ seed_arg
       $ backend_arg $ obs_out_term)
 

@@ -121,6 +121,7 @@ ts_bin=./_build/default/bin/ts_cli.exe
 net_sock=/tmp/ts_ci_net.sock
 rm -f "$net_sock" /tmp/net_tel.jsonl /tmp/net_serve.log
 "$ts_bin" serve -i efr-longlived -n 8 --listen "unix:$net_sock" \
+  --io-threads 2 \
   --telemetry-out /tmp/net_tel.jsonl > /tmp/net_serve.log 2>&1 &
 serve_pid=$!
 i=0
@@ -130,6 +131,19 @@ done
 [ -S "$net_sock" ] || {
   echo "net smoke: server socket never appeared" >&2
   cat /tmp/net_serve.log >&2; exit 1; }
+echo "== net smoke: multi-process loadgen (forked workers, merged HDR) =="
+procs_out=$("$ts_bin" loadgen -i efr-longlived --transport tcp \
+  --addr "unix:$net_sock" --procs 2 --clients 2 -r 50 --lease 16 \
+  --seed 11)
+echo "$procs_out"
+echo "$procs_out" | grep -q "served 200 requests" || {
+  echo "net smoke: wrong request count across worker processes" >&2
+  exit 1; }
+echo "$procs_out" | grep -q "procs=2" || {
+  echo "net smoke: multi-process mode label missing" >&2; exit 1; }
+echo "$procs_out" | grep -q "checker: OK" || {
+  echo "net smoke: global checker did not pass across processes" >&2
+  exit 1; }
 net_out=$("$ts_bin" loadgen -i efr-longlived --transport tcp \
   --addr "unix:$net_sock" --clients 2 -r 100 --lease 16 --seed 7 \
   --stop-server)
@@ -144,7 +158,13 @@ wait "$serve_pid" || {
 cat /tmp/net_serve.log
 grep -q "serve: stopped after" /tmp/net_serve.log || {
   echo "net smoke: server summary missing" >&2; exit 1; }
+grep -q "io_threads=2" /tmp/net_serve.log || {
+  echo "net smoke: reactor io_threads banner missing" >&2; exit 1; }
 dune exec bin/ts_cli.exe -- obs --validate /tmp/net_tel.jsonl
 dune exec bin/ts_cli.exe -- top --file /tmp/net_tel.jsonl --once
+
+echo "== net2 sanity: fast E19 reactor bench emits schema-valid JSON =="
+dune exec bench/main.exe -- --fast --only e19
+dune exec bin/ts_cli.exe -- obs --validate BENCH_net2.json
 
 echo "== ci.sh: all green =="

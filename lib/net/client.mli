@@ -21,8 +21,14 @@ module Make (T : Timestamp.Intf.S) : sig
 
   val connect : ?lease:int -> Conn.addr -> t
   (** Connects, then handshakes with {!Frame.Ping} and verifies the
-      server runs implementation [T.name] (raises {!Svc.Client.Error}
-      otherwise).  [lease] must be in [[1, Frame.max_lease]]. *)
+      server runs implementation [T.name] — and, on protocol v2, the
+      matching {!Codec} (raises {!Svc.Client.Error} otherwise).  A v1
+      server rejects the v2 ping; the client re-pings and speaks v1
+      (Marshal timestamps) for the life of the connection.  [lease]
+      must be in [[1, Frame.max_lease]]. *)
+
+  val version : t -> int
+  (** The negotiated protocol version (2, or 1 against an old server). *)
 
   val compare_remote : t -> result Svc.Client.stamp -> result Svc.Client.stamp -> bool
   (** Same order as {!compare} but evaluated server-side (one round

@@ -54,7 +54,7 @@ type t = {
   mutable rbuf : Bytes.t;
   mutable rpos : int;  (* parse position *)
   mutable rlen : int;  (* end of valid bytes *)
-  wbuf : Buffer.t;
+  wbuf : Buf.t;
   mutable bytes_in : int;
   mutable bytes_out : int;
   mutable closed : bool;
@@ -75,7 +75,7 @@ let create fd =
     rbuf = Bytes.create 8192;
     rpos = 0;
     rlen = 0;
-    wbuf = Buffer.create 8192;
+    wbuf = Buf.create ~cap:8192 ();
     bytes_in = 0;
     bytes_out = 0;
     closed = false }
@@ -88,20 +88,39 @@ let bytes_out t = t.bytes_out
 
 let send_buffer t = t.wbuf
 
+let pending_out t = Buf.length t.wbuf
+
+let set_nonblock t = Unix.set_nonblock t.fd
+
 let flush t =
-  let len = Buffer.length t.wbuf in
-  if len > 0 then begin
-    let data = Buffer.to_bytes t.wbuf in
-    Buffer.clear t.wbuf;
-    let rec write_all off =
-      if off < len then begin
-        let n = Unix.write t.fd data off (len - off) in
-        write_all (off + n)
-      end
+  while Buf.length t.wbuf > 0 do
+    let n =
+      Unix.write t.fd (Buf.bytes t.wbuf) (Buf.offset t.wbuf)
+        (Buf.length t.wbuf)
     in
-    write_all 0;
-    t.bytes_out <- t.bytes_out + len
-  end
+    Buf.consume t.wbuf n;
+    t.bytes_out <- t.bytes_out + n
+  done
+
+(* One non-blocking write attempt against the pending output. *)
+let try_flush t =
+  if Buf.length t.wbuf = 0 then `Flushed
+  else
+    match
+      Unix.write t.fd (Buf.bytes t.wbuf) (Buf.offset t.wbuf)
+        (Buf.length t.wbuf)
+    with
+    | 0 -> `Partial
+    | n ->
+      Buf.consume t.wbuf n;
+      t.bytes_out <- t.bytes_out + n;
+      if Buf.length t.wbuf = 0 then `Flushed else `Partial
+    | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR),
+                                 _, _) ->
+      `Partial
+    | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF),
+                                 _, _) ->
+      `Closed
 
 (* Make room for [need] more bytes past [rlen], compacting the consumed
    prefix first and growing only when compaction isn't enough. *)
@@ -137,6 +156,22 @@ let refill t =
     t.bytes_in <- t.bytes_in + n
   end;
   n
+
+(* One non-blocking read(2) for reactor loops. *)
+let try_refill t =
+  ensure_space t 4096;
+  match Unix.read t.fd t.rbuf t.rlen (Bytes.length t.rbuf - t.rlen) with
+  | 0 -> `Eof
+  | n ->
+    t.rlen <- t.rlen + n;
+    t.bytes_in <- t.bytes_in + n;
+    `Data
+  | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK | Unix.EINTR),
+                               _, _) ->
+    `Would_block
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE | Unix.EBADF),
+                               _, _) ->
+    `Eof
 
 (* The next complete frame already buffered, if any. *)
 let buffered_frame t =

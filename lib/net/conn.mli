@@ -35,13 +35,33 @@ val bytes_in : t -> int
 
 val bytes_out : t -> int
 
-val send_buffer : t -> Buffer.t
+val send_buffer : t -> Buf.t
 (** Frame outgoing messages into this with {!Frame.write_req} /
-    {!Frame.write_resp}, then {!flush}. *)
+    {!Frame.write_resp}, then {!flush} (or let a reactor loop drain it
+    with {!try_flush}). *)
+
+val pending_out : t -> int
+(** Bytes framed but not yet accepted by the socket. *)
+
+val set_nonblock : t -> unit
 
 val flush : t -> unit
 (** Writes the whole send buffer out (blocking) and clears it.  Raises
     [Unix.Unix_error] if the peer is gone. *)
+
+val try_flush : t -> [ `Flushed | `Partial | `Closed ]
+(** One non-blocking write attempt: [`Flushed] when nothing remains
+    pending, [`Partial] when the socket would block (write when it
+    polls writable), [`Closed] when the peer is gone. *)
+
+val try_refill : t -> [ `Data | `Would_block | `Eof ]
+(** One non-blocking read into the receive buffer; drain complete
+    frames afterwards with {!buffered_frame}. *)
+
+val buffered_frame :
+  t -> (string, [> `Frame of Frame.error ]) result option
+(** Next complete frame already in the receive buffer, without touching
+    the socket; [None] when more bytes are needed. *)
 
 val recv : t -> (string, [ `Eof | `Frame of Frame.error ]) result
 (** Next frame's payload, blocking until one is complete.  [`Eof] on a

@@ -1,14 +1,22 @@
 (** Binary wire format for the timestamp service.
 
     Every frame is [u32 length ++ payload] (length big-endian, payload
-    bytes only); a payload is [u8 version ++ u8 opcode ++ body].  Body
-    integers are 8-byte big-endian; strings are 8-byte-length-prefixed.
-    Timestamp values travel as [Marshal]ed bytes of the implementation's
-    [result] type — both endpoints run the same binary and [compare_ts]
-    is pure, so clients order stamps locally, no per-implementation
-    parser needed.  See DESIGN.md §14 for the full frame table. *)
+    bytes only); a payload is [u8 version ++ u8 opcode ++ body].
+
+    Version 1 bodies use 8-byte big-endian integers,
+    8-byte-length-prefixed strings, and [Marshal]ed timestamps.
+    Version 2 switches the stamp-bearing bodies ([Get_range],
+    [Compare], [Stamp], [Range]) to LEB128 varints carrying {!Codec}
+    payloads — strict parsers, no Marshal on untrusted bytes, and a
+    ~5x smaller stamp frame.  Decoders accept both versions and report
+    which one arrived; encoders take [?version] (default 2).  See
+    DESIGN.md §15 for the frame table and negotiation rules. *)
 
 val version : int
+(** Current (preferred) protocol version: 2. *)
+
+val min_version : int
+(** Oldest version still decoded: 1. *)
 
 val max_payload : int
 (** Hard cap on payload size (16 MiB); longer frames are rejected as
@@ -24,8 +32,8 @@ type req =
   | Get_stamp  (** one getTS through the service shards *)
   | Get_range of int  (** epoch-range lease: anchor getTS + [n] ticks *)
   | Compare of { a : string; b : string }
-      (** order two marshaled timestamps server-side (for cross-checking
-          the client's local [compare_ts]) *)
+      (** order two timestamp payloads server-side: codec bytes in v2,
+          Marshal in v1 (which a v2 server refuses to decode) *)
   | Stats
   | Stop  (** ask the server to begin a graceful shutdown *)
 
@@ -35,7 +43,7 @@ type wire_stamp = {
   w_shard : int;
   w_start_tick : int;
   w_end_tick : int;
-  w_ts : string;  (** marshaled [T.result] *)
+  w_ts : string;  (** codec bytes (v2) or marshaled [T.result] (v1) *)
 }
 
 (** A granted lease: the anchor operation's identity/start/timestamp,
@@ -57,13 +65,15 @@ type server_info = {
   si_n : int;
   si_shards : int;
   si_backend : string;
+  si_codec : string;
+      (** negotiated codec name (v2); ["marshal"] from a v1 peer *)
 }
 
 type shard_stat = { ss_served : int; ss_batches : int; ss_max_batch : int }
 
 type conn_stat = {
   cn_slot : int;
-  cn_conns : int;
+  cn_conns : int;  (** live connections currently mapped to this slot *)
   cn_requests : int;
   cn_stamps : int;
   cn_leases : int;
@@ -91,20 +101,33 @@ val error_to_string : error -> string
 
 val pp_error : Format.formatter -> error -> unit
 
-val encode_req : req -> string
+val encode_req : ?version:int -> req -> string
 (** Payload bytes (no length prefix) — the exact bytes {!decode_req}
     accepts.  Mainly for tests; senders use {!write_req}. *)
 
-val encode_resp : resp -> string
+val encode_resp : ?version:int -> resp -> string
 
-val decode_req : string -> (req, error) result
+val decode_req : string -> (int * req, error) result
+(** Decodes either protocol version; returns the version the frame was
+    encoded in so the server can answer in kind. *)
 
-val decode_resp : string -> (resp, error) result
+val decode_resp : string -> (int * resp, error) result
 
-val write_req : Buffer.t -> req -> unit
+val write_req : ?version:int -> Buf.t -> req -> unit
 (** Appends the complete frame (length prefix + payload). *)
 
-val write_resp : Buffer.t -> resp -> unit
+val write_resp : ?version:int -> Buf.t -> resp -> unit
+
+val write_stamp_v2 :
+  Buf.t -> 'r Codec.t -> pid:int -> call:int -> shard:int ->
+  start_tick:int -> end_tick:int -> 'r -> unit
+(** Hot-path stamp reply: encodes header, varint fields, and the codec
+    payload straight into the send buffer — zero minor-heap words per
+    stamp at steady state (pinned by tests and E19). *)
+
+val write_range_v2 :
+  Buf.t -> 'r Codec.t -> pid:int -> call:int -> shard:int ->
+  start_tick:int -> base:int -> count:int -> 'r -> unit
 
 val frame_length :
   Bytes.t -> off:int -> avail:int ->

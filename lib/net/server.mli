@@ -1,25 +1,39 @@
-(** Wire-facing timestamp server.
+(** Wire-facing timestamp server: a sharded event-loop reactor.
 
-    An accept loop on its own domain hands each connection to a dedicated
-    handler domain; handlers decode {!Frame} requests and feed the
-    in-process {!Svc.Service} shards.  Consecutive pipelined [Get_stamp]
-    frames in one read batch become one submit burst, awaited in order.
+    A fixed pool of I/O domains ([io_threads], default = shards) each
+    multiplexes many non-blocking connections via [Unix.select]:
+    partial frames accumulate across reads, responses drain with
+    non-blocking writes (a slow reader gets backpressure — past a
+    high-water mark the loop stops reading from it), and service
+    requests are completed with the non-blocking
+    {!Svc.Service.Make.poll}, so the domain count is independent of the
+    connection count.  The accept domain hands each new fd to a loop
+    (connection id mod io_threads) through a lock-free mailbox plus
+    self-pipe wakeup.  Replies stay FIFO per connection.
 
-    Epoch-range leases ([Get_range k]) execute one anchor getTS through
-    the service and only {e then} reserve [k] fresh end ticks
-    ({!Svc.Service.Make.reserve_ticks}) — the same
-    reserve-after-execution discipline as the batch pipeline, which is
-    what keeps client-minted stamps sound for the happens-before checker
-    (DESIGN.md §14).
+    Both frame versions are served, each answered in the version it
+    arrived in; v2 stamps are codec-encoded straight into the send
+    buffer (zero minor-heap words per stamp), and v1 [Compare] is
+    refused rather than Marshal-decoding untrusted bytes.
+
+    Read fast path ([read_fast_path], default on): [Ping]/[Stats]/
+    [Compare] are answered on the I/O domain, and for long-lived
+    implementations [Get_range] lease anchors come from a cached
+    timestamp snapshot refreshed every [anchor_us] by a dedicated
+    single-writer domain — see DESIGN.md §15 for why the stale anchor
+    stays sound for the happens-before checker.  Tick reservation still
+    happens strictly after the anchor executed
+    ({!Svc.Service.Make.reserve_ticks}, DESIGN.md §14).
 
     Sessions are opened lazily, on a connection's first [Get_stamp] or
-    [Get_range]: control connections (ping/stats/stop/compare) never
-    consume one of a long-lived object's [n] process ids.
+    queued [Get_range]: control connections never consume one of a
+    long-lived object's [n] process ids.
 
-    Per-connection counters ([requests]/[stamps]/[leases]/[bytes_in]/
-    [bytes_out]) aggregate into a fixed number of slots (connection id mod
-    [conn_slots]) exported as [c<slot>.*] telemetry gauges, so [ts_cli
-    top] shows network activity next to the service shards. *)
+    Per-connection counters aggregate into a fixed number of slots
+    (connection id mod [conn_slots]) exported as [c<slot>.*] telemetry
+    gauges; slot ids are reused as connections come and go and
+    [c<slot>.conns] counts live connections, so [ts_cli top] stays
+    readable at hundreds of connections. *)
 
 module Make (T : Timestamp.Intf.S) : sig
   type t
@@ -31,16 +45,23 @@ module Make (T : Timestamp.Intf.S) : sig
     ?backend:Multicore.Backend.choice ->
     ?telemetry:bool ->
     ?conn_slots:int ->
+    ?io_threads:int ->
+    ?read_fast_path:bool ->
+    ?anchor_us:int ->
     addr:Conn.addr ->
     n:int ->
     unit ->
     t
   (** Starts the service ({!Svc.Service.Make.start} semantics for the
       shared parameters), binds and listens on [addr] (an existing Unix
-      socket path is unlinked first; TCP sets [SO_REUSEADDR]), and spawns
-      the accept domain.  [conn_slots] (default 4) sizes the telemetry
-      counter groups.  On bind/listen failure the service is stopped and
-      the exception re-raised. *)
+      socket path is unlinked first; TCP sets [SO_REUSEADDR]), and
+      spawns the I/O loop pool, the accept domain, and (long-lived
+      implementations with [read_fast_path], the default) the anchor
+      refresher — at most [io_threads + 2] domains on top of the
+      service shards, independent of connection count.  [conn_slots]
+      (default 4) sizes the telemetry counter groups; [anchor_us]
+      (default 200) is the snapshot refresh period.  On bind/listen
+      failure the service is stopped and the exception re-raised. *)
 
   val bound_addr : t -> Conn.addr
   (** The actual listening address — resolves a requested TCP port 0 to
@@ -48,37 +69,50 @@ module Make (T : Timestamp.Intf.S) : sig
 
   val info : t -> Frame.server_info
   (** What {!Frame.Ping} answers: implementation name, kind, [n],
-      shards, backend tag. *)
+      shards, backend tag, codec name. *)
 
   val stop_requested : t -> bool
   (** A client sent {!Frame.Stop}.  The server keeps serving until the
       owner calls {!stop} — a handler cannot join itself. *)
 
+  val domains : t -> int
+  (** Domains this server has spawned (I/O loops + accept + refresher;
+      service workers are counted by the service).  Constant after
+      {!start} — the reactor never spawns per connection; E19 pins
+      this. *)
+
+  val io_threads : t -> int
+
+  val live_conns : t -> int
+  (** Connections currently owned by the I/O loops. *)
+
   val wait : ?poll_us:int -> t -> unit
   (** Blocks until {!stop_requested} (or {!stop} from another domain). *)
 
   val stop : t -> unit
-  (** Graceful shutdown: joins the accept loop (it polls the stop flag,
-      so this never races a close against a blocked [accept]), closes
-      the listen socket (unlinking a Unix path), wakes every live
-      connection with [shutdown(SHUT_RD)] — in-flight requests are still
-      answered, then the handler sees EOF and exits — joins all
-      handlers, and stops the service.  Idempotent; concurrent callers
-      lose the race and return immediately. *)
+  (** Graceful shutdown: joins the accept loop, closes the listen
+      socket (unlinking a Unix path), then wakes and joins every I/O
+      loop — each answers the requests still in flight, flushes
+      best-effort (bounded, so a dead peer cannot hang shutdown), and
+      closes its connections — joins the refresher, and stops the
+      service.  Idempotent; concurrent callers lose the race and return
+      immediately. *)
 
   val requests_total : t -> int
 
   val conns_total : t -> int
+  (** Cumulative connections accepted (the shutdown summary). *)
 
   val net_sources : t -> (string * (unit -> float)) list
   (** The [c<slot>.{conns,requests,stamps,leases,bytes_in,bytes_out}]
-      gauges, safe to sample from any domain. *)
+      gauges, safe to sample from any domain.  [conns] is the slot's
+      live connection count. *)
 
   val attach_telemetry : t -> Obs.Timeseries.t -> unit
   (** The service's gauges and stall rules
       ({!Svc.Service.Make.attach_telemetry} — requires
-      [~telemetry:true]) plus {!net_sources} and the listen address
-      metadata. *)
+      [~telemetry:true]) plus {!net_sources} and the listen address /
+      io_threads metadata. *)
 
   val service_stats : t -> Svc.Service.Make(T).shard_stats array
 end

@@ -359,6 +359,10 @@ module Make (T : Timestamp.Intf.S) = struct
     if t.instr then Atomic.incr shard.depth;
     req
 
+  (* Non-blocking completion probe for event-loop callers that multiplex
+     many tickets (the net reactor): one SC load, no spin. *)
+  let poll (req : ticket) = Atomic.get req.r_done = 1
+
   let await_spin_budget = 500
 
   let rec wait_done_from (req : ticket) spins =

@@ -106,6 +106,12 @@ module Make (T : Timestamp.Intf.S) : sig
       Deprecated outside [lib/svc]: use {!Client.Inproc.stamp_async} /
       {!Client.Inproc.stamp_batch}. *)
 
+  val poll : ticket -> bool
+  (** [true] once the ticket's response is published — {!await} will then
+      return without blocking.  One atomic load; the probe event-loop
+      callers (the net reactor) use to multiplex many in-flight tickets
+      without parking a domain per request. *)
+
   val await : ticket -> resp
   (** Blocks (brief spin, then sleep-backoff) until the response, which it
       copies out into a fresh record.  Does not recycle the ticket — call

@@ -29,12 +29,13 @@ let gen_resp =
   let nat = int_range 0 1_000_000 in
   let gen_info =
     map2
-      (fun (impl, backend) (n, shards) ->
+      (fun (impl, backend) ((n, shards), codec) ->
          Net.Frame.Pong
            { si_impl = impl;
              si_kind = (if n land 1 = 0 then `One_shot else `Long_lived);
-             si_n = n; si_shards = shards; si_backend = backend })
-      (pair gen_blob gen_blob) (pair nat nat)
+             si_n = n; si_shards = shards; si_backend = backend;
+             si_codec = codec })
+      (pair gen_blob gen_blob) (pair (pair nat nat) gen_blob)
   in
   let gen_stamp =
     map2
@@ -75,12 +76,28 @@ let gen_resp =
       map (fun m -> Net.Frame.Err m) gen_blob ]
 
 let req_roundtrip =
-  Util.qtest ~count:200 "frame: req round-trip" gen_req (fun r ->
-      Net.Frame.decode_req (Net.Frame.encode_req r) = Ok r)
+  Util.qtest ~count:200 "frame: req round-trip (v2)" gen_req (fun r ->
+      Net.Frame.decode_req (Net.Frame.encode_req r) = Ok (2, r))
 
 let resp_roundtrip =
-  Util.qtest ~count:200 "frame: resp round-trip" gen_resp (fun r ->
-      Net.Frame.decode_resp (Net.Frame.encode_resp r) = Ok r)
+  Util.qtest ~count:200 "frame: resp round-trip (v2)" gen_resp (fun r ->
+      Net.Frame.decode_resp (Net.Frame.encode_resp r) = Ok (2, r))
+
+(* The v1 layout must stay decodable (old peers negotiate down to it).
+   A v1 [Pong] cannot carry the codec name: it decodes as "marshal". *)
+let req_roundtrip_v1 =
+  Util.qtest ~count:200 "frame: req round-trip (v1)" gen_req (fun r ->
+      Net.Frame.decode_req (Net.Frame.encode_req ~version:1 r) = Ok (1, r))
+
+let resp_roundtrip_v1 =
+  Util.qtest ~count:200 "frame: resp round-trip (v1)" gen_resp (fun r ->
+      let expect =
+        match r with
+        | Net.Frame.Pong i -> Net.Frame.Pong { i with si_codec = "marshal" }
+        | r -> r
+      in
+      Net.Frame.decode_resp (Net.Frame.encode_resp ~version:1 r)
+      = Ok (1, expect))
 
 let frame_rejects () =
   let is_err = function Result.Error _ -> true | Result.Ok _ -> false in
@@ -142,6 +159,119 @@ let addr_parsing () =
   check "tcp:nohost" None;
   check "host:99999" None;
   check "" None
+
+(* ----------------------- timestamp codecs -------------------------- *)
+
+let codec_roundtrip (type r) label
+    (module T : Timestamp.Intf.S with type result = r) gen =
+  let c = Net.Codec.for_impl (module T) in
+  Util.qtest ~count:200
+    (Printf.sprintf "codec: %s (%s) round-trip" (Net.Codec.name c) label)
+    gen
+    (fun v ->
+       let n = c.Net.Codec.c_size v in
+       let b = Bytes.create n in
+       c.Net.Codec.c_put b 0 v = n
+       && T.equal_ts (Net.Codec.decode_exn c (Bytes.to_string b)) v)
+
+let gen_any_int =
+  QCheck2.Gen.(
+    oneof
+      [ int_range (-1000) 1000; int_range 0 max_int;
+        map Int.neg (int_range 0 max_int) ])
+
+let codec_roundtrips =
+  [ codec_roundtrip "lamport" (module Timestamp.Lamport) gen_any_int;
+    codec_roundtrip "sqrt-oneshot"
+      (module Timestamp.Sqrt.One_shot)
+      QCheck2.Gen.(pair gen_any_int gen_any_int);
+    codec_roundtrip "vector"
+      (module Timestamp.Vector_ts)
+      QCheck2.Gen.(array_size (int_range 0 8) gen_any_int);
+    codec_roundtrip "efr"
+      (module Timestamp.Efr)
+      QCheck2.Gen.(
+        oneof
+          [ map (fun v -> Timestamp.Efr.Even v) gen_any_int;
+            map2 (fun m c -> Timestamp.Efr.Odd (m, c)) gen_any_int
+              gen_any_int ]) ]
+
+let codec_rejects () =
+  let c = Net.Codec.for_impl (module Timestamp.Vector_ts) in
+  let enc v =
+    let n = c.Net.Codec.c_size v in
+    let b = Bytes.create n in
+    ignore (c.Net.Codec.c_put b 0 v);
+    Bytes.to_string b
+  in
+  let malformed s =
+    match Net.Codec.decode_exn c s with
+    | _ -> false
+    | exception Net.Codec.Malformed _ -> true
+  in
+  let payload = enc [| 1; 200; -3; 1 lsl 40 |] in
+  (* every strict prefix is a truncation, never a shorter valid value *)
+  for len = 0 to String.length payload - 1 do
+    Util.check_bool
+      (Printf.sprintf "truncated codec payload at %d rejected" len)
+      true
+      (malformed (String.sub payload 0 len))
+  done;
+  Util.check_bool "trailing bytes rejected" true
+    (malformed (payload ^ "\000"));
+  (* a varint longer than 63 bits is an overflow, not more data *)
+  Util.check_bool "varint overflow rejected" true
+    (malformed (String.make 10 '\xff'));
+  (* an absurd element count is refused before allocating for it *)
+  let huge =
+    let b = Bytes.create 9 in
+    let stop = Net.Codec.put_uv b 0 (Net.Codec.max_vector + 1) in
+    Bytes.sub_string b 0 stop
+  in
+  Util.check_bool "oversized vector count rejected" true (malformed huge);
+  (* implementations without a fixed layout refuse to decode at all:
+     their Marshal fallback is not a validating parser *)
+  match Fuzz.Mutant.find "mutant-lost-increment" with
+  | None -> Alcotest.fail "mutant registry lost its seed mutant"
+  | Some (Timestamp.Registry.Impl (module M)) ->
+    let oc = Net.Codec.for_impl (module M) in
+    Util.check_bool "fallback codec is opaque" true
+      (Net.Codec.name oc = "opaque");
+    Util.check_bool "fallback codec is unsafe" false (Net.Codec.safe oc);
+    (match Net.Codec.decode_exn oc "x" with
+     | _ -> Alcotest.fail "opaque codec decoded untrusted bytes"
+     | exception Net.Codec.Malformed _ -> ())
+
+(* Every registered implementation ships a safe wire codec, so a v2
+   server never falls back to refusing [Compare]. *)
+let registry_codecs_safe () =
+  List.iter
+    (fun (Timestamp.Registry.Impl (module T)) ->
+       let c = Net.Codec.for_impl (module T) in
+       Util.check_bool (Printf.sprintf "%s codec safe" T.name) true
+         (Net.Codec.safe c))
+    Timestamp.Registry.all
+
+(* The server's hot-path stamp writer must not allocate: byte stores and
+   int arithmetic only (E19's microbench pins the same property under
+   load; this pins it hermetically). *)
+let stamp_writer_zero_alloc () =
+  let codec = Net.Codec.for_impl (module Timestamp.Lamport) in
+  let b = Net.Buf.create ~cap:4096 () in
+  let encode () =
+    Net.Buf.clear b;
+    Net.Frame.write_stamp_v2 b codec ~pid:3 ~call:123_456 ~shard:1
+      ~start_tick:99_999_999 ~end_tick:100_000_007 424_242
+  in
+  encode ();  (* settle buffer growth before measuring *)
+  let w0 = Gc.minor_words () in
+  for _ = 1 to 10_000 do
+    encode ()
+  done;
+  let delta = Gc.minor_words () -. w0 in
+  Util.check_bool
+    (Printf.sprintf "10k stamps allocated %.0f minor words" delta)
+    true (delta < 256.)
 
 (* ---------------------- live server round trips -------------------- *)
 
@@ -264,6 +394,29 @@ let lease_concurrent_clients () =
   in
   Util.check_bool "lease tick ranges disjoint across clients" true
     (no_dup ends);
+  (* Stamps minted from one shared cached anchor all carry the anchor's
+     start tick, so a fast run can be hb-vacuous (sound, but nothing to
+     check).  Force a real pair: poll until the refresher publishes an
+     anchor whose getTS started after every reservation above — its
+     stamps must order strictly over the whole first phase. *)
+  let max_end = List.fold_left (fun m s -> max m s.st_end_tick) 0 stamps in
+  let stamps =
+    let c = C.connect ~lease:2 addr in
+    let deadline = Unix.gettimeofday () +. 5.0 in
+    let rec fresh () =
+      let s = C.stamp c in
+      if s.st_start_tick > max_end then s
+      else if Unix.gettimeofday () > deadline then
+        Alcotest.fail "anchor never refreshed past the first phase"
+      else begin
+        Unix.sleepf 0.002;
+        fresh ()
+      end
+    in
+    let s = fresh () in
+    C.close c;
+    s :: stamps
+  in
   (* and the real-time checker accepts the whole run *)
   let timed =
     List.map
@@ -320,6 +473,225 @@ let stop_frame_flow () =
   C.close c;
   Srv.stop srv
 
+(* -------------------- raw-socket protocol tests --------------------- *)
+
+(* Hand-rolled peers: drive the reactor with exact byte sequences the
+   high-level client would never produce (split writes, version skew,
+   pipelined floods). *)
+
+let raw_connect addr =
+  let fd =
+    Unix.socket ~cloexec:true (Net.Conn.domain_of addr) Unix.SOCK_STREAM 0
+  in
+  Unix.connect fd (Net.Conn.sockaddr_of addr);
+  fd
+
+let write_all fd s =
+  let b = Bytes.of_string s in
+  let n = Bytes.length b in
+  let off = ref 0 in
+  while !off < n do
+    off := !off + Unix.write fd b !off (n - !off)
+  done
+
+let read_exact fd n =
+  let b = Bytes.create n in
+  let off = ref 0 in
+  while !off < n do
+    let k = Unix.read fd b !off (n - !off) in
+    if k = 0 then failwith "unexpected EOF from server";
+    off := !off + k
+  done;
+  Bytes.to_string b
+
+let read_frame fd =
+  let hdr = read_exact fd 4 in
+  let len = Int32.to_int (String.get_int32_be hdr 0) in
+  read_exact fd len
+
+let frame_of ?version req =
+  let b = Net.Buf.create () in
+  Net.Frame.write_req ?version b req;
+  Net.Buf.contents b
+
+let expect_stamp label payload =
+  match Net.Frame.decode_resp payload with
+  | Ok (_, Net.Frame.Stamp w) -> w
+  | Ok _ -> Alcotest.failf "%s: expected Stamp" label
+  | Error e ->
+    Alcotest.failf "%s: undecodable: %s" label (Net.Frame.error_to_string e)
+
+(* A frame delivered one byte per read must accumulate across loop
+   passes and still be answered. *)
+let wire_split_frames () =
+  let module Srv = Net.Server.Make (Timestamp.Lamport) in
+  let addr = Net.Conn.Unix_path (sock_path ()) in
+  let srv = Srv.start ~addr ~n:4 () in
+  let fd = raw_connect addr in
+  let f = frame_of Net.Frame.Get_stamp in
+  String.iter
+    (fun ch ->
+       write_all fd (String.make 1 ch);
+       Unix.sleepf 0.002)
+    f;
+  let w = expect_stamp "split frame" (read_frame fd) in
+  Util.check_bool "split frame answered" true (w.Net.Frame.w_end_tick >= 0);
+  (* and the next frame, sent whole on the same connection, still works *)
+  write_all fd f;
+  let w' = expect_stamp "after split" (read_frame fd) in
+  Util.check_bool "stream still aligned" true
+    (w.Net.Frame.w_end_tick < w'.Net.Frame.w_end_tick);
+  Unix.close fd;
+  Srv.stop srv
+
+(* A pipelined burst bigger than the 8 KiB read buffer: frames straddle
+   refill boundaries; responses must come back complete and in order. *)
+let wire_pipelined_burst () =
+  let module Srv = Net.Server.Make (Timestamp.Lamport) in
+  let addr = Net.Conn.Unix_path (sock_path ()) in
+  let srv = Srv.start ~addr ~n:4 () in
+  let fd = raw_connect addr in
+  let k = 3000 in
+  let burst =
+    let b = Net.Buf.create () in
+    for _ = 1 to k do
+      Net.Frame.write_req b Net.Frame.Get_stamp
+    done;
+    Net.Buf.contents b
+  in
+  Util.check_bool "burst straddles the read buffer" true
+    (String.length burst > 8192);
+  write_all fd burst;
+  let last = ref (-1) in
+  for i = 1 to k do
+    let w = expect_stamp (Printf.sprintf "burst %d" i) (read_frame fd) in
+    Util.check_bool "burst responses in order" true
+      (!last < w.Net.Frame.w_end_tick);
+    last := w.Net.Frame.w_end_tick
+  done;
+  Unix.close fd;
+  Srv.stop srv
+
+(* A reader that stalls while the server owes it hundreds of KiB: the
+   write queue grows past the high-water mark, the loop stops reading
+   from the connection (backpressure), and once the reader drains,
+   every response arrives, in order, with nothing lost. *)
+let wire_slow_reader_backpressure () =
+  let module Srv = Net.Server.Make (Timestamp.Lamport) in
+  let addr = Net.Conn.Unix_path (sock_path ()) in
+  let srv = Srv.start ~addr ~n:4 () in
+  let fd = raw_connect addr in
+  let k = 20_000 in
+  let burst =
+    let b = Net.Buf.create () in
+    for _ = 1 to k do
+      Net.Frame.write_req b Net.Frame.Get_stamp
+    done;
+    Net.Buf.contents b
+  in
+  (* the writer must not share the reader's pace, or the test deadlocks
+     against the very backpressure it is checking *)
+  let writer = Domain.spawn (fun () -> write_all fd burst) in
+  let last = ref (-1) in
+  for i = 1 to k do
+    if i <= 20 then Unix.sleepf 0.005;  (* stall: let the backlog build *)
+    let w = expect_stamp (Printf.sprintf "slow %d" i) (read_frame fd) in
+    Util.check_bool "responses survive backpressure in order" true
+      (!last < w.Net.Frame.w_end_tick);
+    last := w.Net.Frame.w_end_tick
+  done;
+  Domain.join writer;
+  Unix.close fd;
+  Srv.stop srv
+
+(* Version negotiation, wire-level: a v1 peer is answered in v1
+   (Marshal timestamps, codec "marshal"), except [Compare] — decoding a
+   v1 Marshal payload from the network is exactly what v2 removed. *)
+let wire_v1_peer () =
+  let module Srv = Net.Server.Make (Timestamp.Lamport) in
+  let addr = Net.Conn.Unix_path (sock_path ()) in
+  let srv = Srv.start ~addr ~n:4 () in
+  let fd = raw_connect addr in
+  let contains hay needle =
+    let nh = String.length hay and nn = String.length needle in
+    let rec at i = i + nn <= nh && (String.sub hay i nn = needle || at (i + 1)) in
+    at 0
+  in
+  write_all fd (frame_of ~version:1 Net.Frame.Ping);
+  (match Net.Frame.decode_resp (read_frame fd) with
+   | Ok (1, Net.Frame.Pong info) ->
+     Util.check_bool "v1 pong impl" true
+       (info.Net.Frame.si_impl = "lamport-longlived");
+     Util.check_bool "v1 pong codec is marshal" true
+       (info.Net.Frame.si_codec = "marshal")
+   | _ -> Alcotest.fail "v1 ping not answered with a v1 Pong");
+  write_all fd (frame_of ~version:1 Net.Frame.Get_stamp);
+  (match Net.Frame.decode_resp (read_frame fd) with
+   | Ok (1, Net.Frame.Stamp w) ->
+     (* v1 carries Marshal — fine to decode here: we produced it *)
+     let ts : int = Marshal.from_string w.Net.Frame.w_ts 0 in
+     Util.check_bool "v1 stamp payload decodes" true (ts >= 0)
+   | _ -> Alcotest.fail "v1 Get_stamp not answered with a v1 Stamp");
+  let blob = Marshal.to_string 1 [] in
+  write_all fd (frame_of ~version:1 (Net.Frame.Compare { a = blob; b = blob }));
+  (match Net.Frame.decode_resp (read_frame fd) with
+   | Ok (1, Net.Frame.Err msg) ->
+     Util.check_bool "v1 compare refused for version reasons" true
+       (contains msg "version")
+   | _ -> Alcotest.fail "v1 Compare was not refused");
+  (* an unknown version draws the exact error the client's fallback
+     scans for, then the connection closes *)
+  write_all fd "\000\000\000\002\007\001";
+  (match Net.Frame.decode_resp (read_frame fd) with
+   | Ok (_, Net.Frame.Err msg) ->
+     Util.check_bool "bad version error text" true
+       (contains msg "bad frame version 7")
+   | _ -> Alcotest.fail "bad version byte not answered with Err");
+  Unix.close fd;
+  Srv.stop srv
+
+(* Connection churn: 200 sequential connect/close cycles must not grow
+   the domain count (the PR-9 design leaked one handler domain per
+   connection ever accepted) and the telemetry table stays at
+   [conn_slots] slots with the live count draining back to zero. *)
+let wire_churn_bounded () =
+  let module Srv = Net.Server.Make (Timestamp.Efr) in
+  let module C = Net.Client.Make (Timestamp.Efr) in
+  let addr = Net.Conn.Unix_path (sock_path ()) in
+  let srv = Srv.start ~addr ~n:4 ~conn_slots:2 () in
+  let d0 = Srv.domains srv in
+  Util.check_bool "domain budget: io_threads + accept + refresher" true
+    (d0 <= Srv.io_threads srv + 2);
+  for _ = 1 to 200 do
+    let c = C.connect addr in
+    C.close c
+  done;
+  Util.check_int "no domains spawned by churn" d0 (Srv.domains srv);
+  Util.check_int "conns accounted" 200 (Srv.conns_total srv);
+  let sources = Srv.net_sources srv in
+  Util.check_int "gauge table capped at conn_slots" (2 * 6)
+    (List.length sources);
+  let live_gauges () =
+    List.fold_left
+      (fun acc (name, f) ->
+         if String.length name >= 6
+            && String.sub name (String.length name - 6) 6 = ".conns"
+         then acc +. f ()
+         else acc)
+      0. sources
+  in
+  (* the loops reap closed fds on their next pass; poll briefly *)
+  let deadline = Unix.gettimeofday () +. 5.0 in
+  while
+    (Srv.live_conns srv > 0 || live_gauges () > 0.)
+    && Unix.gettimeofday () < deadline
+  do
+    Unix.sleepf 0.01
+  done;
+  Util.check_int "live connections drained" 0 (Srv.live_conns srv);
+  Util.check_bool "live slot gauges drained" true (live_gauges () = 0.);
+  Srv.stop srv
+
 (* --------------------- the in-process transports -------------------- *)
 
 let inproc_client_api () =
@@ -363,9 +735,27 @@ let suite =
   ( "net",
     [ req_roundtrip;
       resp_roundtrip;
-      Util.case "frame: truncated/oversized/bad-version rejected" frame_rejects;
+      req_roundtrip_v1;
+      resp_roundtrip_v1;
+      Util.case "frame: truncated/oversized/bad-version rejected" frame_rejects ]
+    @ codec_roundtrips
+    @ [ Util.case "codec: truncated/oversized/opaque rejected" codec_rejects;
+      Util.case "codec: every registry impl has a safe codec"
+        registry_codecs_safe;
+      Util.case "frame: v2 stamp writer allocates nothing"
+        stamp_writer_zero_alloc;
       Util.case "conn: address parsing" addr_parsing;
       Util.case "wire: end-to-end over a unix socket" wire_end_to_end;
+      Util.case "wire: frames split across byte-sized reads"
+        wire_split_frames;
+      Util.case "wire: pipelined burst straddles the read buffer"
+        wire_pipelined_burst;
+      Util.case "wire: slow reader gets backpressure, loses nothing"
+        wire_slow_reader_backpressure;
+      Util.case "wire: v1 peer negotiation and v1 Compare refusal"
+        wire_v1_peer;
+      Util.case "wire: churn keeps domains and gauges bounded"
+        wire_churn_bounded;
       Util.case "wire: session exhaustion is a clean error"
         session_exhaustion_is_clean;
       Util.case "lease: concurrent clients stay hb-sound"
