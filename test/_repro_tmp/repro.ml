@@ -1,0 +1,27 @@
+(* Simulate: send buffer with a consumed prefix (off>0), then append a
+   frame that triggers Buf.ensure compaction mid-frame. *)
+let () =
+  let b = Net.Buf.create ~cap:16 () in
+  (* 10 pending bytes, consume 4 -> off=4, len=10 *)
+  Net.Buf.put_string b "0123456789";
+  Net.Buf.consume b 4;
+  Printf.printf "off=%d len(pending)=%d\n" (Net.Buf.offset b) (Net.Buf.length b);
+  (* Append an Err frame whose body forces growth mid-frame *)
+  Net.Frame.write_resp b (Net.Frame.Err "hello");
+  let s = Net.Buf.contents b in
+  Printf.printf "buffer (%d bytes): %s\n" (String.length s)
+    (String.concat "" (List.map (fun c -> Printf.sprintf "%02x" (Char.code c))
+       (List.init (String.length s) (String.get s))));
+  (* The first 6 bytes are the old pending "456789"; the frame follows. *)
+  let frame = String.sub s 6 (String.length s - 6) in
+  let len =
+    (Char.code frame.[0] lsl 24) lor (Char.code frame.[1] lsl 16)
+    lor (Char.code frame.[2] lsl 8) lor Char.code frame.[3]
+  in
+  Printf.printf "frame length prefix = %d, actual payload avail = %d\n"
+    len (String.length frame - 4);
+  let payload = String.sub frame 4 (min len (String.length frame - 4)) in
+  match Net.Frame.decode_resp payload with
+  | Ok (_, Net.Frame.Err m) -> Printf.printf "OK: decoded Err %S\n" m
+  | Ok _ -> print_endline "decoded something else"
+  | Error e -> Printf.printf "CORRUPT: %s\n" (Net.Frame.error_to_string e)
